@@ -1,0 +1,9 @@
+//! Table I — qualitative comparison of memory-access profiling
+//! techniques.
+
+use neomem_bench::header;
+
+fn main() {
+    header("Table I: memory-access profiling techniques comparison", "paper Table I");
+    print!("{}", neomem::profilers::comparison_table());
+}

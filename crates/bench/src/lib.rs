@@ -1,0 +1,100 @@
+//! Shared plumbing for the figure/table regeneration harness.
+//!
+//! Every table and figure in the paper's evaluation has a `harness =
+//! false` bench target that prints the corresponding rows/series; run
+//! them all with `cargo bench`, or one with e.g.
+//! `cargo bench --bench fig11_end_to_end`.
+//!
+//! Set `NEOMEM_SCALE=full` for ~10× longer, higher-fidelity runs
+//! (default: `quick`).
+
+use neomem::prelude::*;
+
+/// Scale knob read from `NEOMEM_SCALE` (`quick` default, `full` = 10×).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-for-everything default.
+    Quick,
+    /// ~10× more simulated accesses.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("NEOMEM_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Multiplies a quick-mode access budget.
+    pub fn accesses(self, quick: u64) -> u64 {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => quick * 10,
+        }
+    }
+}
+
+/// Standard experiment shell used by most figures: paper defaults,
+/// 1:2 ratio, scaled cadences.
+pub fn experiment(workload: WorkloadKind, policy: PolicyKind, scale: Scale) -> ExperimentBuilder {
+    Experiment::builder()
+        .workload(workload)
+        .policy(policy)
+        .rss_pages(6144)
+        .ratio(2)
+        .accesses(scale.accesses(1_200_000))
+        .time_scale(1000)
+        .seed(2024)
+}
+
+/// Geometric mean of a slice of positive numbers.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a table row of fixed-width cells.
+pub fn row(cells: &[String]) -> String {
+    cells.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" | ")
+}
+
+/// Prints the standard harness header.
+pub fn header(title: &str, source: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("(regenerates {source}; shapes should match, absolutes will not)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_env_accessor() {
+        assert_eq!(Scale::Quick.accesses(100), 100);
+        assert_eq!(Scale::Full.accesses(100), 1000);
+    }
+
+    #[test]
+    fn experiment_shell_builds() {
+        let e = experiment(WorkloadKind::Gups, PolicyKind::FirstTouch, Scale::Quick);
+        assert!(e.accesses(10_000).rss_pages(1024).build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of empty")]
+    fn geomean_rejects_empty() {
+        let _ = geomean(&[]);
+    }
+}

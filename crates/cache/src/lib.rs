@@ -1,0 +1,42 @@
+//! Cache hierarchy and TLB simulation.
+//!
+//! NeoProf's defining property (design goal **G3**) is that it observes
+//! *true LLC misses* — the requests that actually reach the CXL memory
+//! device — rather than the TLB-level events that PTE-scan and hint-fault
+//! profiling see. Reproducing that distinction requires simulating the
+//! cache hierarchy that filters CPU accesses, and the TLB whose misses/
+//! faults drive the software baselines.
+//!
+//! The hierarchy is a classic three-level, write-back, write-allocate,
+//! LRU set-associative model. Caches are indexed by *virtual* line
+//! address: the simulated workloads have a single address space, and
+//! indexing virtually keeps cache state independent of page migration
+//! (data contents don't change when the kernel moves a page between
+//! tiers), matching the behaviour a physically-indexed cache converges to
+//! after a migration without requiring a line-walk per move. Translation
+//! to physical frames happens at LLC-miss time in the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use neomem_cache::{CacheHierarchy, HierarchyConfig, HitLevel};
+//! use neomem_types::{AccessKind, CacheLine};
+//!
+//! let mut h = CacheHierarchy::new(HierarchyConfig::tiny());
+//! let line = CacheLine::new(0x40);
+//! let first = h.access(line, AccessKind::Read);
+//! assert_eq!(first.level, HitLevel::Memory); // cold miss
+//! let second = h.access(line, AccessKind::Read);
+//! assert_eq!(second.level, HitLevel::L1);    // now cached
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod set_assoc;
+mod tlb;
+
+pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyStats, HitLevel, MemoryTraffic};
+pub use set_assoc::{CacheConfig, CacheStats, LevelOutcome, SetAssocCache};
+pub use tlb::{Tlb, TlbConfig, TlbStats};

@@ -1,0 +1,252 @@
+//! A set-associative TLB model.
+//!
+//! The TLB determines what the *software* profiling baselines can see:
+//! PTE accessed bits are set by the page walker on TLB fills, and
+//! hint-fault "poisoned" pages fault when their translation is absent.
+//! Page migration and PTE poisoning trigger TLB shootdowns, which the
+//! simulator charges time for.
+
+use neomem_types::{Error, Result, VirtPage};
+
+/// TLB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Total entries.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl TlbConfig {
+    /// A 2048-entry, 8-way TLB, in the range of modern x86 STLBs.
+    pub fn scaled_default() -> Self {
+        Self { entries: 2048, ways: 8 }
+    }
+
+    /// A 256-entry TLB whose coverage relative to quick-simulation
+    /// footprints matches a real STLB's coverage of a 10+ GB RSS.
+    pub fn scaled_small() -> Self {
+        Self { entries: 256, ways: 4 }
+    }
+
+    /// A 8-entry TLB for unit tests.
+    pub fn tiny() -> Self {
+        Self { entries: 8, ways: 2 }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] unless `entries` is a non-zero
+    /// multiple of `ways` with a power-of-two set count.
+    pub fn validate(&self) -> Result<()> {
+        if self.entries == 0 || self.ways == 0 || self.entries % self.ways != 0 {
+            return Err(Error::invalid_config("tlb entries must be a non-zero multiple of ways"));
+        }
+        if !(self.entries / self.ways).is_power_of_two() {
+            return Err(Error::invalid_config("tlb set count must be a power of two"));
+        }
+        Ok(())
+    }
+}
+
+/// Hit/miss/shootdown counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Translations served from the TLB.
+    pub hits: u64,
+    /// Translations requiring a page walk.
+    pub misses: u64,
+    /// Entries invalidated by shootdowns.
+    pub shootdowns: u64,
+}
+
+impl TlbStats {
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    vpn: u64,
+    valid: bool,
+    last_use: u64,
+}
+
+/// A set-associative, LRU TLB over virtual pages.
+///
+/// ```
+/// use neomem_cache::{Tlb, TlbConfig};
+/// use neomem_types::VirtPage;
+///
+/// let mut tlb = Tlb::new(TlbConfig::tiny());
+/// assert!(!tlb.access(VirtPage::new(3))); // cold miss, then filled
+/// assert!(tlb.access(VirtPage::new(3))); // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    entries: Vec<TlbEntry>,
+    set_mask: u64,
+    tick: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates the TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid geometry; pre-validate with
+    /// [`TlbConfig::validate`].
+    pub fn new(config: TlbConfig) -> Self {
+        config.validate().expect("invalid tlb config");
+        let sets = config.entries / config.ways;
+        Self {
+            config,
+            entries: vec![TlbEntry::default(); config.entries],
+            set_mask: sets as u64 - 1,
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Looks up `vpage`, filling the entry on miss. Returns `true` on hit.
+    pub fn access(&mut self, vpage: VirtPage) -> bool {
+        self.tick += 1;
+        let set = (vpage.index() & self.set_mask) as usize;
+        let base = set * self.config.ways;
+        let ways = self.config.ways;
+
+        for e in &mut self.entries[base..base + ways] {
+            if e.valid && e.vpn == vpage.index() {
+                e.last_use = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        // Fill: prefer invalid, else LRU.
+        let mut victim = base;
+        let mut best = u64::MAX;
+        for (i, e) in self.entries[base..base + ways].iter().enumerate() {
+            if !e.valid {
+                victim = base + i;
+                break;
+            }
+            if e.last_use < best {
+                best = e.last_use;
+                victim = base + i;
+            }
+        }
+        self.entries[victim] = TlbEntry { vpn: vpage.index(), valid: true, last_use: self.tick };
+        false
+    }
+
+    /// Invalidates `vpage` (one shootdown), returning whether it was
+    /// present.
+    pub fn shootdown(&mut self, vpage: VirtPage) -> bool {
+        let set = (vpage.index() & self.set_mask) as usize;
+        let base = set * self.config.ways;
+        for e in &mut self.entries[base..base + self.config.ways] {
+            if e.valid && e.vpn == vpage.index() {
+                *e = TlbEntry::default();
+                self.stats.shootdowns += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Flushes the whole TLB (counted as one shootdown per valid entry).
+    pub fn flush(&mut self) {
+        for e in &mut self.entries {
+            if e.valid {
+                self.stats.shootdowns += 1;
+                *e = TlbEntry::default();
+            }
+        }
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Returns the geometry.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        TlbConfig::scaled_default().validate().unwrap();
+        TlbConfig::tiny().validate().unwrap();
+        assert!(TlbConfig { entries: 0, ways: 1 }.validate().is_err());
+        assert!(TlbConfig { entries: 9, ways: 2 }.validate().is_err());
+        assert!(TlbConfig { entries: 12, ways: 2 }.validate().is_err());
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut tlb = Tlb::new(TlbConfig::tiny());
+        assert!(!tlb.access(VirtPage::new(1)));
+        assert!(tlb.access(VirtPage::new(1)));
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut tlb = Tlb::new(TlbConfig::tiny()); // 4 sets x 2 ways
+        // Pages 0, 4, 8 all map to set 0.
+        tlb.access(VirtPage::new(0));
+        tlb.access(VirtPage::new(4));
+        tlb.access(VirtPage::new(0)); // refresh
+        tlb.access(VirtPage::new(8)); // evicts 4
+        assert!(tlb.access(VirtPage::new(0)));
+        assert!(!tlb.access(VirtPage::new(4)));
+    }
+
+    #[test]
+    fn shootdown_removes_translation() {
+        let mut tlb = Tlb::new(TlbConfig::tiny());
+        tlb.access(VirtPage::new(2));
+        assert!(tlb.shootdown(VirtPage::new(2)));
+        assert!(!tlb.access(VirtPage::new(2)), "must miss after shootdown");
+        assert!(!tlb.shootdown(VirtPage::new(99)), "absent page");
+        assert_eq!(tlb.stats().shootdowns, 1);
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut tlb = Tlb::new(TlbConfig::tiny());
+        for i in 0..8u64 {
+            tlb.access(VirtPage::new(i));
+        }
+        tlb.flush();
+        for i in 0..8u64 {
+            assert!(!tlb.access(VirtPage::new(i)), "page {i} must miss after flush");
+        }
+        assert!(tlb.stats().shootdowns >= 8);
+    }
+
+    #[test]
+    fn miss_ratio_empty_is_zero() {
+        let tlb = Tlb::new(TlbConfig::tiny());
+        assert_eq!(tlb.stats().miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the cache hierarchy and TLB.
+
+use neomem_cache::{CacheConfig, CacheHierarchy, HierarchyConfig, SetAssocCache, Tlb, TlbConfig};
+use neomem_types::{AccessKind, CacheLine, VirtPage};
+use proptest::prelude::*;
+
+fn tiny_hierarchy() -> CacheHierarchy {
+    CacheHierarchy::new(HierarchyConfig::tiny())
+}
+
+proptest! {
+    /// A cache never holds more lines than its capacity, regardless of
+    /// the access pattern.
+    #[test]
+    fn capacity_is_never_exceeded(lines in prop::collection::vec(0u64..10_000, 1..2000)) {
+        let config = CacheConfig::new(2 << 10, 4); // 32 lines
+        let mut cache = SetAssocCache::new(config);
+        for &l in &lines {
+            cache.access(CacheLine::new(l), false);
+        }
+        prop_assert!(cache.resident_lines() as u64 <= config.capacity_bytes / config.line_bytes);
+    }
+
+    /// Re-accessing a line immediately after it was touched always hits
+    /// (temporal locality is never destroyed by the bookkeeping).
+    #[test]
+    fn immediate_reuse_hits(lines in prop::collection::vec(0u64..100_000, 1..500)) {
+        let mut cache = SetAssocCache::new(CacheConfig::new(4 << 10, 8));
+        for &l in &lines {
+            cache.access(CacheLine::new(l), false);
+            prop_assert!(cache.access(CacheLine::new(l), false).hit, "line {} must hit", l);
+        }
+    }
+
+    /// Hit + miss counters account for every access.
+    #[test]
+    fn counters_conserve_accesses(lines in prop::collection::vec(0u64..4096, 0..3000)) {
+        let mut hier = tiny_hierarchy();
+        for &l in &lines {
+            hier.access(CacheLine::new(l), AccessKind::Read);
+        }
+        let stats = hier.stats();
+        prop_assert_eq!(stats.accesses, lines.len() as u64);
+        prop_assert_eq!(stats.l1.hits + stats.l1.misses, lines.len() as u64);
+        prop_assert!(stats.llc_misses <= lines.len() as u64);
+    }
+
+    /// Every writeback the hierarchy emits is a line that was written
+    /// at some point (clean data never generates memory writes).
+    #[test]
+    fn writebacks_only_for_written_lines(
+        ops in prop::collection::vec((0u64..512, prop::bool::ANY), 1..3000),
+    ) {
+        let mut hier = tiny_hierarchy();
+        let mut written = std::collections::HashSet::new();
+        for &(line, is_write) in &ops {
+            if is_write {
+                written.insert(line);
+            }
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let out = hier.access(CacheLine::new(line), kind);
+            if let Some(wb) = out.traffic.writeback {
+                prop_assert!(
+                    written.contains(&wb.index()),
+                    "writeback of never-written line {}",
+                    wb.index()
+                );
+            }
+        }
+    }
+
+    /// The memory-traffic invariant: a fill is reported exactly when
+    /// the access misses all three levels.
+    #[test]
+    fn fill_iff_llc_miss(lines in prop::collection::vec(0u64..2048, 1..2000)) {
+        let mut hier = tiny_hierarchy();
+        for &l in &lines {
+            let out = hier.access(CacheLine::new(l), AccessKind::Read);
+            prop_assert_eq!(out.level.is_llc_miss(), out.traffic.fill.is_some());
+        }
+    }
+
+    /// TLB counters conserve accesses, and a shot-down translation
+    /// always misses on its next access.
+    #[test]
+    fn tlb_conservation_and_shootdown(
+        pages in prop::collection::vec(0u64..256, 1..1000),
+        victim in 0u64..256,
+    ) {
+        let mut tlb = Tlb::new(TlbConfig::tiny());
+        for &p in &pages {
+            tlb.access(VirtPage::new(p));
+        }
+        let stats = tlb.stats();
+        prop_assert_eq!(stats.hits + stats.misses, pages.len() as u64);
+        let was_resident = tlb.shootdown(VirtPage::new(victim));
+        let hit_after = tlb.access(VirtPage::new(victim));
+        prop_assert!(!hit_after, "victim must miss after shootdown");
+        // And the shootdown return value reflects prior residency: if it
+        // claimed residency, the page had indeed been touched.
+        if was_resident {
+            prop_assert!(pages.contains(&victim));
+        }
+    }
+
+    /// Cache behaviour is deterministic: identical streams produce
+    /// identical statistics.
+    #[test]
+    fn deterministic_stats(lines in prop::collection::vec(0u64..4096, 0..1500)) {
+        let mut a = tiny_hierarchy();
+        let mut b = tiny_hierarchy();
+        for &l in &lines {
+            a.access(CacheLine::new(l), AccessKind::Write);
+            b.access(CacheLine::new(l), AccessKind::Write);
+        }
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+}

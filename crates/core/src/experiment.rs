@@ -1,0 +1,334 @@
+//! The experiment builder: paper-preset construction of simulations.
+
+use neomem_neoprof::NeoProfConfig;
+use neomem_policies::{
+    FirstTouchPolicy, HintFaultPolicy, HintFaultPolicyConfig, MemtisPolicy, NeoMemParams,
+    NeoMemPolicy, PebsPolicy, PebsPolicyConfig, PolicyKind, PteScanPolicy, PteScanPolicyConfig,
+    ThresholdMode, TieringPolicy,
+};
+use neomem_profilers::{NeoProfDriverConfig, PebsConfig};
+use neomem_sim::{RunReport, SimConfig, Simulation};
+use neomem_sketch::SketchParams;
+use neomem_types::{Bandwidth, Error, Nanos, PageNum, Result, Tier};
+use neomem_workloads::WorkloadKind;
+
+/// Optional per-policy parameter overrides for sweeps and ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PolicyOverrides {
+    /// Migration quota (Table V `mquota`, Fig. 15b sweep).
+    pub mquota: Option<Bandwidth>,
+    /// NeoMem's hot-page readout cadence (Fig. 15a sweep).
+    pub migration_interval: Option<Nanos>,
+    /// NeoProf sketch parameters (Fig. 15c/d sweeps).
+    pub sketch: Option<SketchParams>,
+    /// PEBS sampling interval (Fig. 4c sweep, Table V range 200–5000).
+    pub pebs_sample_interval: Option<u64>,
+}
+
+/// Builds [`neomem_policies::TieringPolicy`] instances from a
+/// [`PolicyKind`], sized for a given simulation configuration.
+///
+/// `time_scale` divides the paper's daemon cadences (Table V) so that
+/// millisecond-scale simulated runs exercise the same number of policy
+/// decisions as the paper's minute-scale runs.
+///
+/// # Errors
+///
+/// Propagates invalid NeoProf sketch parameters.
+pub fn build_policy(
+    kind: PolicyKind,
+    config: &SimConfig,
+    time_scale: u64,
+    overrides: PolicyOverrides,
+) -> Result<Box<dyn TieringPolicy>> {
+    let mem = config.memory_config();
+    let slow_base = PageNum::new(mem.fast.capacity_frames);
+    let mquota = overrides.mquota.unwrap_or(Bandwidth::from_mib_per_sec(256));
+    let policy: Box<dyn TieringPolicy> = match kind {
+        PolicyKind::NeoMem | PolicyKind::NeoMemFixed(_) => {
+            let mut params = NeoMemParams::scaled(time_scale);
+            params.mquota = mquota;
+            if let Some(interval) = overrides.migration_interval {
+                params.migration_interval = interval;
+            }
+            if let PolicyKind::NeoMemFixed(theta) = kind {
+                params.threshold_mode = ThresholdMode::Fixed(theta);
+            }
+            let mut dev = NeoProfConfig::paper_default(slow_base);
+            if let Some(sketch) = overrides.sketch {
+                dev.sketch = sketch;
+            }
+            Box::new(NeoMemPolicy::new(dev, NeoProfDriverConfig::scaled(time_scale), params)?)
+        }
+        PolicyKind::Pebs => {
+            let mut cfg = PebsPolicyConfig::scaled(time_scale);
+            if let Some(interval) = overrides.pebs_sample_interval {
+                cfg.pebs = PebsConfig { sample_interval: interval, ..cfg.pebs };
+            }
+            Box::new(PebsPolicy::new(cfg, mquota))
+        }
+        PolicyKind::Memtis => {
+            let mut policy = MemtisPolicy::scaled(time_scale, mquota);
+            if let Some(interval) = overrides.pebs_sample_interval {
+                policy = MemtisPolicy::new(
+                    PebsConfig { sample_interval: interval, ..PebsConfig::default() },
+                    mquota,
+                    (Nanos::from_secs(1) / time_scale).max(Nanos::from_millis(2)),
+                );
+            }
+            Box::new(policy)
+        }
+        PolicyKind::PteScan => Box::new(PteScanPolicy::new(
+            PteScanPolicyConfig::scaled(time_scale),
+            config.rss_pages,
+            mquota,
+        )),
+        PolicyKind::Tpp => {
+            Box::new(HintFaultPolicy::new(HintFaultPolicyConfig::tpp().scaled(time_scale), mquota))
+        }
+        PolicyKind::AutoNuma => Box::new(HintFaultPolicy::new(
+            HintFaultPolicyConfig::autonuma().scaled(time_scale),
+            mquota,
+        )),
+        PolicyKind::FirstTouch => Box::new(FirstTouchPolicy::new()),
+        PolicyKind::PinnedFast => Box::new(FirstTouchPolicy::pinned(Tier::Fast)),
+        PolicyKind::PinnedSlow => Box::new(FirstTouchPolicy::pinned(Tier::Slow)),
+    };
+    Ok(policy)
+}
+
+/// A fully specified experiment: workload × policy × machine.
+#[derive(Debug)]
+pub struct Experiment {
+    config: SimConfig,
+    workload: WorkloadKind,
+    policy: PolicyKind,
+    seed: u64,
+    time_scale: u64,
+    overrides: PolicyOverrides,
+}
+
+impl Experiment {
+    /// Starts building an experiment.
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// The simulation configuration in force.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the experiment to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal invariant violations (the builder
+    /// validates configurations).
+    pub fn run(self) -> RunReport {
+        let workload = self.workload.build(self.config.rss_pages, self.seed);
+        let policy = build_policy(self.policy, &self.config, self.time_scale, self.overrides)
+            .expect("policy construction validated at build time");
+        Simulation::new(self.config, workload, policy)
+            .expect("config validated at build time")
+            .run()
+    }
+}
+
+/// Builder for [`Experiment`].
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    workload: WorkloadKind,
+    policy: PolicyKind,
+    rss_pages: u64,
+    ratio: u64,
+    accesses: u64,
+    seed: u64,
+    time_scale: u64,
+    large_machine: bool,
+    overrides: PolicyOverrides,
+    config_hook: Option<fn(&mut SimConfig)>,
+}
+
+impl Default for ExperimentBuilder {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadKind::Gups,
+            policy: PolicyKind::NeoMem,
+            rss_pages: 4096,
+            ratio: 2,
+            accesses: 500_000,
+            seed: 42,
+            time_scale: 1000,
+            large_machine: false,
+            overrides: PolicyOverrides::default(),
+            config_hook: None,
+        }
+    }
+}
+
+impl ExperimentBuilder {
+    /// Selects the workload (default: GUPS).
+    pub fn workload(mut self, kind: WorkloadKind) -> Self {
+        self.workload = kind;
+        self
+    }
+
+    /// Selects the tiering policy (default: NeoMem).
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy = kind;
+        self
+    }
+
+    /// Sets the footprint in 4 KiB pages (default: 4096).
+    pub fn rss_pages(mut self, pages: u64) -> Self {
+        self.rss_pages = pages;
+        self
+    }
+
+    /// Sets the fast:slow capacity ratio `1:ratio` (default 1:2,
+    /// Fig. 12 uses 2/4/8).
+    pub fn ratio(mut self, ratio: u64) -> Self {
+        self.ratio = ratio;
+        self
+    }
+
+    /// Sets the number of CPU accesses to simulate (default 500 k).
+    pub fn accesses(mut self, accesses: u64) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Sets the workload seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Divides the paper's daemon cadences by `scale` (default 1000).
+    pub fn time_scale(mut self, scale: u64) -> Self {
+        self.time_scale = scale.max(1);
+        self
+    }
+
+    /// Uses the full-size cache/TLB presets (for footprints ≥ ~32 Ki
+    /// pages).
+    pub fn large_machine(mut self, large: bool) -> Self {
+        self.large_machine = large;
+        self
+    }
+
+    /// Applies policy parameter overrides.
+    pub fn overrides(mut self, overrides: PolicyOverrides) -> Self {
+        self.overrides = overrides;
+        self
+    }
+
+    /// Installs a final hook to tweak the [`SimConfig`] (cache sizes,
+    /// latencies, sampling cadence, ...).
+    pub fn configure(mut self, hook: fn(&mut SimConfig)) -> Self {
+        self.config_hook = Some(hook);
+        self
+    }
+
+    /// Validates and builds the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] for inconsistent machine
+    /// configurations or invalid policy parameters.
+    pub fn build(self) -> Result<Experiment> {
+        let mut config = if self.large_machine {
+            SimConfig::large(self.rss_pages, self.ratio)
+        } else {
+            SimConfig::quick(self.rss_pages, self.ratio)
+        };
+        config.max_accesses = self.accesses;
+        if let Some(hook) = self.config_hook {
+            hook(&mut config);
+        }
+        config.validate()?;
+        // Validate policy construction early so `run()` cannot fail.
+        build_policy(self.policy, &config, self.time_scale, self.overrides).map_err(|e| {
+            Error::invalid_config(format!("policy construction failed: {e}"))
+        })?;
+        Ok(Experiment {
+            config,
+            workload: self.workload,
+            policy: self.policy,
+            seed: self.seed,
+            time_scale: self.time_scale,
+            overrides: self.overrides,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_build() {
+        let e = Experiment::builder().accesses(10_000).rss_pages(1024).build().unwrap();
+        assert_eq!(e.config().rss_pages, 1024);
+    }
+
+    #[test]
+    fn every_policy_kind_constructs() {
+        let config = SimConfig::quick(1024, 2);
+        let kinds = [
+            PolicyKind::NeoMem,
+            PolicyKind::NeoMemFixed(100),
+            PolicyKind::Pebs,
+            PolicyKind::Memtis,
+            PolicyKind::PteScan,
+            PolicyKind::Tpp,
+            PolicyKind::AutoNuma,
+            PolicyKind::FirstTouch,
+            PolicyKind::PinnedFast,
+            PolicyKind::PinnedSlow,
+        ];
+        for kind in kinds {
+            let p = build_policy(kind, &config, 1000, PolicyOverrides::default()).unwrap();
+            assert_eq!(p.name(), kind.label(), "{kind:?} label mismatch");
+        }
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let config = SimConfig::quick(1024, 2);
+        let overrides = PolicyOverrides {
+            sketch: Some(SketchParams::small()),
+            pebs_sample_interval: Some(10),
+            mquota: Some(Bandwidth::from_mib_per_sec(64)),
+            migration_interval: Some(Nanos::from_micros(500)),
+        };
+        // Constructs without error; behavioural effect covered in the
+        // sensitivity benches.
+        build_policy(PolicyKind::NeoMem, &config, 1000, overrides).unwrap();
+        build_policy(PolicyKind::Pebs, &config, 1000, overrides).unwrap();
+        build_policy(PolicyKind::Memtis, &config, 1000, overrides).unwrap();
+    }
+
+    #[test]
+    fn invalid_rss_rejected() {
+        assert!(Experiment::builder().rss_pages(0).build().is_err());
+    }
+
+    #[test]
+    fn invalid_sketch_rejected_at_build() {
+        let overrides = PolicyOverrides {
+            sketch: Some(SketchParams {
+                width: 1000, // not a power of two
+                ..SketchParams::small()
+            }),
+            ..Default::default()
+        };
+        let err = Experiment::builder()
+            .rss_pages(1024)
+            .policy(PolicyKind::NeoMem)
+            .overrides(overrides)
+            .build();
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! The LRU-2Q cold-page detector (Johnson & Shasha's 2Q, as used by the
+//! Linux active/inactive page lists).
+//!
+//! New pages enter the probationary `A1in` FIFO; a page re-accessed while
+//! probationary graduates to the `Am` LRU list. Demotion victims come
+//! from the cold end of `A1in` first (touched once, never again), then
+//! from the LRU end of `Am`.
+
+use std::collections::{HashMap, VecDeque};
+
+use neomem_types::VirtPage;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Queue {
+    A1in,
+    Am,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    queue: Queue,
+    seq: u64,
+}
+
+/// A 2Q structure over the fast tier's resident pages.
+///
+/// Uses lazy deletion: queues store `(seq, page)` tickets and a side map
+/// records each page's live ticket, so `on_access` is O(1) amortised.
+#[derive(Debug, Clone, Default)]
+pub struct Lru2Q {
+    entries: HashMap<u64, Entry>,
+    a1in: VecDeque<(u64, u64)>,
+    am: VecDeque<(u64, u64)>,
+    next_seq: u64,
+}
+
+impl Lru2Q {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `page` is tracked.
+    pub fn contains(&self, page: VirtPage) -> bool {
+        self.entries.contains_key(&page.index())
+    }
+
+    fn push(&mut self, page: u64, queue: Queue) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(page, Entry { queue, seq });
+        match queue {
+            Queue::A1in => self.a1in.push_back((seq, page)),
+            Queue::Am => self.am.push_back((seq, page)),
+        }
+    }
+
+    /// Registers a page newly resident on the fast tier.
+    pub fn insert(&mut self, page: VirtPage) {
+        if !self.contains(page) {
+            self.push(page.index(), Queue::A1in);
+        }
+    }
+
+    /// Records an access to a resident page: probationary pages graduate
+    /// to `Am`; `Am` pages refresh to most-recently-used.
+    pub fn on_access(&mut self, page: VirtPage) {
+        let key = page.index();
+        if self.entries.contains_key(&key) {
+            // Both transitions re-enqueue at the hot end of Am.
+            self.push(key, Queue::Am);
+        }
+    }
+
+    /// Stops tracking a page (demoted or unmapped).
+    pub fn remove(&mut self, page: VirtPage) {
+        self.entries.remove(&page.index());
+        // Queue tickets expire lazily.
+    }
+
+    fn pop_live(queue: &mut VecDeque<(u64, u64)>, entries: &HashMap<u64, Entry>, which: Queue) -> Option<u64> {
+        while let Some(&(seq, page)) = queue.front() {
+            queue.pop_front();
+            if let Some(e) = entries.get(&page) {
+                if e.seq == seq && e.queue == which {
+                    return Some(page);
+                }
+            }
+        }
+        None
+    }
+
+    /// Pops up to `n` cold victims: probationary-FIFO first, then LRU.
+    /// Popped pages are removed from tracking.
+    pub fn pop_coldest(&mut self, n: usize) -> Vec<VirtPage> {
+        let mut victims = Vec::with_capacity(n);
+        while victims.len() < n {
+            let from_a1 = Self::pop_live(&mut self.a1in, &self.entries, Queue::A1in);
+            let page = match from_a1 {
+                Some(p) => Some(p),
+                None => Self::pop_live(&mut self.am, &self.entries, Queue::Am),
+            };
+            match page {
+                Some(p) => {
+                    self.entries.remove(&p);
+                    victims.push(VirtPage::new(p));
+                }
+                None => break,
+            }
+        }
+        victims
+    }
+
+    /// Compacts the lazy queues (call occasionally in long runs).
+    pub fn compact(&mut self) {
+        let entries = &self.entries;
+        self.a1in.retain(|&(seq, page)| {
+            entries.get(&page).is_some_and(|e| e.seq == seq && e.queue == Queue::A1in)
+        });
+        self.am.retain(|&(seq, page)| {
+            entries.get(&page).is_some_and(|e| e.seq == seq && e.queue == Queue::Am)
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp(i: u64) -> VirtPage {
+        VirtPage::new(i)
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut q = Lru2Q::new();
+        q.insert(vp(1));
+        assert!(q.contains(vp(1)));
+        assert_eq!(q.len(), 1);
+        q.insert(vp(1)); // idempotent
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn once_touched_pages_evicted_first() {
+        let mut q = Lru2Q::new();
+        q.insert(vp(1)); // touched once, never again
+        q.insert(vp(2));
+        q.on_access(vp(2)); // graduates to Am
+        let victims = q.pop_coldest(1);
+        assert_eq!(victims, vec![vp(1)], "probationary page must go first");
+    }
+
+    #[test]
+    fn am_evicts_in_lru_order() {
+        let mut q = Lru2Q::new();
+        for i in 1..=3 {
+            q.insert(vp(i));
+            q.on_access(vp(i));
+        }
+        q.on_access(vp(1)); // refresh 1: LRU order is now 2, 3, 1
+        let victims = q.pop_coldest(3);
+        assert_eq!(victims, vec![vp(2), vp(3), vp(1)]);
+    }
+
+    #[test]
+    fn remove_prevents_eviction() {
+        let mut q = Lru2Q::new();
+        q.insert(vp(1));
+        q.insert(vp(2));
+        q.remove(vp(1));
+        assert!(!q.contains(vp(1)));
+        let victims = q.pop_coldest(5);
+        assert_eq!(victims, vec![vp(2)]);
+    }
+
+    #[test]
+    fn pop_exhausts_then_empty() {
+        let mut q = Lru2Q::new();
+        for i in 0..4 {
+            q.insert(vp(i));
+        }
+        assert_eq!(q.pop_coldest(10).len(), 4);
+        assert!(q.is_empty());
+        assert!(q.pop_coldest(1).is_empty());
+    }
+
+    #[test]
+    fn access_to_untracked_page_ignored() {
+        let mut q = Lru2Q::new();
+        q.on_access(vp(9));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compact_preserves_behaviour() {
+        let mut q = Lru2Q::new();
+        for i in 0..10 {
+            q.insert(vp(i));
+            if i % 2 == 0 {
+                q.on_access(vp(i));
+            }
+        }
+        for i in 0..5 {
+            q.remove(vp(i));
+        }
+        q.compact();
+        // Odd pages 5,7,9 are probationary; even 6,8 are in Am.
+        let victims = q.pop_coldest(10);
+        assert_eq!(victims, vec![vp(5), vp(7), vp(9), vp(6), vp(8)]);
+    }
+
+    #[test]
+    fn reaccess_keeps_single_live_ticket() {
+        let mut q = Lru2Q::new();
+        q.insert(vp(1));
+        for _ in 0..100 {
+            q.on_access(vp(1));
+        }
+        assert_eq!(q.pop_coldest(10), vec![vp(1)], "only one live instance");
+    }
+}

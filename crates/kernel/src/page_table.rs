@@ -1,0 +1,203 @@
+//! The simulated page table.
+
+use neomem_types::{Error, PageNum, Result, VirtPage};
+
+/// One page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// The backing physical frame.
+    pub frame: PageNum,
+    /// Hardware `Accessed` bit: set by the page walker on TLB fill,
+    /// cleared and harvested by PTE-scan profilers.
+    pub accessed: bool,
+    /// Hint-fault poison: the PTE is marked `PROT_NONE`-like so the next
+    /// touch faults into the kernel (AutoNUMA / TPP / Thermostat).
+    pub poisoned: bool,
+    /// Linux's `PG_demoted` page flag as introduced by the paper for
+    /// ping-pong severity tracking (§V-A).
+    pub demoted: bool,
+}
+
+impl Pte {
+    fn new(frame: PageNum) -> Self {
+        Self { frame, accessed: false, poisoned: false, demoted: false }
+    }
+}
+
+/// A dense page table over virtual pages `0..rss_pages`.
+///
+/// Workload generators emit virtual pages from a contiguous range, so a
+/// flat `Vec<Option<Pte>>` is both faithful (4-level walks are charged in
+/// time, not structure) and fast.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    entries: Vec<Option<Pte>>,
+}
+
+impl PageTable {
+    /// Creates an empty table covering `rss_pages` virtual pages.
+    pub fn new(rss_pages: u64) -> Self {
+        Self { entries: vec![None; rss_pages as usize] }
+    }
+
+    /// Number of virtual pages covered (mapped or not).
+    pub fn span(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Number of currently mapped pages.
+    pub fn mapped_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    #[inline]
+    fn slot(&self, vpage: VirtPage) -> Result<&Option<Pte>> {
+        self.entries.get(vpage.index() as usize).ok_or(Error::UnmappedPage { vpn: vpage.index() })
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, vpage: VirtPage) -> Result<&mut Option<Pte>> {
+        self.entries
+            .get_mut(vpage.index() as usize)
+            .ok_or(Error::UnmappedPage { vpn: vpage.index() })
+    }
+
+    /// Maps `vpage` to `frame`, replacing any existing mapping.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedPage`] when `vpage` is outside the table span.
+    pub fn map(&mut self, vpage: VirtPage, frame: PageNum) -> Result<Option<PageNum>> {
+        let slot = self.slot_mut(vpage)?;
+        let old = slot.map(|p| p.frame);
+        *slot = Some(Pte::new(frame));
+        Ok(old)
+    }
+
+    /// Returns the PTE of `vpage`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedPage`] when unmapped or out of span.
+    pub fn get(&self, vpage: VirtPage) -> Result<Pte> {
+        self.slot(vpage)?.ok_or(Error::UnmappedPage { vpn: vpage.index() })
+    }
+
+    /// Whether `vpage` is mapped.
+    pub fn is_mapped(&self, vpage: VirtPage) -> bool {
+        matches!(self.entries.get(vpage.index() as usize), Some(Some(_)))
+    }
+
+    /// Mutates the PTE of `vpage` through `f`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedPage`] when unmapped or out of span.
+    pub fn update<F: FnOnce(&mut Pte)>(&mut self, vpage: VirtPage, f: F) -> Result<()> {
+        match self.slot_mut(vpage)? {
+            Some(pte) => {
+                f(pte);
+                Ok(())
+            }
+            None => Err(Error::UnmappedPage { vpn: vpage.index() }),
+        }
+    }
+
+    /// Sets the `Accessed` bit (page-walker behaviour on TLB fill).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedPage`] when unmapped.
+    pub fn mark_accessed(&mut self, vpage: VirtPage) -> Result<()> {
+        self.update(vpage, |pte| pte.accessed = true)
+    }
+
+    /// Iterates `(vpage, pte)` over all mapped pages.
+    pub fn iter(&self) -> impl Iterator<Item = (VirtPage, Pte)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|pte| (VirtPage::new(i as u64), pte)))
+    }
+
+    /// Clears every `Accessed` bit and returns how many were set — one
+    /// PTE-scan epoch boundary. The caller charges scan time per visited
+    /// entry.
+    pub fn clear_accessed_bits(&mut self) -> u64 {
+        let mut cleared = 0;
+        for e in self.entries.iter_mut().flatten() {
+            if e.accessed {
+                cleared += 1;
+                e.accessed = false;
+            }
+        }
+        cleared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_get_round_trip() {
+        let mut pt = PageTable::new(4);
+        pt.map(VirtPage::new(2), PageNum::new(99)).unwrap();
+        let pte = pt.get(VirtPage::new(2)).unwrap();
+        assert_eq!(pte.frame, PageNum::new(99));
+        assert!(!pte.accessed && !pte.poisoned && !pte.demoted);
+    }
+
+    #[test]
+    fn unmapped_and_out_of_span_error() {
+        let pt = PageTable::new(4);
+        assert_eq!(pt.get(VirtPage::new(1)), Err(Error::UnmappedPage { vpn: 1 }));
+        assert_eq!(pt.get(VirtPage::new(9)), Err(Error::UnmappedPage { vpn: 9 }));
+        assert!(!pt.is_mapped(VirtPage::new(1)));
+        assert!(!pt.is_mapped(VirtPage::new(9)));
+    }
+
+    #[test]
+    fn remap_returns_old_frame() {
+        let mut pt = PageTable::new(2);
+        assert_eq!(pt.map(VirtPage::new(0), PageNum::new(1)).unwrap(), None);
+        assert_eq!(pt.map(VirtPage::new(0), PageNum::new(2)).unwrap(), Some(PageNum::new(1)));
+    }
+
+    #[test]
+    fn accessed_bit_lifecycle() {
+        let mut pt = PageTable::new(3);
+        for i in 0..3 {
+            pt.map(VirtPage::new(i), PageNum::new(i)).unwrap();
+        }
+        pt.mark_accessed(VirtPage::new(0)).unwrap();
+        pt.mark_accessed(VirtPage::new(2)).unwrap();
+        assert_eq!(pt.clear_accessed_bits(), 2);
+        assert_eq!(pt.clear_accessed_bits(), 0, "second scan sees nothing");
+        assert!(!pt.get(VirtPage::new(0)).unwrap().accessed);
+    }
+
+    #[test]
+    fn update_flags() {
+        let mut pt = PageTable::new(1);
+        pt.map(VirtPage::new(0), PageNum::new(5)).unwrap();
+        pt.update(VirtPage::new(0), |pte| {
+            pte.poisoned = true;
+            pte.demoted = true;
+        })
+        .unwrap();
+        let pte = pt.get(VirtPage::new(0)).unwrap();
+        assert!(pte.poisoned && pte.demoted);
+    }
+
+    #[test]
+    fn iter_yields_only_mapped() {
+        let mut pt = PageTable::new(5);
+        pt.map(VirtPage::new(1), PageNum::new(10)).unwrap();
+        pt.map(VirtPage::new(3), PageNum::new(30)).unwrap();
+        let pages: Vec<u64> = pt.iter().map(|(v, _)| v.index()).collect();
+        assert_eq!(pages, vec![1, 3]);
+        assert_eq!(pt.mapped_count(), 2);
+        assert_eq!(pt.span(), 5);
+    }
+}

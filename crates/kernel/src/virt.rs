@@ -1,0 +1,198 @@
+//! Virtualization support (paper §VII "Virtualization Support").
+//!
+//! In a virtualised deployment, NeoMem runs in the *host*: the NeoMem
+//! daemon identifies hot **host-physical** pages, migrates them, and
+//! then the guests' Extended Page Tables (EPT) are remapped so guest-
+//! physical addresses follow the data to its new frame. The paper
+//! leaves evaluation to future work but describes the mechanism; this
+//! module implements it so virtualised experiments can be composed:
+//!
+//! * [`EptMap`] — one guest's gPA → hPA second-stage table with dirty
+//!   remap accounting.
+//! * [`VirtLayer`] — a set of guests multiplexed over the host address
+//!   space; translates guest accesses and applies post-migration
+//!   remaps (the `vtmm`-style flow the paper cites).
+
+use std::collections::HashMap;
+
+use neomem_types::{Error, Nanos, Result, VirtPage};
+
+/// A guest identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GuestId(pub u8);
+
+/// One guest's second-stage (EPT) mapping: guest-physical page →
+/// host *virtual* page (which the host kernel maps onto frames; frame
+/// moves are invisible here, only host-page reassignments remap).
+#[derive(Debug, Clone, Default)]
+pub struct EptMap {
+    entries: HashMap<u64, VirtPage>,
+    remaps: u64,
+}
+
+impl EptMap {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps guest page `gpa` to host page `hpage`.
+    pub fn map(&mut self, gpa: u64, hpage: VirtPage) {
+        self.entries.insert(gpa, hpage);
+    }
+
+    /// Translates a guest-physical page.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedPage`] when the guest page has no EPT entry.
+    pub fn translate(&self, gpa: u64) -> Result<VirtPage> {
+        self.entries.get(&gpa).copied().ok_or(Error::UnmappedPage { vpn: gpa })
+    }
+
+    /// Points every guest mapping of `old` at `new` (post-migration
+    /// remap). Returns how many entries changed.
+    pub fn remap(&mut self, old: VirtPage, new: VirtPage) -> u64 {
+        let mut changed = 0;
+        for target in self.entries.values_mut() {
+            if *target == old {
+                *target = new;
+                changed += 1;
+            }
+        }
+        self.remaps += changed;
+        changed
+    }
+
+    /// Total remapped entries over the guest's lifetime.
+    pub fn remaps(&self) -> u64 {
+        self.remaps
+    }
+
+    /// Number of mapped guest pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Cost of one EPT remap (EPT entry rewrite + guest TLB invalidation).
+pub const EPT_REMAP_COST: Nanos = Nanos::from_micros(1);
+
+/// A set of guests sharing the host address space.
+///
+/// The host partitions its (simulated) virtual address space among
+/// guests; NeoMem profiles and migrates *host* pages exactly as in the
+/// bare-metal flow, then [`VirtLayer::after_migration`] propagates the
+/// change into every affected guest's EPT.
+#[derive(Debug, Clone, Default)]
+pub struct VirtLayer {
+    guests: HashMap<GuestId, EptMap>,
+}
+
+impl VirtLayer {
+    /// Creates an empty layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a guest with an identity-offset mapping of
+    /// `pages` guest pages starting at host page `host_base`.
+    pub fn add_guest(&mut self, id: GuestId, host_base: VirtPage, pages: u64) {
+        let mut ept = EptMap::new();
+        for gpa in 0..pages {
+            ept.map(gpa, host_base.offset(gpa));
+        }
+        self.guests.insert(id, ept);
+    }
+
+    /// Borrows a guest's EPT.
+    pub fn guest(&self, id: GuestId) -> Option<&EptMap> {
+        self.guests.get(&id)
+    }
+
+    /// Translates a guest access to the host page NeoMem reasons about.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedPage`] for unknown guests or unmapped guest
+    /// pages.
+    pub fn translate(&self, id: GuestId, gpa: u64) -> Result<VirtPage> {
+        self.guests.get(&id).ok_or(Error::UnmappedPage { vpn: gpa })?.translate(gpa)
+    }
+
+    /// Propagates a host-page reassignment into every guest; returns
+    /// the total time charged for EPT rewrites.
+    pub fn after_migration(&mut self, old: VirtPage, new: VirtPage) -> Nanos {
+        let mut changed = 0;
+        for ept in self.guests.values_mut() {
+            changed += ept.remap(old, new);
+        }
+        EPT_REMAP_COST * changed
+    }
+
+    /// Number of registered guests.
+    pub fn guest_count(&self) -> usize {
+        self.guests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_offset_mapping() {
+        let mut layer = VirtLayer::new();
+        layer.add_guest(GuestId(0), VirtPage::new(0), 16);
+        layer.add_guest(GuestId(1), VirtPage::new(16), 16);
+        assert_eq!(layer.translate(GuestId(0), 3).unwrap(), VirtPage::new(3));
+        assert_eq!(layer.translate(GuestId(1), 3).unwrap(), VirtPage::new(19));
+        assert_eq!(layer.guest_count(), 2);
+    }
+
+    #[test]
+    fn unknown_guest_or_page_errors() {
+        let mut layer = VirtLayer::new();
+        layer.add_guest(GuestId(0), VirtPage::new(0), 4);
+        assert!(layer.translate(GuestId(9), 0).is_err());
+        assert!(layer.translate(GuestId(0), 99).is_err());
+    }
+
+    #[test]
+    fn migration_remaps_only_affected_guest() {
+        let mut layer = VirtLayer::new();
+        layer.add_guest(GuestId(0), VirtPage::new(0), 8);
+        layer.add_guest(GuestId(1), VirtPage::new(8), 8);
+        // Host "moves" page 3 to a new host page 100 (e.g. huge-page
+        // split or copy-on-migrate indirection).
+        let cost = layer.after_migration(VirtPage::new(3), VirtPage::new(100));
+        assert_eq!(cost, EPT_REMAP_COST);
+        assert_eq!(layer.translate(GuestId(0), 3).unwrap(), VirtPage::new(100));
+        // Guest 1 untouched.
+        assert_eq!(layer.translate(GuestId(1), 3).unwrap(), VirtPage::new(11));
+        assert_eq!(layer.guest(GuestId(0)).unwrap().remaps(), 1);
+        assert_eq!(layer.guest(GuestId(1)).unwrap().remaps(), 0);
+    }
+
+    #[test]
+    fn remap_of_unmapped_page_is_free() {
+        let mut layer = VirtLayer::new();
+        layer.add_guest(GuestId(0), VirtPage::new(0), 4);
+        let cost = layer.after_migration(VirtPage::new(77), VirtPage::new(78));
+        assert_eq!(cost, Nanos::ZERO);
+    }
+
+    #[test]
+    fn ept_len_and_empty() {
+        let mut ept = EptMap::new();
+        assert!(ept.is_empty());
+        ept.map(0, VirtPage::new(5));
+        assert_eq!(ept.len(), 1);
+        assert!(!ept.is_empty());
+    }
+}

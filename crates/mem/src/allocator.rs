@@ -1,0 +1,162 @@
+//! Per-node physical frame allocation.
+
+use neomem_types::{Error, NodeId, PageNum, Result};
+
+/// A free-list frame allocator over a contiguous frame range.
+///
+/// Frames are handed out lowest-first from a contiguous window
+/// `[base, base + capacity)`; freed frames are recycled LIFO. The window
+/// layout mirrors how the simulator carves the physical address space:
+/// the fast node owns the low frames and the CXL node the frames above
+/// it, exactly like the address-mapped NUMA layout in Fig. 1(b).
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    node: NodeId,
+    base: PageNum,
+    capacity: u64,
+    next_fresh: u64,
+    free_list: Vec<PageNum>,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator owning `[base, base + capacity)`.
+    pub fn new(node: NodeId, base: PageNum, capacity: u64) -> Self {
+        Self { node, base, capacity, next_fresh: 0, free_list: Vec::new() }
+    }
+
+    /// The owning node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// First frame of the window.
+    pub fn base(&self) -> PageNum {
+        self.base
+    }
+
+    /// Total frames in the window.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Frames currently available.
+    pub fn free_frames(&self) -> u64 {
+        (self.capacity - self.next_fresh) + self.free_list.len() as u64
+    }
+
+    /// Frames currently handed out.
+    pub fn used_frames(&self) -> u64 {
+        self.capacity - self.free_frames()
+    }
+
+    /// Fill ratio in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            1.0
+        } else {
+            self.used_frames() as f64 / self.capacity as f64
+        }
+    }
+
+    /// Whether `frame` belongs to this allocator's window.
+    pub fn owns(&self, frame: PageNum) -> bool {
+        frame >= self.base && frame.index() < self.base.index() + self.capacity
+    }
+
+    /// Allocates one frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfMemory`] when the node is full.
+    pub fn alloc(&mut self) -> Result<PageNum> {
+        if let Some(frame) = self.free_list.pop() {
+            return Ok(frame);
+        }
+        if self.next_fresh < self.capacity {
+            let frame = self.base.offset(self.next_fresh);
+            self.next_fresh += 1;
+            return Ok(frame);
+        }
+        Err(Error::OutOfMemory { node: self.node })
+    }
+
+    /// Returns a frame to the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when `frame` is outside this node's window —
+    /// that indicates a cross-node accounting bug in the caller.
+    pub fn free(&mut self, frame: PageNum) {
+        debug_assert!(self.owns(frame), "freeing foreign frame {frame}");
+        self.free_list.push(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc4() -> FrameAllocator {
+        FrameAllocator::new(NodeId::FAST, PageNum::new(100), 4)
+    }
+
+    #[test]
+    fn allocates_lowest_first() {
+        let mut a = alloc4();
+        assert_eq!(a.alloc().unwrap(), PageNum::new(100));
+        assert_eq!(a.alloc().unwrap(), PageNum::new(101));
+        assert_eq!(a.free_frames(), 2);
+        assert_eq!(a.used_frames(), 2);
+    }
+
+    #[test]
+    fn exhaustion_returns_oom() {
+        let mut a = alloc4();
+        for _ in 0..4 {
+            a.alloc().unwrap();
+        }
+        assert_eq!(a.alloc(), Err(Error::OutOfMemory { node: NodeId::FAST }));
+    }
+
+    #[test]
+    fn free_recycles() {
+        let mut a = alloc4();
+        let f0 = a.alloc().unwrap();
+        let _f1 = a.alloc().unwrap();
+        a.free(f0);
+        assert_eq!(a.alloc().unwrap(), f0, "freed frame is reused first");
+    }
+
+    #[test]
+    fn ownership_window() {
+        let a = alloc4();
+        assert!(a.owns(PageNum::new(100)));
+        assert!(a.owns(PageNum::new(103)));
+        assert!(!a.owns(PageNum::new(99)));
+        assert!(!a.owns(PageNum::new(104)));
+    }
+
+    #[test]
+    fn utilization_tracks_usage() {
+        let mut a = alloc4();
+        assert_eq!(a.utilization(), 0.0);
+        a.alloc().unwrap();
+        a.alloc().unwrap();
+        assert!((a.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_cycle_alloc_free_all() {
+        let mut a = alloc4();
+        let frames: Vec<_> = (0..4).map(|_| a.alloc().unwrap()).collect();
+        for f in frames {
+            a.free(f);
+        }
+        assert_eq!(a.free_frames(), 4);
+        // Can allocate the full capacity again.
+        for _ in 0..4 {
+            a.alloc().unwrap();
+        }
+        assert!(a.alloc().is_err());
+    }
+}

@@ -1,0 +1,227 @@
+//! The two-node tiered memory system.
+
+use neomem_types::{AccessKind, Nanos, NodeId, PageNum, Result, Tier};
+
+use crate::allocator::FrameAllocator;
+use crate::node::{MemoryNode, NodeConfig};
+
+/// Configuration of the full tiered memory (paper Table III, with the
+/// default 1:2 fast:slow capacity ratio of §VI-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredMemoryConfig {
+    /// Fast node configuration.
+    pub fast: NodeConfig,
+    /// Slow node configuration.
+    pub slow: NodeConfig,
+}
+
+impl TieredMemoryConfig {
+    /// Builds a config with the given capacities using the paper's
+    /// prototype latencies.
+    pub fn with_frames(fast_frames: u64, slow_frames: u64) -> Self {
+        Self {
+            fast: NodeConfig::ddr_fast(fast_frames),
+            slow: NodeConfig::cxl_prototype(slow_frames),
+        }
+    }
+
+    /// Builds a config from a total workload footprint and a fast:slow
+    /// ratio expressed as `1:ratio` (Fig. 12 uses 1:2, 1:4, 1:8). The
+    /// fast node gets `total / (1 + ratio)` frames rounded up, the slow
+    /// node enough to hold the rest with headroom.
+    pub fn for_ratio(total_frames: u64, ratio: u64) -> Self {
+        assert!(ratio >= 1, "ratio must be at least 1");
+        let fast = (total_frames / (1 + ratio)).max(1);
+        // Slow tier holds the remainder plus slack so demotion never OOMs.
+        let slow = total_frames - fast + total_frames / 8 + 64;
+        Self::with_frames(fast, slow)
+    }
+
+    /// Validates both nodes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node validation failures.
+    pub fn validate(&self) -> Result<()> {
+        self.fast.validate()?;
+        self.slow.validate()
+    }
+}
+
+/// The two-tier physical memory: node models plus frame allocators laid
+/// out in one flat physical frame space (fast node low, slow node high),
+/// mirroring Fig. 1(b)'s address mapping.
+#[derive(Debug, Clone)]
+pub struct TieredMemory {
+    fast: MemoryNode,
+    slow: MemoryNode,
+    fast_alloc: FrameAllocator,
+    slow_alloc: FrameAllocator,
+    slow_base: PageNum,
+}
+
+impl TieredMemory {
+    /// Creates the tiered memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configs; pre-validate with
+    /// [`TieredMemoryConfig::validate`].
+    pub fn new(config: TieredMemoryConfig) -> Self {
+        config.validate().expect("invalid tiered memory config");
+        let slow_base = PageNum::new(config.fast.capacity_frames);
+        Self {
+            fast: MemoryNode::new(config.fast),
+            slow: MemoryNode::new(config.slow),
+            fast_alloc: FrameAllocator::new(NodeId::FAST, PageNum::new(0), config.fast.capacity_frames),
+            slow_alloc: FrameAllocator::new(NodeId::SLOW, slow_base, config.slow.capacity_frames),
+            slow_base,
+        }
+    }
+
+    /// First frame of the slow node's window — the CXL device's base
+    /// frame, used to translate host frames to device pages.
+    pub fn slow_base(&self) -> PageNum {
+        self.slow_base
+    }
+
+    /// Which tier a frame lives on.
+    pub fn tier_of(&self, frame: PageNum) -> Tier {
+        if frame < self.slow_base {
+            Tier::Fast
+        } else {
+            Tier::Slow
+        }
+    }
+
+    /// Services a 64-byte request against the owning node; returns the
+    /// service time.
+    pub fn service(&mut self, frame: PageNum, kind: AccessKind, now: Nanos) -> Nanos {
+        match self.tier_of(frame) {
+            Tier::Fast => self.fast.service(kind, now),
+            Tier::Slow => self.slow.service(kind, now),
+        }
+    }
+
+    /// Borrows the node model of a tier.
+    pub fn node(&self, tier: Tier) -> &MemoryNode {
+        match tier {
+            Tier::Fast => &self.fast,
+            Tier::Slow => &self.slow,
+        }
+    }
+
+    /// Mutably borrows the node model of a tier.
+    pub fn node_mut(&mut self, tier: Tier) -> &mut MemoryNode {
+        match tier {
+            Tier::Fast => &mut self.fast,
+            Tier::Slow => &mut self.slow,
+        }
+    }
+
+    /// Borrows a tier's frame allocator.
+    pub fn allocator(&self, tier: Tier) -> &FrameAllocator {
+        match tier {
+            Tier::Fast => &self.fast_alloc,
+            Tier::Slow => &self.slow_alloc,
+        }
+    }
+
+    /// Mutably borrows a tier's frame allocator.
+    pub fn allocator_mut(&mut self, tier: Tier) -> &mut FrameAllocator {
+        match tier {
+            Tier::Fast => &mut self.fast_alloc,
+            Tier::Slow => &mut self.slow_alloc,
+        }
+    }
+
+    /// Allocates a frame, preferring `preferred` and falling back to the
+    /// other tier — Linux's first-touch NUMA behaviour of filling local
+    /// memory before spilling to the CXL node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`neomem_types::Error::OutOfMemory`] when both tiers are
+    /// full.
+    pub fn alloc_preferring(&mut self, preferred: Tier) -> Result<PageNum> {
+        match self.allocator_mut(preferred).alloc() {
+            Ok(frame) => Ok(frame),
+            Err(_) => self.allocator_mut(preferred.other()).alloc(),
+        }
+    }
+
+    /// Frees `frame` back to its owning tier.
+    pub fn free(&mut self, frame: PageNum) {
+        let tier = self.tier_of(frame);
+        self.allocator_mut(tier).free(frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TieredMemory {
+        TieredMemory::new(TieredMemoryConfig::with_frames(4, 8))
+    }
+
+    #[test]
+    fn address_layout_fast_low_slow_high() {
+        let m = tiny();
+        assert_eq!(m.slow_base(), PageNum::new(4));
+        assert_eq!(m.tier_of(PageNum::new(0)), Tier::Fast);
+        assert_eq!(m.tier_of(PageNum::new(3)), Tier::Fast);
+        assert_eq!(m.tier_of(PageNum::new(4)), Tier::Slow);
+        assert_eq!(m.tier_of(PageNum::new(11)), Tier::Slow);
+    }
+
+    #[test]
+    fn first_touch_fills_fast_then_spills() {
+        let mut m = tiny();
+        for i in 0..4 {
+            let f = m.alloc_preferring(Tier::Fast).unwrap();
+            assert_eq!(m.tier_of(f), Tier::Fast, "alloc {i} should be fast");
+        }
+        let spill = m.alloc_preferring(Tier::Fast).unwrap();
+        assert_eq!(m.tier_of(spill), Tier::Slow, "fifth alloc spills to CXL");
+    }
+
+    #[test]
+    fn service_routes_to_owning_node() {
+        let mut m = tiny();
+        let tf = m.service(PageNum::new(0), AccessKind::Read, Nanos::ZERO);
+        let ts = m.service(PageNum::new(5), AccessKind::Read, Nanos::ZERO);
+        assert_eq!(tf, Nanos::new(118));
+        assert_eq!(ts, Nanos::new(430));
+        assert_eq!(m.node(Tier::Fast).stats().reads, 1);
+        assert_eq!(m.node(Tier::Slow).stats().reads, 1);
+    }
+
+    #[test]
+    fn free_returns_to_owner() {
+        let mut m = tiny();
+        let f = m.alloc_preferring(Tier::Slow).unwrap();
+        assert_eq!(m.tier_of(f), Tier::Slow);
+        m.free(f);
+        assert_eq!(m.allocator(Tier::Slow).free_frames(), 8);
+    }
+
+    #[test]
+    fn ratio_config_shapes() {
+        let c = TieredMemoryConfig::for_ratio(900, 2);
+        assert_eq!(c.fast.capacity_frames, 300);
+        assert!(c.slow.capacity_frames >= 600);
+        let c8 = TieredMemoryConfig::for_ratio(900, 8);
+        assert_eq!(c8.fast.capacity_frames, 100);
+        c.validate().unwrap();
+        c8.validate().unwrap();
+    }
+
+    #[test]
+    fn oom_when_both_tiers_full() {
+        let mut m = TieredMemory::new(TieredMemoryConfig::with_frames(1, 1));
+        m.alloc_preferring(Tier::Fast).unwrap();
+        m.alloc_preferring(Tier::Fast).unwrap();
+        assert!(m.alloc_preferring(Tier::Fast).is_err());
+    }
+}

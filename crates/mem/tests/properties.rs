@@ -1,0 +1,90 @@
+//! Property-based tests for the memory-node model.
+
+use neomem_mem::{FrameAllocator, MemoryNode, NodeConfig, TieredMemory, TieredMemoryConfig};
+use neomem_types::{AccessKind, Nanos, NodeId, PageNum, Tier};
+use proptest::prelude::*;
+
+proptest! {
+    /// Allocator conservation: free + used always equals capacity, and
+    /// no frame is handed out twice while live.
+    #[test]
+    fn allocator_conserves_frames(
+        ops in prop::collection::vec(prop::bool::ANY, 1..400),
+    ) {
+        let mut alloc = FrameAllocator::new(NodeId::FAST, PageNum::new(0), 32);
+        let mut live = Vec::new();
+        for &do_alloc in &ops {
+            if do_alloc {
+                if let Ok(frame) = alloc.alloc() {
+                    prop_assert!(!live.contains(&frame), "frame {} double-allocated", frame);
+                    live.push(frame);
+                }
+            } else if let Some(frame) = live.pop() {
+                alloc.free(frame);
+            }
+            prop_assert_eq!(alloc.used_frames() + alloc.free_frames(), 32);
+            prop_assert_eq!(alloc.used_frames(), live.len() as u64);
+        }
+    }
+
+    /// Node service time is monotone in load: a request arriving later
+    /// never experiences *more* queueing than one arriving at the back
+    /// of the same burst.
+    #[test]
+    fn queueing_decays_with_arrival_gap(gap_ns in 0u64..10_000) {
+        let mut burst = MemoryNode::new(NodeConfig::cxl_prototype(64));
+        for _ in 0..32 {
+            burst.service(AccessKind::Read, Nanos::ZERO);
+        }
+        let immediately = burst.service(AccessKind::Read, Nanos::ZERO);
+        let mut later = MemoryNode::new(NodeConfig::cxl_prototype(64));
+        for _ in 0..32 {
+            later.service(AccessKind::Read, Nanos::ZERO);
+        }
+        let delayed = later.service(AccessKind::Read, Nanos::new(gap_ns));
+        prop_assert!(delayed <= immediately, "delay must not increase service time");
+    }
+
+    /// The bandwidth meter's utilisation is within [0, 1] and the
+    /// read fraction is consistent with what was recorded.
+    #[test]
+    fn meter_utilisation_bounded(
+        reqs in prop::collection::vec(prop::bool::ANY, 0..200),
+        window_us in 1u64..100,
+    ) {
+        let mut node = MemoryNode::new(NodeConfig::ddr_fast(64));
+        let mut reads = 0u64;
+        for &is_read in &reqs {
+            let kind = if is_read { AccessKind::Read } else { AccessKind::Write };
+            if is_read {
+                reads += 1;
+            }
+            node.service(kind, Nanos::ZERO);
+        }
+        let sample = node.roll_meter(Nanos::from_micros(window_us));
+        let util = sample.utilization();
+        prop_assert!((0.0..=1.0).contains(&util));
+        if reqs.is_empty() {
+            prop_assert_eq!(sample.read_fraction(), 0.5);
+        } else if reads == reqs.len() as u64 {
+            prop_assert!((sample.read_fraction() - 1.0).abs() < 1e-9);
+        } else if reads == 0 {
+            prop_assert!(sample.read_fraction().abs() < 1e-9);
+        }
+    }
+
+    /// Tiered memory invariants: `tier_of` partitions the frame space
+    /// at `slow_base`, and first-touch fallback allocation never fails
+    /// while frames remain anywhere.
+    #[test]
+    fn tiered_layout_partition(fast in 1u64..32, slow in 1u64..64) {
+        let mut mem = TieredMemory::new(TieredMemoryConfig::with_frames(fast, slow));
+        prop_assert_eq!(mem.slow_base().index(), fast);
+        for _ in 0..(fast + slow) {
+            let frame = mem.alloc_preferring(Tier::Fast).unwrap();
+            let expected = if frame.index() < fast { Tier::Fast } else { Tier::Slow };
+            prop_assert_eq!(mem.tier_of(frame), expected);
+        }
+        prop_assert!(mem.alloc_preferring(Tier::Fast).is_err(), "all frames handed out");
+    }
+}

@@ -1,0 +1,140 @@
+//! Hardware cost estimation for NeoProf (paper Fig. 18 and §VI-B).
+//!
+//! The paper reports two synthesis points:
+//!
+//! * **FPGA** (Agilex-7, W=512K, D=2): 93.8 K ALMs (10 %), 1.5 K M20K
+//!   BRAMs (12 %), no DSPs.
+//! * **ASIC** (TSMC 22 nm, W=256K, D=2): 5.3 mm², 152.2 mW @ 400 MHz,
+//!   with SRAM macros ≈ 54 % of area.
+//!
+//! The models below are first-order: SRAM dominates and scales with the
+//! sketch bits; logic scales with lane count and hash width. The free
+//! constants are calibrated so the two paper points are reproduced, and
+//! the `fig18_hw_cost` bench regenerates the table plus a sweep over `W`.
+
+use neomem_sketch::SketchParams;
+
+/// Bits per sketch entry: a 16-bit counter + hot bit + valid bit.
+pub const ENTRY_BITS: u64 = 18;
+/// Bits per hot-buffer slot (a 32-bit device page address, Table IV).
+pub const HOT_BUFFER_ENTRY_BITS: u64 = 32;
+/// Histogram storage: 64 bins × 32-bit counts.
+pub const HISTOGRAM_BITS: u64 = 64 * 32;
+
+/// Total SRAM bits required by a configuration.
+pub fn sram_bits(params: &SketchParams) -> u64 {
+    let sketch = params.depth as u64 * params.width as u64 * ENTRY_BITS;
+    let hot_buffer = params.hot_buffer_entries as u64 * HOT_BUFFER_ENTRY_BITS;
+    sketch + hot_buffer + HISTOGRAM_BITS
+}
+
+/// FPGA resource estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FpgaCost {
+    /// Adaptive logic modules.
+    pub alms: u64,
+    /// M20K block RAMs.
+    pub brams: u64,
+    /// DSP blocks (always 0: the design has no multipliers).
+    pub dsps: u64,
+}
+
+/// Estimates FPGA utilisation.
+///
+/// Calibration: `W=512K, D=2, 16K hot buffer` → 93.8 K ALMs / 1.5 K M20K,
+/// matching §VI-B. BRAMs include a 1.55× mapping overhead (port widths,
+/// pipeline partitioning into 128 memory segments).
+pub fn fpga(params: &SketchParams) -> FpgaCost {
+    let log_w = (params.width as f64).log2();
+    // Logic: fixed control + per-lane hash/pipeline units whose reduction
+    // trees grow with the hash width log2(W).
+    let alms = 10_000.0 + 30_000.0 * params.depth as f64 + 1_250.0 * log_w;
+    let brams = (sram_bits(params) as f64 / 20_480.0 * 1.55).ceil();
+    FpgaCost { alms: alms as u64, brams: brams as u64, dsps: 0 }
+}
+
+/// ASIC synthesis estimate at TSMC 22 nm, 400 MHz, 0.8 V (Fig. 18).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicCost {
+    /// Total die area in mm².
+    pub area_mm2: f64,
+    /// SRAM macro share of the area, `[0, 1]`.
+    pub sram_area_fraction: f64,
+    /// Total power in mW.
+    pub power_mw: f64,
+}
+
+/// Estimates ASIC area/power.
+///
+/// Calibration: `W=256K, D=2` → 5.3 mm², 152.2 mW, SRAM ≈ 54 % of area.
+pub fn asic(params: &SketchParams) -> AsicCost {
+    let bits = sram_bits(params) as f64;
+    // 22nm SRAM macro density ≈ 0.287 µm²/bit (incl. periphery).
+    let sram_mm2 = bits * 0.287e-6;
+    // Compute/control logic scales with lanes.
+    let logic_mm2 = 1.22 * params.depth as f64;
+    let area = sram_mm2 + logic_mm2;
+    // Power: SRAM leakage+dynamic ≈ 10 nW/bit at 400 MHz; logic 26.3 mW/lane.
+    let power = bits * 1.0e-5 + 26.3 * params.depth as f64;
+    AsicCost { area_mm2: area, sram_area_fraction: sram_mm2 / area, power_mw: power }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_fpga_params() -> SketchParams {
+        SketchParams::paper_default() // W=512K, D=2, 16K buffer
+    }
+
+    fn paper_asic_params() -> SketchParams {
+        SketchParams { width: 256 * 1024, ..SketchParams::paper_default() }
+    }
+
+    #[test]
+    fn sram_bits_breakdown() {
+        let p = paper_fpga_params();
+        let bits = sram_bits(&p);
+        // 2 lanes * 512K * 18b = 18.87 Mb + 16K*32b buffer + histogram.
+        assert_eq!(bits, 2 * 512 * 1024 * 18 + 16 * 1024 * 32 + HISTOGRAM_BITS);
+    }
+
+    #[test]
+    fn fpga_matches_paper_point() {
+        let c = fpga(&paper_fpga_params());
+        // §VI-B: 93.8K ALMs, 1.5K M20K, 0 DSPs.
+        assert!((c.alms as f64 - 93_800.0).abs() / 93_800.0 < 0.03, "alms = {}", c.alms);
+        assert!((c.brams as f64 - 1_500.0).abs() / 1_500.0 < 0.05, "brams = {}", c.brams);
+        assert_eq!(c.dsps, 0);
+    }
+
+    #[test]
+    fn asic_matches_fig18_point() {
+        let c = asic(&paper_asic_params());
+        assert!((c.area_mm2 - 5.3).abs() / 5.3 < 0.05, "area = {}", c.area_mm2);
+        assert!((c.power_mw - 152.2).abs() / 152.2 < 0.05, "power = {}", c.power_mw);
+        assert!((c.sram_area_fraction - 0.54).abs() < 0.05, "sram frac = {}", c.sram_area_fraction);
+    }
+
+    #[test]
+    fn cost_scales_monotonically_with_width() {
+        let mut prev_area = 0.0;
+        let mut prev_brams = 0;
+        for shift in 15..=19 {
+            let p = SketchParams { width: 1 << shift, ..SketchParams::paper_default() };
+            let a = asic(&p);
+            let f = fpga(&p);
+            assert!(a.area_mm2 > prev_area);
+            assert!(f.brams > prev_brams);
+            prev_area = a.area_mm2;
+            prev_brams = f.brams;
+        }
+    }
+
+    #[test]
+    fn deeper_sketch_costs_more_logic() {
+        let d2 = fpga(&SketchParams { depth: 2, ..SketchParams::small() });
+        let d4 = fpga(&SketchParams { depth: 4, ..SketchParams::small() });
+        assert!(d4.alms > d2.alms);
+    }
+}

@@ -1,0 +1,138 @@
+//! Asynchronous clock-domain-crossing FIFO model.
+//!
+//! On the FPGA, the page/state monitors run in the memory controller's
+//! high-frequency domain while the NeoProf core runs slower; async FIFOs
+//! bridge them (Fig. 6). The functional consequence worth modelling is
+//! *loss under burst*: when the core cannot drain fast enough the FIFO
+//! fills and new samples are dropped — profiling degrades gracefully
+//! instead of stalling the memory path.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that drops (and counts) pushes while full.
+#[derive(Debug, Clone)]
+pub struct AsyncFifo<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    pushed: u64,
+    dropped: u64,
+}
+
+impl<T> AsyncFifo<T> {
+    /// Creates a FIFO holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        Self { queue: VecDeque::with_capacity(capacity), capacity, pushed: 0, dropped: 0 }
+    }
+
+    /// Attempts to enqueue; returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.queue.push_back(item);
+            self.pushed += 1;
+            true
+        }
+    }
+
+    /// Dequeues the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Dequeues up to `n` elements into a vector.
+    pub fn drain_up_to(&mut self, n: usize) -> Vec<T> {
+        let take = n.min(self.queue.len());
+        self.queue.drain(..take).collect()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total successful pushes.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total dropped pushes (overflow).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Empties the FIFO and resets counters.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+        self.pushed = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut f = AsyncFifo::new(4);
+        for i in 0..3 {
+            assert!(f.push(i));
+        }
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_newest() {
+        let mut f = AsyncFifo::new(2);
+        assert!(f.push('a'));
+        assert!(f.push('b'));
+        assert!(!f.push('c'));
+        assert_eq!(f.dropped(), 1);
+        assert_eq!(f.pushed(), 2);
+        assert_eq!(f.pop(), Some('a'), "oldest survives; newest dropped");
+    }
+
+    #[test]
+    fn drain_up_to_partial() {
+        let mut f = AsyncFifo::new(8);
+        for i in 0..5 {
+            f.push(i);
+        }
+        assert_eq!(f.drain_up_to(3), vec![0, 1, 2]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.drain_up_to(10), vec![3, 4]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = AsyncFifo::new(1);
+        f.push(1);
+        f.push(2); // dropped
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.pushed(), 0);
+        assert_eq!(f.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = AsyncFifo::<u8>::new(0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Multi-device NeoProf with memory interleaving (paper §VII
+//! "Scalability of NeoMem" / "Memory Interleaving").
+//!
+//! With several CXL memory devices, the OS may interleave a single page
+//! across them at a sub-page granule; each device's NeoProf then sees
+//! only a *fraction* of the page's accesses. The paper leaves this to
+//! future work but sketches the host's job: "gather fragmented page
+//! hotness information from all NeoProfs and conduct additional
+//! post-processing tasks like hot-page de-duplication". This module
+//! implements exactly that:
+//!
+//! * [`InterleaveMap`] — line-granular round-robin striping of the slow
+//!   tier across `n` devices.
+//! * [`MultiProf`] — one [`NeoProf`] per device plus the host-side
+//!   aggregation: per-device thresholds are divided by the device count
+//!   (each device sees `1/n` of a page's traffic), and the union of
+//!   hot-page reports is de-duplicated before promotion.
+
+use std::collections::HashSet;
+
+use neomem_types::{DevicePage, Error, MemRequest, Nanos, PageNum, Result};
+
+use crate::device::{NeoProf, NeoProfConfig};
+use crate::mmio;
+
+/// Line-granular round-robin interleaving of device memory.
+///
+/// Frame `f`, line `l` lands on device `(f * LINES_PER_PAGE + l) % n`
+/// — the address-bit striping CXL interleave sets use.
+#[derive(Debug, Clone, Copy)]
+pub struct InterleaveMap {
+    devices: usize,
+}
+
+impl InterleaveMap {
+    /// Creates a map over `devices` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is zero.
+    pub fn new(devices: usize) -> Self {
+        assert!(devices > 0, "need at least one device");
+        Self { devices }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// The device servicing one request.
+    pub fn device_of(&self, req: &MemRequest) -> usize {
+        ((req.frame.index() * neomem_types::LINES_PER_PAGE + req.line_in_page as u64)
+            % self.devices as u64) as usize
+    }
+}
+
+/// A fleet of NeoProf devices behind an interleave map, with host-side
+/// hot-page aggregation and de-duplication.
+#[derive(Debug)]
+pub struct MultiProf {
+    map: InterleaveMap,
+    devices: Vec<NeoProf>,
+    /// Host-side de-duplication across devices within one period.
+    reported: HashSet<u64>,
+    duplicates_dropped: u64,
+}
+
+impl MultiProf {
+    /// Creates `n` devices sharing one window base; each device indexes
+    /// pages in the *host* page space (interleaving is line-granular, so
+    /// every device can observe every page).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid sketch parameters.
+    pub fn new(n: usize, base_config: NeoProfConfig) -> Result<Self> {
+        if n == 0 {
+            return Err(Error::invalid_config("need at least one NeoProf device"));
+        }
+        let mut devices = Vec::with_capacity(n);
+        for i in 0..n {
+            let cfg = NeoProfConfig {
+                sketch: neomem_sketch::SketchParams {
+                    seed: base_config.sketch.seed.wrapping_add(i as u64 * 0x1234_5678),
+                    ..base_config.sketch
+                },
+                ..base_config
+            };
+            devices.push(NeoProf::new(cfg)?);
+        }
+        Ok(Self {
+            map: InterleaveMap::new(n),
+            devices,
+            reported: HashSet::new(),
+            duplicates_dropped: 0,
+        })
+    }
+
+    /// The interleave layout.
+    pub fn interleave(&self) -> &InterleaveMap {
+        &self.map
+    }
+
+    /// Routes one request to its device's NeoProf.
+    pub fn snoop(&mut self, req: MemRequest, occupancy: Nanos) {
+        let dev = self.map.device_of(&req);
+        self.devices[dev].snoop(req, occupancy);
+        self.devices[dev].tick();
+    }
+
+    /// Sets the *page-level* hot threshold: each device sees `1/n` of a
+    /// page's lines, so per-device thresholds are scaled down.
+    pub fn set_page_threshold(&mut self, theta: u16, now: Nanos) -> Result<()> {
+        let per_device = (theta as usize / self.devices.len()).max(1) as u64;
+        for dev in &mut self.devices {
+            dev.mmio_write(mmio::SET_THRESHOLD, per_device, now)?;
+        }
+        Ok(())
+    }
+
+    /// Reads every device's hot-page buffer, de-duplicating pages that
+    /// several devices reported (each holds a fraction of the page).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MMIO protocol errors (none occur with valid offsets).
+    pub fn read_hot_pages(&mut self, device_base: PageNum, now: Nanos) -> Result<Vec<PageNum>> {
+        let mut out = Vec::new();
+        for dev in &mut self.devices {
+            loop {
+                let raw = dev.mmio_read(mmio::GET_HOT_PAGE, now)?;
+                if raw == mmio::EMPTY_SENTINEL {
+                    break;
+                }
+                if self.reported.insert(raw) {
+                    out.push(DevicePage::new(raw).to_host(device_base));
+                } else {
+                    self.duplicates_dropped += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resets every device and the host de-duplication set.
+    pub fn reset(&mut self, now: Nanos) -> Result<()> {
+        for dev in &mut self.devices {
+            dev.mmio_write(mmio::RESET, 1, now)?;
+        }
+        self.reported.clear();
+        Ok(())
+    }
+
+    /// Cross-device duplicate reports suppressed by the host.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.duplicates_dropped
+    }
+
+    /// Per-device access to the fleet.
+    pub fn device(&self, i: usize) -> &NeoProf {
+        &self.devices[i]
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_types::AccessKind;
+
+    fn req(frame: u64, line: u8) -> MemRequest {
+        MemRequest::new(PageNum::new(frame), line, AccessKind::Read)
+    }
+
+    #[test]
+    fn interleave_spreads_lines_evenly() {
+        let map = InterleaveMap::new(4);
+        let mut counts = [0u32; 4];
+        for frame in 0..8u64 {
+            for line in 0..64u8 {
+                counts[map.device_of(&req(frame, line))] += 1;
+            }
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(*c, 128, "device {i} must see an equal share");
+        }
+    }
+
+    #[test]
+    fn single_device_sees_everything() {
+        let map = InterleaveMap::new(1);
+        for frame in 0..4u64 {
+            assert_eq!(map.device_of(&req(frame, 7)), 0);
+        }
+    }
+
+    #[test]
+    fn fragmented_page_hotness_is_reassembled() {
+        // One page hammered across all lines: with 4 devices each sees
+        // 1/4 of the traffic. The page-level threshold must still fire.
+        let mut multi = MultiProf::new(4, NeoProfConfig::small(PageNum::new(0))).unwrap();
+        multi.set_page_threshold(16, Nanos::ZERO).unwrap();
+        for round in 0..2 {
+            for line in 0..64u8 {
+                multi.snoop(req(42, line), Nanos::new(5));
+            }
+            let _ = round;
+        }
+        let hot = multi.read_hot_pages(PageNum::new(0), Nanos::ZERO).unwrap();
+        assert_eq!(hot, vec![PageNum::new(42)], "fragmented page must be detected once");
+    }
+
+    #[test]
+    fn cross_device_duplicates_are_suppressed() {
+        let mut multi = MultiProf::new(2, NeoProfConfig::small(PageNum::new(0))).unwrap();
+        multi.set_page_threshold(2, Nanos::ZERO).unwrap();
+        // Hammer enough that *both* devices cross their per-device
+        // threshold for the same page.
+        for _ in 0..8 {
+            for line in 0..64u8 {
+                multi.snoop(req(7, line), Nanos::new(5));
+            }
+        }
+        let hot = multi.read_hot_pages(PageNum::new(0), Nanos::ZERO).unwrap();
+        assert_eq!(hot, vec![PageNum::new(7)], "page reported once despite two devices");
+        assert!(multi.duplicates_dropped() >= 1, "the second device's report is a duplicate");
+    }
+
+    #[test]
+    fn reset_clears_dedup_state() {
+        let mut multi = MultiProf::new(2, NeoProfConfig::small(PageNum::new(0))).unwrap();
+        multi.set_page_threshold(2, Nanos::ZERO).unwrap();
+        for _ in 0..8 {
+            for line in 0..64u8 {
+                multi.snoop(req(9, line), Nanos::new(5));
+            }
+        }
+        assert_eq!(multi.read_hot_pages(PageNum::new(0), Nanos::ZERO).unwrap().len(), 1);
+        multi.reset(Nanos::ZERO).unwrap();
+        multi.set_page_threshold(2, Nanos::ZERO).unwrap();
+        for _ in 0..8 {
+            for line in 0..64u8 {
+                multi.snoop(req(9, line), Nanos::new(5));
+            }
+        }
+        let again = multi.read_hot_pages(PageNum::new(0), Nanos::ZERO).unwrap();
+        assert_eq!(again.len(), 1, "page reportable again after reset");
+    }
+
+    #[test]
+    fn profiling_scales_with_devices() {
+        // Paper: "profiling throughput should linearly scale with the
+        // addition of more CXL memory devices". With n devices each
+        // absorbs 1/n of the request stream.
+        let mut multi = MultiProf::new(4, NeoProfConfig::small(PageNum::new(0))).unwrap();
+        for frame in 0..64u64 {
+            for line in 0..64u8 {
+                multi.snoop(req(frame, line), Nanos::new(5));
+            }
+        }
+        let total: u64 = (0..4).map(|i| multi.device(i).stats().snooped).sum();
+        assert_eq!(total, 64 * 64);
+        for i in 0..4 {
+            let share = multi.device(i).stats().snooped;
+            assert_eq!(share, 64 * 16, "device {i} must see exactly a quarter");
+        }
+        assert_eq!(multi.len(), 4);
+        assert!(!multi.is_empty());
+    }
+
+    #[test]
+    fn zero_devices_rejected() {
+        assert!(MultiProf::new(0, NeoProfConfig::small(PageNum::new(0))).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the NeoProf device model.
+
+use neomem_neoprof::{mmio, NeoProf, NeoProfConfig};
+use neomem_types::{AccessKind, MemRequest, Nanos, PageNum};
+use proptest::prelude::*;
+
+fn device() -> NeoProf {
+    NeoProf::new(NeoProfConfig::small(PageNum::new(0))).unwrap()
+}
+
+proptest! {
+    /// MMIO fuzzing: arbitrary interleavings of reads/writes at
+    /// arbitrary offsets never panic and never wedge the device.
+    #[test]
+    fn mmio_never_panics(
+        ops in prop::collection::vec((0u64..0x1000, 0u64..1000, prop::bool::ANY), 0..200),
+    ) {
+        let mut dev = device();
+        for &(offset, value, is_write) in &ops {
+            if is_write {
+                let _ = dev.mmio_write(offset, value, Nanos::new(value));
+            } else {
+                let _ = dev.mmio_read(offset, Nanos::new(value));
+            }
+        }
+        // Device still functional afterwards.
+        dev.mmio_write(mmio::SET_THRESHOLD, 1, Nanos::ZERO).unwrap();
+        dev.snoop(MemRequest::new(PageNum::new(1), 0, AccessKind::Read), Nanos::new(5));
+        dev.snoop(MemRequest::new(PageNum::new(1), 0, AccessKind::Read), Nanos::new(5));
+        dev.tick();
+        prop_assert_eq!(dev.mmio_read(mmio::GET_NR_HOT_PAGE, Nanos::ZERO).unwrap(), 1);
+    }
+
+    /// Hot-page reports through the device equal the set of pages whose
+    /// true access count exceeds θ (the device adds no false negatives
+    /// for small page sets, where sketch collisions are negligible).
+    #[test]
+    fn device_reports_match_ground_truth(
+        stream in prop::collection::vec(0u64..48, 1..2000),
+        theta in 1u64..12,
+    ) {
+        let mut dev = device();
+        dev.mmio_write(mmio::SET_THRESHOLD, theta, Nanos::ZERO).unwrap();
+        let mut truth = std::collections::HashMap::<u64, u64>::new();
+        for &p in &stream {
+            dev.snoop(MemRequest::new(PageNum::new(p), 0, AccessKind::Read), Nanos::new(5));
+            dev.tick();
+            *truth.entry(p).or_default() += 1;
+        }
+        let mut reported = std::collections::HashSet::new();
+        loop {
+            let raw = dev.mmio_read(mmio::GET_HOT_PAGE, Nanos::ZERO).unwrap();
+            if raw == mmio::EMPTY_SENTINEL {
+                break;
+            }
+            prop_assert!(reported.insert(raw), "duplicate hot-page report {}", raw);
+        }
+        for (&page, &count) in &truth {
+            if count > theta {
+                prop_assert!(reported.contains(&page), "page {} (count {}) missing", page, count);
+            }
+        }
+    }
+
+    /// The state monitor's busy cycles equal the sum of snooped
+    /// occupancies (converted to the 400 MHz domain), split by kind.
+    #[test]
+    fn state_monitor_conserves_busy_time(
+        reqs in prop::collection::vec((0u64..64, prop::bool::ANY), 0..500),
+    ) {
+        let mut dev = device();
+        let occupancy = Nanos::new(10); // 4 cycles at 400 MHz
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for &(page, is_write) in &reqs {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            if is_write {
+                writes += 1;
+            } else {
+                reads += 1;
+            }
+            dev.snoop(MemRequest::new(PageNum::new(page), 0, kind), occupancy);
+        }
+        let snap = dev.peek_state(Nanos::from_micros(100));
+        prop_assert_eq!(snap.read_cycles, reads * 4);
+        prop_assert_eq!(snap.write_cycles, writes * 4);
+    }
+
+    /// Reset returns the device to a pristine observable state.
+    #[test]
+    fn reset_is_total(stream in prop::collection::vec(0u64..64, 1..500)) {
+        let mut dev = device();
+        dev.mmio_write(mmio::SET_THRESHOLD, 1, Nanos::ZERO).unwrap();
+        for &p in &stream {
+            dev.snoop(MemRequest::new(PageNum::new(p), 0, AccessKind::Write), Nanos::new(5));
+        }
+        dev.tick();
+        dev.mmio_write(mmio::RESET, 1, Nanos::from_micros(1)).unwrap();
+        prop_assert_eq!(dev.mmio_read(mmio::GET_NR_HOT_PAGE, Nanos::from_micros(1)).unwrap(), 0);
+        prop_assert_eq!(
+            dev.mmio_read(mmio::GET_HOT_PAGE, Nanos::from_micros(1)).unwrap(),
+            mmio::EMPTY_SENTINEL
+        );
+        let snap = dev.peek_state(Nanos::from_micros(2));
+        prop_assert_eq!(snap.read_cycles, 0);
+        prop_assert_eq!(snap.write_cycles, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! First-touch NUMA and the pinned-tier baselines.
+
+use neomem_kernel::Kernel;
+use neomem_profilers::AccessEvent;
+use neomem_types::{Nanos, Tier};
+
+use crate::{PolicyTelemetry, TieringPolicy};
+
+/// Allocation-only placement: pages stay where first-touch put them.
+///
+/// * [`FirstTouchPolicy::new`] — the Fig. 11 "First-touch NUMA"
+///   baseline: fill the fast tier, spill to CXL, never migrate.
+/// * [`FirstTouchPolicy::pinned`] — force every allocation to one tier,
+///   used by the Fig. 3 latency/slowdown characterisation.
+#[derive(Debug, Clone)]
+pub struct FirstTouchPolicy {
+    preference: Tier,
+    pinned: bool,
+}
+
+impl FirstTouchPolicy {
+    /// Standard first-touch: prefer fast, spill to slow, no migration.
+    pub fn new() -> Self {
+        Self { preference: Tier::Fast, pinned: false }
+    }
+
+    /// Pin all allocations to `tier` (Fig. 3b's "CXL-only" /
+    /// "Local-only" runs).
+    pub fn pinned(tier: Tier) -> Self {
+        Self { preference: tier, pinned: true }
+    }
+}
+
+impl Default for FirstTouchPolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TieringPolicy for FirstTouchPolicy {
+    fn name(&self) -> &'static str {
+        match (self.pinned, self.preference) {
+            (false, _) => "First-touch NUMA",
+            (true, Tier::Fast) => "Local-only",
+            (true, Tier::Slow) => "CXL-only",
+        }
+    }
+
+    fn alloc_preference(&self) -> Tier {
+        self.preference
+    }
+
+    fn on_access(&mut self, _ev: &AccessEvent, _kernel: &mut Kernel) -> Nanos {
+        Nanos::ZERO
+    }
+
+    fn maybe_tick(&mut self, _kernel: &mut Kernel, _now: Nanos) -> Nanos {
+        Nanos::ZERO
+    }
+
+    fn telemetry(&self) -> PolicyTelemetry {
+        PolicyTelemetry::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+    use neomem_types::{AccessKind, PageNum, VirtPage};
+
+    #[test]
+    fn names_reflect_variants() {
+        assert_eq!(FirstTouchPolicy::new().name(), "First-touch NUMA");
+        assert_eq!(FirstTouchPolicy::pinned(Tier::Fast).name(), "Local-only");
+        assert_eq!(FirstTouchPolicy::pinned(Tier::Slow).name(), "CXL-only");
+    }
+
+    #[test]
+    fn never_migrates() {
+        let mut k = Kernel::new(KernelConfig::with_frames(2, 8));
+        for p in 0..6 {
+            k.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        let mut policy = FirstTouchPolicy::new();
+        let ev = AccessEvent {
+            vpage: VirtPage::new(5),
+            frame: PageNum::new(0),
+            tier: Tier::Slow,
+            kind: AccessKind::Read,
+            tlb_hit: true,
+            llc_miss: true,
+            now: Nanos::ZERO,
+        };
+        for _ in 0..100 {
+            assert_eq!(policy.on_access(&ev, &mut k), Nanos::ZERO);
+        }
+        assert_eq!(policy.maybe_tick(&mut k, Nanos::from_secs(10)), Nanos::ZERO);
+        assert_eq!(k.stats().promotions, 0);
+        assert_eq!(k.stats().demotions, 0);
+    }
+
+    #[test]
+    fn alloc_preference_reflects_pin() {
+        assert_eq!(FirstTouchPolicy::new().alloc_preference(), Tier::Fast);
+        assert_eq!(FirstTouchPolicy::pinned(Tier::Slow).alloc_preference(), Tier::Slow);
+    }
+}

@@ -1,0 +1,326 @@
+//! Hint-fault policies: TPP and AutoNUMA (paper §VI-A baselines).
+//!
+//! Both poison sampled slow-tier PTEs and promote in the fault handler —
+//! TPP "promotes pages only after two consecutive hint-faults" (Fig. 13
+//! discussion), AutoNUMA blends the same mechanism with a slower scan
+//! cadence and its own threshold. The policy charges the full fault cost
+//! (TLB shootdown + protection fault) inline on the access path, which
+//! is exactly the overhead the paper criticises.
+
+use neomem_kernel::Kernel;
+use neomem_profilers::{AccessEvent, HintFaultConfig, HintFaultSampler};
+use neomem_types::{Bandwidth, Bytes, Nanos, VirtPage, PAGE_SIZE};
+
+use crate::quota::QuotaMeter;
+use crate::{ensure_fast_headroom, PolicyTelemetry, TieringPolicy};
+
+/// Which hint-fault solution to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintFaultStyle {
+    /// Transparent Page Placement (Maruf et al., ASPLOS'23).
+    Tpp,
+    /// Linux 6.3 AutoNUMA balancing.
+    AutoNuma,
+}
+
+/// Policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HintFaultPolicyConfig {
+    /// Style (naming + defaults).
+    pub style: HintFaultStyle,
+    /// Sampler settings.
+    pub sampler: HintFaultConfig,
+    /// Poison-pass cadence (Table V: 1–3 s).
+    pub scan_interval: Nanos,
+    /// Fault-count reset cadence.
+    pub clear_interval: Nanos,
+    /// Fast-tier headroom fraction.
+    pub headroom_frac: f64,
+    /// Transparent Huge Page mode (Table VI): promote whole 2 MiB
+    /// regions once enough individually-hot base pages accumulate.
+    pub thp: bool,
+}
+
+impl HintFaultPolicyConfig {
+    /// TPP defaults: 1 s scans, aggressive batches.
+    pub fn tpp() -> Self {
+        Self {
+            style: HintFaultStyle::Tpp,
+            sampler: HintFaultConfig::tpp(),
+            scan_interval: Nanos::from_secs(1),
+            clear_interval: Nanos::from_secs(5),
+            headroom_frac: 0.02,
+            thp: false,
+        }
+    }
+
+    /// AutoNUMA defaults: 3 s scans, smaller batches.
+    pub fn autonuma() -> Self {
+        Self {
+            style: HintFaultStyle::AutoNuma,
+            sampler: HintFaultConfig::autonuma(),
+            scan_interval: Nanos::from_secs(3),
+            clear_interval: Nanos::from_secs(6),
+            headroom_frac: 0.02,
+            thp: false,
+        }
+    }
+
+    /// Cadences divided by `factor` for scaled simulations. The poison
+    /// batch shrinks proportionally so the hint-fault rate per unit of
+    /// simulated time (and hence the relative fault overhead) matches
+    /// the unscaled system.
+    pub fn scaled(self, factor: u64) -> Self {
+        let batch = ((self.sampler.poison_batch as u64 * 16 / factor.max(1)) as usize).max(8);
+        Self {
+            scan_interval: (self.scan_interval / factor).max(Nanos::from_millis(1)),
+            clear_interval: (self.clear_interval / factor).max(Nanos::from_millis(2)),
+            sampler: neomem_profilers::HintFaultConfig { poison_batch: batch, ..self.sampler },
+            ..self
+        }
+    }
+}
+
+/// The TPP / AutoNUMA policy engine.
+#[derive(Debug)]
+pub struct HintFaultPolicy {
+    config: HintFaultPolicyConfig,
+    sampler: HintFaultSampler,
+    quota: QuotaMeter,
+    started: bool,
+    next_scan: Nanos,
+    next_clear: Nanos,
+    pending_shootdowns: Vec<VirtPage>,
+    overhead: Nanos,
+    huge_map: neomem_kernel::HugePageMap,
+    promoted_huge_bytes: u64,
+}
+
+impl HintFaultPolicy {
+    /// Creates the policy.
+    pub fn new(config: HintFaultPolicyConfig, mquota: Bandwidth) -> Self {
+        Self {
+            config,
+            sampler: HintFaultSampler::new(config.sampler),
+            quota: QuotaMeter::new(mquota),
+            started: false,
+            next_scan: Nanos::ZERO,
+            next_clear: Nanos::ZERO,
+            pending_shootdowns: Vec::new(),
+            overhead: Nanos::ZERO,
+            huge_map: neomem_kernel::HugePageMap::new(3),
+            promoted_huge_bytes: 0,
+        }
+    }
+
+    /// Bytes promoted through whole-huge-page migrations (Table VI).
+    pub fn promoted_huge_bytes(&self) -> neomem_types::Bytes {
+        neomem_types::Bytes::new(self.promoted_huge_bytes)
+    }
+
+    /// Promotes every slow-tier base page of one 2 MiB region.
+    fn promote_huge_region(
+        &mut self,
+        region: VirtPage,
+        kernel: &mut Kernel,
+        now: Nanos,
+    ) -> Nanos {
+        let huge_bytes = neomem_kernel::PAGES_PER_HUGE * PAGE_SIZE;
+        if !self.quota.try_consume(Bytes::new(huge_bytes), now) {
+            return Nanos::ZERO;
+        }
+        let mut cost = kernel.costs().huge_page_overhead;
+        let mut moved = 0u64;
+        for vpage in neomem_kernel::HugePageMap::region_pages(region) {
+            if kernel.tier_of(vpage).map(|t| t.is_slow()).unwrap_or(false) {
+                if let Ok(t) = kernel.promote(vpage, now + cost) {
+                    cost += t.saturating_sub(kernel.costs().per_page_overhead);
+                    moved += 1;
+                }
+            }
+        }
+        self.promoted_huge_bytes += moved * PAGE_SIZE;
+        cost
+    }
+
+    /// Total hint faults serviced.
+    pub fn faults(&self) -> u64 {
+        self.sampler.faults()
+    }
+}
+
+impl TieringPolicy for HintFaultPolicy {
+    fn name(&self) -> &'static str {
+        match self.config.style {
+            HintFaultStyle::Tpp => "TPP",
+            HintFaultStyle::AutoNuma => "AutoNUMA",
+        }
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, kernel: &mut Kernel) -> Nanos {
+        if ev.llc_miss && ev.tier.is_fast() {
+            kernel.record_fast_access(ev.vpage);
+        }
+        // Hint faults surface on the page walk after a shootdown, i.e.
+        // on a TLB miss to a poisoned PTE.
+        if ev.tlb_hit {
+            return Nanos::ZERO;
+        }
+        let Ok(pte) = kernel.page_table().get(ev.vpage) else {
+            return Nanos::ZERO;
+        };
+        if !pte.poisoned {
+            return Nanos::ZERO;
+        }
+        let mut cost = kernel.service_hint_fault(ev.vpage).unwrap_or(Nanos::ZERO);
+        if let Some(candidate) = self.sampler.on_fault(ev.vpage) {
+            if self.config.thp {
+                if let Some(region) = self.huge_map.record_hot(candidate) {
+                    cost += ensure_fast_headroom(kernel, self.config.headroom_frac, ev.now);
+                    cost += self.promote_huge_region(region, kernel, ev.now);
+                }
+            } else if kernel.tier_of(candidate).map(|t| t.is_slow()).unwrap_or(false)
+                && self.quota.try_consume(Bytes::new(PAGE_SIZE), ev.now)
+            {
+                // Promote in the fault handler (NUMA-balancing style),
+                // if quota and space allow.
+                cost += ensure_fast_headroom(kernel, self.config.headroom_frac, ev.now);
+                if let Ok(t) = kernel.promote(candidate, ev.now) {
+                    cost += t;
+                }
+            }
+        }
+        self.overhead += cost;
+        cost
+    }
+
+    fn maybe_tick(&mut self, kernel: &mut Kernel, now: Nanos) -> Nanos {
+        if !self.started {
+            self.started = true;
+            self.next_scan = now; // first poison pass immediately
+            self.next_clear = now + self.config.clear_interval;
+        }
+        let mut cost = Nanos::ZERO;
+        if now >= self.next_scan {
+            let out = self.sampler.poison_pass(kernel);
+            self.pending_shootdowns.extend(out.poisoned);
+            cost += out.overhead;
+            cost += ensure_fast_headroom(kernel, self.config.headroom_frac, now);
+            self.next_scan = now + self.config.scan_interval;
+        }
+        if now >= self.next_clear {
+            self.sampler.clear();
+            self.huge_map.clear();
+            self.next_clear = now + self.config.clear_interval;
+        }
+        self.overhead += cost;
+        cost
+    }
+
+    fn drain_shootdowns(&mut self) -> Vec<VirtPage> {
+        std::mem::take(&mut self.pending_shootdowns)
+    }
+
+    fn telemetry(&self) -> PolicyTelemetry {
+        PolicyTelemetry {
+            profiling_overhead: self.overhead,
+            promoted_huge_bytes: neomem_types::Bytes::new(self.promoted_huge_bytes),
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+    use neomem_types::AccessKind;
+
+    fn kernel() -> Kernel {
+        let mut k = Kernel::new(KernelConfig::with_frames(8, 32));
+        for p in 0..24 {
+            k.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        k
+    }
+
+    fn walk_miss(k: &Kernel, vpage: u64, now: Nanos) -> AccessEvent {
+        let frame = k.translate(VirtPage::new(vpage)).unwrap();
+        AccessEvent {
+            vpage: VirtPage::new(vpage),
+            frame,
+            tier: k.memory().tier_of(frame),
+            kind: AccessKind::Read,
+            tlb_hit: false,
+            llc_miss: true,
+            now,
+        }
+    }
+
+    fn policy(cfg: HintFaultPolicyConfig) -> HintFaultPolicy {
+        HintFaultPolicy::new(cfg, Bandwidth::from_mib_per_sec(256))
+    }
+
+    #[test]
+    fn two_faults_promote_under_tpp() {
+        let mut k = kernel();
+        let mut cfg = HintFaultPolicyConfig::tpp().scaled(1000);
+        cfg.sampler.poison_batch = 64; // cover all 16 slow pages
+        let mut p = policy(cfg);
+        p.maybe_tick(&mut k, Nanos::ZERO); // poison pass
+        let shoots = p.drain_shootdowns();
+        assert!(!shoots.is_empty());
+        // Fault page 20 twice: each fault unpoisons, so re-poison
+        // between faults via another pass.
+        let target = VirtPage::new(20);
+        assert!(shoots.contains(&target), "batch 64 must poison all slow pages");
+        let c1 = p.on_access(&walk_miss(&k, 20, Nanos::new(100)), &mut k);
+        assert!(c1 > Nanos::ZERO, "first fault charged");
+        assert!(k.tier_of(target).unwrap().is_slow(), "one fault is not enough");
+        // Re-poison after the scan interval but before the clear interval
+        // would wipe the fault counts (scaled: scan 1 ms, clear 5 ms).
+        p.maybe_tick(&mut k, Nanos::from_millis(2));
+        p.drain_shootdowns();
+        let c2 = p.on_access(&walk_miss(&k, 20, Nanos::from_micros(2100)), &mut k);
+        assert!(c2 > c1, "second fault includes promotion work");
+        assert!(k.tier_of(target).unwrap().is_fast(), "two faults promote");
+    }
+
+    #[test]
+    fn unpoisoned_access_is_free() {
+        let mut k = kernel();
+        let mut p = policy(HintFaultPolicyConfig::tpp().scaled(1000));
+        // No poison pass yet: no faults.
+        let c = p.on_access(&walk_miss(&k, 20, Nanos::ZERO), &mut k);
+        assert_eq!(c, Nanos::ZERO);
+        assert_eq!(p.faults(), 0);
+    }
+
+    #[test]
+    fn tlb_hit_never_faults() {
+        let mut k = kernel();
+        let mut p = policy(HintFaultPolicyConfig::tpp().scaled(1000));
+        p.maybe_tick(&mut k, Nanos::ZERO);
+        p.drain_shootdowns();
+        let mut ev = walk_miss(&k, 20, Nanos::ZERO);
+        ev.tlb_hit = true;
+        assert_eq!(p.on_access(&ev, &mut k), Nanos::ZERO);
+    }
+
+    #[test]
+    fn autonuma_label_and_cadence() {
+        let cfg = HintFaultPolicyConfig::autonuma();
+        assert_eq!(policy(cfg).name(), "AutoNUMA");
+        assert!(cfg.scan_interval > HintFaultPolicyConfig::tpp().scan_interval);
+    }
+
+    #[test]
+    fn overhead_accumulates_in_telemetry() {
+        let mut k = kernel();
+        let mut p = policy(HintFaultPolicyConfig::tpp().scaled(1000));
+        p.maybe_tick(&mut k, Nanos::ZERO);
+        p.drain_shootdowns();
+        p.on_access(&walk_miss(&k, 21, Nanos::new(5)), &mut k);
+        assert!(p.telemetry().profiling_overhead > Nanos::ZERO);
+    }
+}

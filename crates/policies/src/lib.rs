@@ -1,0 +1,229 @@
+//! Memory-tiering policies (paper §V and §VI-A "Baselines").
+//!
+//! A [`TieringPolicy`] owns a profiling mechanism and drives promotion /
+//! demotion through the simulated kernel. The simulator feeds it every
+//! access (so mechanisms with per-access visibility can sample) and
+//! calls [`TieringPolicy::maybe_tick`] periodically; each policy manages
+//! its own cadences internally (migration interval, threshold updates,
+//! scan rates — Table V).
+//!
+//! Implementations:
+//!
+//! * [`NeoMemPolicy`] — the paper's contribution: NeoProf readouts +
+//!   Algorithm 1 dynamic-threshold adjustment.
+//! * [`PebsPolicy`] — PMU-sampling promotion (the `PEBS` baseline).
+//! * [`MemtisPolicy`] — Memtis-style PEBS + distribution-based hot-set
+//!   classification (Fig. 17).
+//! * [`HintFaultPolicy`] — TPP and AutoNUMA (two-touch hint faults).
+//! * [`PteScanPolicy`] — epoch PTE scanning.
+//! * [`FirstTouchPolicy`] — allocation-only, optionally pinned to one
+//!   tier (Fig. 3b characterisation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod first_touch;
+mod hint_fault;
+mod neomem;
+mod pebs;
+mod pte_scan;
+mod quota;
+
+pub use first_touch::FirstTouchPolicy;
+pub use hint_fault::{HintFaultPolicy, HintFaultPolicyConfig, HintFaultStyle};
+pub use neomem::{NeoMemParams, NeoMemPolicy, ThresholdMode};
+
+// `DemotionStrategy` is defined below and re-used by NeoMemParams.
+pub use pebs::{MemtisPolicy, PebsPolicy, PebsPolicyConfig};
+pub use pte_scan::{PteScanPolicy, PteScanPolicyConfig};
+pub use quota::QuotaMeter;
+
+use neomem_kernel::Kernel;
+use neomem_profilers::AccessEvent;
+use neomem_types::{Nanos, Tier, VirtPage};
+
+/// Telemetry a policy can expose for timeline figures (Fig. 14).
+#[derive(Debug, Clone, Default)]
+pub struct PolicyTelemetry {
+    /// Current hot-page threshold θ.
+    pub threshold: Option<u16>,
+    /// Current top-`p` fraction of Algorithm 1.
+    pub p_fraction: Option<f64>,
+    /// Slow-tier bandwidth utilisation `B` of the last window.
+    pub bandwidth_util: Option<f64>,
+    /// Read-only utilisation of the last window.
+    pub read_util: Option<f64>,
+    /// Write-only utilisation of the last window.
+    pub write_util: Option<f64>,
+    /// Estimated sketch error bound `E`.
+    pub error_bound: Option<u16>,
+    /// Latest access-frequency histogram bins.
+    pub histogram: Option<[u64; 64]>,
+    /// Cumulative CPU time consumed by profiling + daemon work.
+    pub profiling_overhead: Nanos,
+    /// Bytes promoted through whole-huge-page migrations (Table VI).
+    pub promoted_huge_bytes: neomem_types::Bytes,
+}
+
+/// A complete tiering solution.
+pub trait TieringPolicy {
+    /// Solution name as used in the figures.
+    fn name(&self) -> &'static str;
+
+    /// Preferred tier for first-touch allocation (pinned baselines
+    /// override this).
+    fn alloc_preference(&self) -> Tier {
+        Tier::Fast
+    }
+
+    /// Per-access hook. Returns CPU time charged inline (fault service,
+    /// sample capture, in-fault promotion, ...).
+    fn on_access(&mut self, ev: &AccessEvent, kernel: &mut Kernel) -> Nanos;
+
+    /// Called frequently by the simulator; the policy checks its own
+    /// deadlines against `now` and performs due work. Returns the CPU +
+    /// migration time charged.
+    fn maybe_tick(&mut self, kernel: &mut Kernel, now: Nanos) -> Nanos;
+
+    /// Drains TLB shootdowns the policy requested (PTE poisoning,
+    /// migrations already shot down by the kernel are *not* repeated
+    /// here). The simulator applies them to its TLB model.
+    fn drain_shootdowns(&mut self) -> Vec<VirtPage> {
+        Vec::new()
+    }
+
+    /// Current telemetry snapshot.
+    fn telemetry(&self) -> PolicyTelemetry {
+        PolicyTelemetry::default()
+    }
+}
+
+/// Which victims feed the demotion path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DemotionStrategy {
+    /// LRU-2Q cold-page detection (the paper's design, Fig. 5 ❻).
+    #[default]
+    Lru2Q,
+    /// Recency-blind victim selection — the ablation showing why cold
+    /// detection matters (DESIGN.md decision #5).
+    Arbitrary,
+}
+
+/// Keeps a headroom of free fast-tier frames by demoting LRU-cold pages.
+/// Returns the time charged. Shared by every promoting policy — Linux
+/// reclaim does the same through the demotion path.
+pub(crate) fn ensure_fast_headroom(kernel: &mut Kernel, frac: f64, now: Nanos) -> Nanos {
+    ensure_fast_headroom_with(kernel, frac, now, DemotionStrategy::Lru2Q)
+}
+
+/// [`ensure_fast_headroom`] with an explicit victim-selection strategy.
+pub(crate) fn ensure_fast_headroom_with(
+    kernel: &mut Kernel,
+    frac: f64,
+    now: Nanos,
+    strategy: DemotionStrategy,
+) -> Nanos {
+    let alloc = kernel.memory().allocator(Tier::Fast);
+    let want = ((alloc.capacity() as f64 * frac) as u64).max(1);
+    let free = alloc.free_frames();
+    if free >= want {
+        return Nanos::ZERO;
+    }
+    let n = (want - free) as usize;
+    let (_, t) = match strategy {
+        DemotionStrategy::Lru2Q => kernel.demote_coldest(n, now),
+        DemotionStrategy::Arbitrary => kernel.demote_arbitrary(n, now),
+    };
+    t
+}
+
+/// The solutions compared in Fig. 11, plus auxiliary baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// The paper's solution.
+    NeoMem,
+    /// NeoMem hardware with a fixed threshold (Fig. 14a ablation).
+    NeoMemFixed(u16),
+    /// PMU-sampling baseline.
+    Pebs,
+    /// Memtis (Fig. 17).
+    Memtis,
+    /// PTE-scan baseline.
+    PteScan,
+    /// AutoNUMA (Linux 6.3).
+    AutoNuma,
+    /// TPP.
+    Tpp,
+    /// First-touch NUMA (no migration).
+    FirstTouch,
+    /// All pages forced to the fast tier (Fig. 3 characterisation).
+    PinnedFast,
+    /// All pages forced to the slow tier (Fig. 3 characterisation).
+    PinnedSlow,
+}
+
+impl PolicyKind {
+    /// The figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::NeoMem => "NeoMem",
+            PolicyKind::NeoMemFixed(_) => "NeoMem-fixed",
+            PolicyKind::Pebs => "PEBS",
+            PolicyKind::Memtis => "Memtis",
+            PolicyKind::PteScan => "PTE-Scan",
+            PolicyKind::AutoNuma => "AutoNUMA",
+            PolicyKind::Tpp => "TPP",
+            PolicyKind::FirstTouch => "First-touch NUMA",
+            PolicyKind::PinnedFast => "Local-only",
+            PolicyKind::PinnedSlow => "CXL-only",
+        }
+    }
+
+    /// The six solutions of Fig. 11, in the paper's legend order.
+    pub const FIG11: [PolicyKind; 6] = [
+        PolicyKind::NeoMem,
+        PolicyKind::Pebs,
+        PolicyKind::PteScan,
+        PolicyKind::AutoNuma,
+        PolicyKind::Tpp,
+        PolicyKind::FirstTouch,
+    ];
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+
+    #[test]
+    fn headroom_demotes_cold_pages() {
+        let mut k = Kernel::new(KernelConfig::with_frames(4, 8));
+        for p in 0..4 {
+            k.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        assert_eq!(k.memory().allocator(Tier::Fast).free_frames(), 0);
+        let t = ensure_fast_headroom(&mut k, 0.5, Nanos::ZERO);
+        assert!(t > Nanos::ZERO);
+        assert!(k.memory().allocator(Tier::Fast).free_frames() >= 2);
+    }
+
+    #[test]
+    fn headroom_noop_when_free() {
+        let mut k = Kernel::new(KernelConfig::with_frames(4, 8));
+        k.touch_alloc(VirtPage::new(0), Nanos::ZERO).unwrap();
+        assert_eq!(ensure_fast_headroom(&mut k, 0.25, Nanos::ZERO), Nanos::ZERO);
+    }
+
+    #[test]
+    fn labels_and_fig11_roster() {
+        assert_eq!(PolicyKind::FIG11.len(), 6);
+        assert_eq!(PolicyKind::NeoMem.label(), "NeoMem");
+        assert_eq!(PolicyKind::FirstTouch.to_string(), "First-touch NUMA");
+    }
+}

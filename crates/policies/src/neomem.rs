@@ -1,0 +1,547 @@
+//! The NeoMem tiering policy: NeoProf readouts + Algorithm 1.
+
+use neomem_kernel::Kernel;
+use neomem_neoprof::NeoProfConfig;
+use neomem_profilers::{AccessEvent, NeoProfDriver, NeoProfDriverConfig};
+use neomem_sketch::error_bound;
+use neomem_types::{Bandwidth, Bytes, MemRequest, Nanos, Result, Tier};
+
+use crate::quota::QuotaMeter;
+use crate::{ensure_fast_headroom_with, DemotionStrategy, PolicyTelemetry, TieringPolicy};
+
+/// Threshold control mode (Fig. 14a compares dynamic against fixed θ).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdMode {
+    /// Algorithm 1 dynamic adjustment.
+    Dynamic,
+    /// A constant θ for the whole run.
+    Fixed(u16),
+}
+
+/// NeoMem software parameters (Table V defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeoMemParams {
+    /// Maximum page-migration rate `mquota`.
+    pub mquota: Bandwidth,
+    /// Lower percentile bound `pmin`.
+    pub pmin: f64,
+    /// Upper percentile bound `pmax`.
+    pub pmax: f64,
+    /// Initial percentile `pinit`.
+    pub pinit: f64,
+    /// Bandwidth-pressure exponent α.
+    pub alpha: f64,
+    /// Ping-pong exponent β.
+    pub beta: f64,
+    /// Hot-page readout + promotion cadence (`migration_interval`).
+    pub migration_interval: Nanos,
+    /// NeoProf counter reset cadence (`clear_interval`).
+    pub clear_interval: Nanos,
+    /// Algorithm 1 cadence (`thr_update_interval`).
+    pub thr_update_interval: Nanos,
+    /// Fast-tier free-frame headroom maintained by demotion.
+    pub headroom_frac: f64,
+    /// Threshold control mode.
+    pub threshold_mode: ThresholdMode,
+    /// Transparent Huge Page mode (paper §VII, Table VI): NeoProf still
+    /// reports hot 4 KiB pages, but the daemon aggregates them per 2 MiB
+    /// region and migrates whole huge pages once a region accumulates
+    /// enough distinct hot base pages.
+    pub thp: bool,
+    /// Distinct hot base pages required before a huge region migrates.
+    pub thp_votes: u32,
+    /// Demotion victim selection (ablation: LRU-2Q vs arbitrary).
+    pub demotion: DemotionStrategy,
+}
+
+impl NeoMemParams {
+    /// The paper's Table V defaults.
+    pub fn paper_default() -> Self {
+        Self {
+            mquota: Bandwidth::from_mib_per_sec(256),
+            pmin: 0.0001,   // 0.01 %
+            pmax: 0.0156,   // 1.56 %
+            pinit: 0.001,   // 0.1 %
+            alpha: 1.0,
+            beta: 2.0,
+            migration_interval: Nanos::from_millis(10),
+            clear_interval: Nanos::from_secs(5),
+            thr_update_interval: Nanos::from_secs(1),
+            headroom_frac: 0.02,
+            threshold_mode: ThresholdMode::Dynamic,
+            thp: false,
+            thp_votes: 3,
+            demotion: DemotionStrategy::Lru2Q,
+        }
+    }
+
+    /// Paper cadences divided by `factor` — used when simulating
+    /// milliseconds instead of minutes. Percentiles and quota are
+    /// unchanged.
+    pub fn scaled(factor: u64) -> Self {
+        assert!(factor >= 1, "scale factor must be >= 1");
+        let d = Self::paper_default();
+        Self {
+            migration_interval: (d.migration_interval / factor).max(Nanos::from_micros(100)),
+            clear_interval: (d.clear_interval / factor).max(Nanos::from_millis(1)),
+            thr_update_interval: (d.thr_update_interval / factor).max(Nanos::from_micros(500)),
+            ..d
+        }
+    }
+}
+
+/// The NeoMem daemon (paper Fig. 5 ❺, Algorithm 1).
+#[derive(Debug)]
+pub struct NeoMemPolicy {
+    driver: NeoProfDriver,
+    params: NeoMemParams,
+    quota: QuotaMeter,
+    p: f64,
+    theta: u16,
+    started: bool,
+    next_migrate: Nanos,
+    next_thr: Nanos,
+    next_clear: Nanos,
+    /// Kernel counter snapshots at the last threshold update.
+    last_promotions: u64,
+    last_ping_pongs: u64,
+    last_promoted_bytes: u64,
+    telemetry: PolicyTelemetry,
+    /// THP vote aggregation (only consulted when `params.thp`).
+    huge_map: neomem_kernel::HugePageMap,
+    /// Bytes promoted as part of whole-huge-page migrations.
+    promoted_huge_bytes: u64,
+}
+
+impl NeoMemPolicy {
+    /// Creates the policy and its NeoProf device/driver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid sketch parameters.
+    pub fn new(
+        dev_config: NeoProfConfig,
+        driver_config: NeoProfDriverConfig,
+        params: NeoMemParams,
+    ) -> Result<Self> {
+        let driver = NeoProfDriver::new(dev_config, driver_config)?;
+        let theta = match params.threshold_mode {
+            ThresholdMode::Dynamic => 1,
+            ThresholdMode::Fixed(t) => t,
+        };
+        Ok(Self {
+            driver,
+            params,
+            quota: QuotaMeter::new(params.mquota),
+            p: params.pinit,
+            theta,
+            started: false,
+            next_migrate: Nanos::ZERO,
+            next_thr: Nanos::ZERO,
+            next_clear: Nanos::ZERO,
+            last_promotions: 0,
+            last_ping_pongs: 0,
+            last_promoted_bytes: 0,
+            telemetry: PolicyTelemetry::default(),
+            huge_map: neomem_kernel::HugePageMap::new(params.thp_votes.max(1)),
+            promoted_huge_bytes: 0,
+        })
+    }
+
+    /// Bytes promoted through whole-huge-page migrations (Table VI).
+    pub fn promoted_huge_bytes(&self) -> neomem_types::Bytes {
+        neomem_types::Bytes::new(self.promoted_huge_bytes)
+    }
+
+    /// Current top-`p` fraction.
+    pub fn p_fraction(&self) -> f64 {
+        self.p
+    }
+
+    /// Current threshold θ.
+    pub fn threshold(&self) -> u16 {
+        self.theta
+    }
+
+    /// Parameters in force.
+    pub fn params(&self) -> &NeoMemParams {
+        &self.params
+    }
+
+    /// Access to the driver (benches peek at device statistics).
+    pub fn driver(&self) -> &NeoProfDriver {
+        &self.driver
+    }
+
+    fn start(&mut self, now: Nanos) -> Nanos {
+        self.started = true;
+        self.next_migrate = now + self.params.migration_interval;
+        self.next_thr = now + self.params.thr_update_interval;
+        self.next_clear = now + self.params.clear_interval;
+        self.driver.set_threshold(self.theta, now)
+    }
+
+    /// One Algorithm 1 step.
+    fn update_threshold(&mut self, kernel: &Kernel, now: Nanos) -> Nanos {
+        let mut cost = Nanos::ZERO;
+        // F ← get_neoprof_hist(); E ← get_error_bound(F)
+        let (hist, c1) = self.driver.read_histogram(now);
+        cost += c1;
+        let sketch_depth = 2usize;
+        let delta = 0.25f64;
+        let e = error_bound::from_histogram(&hist, delta, sketch_depth);
+        // B ← get_bandwidth_util()
+        let (state, c2) = self.driver.read_state(now);
+        cost += c2;
+        let b = state.utilization();
+        // P ← get_ping_pong_count() / promoted
+        let stats = kernel.stats();
+        let promoted_delta = stats.promotions - self.last_promotions;
+        let ping_delta = stats.ping_pongs - self.last_ping_pongs;
+        let p_sev = if promoted_delta == 0 { 0.0 } else { ping_delta as f64 / promoted_delta as f64 };
+        // M ← get_migrate_pages_count()
+        let migrated_bytes = stats.promoted_bytes.as_u64() - self.last_promoted_bytes;
+        let quota_bytes = (self.params.mquota.bytes_per_sec()
+            * self.params.thr_update_interval.as_secs_f64()) as u64;
+        self.last_promotions = stats.promotions;
+        self.last_ping_pongs = stats.ping_pongs;
+        self.last_promoted_bytes = stats.promoted_bytes.as_u64();
+
+        if let ThresholdMode::Dynamic = self.params.threshold_mode {
+            if migrated_bytes < quota_bytes {
+                // p ← p·(1+B)^α / (1+P)^β, bounded.
+                self.p *= (1.0 + b).powf(self.params.alpha) / (1.0 + p_sev).powf(self.params.beta);
+                self.p = self.p.clamp(self.params.pmin, self.params.pmax);
+            } else {
+                // Migration quota constraint.
+                self.p = (self.p / 2.0).max(self.params.pmin);
+            }
+            // Error-bound checking.
+            if hist.quantile(1.0 - self.p) < e {
+                self.p = (self.p / 2.0).max(self.params.pmin);
+            }
+            // θ = QF(1 − p)
+            self.theta = hist.quantile(1.0 - self.p).max(1);
+            cost += self.driver.set_threshold(self.theta, now);
+        }
+
+        self.telemetry = PolicyTelemetry {
+            threshold: Some(self.theta),
+            p_fraction: Some(self.p),
+            bandwidth_util: Some(b),
+            read_util: Some(if state.sampled_cycles == 0 {
+                0.0
+            } else {
+                state.read_cycles as f64 / state.sampled_cycles as f64
+            }),
+            write_util: Some(if state.sampled_cycles == 0 {
+                0.0
+            } else {
+                state.write_cycles as f64 / state.sampled_cycles as f64
+            }),
+            error_bound: Some(e),
+            histogram: Some(*hist.bins()),
+            profiling_overhead: self.driver.mmio_time(),
+            promoted_huge_bytes: neomem_types::Bytes::new(self.promoted_huge_bytes),
+        };
+        cost
+    }
+
+    /// Hot-page readout + promotion under quota.
+    fn migrate(&mut self, kernel: &mut Kernel, now: Nanos) -> Nanos {
+        let mut cost =
+            ensure_fast_headroom_with(kernel, self.params.headroom_frac, now, self.params.demotion);
+        let (pages, mmio) = self.driver.read_hot_pages(kernel, now);
+        cost += mmio;
+        for vpage in pages {
+            if self.params.thp {
+                if let Some(region) = self.huge_map.record_hot(vpage) {
+                    cost += self.promote_huge_region(region, kernel, now + cost);
+                }
+                continue;
+            }
+            if kernel.tier_of(vpage).map(|t| t.is_fast()).unwrap_or(true) {
+                continue; // already promoted or unmapped
+            }
+            if !self.quota.try_consume(Bytes::new(neomem_types::PAGE_SIZE), now + cost) {
+                break;
+            }
+            if let Ok(t) = kernel.promote(vpage, now + cost) {
+                cost += t;
+            }
+        }
+        cost
+    }
+
+    /// Promotes every slow-tier base page of a 2 MiB region in one go,
+    /// charging the huge-page fixed overhead once.
+    fn promote_huge_region(
+        &mut self,
+        region: neomem_types::VirtPage,
+        kernel: &mut Kernel,
+        now: Nanos,
+    ) -> Nanos {
+        let huge_bytes = neomem_kernel::PAGES_PER_HUGE * neomem_types::PAGE_SIZE;
+        if !self.quota.try_consume(Bytes::new(huge_bytes), now) {
+            return Nanos::ZERO;
+        }
+        let mut cost = kernel.costs().huge_page_overhead;
+        let mut moved = 0u64;
+        for vpage in neomem_kernel::HugePageMap::region_pages(region) {
+            if kernel.tier_of(vpage).map(|t| t.is_slow()).unwrap_or(false) {
+                if let Ok(t) = kernel.promote(vpage, now + cost) {
+                    // The per-page fixed overhead is amortised for huge
+                    // migrations; keep only the copy time.
+                    cost += t.saturating_sub(kernel.costs().per_page_overhead);
+                    moved += 1;
+                }
+            }
+        }
+        self.promoted_huge_bytes += moved * neomem_types::PAGE_SIZE;
+        cost
+    }
+}
+
+impl TieringPolicy for NeoMemPolicy {
+    fn name(&self) -> &'static str {
+        match self.params.threshold_mode {
+            ThresholdMode::Dynamic => "NeoMem",
+            ThresholdMode::Fixed(_) => "NeoMem-fixed",
+        }
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, kernel: &mut Kernel) -> Nanos {
+        if !ev.llc_miss {
+            return Nanos::ZERO;
+        }
+        match ev.tier {
+            // The device sees every slow-tier LLC miss; zero CPU cost.
+            Tier::Slow => self.driver.snoop(MemRequest::new(ev.frame, 0, ev.kind)),
+            // Fast-tier misses age the LRU for cold detection.
+            Tier::Fast => kernel.record_fast_access(ev.vpage),
+        }
+        Nanos::ZERO
+    }
+
+    fn maybe_tick(&mut self, kernel: &mut Kernel, now: Nanos) -> Nanos {
+        if !self.started {
+            return self.start(now);
+        }
+        let mut cost = Nanos::ZERO;
+        // Order matters: drain the hot-page buffer and update the
+        // threshold *before* a periodic clear wipes device state.
+        if now >= self.next_migrate {
+            cost += self.migrate(kernel, now);
+            self.next_migrate = now + self.params.migration_interval;
+        }
+        if now >= self.next_thr {
+            cost += self.update_threshold(kernel, now);
+            self.next_thr = now + self.params.thr_update_interval;
+        }
+        if now >= self.next_clear {
+            cost += self.driver.reset(now);
+            cost += self.driver.set_threshold(self.theta, now);
+            // THP vote counts restart with the detection period so a
+            // partially-promoted region can re-trigger once its remaining
+            // slow pages heat up again.
+            self.huge_map.clear();
+            self.next_clear = now + self.params.clear_interval;
+        }
+        cost
+    }
+
+    fn telemetry(&self) -> PolicyTelemetry {
+        let mut t = self.telemetry.clone();
+        t.promoted_huge_bytes = neomem_types::Bytes::new(self.promoted_huge_bytes);
+        t.profiling_overhead = self.driver.mmio_time();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+    use neomem_types::{AccessKind, VirtPage};
+
+    fn setup(params: NeoMemParams) -> (Kernel, NeoMemPolicy) {
+        let mut kernel = Kernel::new(KernelConfig::with_frames(8, 32));
+        for p in 0..24 {
+            kernel.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        let dev = NeoProfConfig::small(kernel.memory().slow_base());
+        let policy = NeoMemPolicy::new(dev, NeoProfDriverConfig::default(), params).unwrap();
+        (kernel, policy)
+    }
+
+    fn slow_miss(kernel: &Kernel, vpage: u64) -> AccessEvent {
+        let frame = kernel.translate(VirtPage::new(vpage)).unwrap();
+        AccessEvent {
+            vpage: VirtPage::new(vpage),
+            frame,
+            tier: kernel.memory().tier_of(frame),
+            kind: AccessKind::Read,
+            tlb_hit: true,
+            llc_miss: true,
+            now: Nanos::ZERO,
+        }
+    }
+
+    #[test]
+    fn hot_slow_page_gets_promoted() {
+        let mut params = NeoMemParams::scaled(1000);
+        params.threshold_mode = ThresholdMode::Fixed(3);
+        let (mut kernel, mut policy) = setup(params);
+        policy.maybe_tick(&mut kernel, Nanos::ZERO); // start
+        // Page 20 is on the slow tier; hammer it.
+        assert!(kernel.tier_of(VirtPage::new(20)).unwrap().is_slow());
+        for _ in 0..10 {
+            let ev = slow_miss(&kernel, 20);
+            policy.on_access(&ev, &mut kernel);
+        }
+        policy.maybe_tick(&mut kernel, Nanos::from_millis(100));
+        assert!(kernel.tier_of(VirtPage::new(20)).unwrap().is_fast(), "hot page must be promoted");
+        assert_eq!(kernel.stats().promotions, 1);
+    }
+
+    #[test]
+    fn cold_pages_stay_put() {
+        let mut params = NeoMemParams::scaled(1000);
+        params.threshold_mode = ThresholdMode::Fixed(5);
+        let (mut kernel, mut policy) = setup(params);
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        // Touch each slow page once: below threshold.
+        for p in 8..24 {
+            let ev = slow_miss(&kernel, p);
+            policy.on_access(&ev, &mut kernel);
+        }
+        policy.maybe_tick(&mut kernel, Nanos::from_millis(100));
+        assert_eq!(kernel.stats().promotions, 0);
+    }
+
+    #[test]
+    fn dynamic_threshold_updates_telemetry() {
+        let params = NeoMemParams::scaled(1000);
+        let (mut kernel, mut policy) = setup(params);
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        for round in 0..50 {
+            for p in 8..12 {
+                policy.on_access(&slow_miss(&kernel, p), &mut kernel);
+            }
+            let _ = round;
+        }
+        policy.maybe_tick(&mut kernel, Nanos::from_millis(200));
+        let t = policy.telemetry();
+        assert!(t.threshold.is_some());
+        assert!(t.p_fraction.is_some());
+        assert!(t.bandwidth_util.is_some());
+        assert!(t.histogram.is_some());
+        assert!(t.profiling_overhead > Nanos::ZERO);
+    }
+
+    #[test]
+    fn quota_limits_promotions_per_window() {
+        let mut params = NeoMemParams::scaled(1000);
+        params.threshold_mode = ThresholdMode::Fixed(1);
+        // Quota of 4 pages/second.
+        params.mquota = Bandwidth::from_bytes_per_sec(4.0 * 4096.0);
+        let (mut kernel, mut policy) = setup(params);
+        policy.quota = QuotaMeter::new(params.mquota);
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        for p in 8..24 {
+            for _ in 0..5 {
+                policy.on_access(&slow_miss(&kernel, p), &mut kernel);
+            }
+        }
+        policy.maybe_tick(&mut kernel, Nanos::from_millis(50));
+        assert!(kernel.stats().promotions <= 4, "quota must cap migration");
+    }
+
+    #[test]
+    fn paper_defaults_match_table_v() {
+        let p = NeoMemParams::paper_default();
+        assert_eq!(p.migration_interval, Nanos::from_millis(10));
+        assert_eq!(p.clear_interval, Nanos::from_secs(5));
+        assert_eq!(p.thr_update_interval, Nanos::from_secs(1));
+        assert!((p.pmin - 0.0001).abs() < 1e-12);
+        assert!((p.pmax - 0.0156).abs() < 1e-12);
+        assert!((p.pinit - 0.001).abs() < 1e-12);
+        assert!((p.alpha - 1.0).abs() < 1e-12);
+        assert!((p.beta - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_stays_within_bounds() {
+        let params = NeoMemParams::scaled(1000);
+        let (mut kernel, mut policy) = setup(params);
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        let mut now = Nanos::ZERO;
+        for _ in 0..20 {
+            now += Nanos::from_millis(10);
+            for p in 8..24 {
+                policy.on_access(&slow_miss(&kernel, p), &mut kernel);
+            }
+            policy.maybe_tick(&mut kernel, now);
+            let frac = policy.p_fraction();
+            assert!(frac >= params.pmin - 1e-12 && frac <= params.pmax + 1e-12, "p = {frac}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod thp_tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+    use neomem_types::{AccessKind, VirtPage};
+
+    #[test]
+    fn thp_mode_promotes_whole_regions() {
+        // 1024 fast frames, 4096 slow; address space 4096 pages = 8 huge
+        // regions. Hot region = pages 1024..1536 (region 2).
+        let mut kernel = Kernel::new(KernelConfig::with_frames(1024, 4096));
+        for p in 0..4096u64 {
+            kernel.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        let mut params = NeoMemParams::scaled(1000);
+        params.threshold_mode = ThresholdMode::Fixed(2);
+        params.thp = true;
+        params.thp_votes = 2;
+        let dev = neomem_neoprof::NeoProfConfig::small(kernel.memory().slow_base());
+        let mut policy = NeoMemPolicy::new(
+            dev,
+            neomem_profilers::NeoProfDriverConfig::default(),
+            params,
+        )
+        .unwrap();
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        // Hammer pages 1100 and 1200 (same huge region, slow tier).
+        for &p in &[1100u64, 1200] {
+            let frame = kernel.translate(VirtPage::new(p)).unwrap();
+            assert!(kernel.memory().tier_of(frame).is_slow());
+            for _ in 0..5 {
+                let ev = neomem_profilers::AccessEvent {
+                    vpage: VirtPage::new(p),
+                    frame,
+                    tier: Tier::Slow,
+                    kind: AccessKind::Read,
+                    tlb_hit: true,
+                    llc_miss: true,
+                    now: Nanos::ZERO,
+                };
+                policy.on_access(&ev, &mut kernel);
+            }
+        }
+        policy.maybe_tick(&mut kernel, Nanos::from_millis(1));
+        let huge = policy.promoted_huge_bytes().as_u64();
+        assert!(
+            huge >= 500 * 4096,
+            "whole region should move, got {} bytes ({} pages), promotions={}",
+            huge,
+            huge / 4096,
+            kernel.stats().promotions
+        );
+        // The hot pages themselves must now be fast.
+        assert!(kernel.tier_of(VirtPage::new(1100)).unwrap().is_fast());
+        assert!(kernel.tier_of(VirtPage::new(1200)).unwrap().is_fast());
+    }
+}

@@ -1,0 +1,181 @@
+//! The PTE-scan tiering policy (paper §VI-A: "we integrate these
+//! profiling techniques into NeoMem, replacing its native memory
+//! profiling functions").
+
+use neomem_kernel::Kernel;
+use neomem_profilers::{AccessEvent, PteScanConfig, PteScanner};
+use neomem_types::{Bandwidth, Bytes, Nanos, PAGE_SIZE};
+#[cfg(test)]
+use neomem_types::VirtPage;
+
+use crate::quota::QuotaMeter;
+use crate::{ensure_fast_headroom, PolicyTelemetry, TieringPolicy};
+
+/// Policy configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PteScanPolicyConfig {
+    /// Scanner settings.
+    pub scanner: PteScanConfig,
+    /// Scan cadence (Table V `page_scanning_rate`: 5 s).
+    pub scan_interval: Nanos,
+    /// Epoch-count reset cadence.
+    pub clear_interval: Nanos,
+    /// Fast-tier headroom fraction.
+    pub headroom_frac: f64,
+}
+
+impl Default for PteScanPolicyConfig {
+    fn default() -> Self {
+        Self {
+            scanner: PteScanConfig::default(),
+            scan_interval: Nanos::from_secs(5),
+            clear_interval: Nanos::from_secs(20),
+            headroom_frac: 0.02,
+        }
+    }
+}
+
+impl PteScanPolicyConfig {
+    /// Cadences divided by `factor` for scaled simulations.
+    pub fn scaled(factor: u64) -> Self {
+        let d = Self::default();
+        Self {
+            scan_interval: (d.scan_interval / factor).max(Nanos::from_millis(1)),
+            clear_interval: (d.clear_interval / factor).max(Nanos::from_millis(4)),
+            ..d
+        }
+    }
+}
+
+/// Epoch PTE scanning + promotion.
+#[derive(Debug)]
+pub struct PteScanPolicy {
+    config: PteScanPolicyConfig,
+    scanner: PteScanner,
+    quota: QuotaMeter,
+    started: bool,
+    next_scan: Nanos,
+    next_clear: Nanos,
+    overhead: Nanos,
+}
+
+impl PteScanPolicy {
+    /// Creates the policy for an address space of `rss_pages`.
+    pub fn new(config: PteScanPolicyConfig, rss_pages: u64, mquota: Bandwidth) -> Self {
+        Self {
+            config,
+            scanner: PteScanner::new(config.scanner, rss_pages),
+            quota: QuotaMeter::new(mquota),
+            started: false,
+            next_scan: Nanos::ZERO,
+            next_clear: Nanos::ZERO,
+            overhead: Nanos::ZERO,
+        }
+    }
+}
+
+impl TieringPolicy for PteScanPolicy {
+    fn name(&self) -> &'static str {
+        "PTE-Scan"
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent, kernel: &mut Kernel) -> Nanos {
+        if ev.llc_miss && ev.tier.is_fast() {
+            kernel.record_fast_access(ev.vpage);
+        }
+        // The accessed bit is set by the page walker (simulator);
+        // PTE-scan itself sees nothing per access.
+        Nanos::ZERO
+    }
+
+    fn maybe_tick(&mut self, kernel: &mut Kernel, now: Nanos) -> Nanos {
+        if !self.started {
+            self.started = true;
+            self.next_scan = now + self.config.scan_interval;
+            self.next_clear = now + self.config.clear_interval;
+            return Nanos::ZERO;
+        }
+        let mut cost = Nanos::ZERO;
+        if now >= self.next_scan {
+            let out = self.scanner.scan_epoch(kernel);
+            cost += out.overhead;
+            cost += ensure_fast_headroom(kernel, self.config.headroom_frac, now);
+            for vpage in out.hot_pages {
+                if kernel.tier_of(vpage).map(|t| t.is_fast()).unwrap_or(true) {
+                    continue;
+                }
+                if !self.quota.try_consume(Bytes::new(PAGE_SIZE), now + cost) {
+                    break;
+                }
+                if let Ok(t) = kernel.promote(vpage, now + cost) {
+                    cost += t;
+                }
+            }
+            self.next_scan = now + self.config.scan_interval;
+        }
+        if now >= self.next_clear {
+            self.scanner.clear();
+            self.next_clear = now + self.config.clear_interval;
+        }
+        self.overhead += cost;
+        cost
+    }
+
+    fn telemetry(&self) -> PolicyTelemetry {
+        PolicyTelemetry { profiling_overhead: self.overhead, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+
+    fn kernel() -> Kernel {
+        let mut k = Kernel::new(KernelConfig::with_frames(8, 32));
+        for p in 0..24 {
+            k.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        k
+    }
+
+    #[test]
+    fn two_epoch_hot_page_promoted() {
+        let mut k = kernel();
+        let cfg = PteScanPolicyConfig::scaled(1000);
+        let mut p = PteScanPolicy::new(cfg, 40, Bandwidth::from_mib_per_sec(256));
+        p.maybe_tick(&mut k, Nanos::ZERO);
+        let target = VirtPage::new(20);
+        // Epoch 1: touched.
+        k.page_table_mut().mark_accessed(target).unwrap();
+        p.maybe_tick(&mut k, cfg.scan_interval + Nanos::new(1));
+        assert!(k.tier_of(target).unwrap().is_slow());
+        // Epoch 2: touched again → promoted.
+        k.page_table_mut().mark_accessed(target).unwrap();
+        p.maybe_tick(&mut k, cfg.scan_interval * 2 + Nanos::new(2));
+        assert!(k.tier_of(target).unwrap().is_fast());
+    }
+
+    #[test]
+    fn scan_overhead_charged() {
+        let mut k = kernel();
+        let cfg = PteScanPolicyConfig::scaled(1000);
+        let mut p = PteScanPolicy::new(cfg, 40, Bandwidth::from_mib_per_sec(256));
+        p.maybe_tick(&mut k, Nanos::ZERO);
+        let cost = p.maybe_tick(&mut k, cfg.scan_interval + Nanos::new(1));
+        assert!(cost > Nanos::ZERO, "a scan walks all mapped PTEs");
+    }
+
+    #[test]
+    fn untouched_pages_never_promoted() {
+        let mut k = kernel();
+        let cfg = PteScanPolicyConfig::scaled(1000);
+        let mut p = PteScanPolicy::new(cfg, 40, Bandwidth::from_mib_per_sec(256));
+        let mut now = Nanos::ZERO;
+        for _ in 0..5 {
+            now += cfg.scan_interval + Nanos::new(1);
+            p.maybe_tick(&mut k, now);
+        }
+        assert_eq!(k.stats().promotions, 0);
+    }
+}

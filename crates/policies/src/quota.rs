@@ -1,0 +1,97 @@
+//! The migration quota meter (`mquota`, Table V: 256 MB/s default).
+
+use neomem_types::{Bandwidth, Bytes, Nanos};
+
+/// Rate-limits migration volume over one-second windows.
+#[derive(Debug, Clone)]
+pub struct QuotaMeter {
+    rate: Bandwidth,
+    window_start: Nanos,
+    used: u64,
+}
+
+impl QuotaMeter {
+    /// Creates a meter allowing `rate` of migration traffic.
+    pub fn new(rate: Bandwidth) -> Self {
+        Self { rate, window_start: Nanos::ZERO, used: 0 }
+    }
+
+    /// The paper's default: 256 MB/s.
+    pub fn paper_default() -> Self {
+        Self::new(Bandwidth::from_mib_per_sec(256))
+    }
+
+    fn budget(&self) -> u64 {
+        // One-second accounting window.
+        self.rate.bytes_per_sec() as u64
+    }
+
+    fn roll(&mut self, now: Nanos) {
+        let elapsed = now.saturating_sub(self.window_start);
+        if elapsed >= Nanos::from_secs(1) {
+            self.window_start = now;
+            self.used = 0;
+        }
+    }
+
+    /// Requests permission to migrate `bytes` at `now`; consumes budget
+    /// on success.
+    pub fn try_consume(&mut self, bytes: Bytes, now: Nanos) -> bool {
+        self.roll(now);
+        if self.used + bytes.as_u64() > self.budget() {
+            false
+        } else {
+            self.used += bytes.as_u64();
+            true
+        }
+    }
+
+    /// Whether the last full window exhausted its budget — the
+    /// `M < mquota` test of Algorithm 1 (line 9).
+    pub fn saturated(&self) -> bool {
+        self.used >= self.budget()
+    }
+
+    /// Bytes consumed in the current window.
+    pub fn used(&self) -> Bytes {
+        Bytes::new(self.used)
+    }
+
+    /// Replaces the rate (sensitivity sweeps, Fig. 15b).
+    pub fn set_rate(&mut self, rate: Bandwidth) {
+        self.rate = rate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumes_until_budget() {
+        let mut q = QuotaMeter::new(Bandwidth::from_mib_per_sec(1)); // 1 MiB/s
+        let page = Bytes::from_kib(4);
+        let mut granted = 0;
+        while q.try_consume(page, Nanos::ZERO) {
+            granted += 1;
+        }
+        assert_eq!(granted, 256, "1 MiB / 4 KiB = 256 pages");
+        assert!(q.saturated());
+    }
+
+    #[test]
+    fn window_refills_after_a_second() {
+        let mut q = QuotaMeter::new(Bandwidth::from_mib_per_sec(1));
+        while q.try_consume(Bytes::from_kib(4), Nanos::ZERO) {}
+        assert!(!q.try_consume(Bytes::from_kib(4), Nanos::from_millis(500)));
+        assert!(q.try_consume(Bytes::from_kib(4), Nanos::from_secs(2)));
+        assert!(!q.saturated());
+    }
+
+    #[test]
+    fn paper_default_is_256_mib() {
+        let mut q = QuotaMeter::paper_default();
+        assert!(q.try_consume(Bytes::from_mib(256), Nanos::ZERO));
+        assert!(!q.try_consume(Bytes::new(1), Nanos::ZERO));
+    }
+}

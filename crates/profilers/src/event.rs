@@ -1,0 +1,27 @@
+//! The per-access event descriptor profilers consume.
+
+use neomem_types::{AccessKind, Nanos, PageNum, Tier, VirtPage};
+
+/// One CPU memory access with full simulator-side visibility.
+///
+/// Each profiling mechanism uses only the fields its hardware can
+/// actually see — e.g. PTE-scan sees nothing per-access (it harvests
+/// accessed bits later), PEBS sees `llc_miss`, NeoProf sees `llc_miss`
+/// on the slow tier only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// The virtual page touched.
+    pub vpage: VirtPage,
+    /// The physical frame backing it at access time.
+    pub frame: PageNum,
+    /// The tier that serviced the (potential) memory request.
+    pub tier: Tier,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Whether the TLB held the translation.
+    pub tlb_hit: bool,
+    /// Whether the access missed the whole cache hierarchy.
+    pub llc_miss: bool,
+    /// Simulated timestamp.
+    pub now: Nanos,
+}

@@ -1,0 +1,193 @@
+//! Hint-fault monitoring (paper §II-C, Challenge #2): AutoNUMA, TPP and
+//! Thermostat all poison sampled PTEs and harvest the resulting
+//! protection faults.
+
+use neomem_kernel::Kernel;
+use neomem_types::{Nanos, Tier, VirtPage};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Hint-fault sampler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HintFaultConfig {
+    /// Pages poisoned per scan pass.
+    pub poison_batch: usize,
+    /// Faults required before a page becomes a promotion candidate
+    /// (TPP promotes "only after two consecutive hint-faults").
+    pub faults_to_promote: u32,
+    /// CPU cost to poison one PTE (PTE rewrite; shootdown charged by
+    /// the simulator per returned page).
+    pub per_poison_cost: Nanos,
+    /// Sampler seed.
+    pub seed: u64,
+}
+
+impl HintFaultConfig {
+    /// TPP-style: aggressive scanning, two-touch promotion.
+    pub fn tpp() -> Self {
+        Self { poison_batch: 512, faults_to_promote: 2, per_poison_cost: Nanos::new(120), seed: 11 }
+    }
+
+    /// AutoNUMA-style: slower scan cadence is expressed by the policy's
+    /// scan interval; promotion threshold stays two-touch.
+    pub fn autonuma() -> Self {
+        Self { poison_batch: 256, faults_to_promote: 2, per_poison_cost: Nanos::new(120), seed: 13 }
+    }
+}
+
+/// Result of one poison pass.
+#[derive(Debug, Clone)]
+pub struct PoisonOutcome {
+    /// Pages whose PTEs were poisoned — the simulator must shoot down
+    /// their TLB entries so the next touch faults.
+    pub poisoned: Vec<VirtPage>,
+    /// CPU time of the pass.
+    pub overhead: Nanos,
+}
+
+/// The hint-fault sampling engine.
+#[derive(Debug, Clone)]
+pub struct HintFaultSampler {
+    config: HintFaultConfig,
+    rng: SmallRng,
+    fault_counts: HashMap<u64, u32>,
+    faults: u64,
+}
+
+impl HintFaultSampler {
+    /// Creates the sampler.
+    pub fn new(config: HintFaultConfig) -> Self {
+        Self {
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+            fault_counts: HashMap::new(),
+            faults: 0,
+        }
+    }
+
+    /// Poisons up to `poison_batch` randomly-sampled slow-tier pages.
+    /// Fast-tier pages are skipped: hint faults are used here for
+    /// promotion candidates, mirroring TPP's NUMA-hint handling of the
+    /// CXL node.
+    pub fn poison_pass(&mut self, kernel: &mut Kernel) -> PoisonOutcome {
+        // Collect the slow-tier resident set once per pass.
+        let slow_pages: Vec<VirtPage> = kernel
+            .page_table()
+            .iter()
+            .filter(|(_, pte)| !pte.poisoned)
+            .filter(|(_, pte)| kernel.memory().tier_of(pte.frame) == Tier::Slow)
+            .map(|(v, _)| v)
+            .collect();
+        // Distinct sample via partial Fisher–Yates.
+        let mut candidates = slow_pages;
+        let take = self.config.poison_batch.min(candidates.len());
+        let mut poisoned = Vec::with_capacity(take);
+        for i in 0..take {
+            let j = self.rng.gen_range(i..candidates.len());
+            candidates.swap(i, j);
+            let pick = candidates[i];
+            if kernel.page_table_mut().update(pick, |pte| pte.poisoned = true).is_ok() {
+                poisoned.push(pick);
+            }
+        }
+        poisoned.sort_unstable();
+        let overhead = self.config.per_poison_cost * (poisoned.len() as u64 + 1);
+        PoisonOutcome { poisoned, overhead }
+    }
+
+    /// Registers a serviced hint fault on `vpage`; returns `Some(vpage)`
+    /// when the page just reached the promotion threshold.
+    pub fn on_fault(&mut self, vpage: VirtPage) -> Option<VirtPage> {
+        self.faults += 1;
+        let count = self.fault_counts.entry(vpage.index()).or_default();
+        *count += 1;
+        if *count == self.config.faults_to_promote {
+            Some(vpage)
+        } else {
+            None
+        }
+    }
+
+    /// Total faults harvested.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Clears per-period fault counts.
+    pub fn clear(&mut self) {
+        self.fault_counts.clear();
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &HintFaultConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+
+    fn kernel_spilled(fast: u64, total: u64) -> Kernel {
+        let mut k = Kernel::new(KernelConfig::with_frames(fast, total));
+        for p in 0..total {
+            k.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        k
+    }
+
+    #[test]
+    fn poisons_only_slow_tier_pages() {
+        let mut k = kernel_spilled(4, 16);
+        let mut s = HintFaultSampler::new(HintFaultConfig::tpp());
+        let out = s.poison_pass(&mut k);
+        assert!(!out.poisoned.is_empty());
+        for p in &out.poisoned {
+            assert!(k.tier_of(*p).unwrap().is_slow(), "{p} should be slow-tier");
+            assert!(k.page_table().get(*p).unwrap().poisoned);
+        }
+        assert!(out.overhead > Nanos::ZERO);
+    }
+
+    #[test]
+    fn two_touch_promotion_rule() {
+        let mut s = HintFaultSampler::new(HintFaultConfig::tpp());
+        let vp = VirtPage::new(5);
+        assert_eq!(s.on_fault(vp), None, "first fault insufficient");
+        assert_eq!(s.on_fault(vp), Some(vp), "second fault promotes");
+        assert_eq!(s.on_fault(vp), None, "threshold fires once");
+        assert_eq!(s.faults(), 3);
+    }
+
+    #[test]
+    fn clear_resets_fault_counts() {
+        let mut s = HintFaultSampler::new(HintFaultConfig::autonuma());
+        s.on_fault(VirtPage::new(1));
+        s.clear();
+        assert_eq!(s.on_fault(VirtPage::new(1)), None, "count restarted");
+    }
+
+    #[test]
+    fn already_poisoned_pages_skipped() {
+        let mut k = kernel_spilled(2, 6);
+        let mut s = HintFaultSampler::new(HintFaultConfig {
+            poison_batch: 100,
+            ..HintFaultConfig::tpp()
+        });
+        let first = s.poison_pass(&mut k);
+        assert_eq!(first.poisoned.len(), 4, "all four slow pages poisoned");
+        let second = s.poison_pass(&mut k);
+        assert!(second.poisoned.is_empty(), "nothing left to poison");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut k1 = kernel_spilled(4, 32);
+        let mut k2 = kernel_spilled(4, 32);
+        let mut s1 = HintFaultSampler::new(HintFaultConfig::tpp());
+        let mut s2 = HintFaultSampler::new(HintFaultConfig::tpp());
+        assert_eq!(s1.poison_pass(&mut k1).poisoned, s2.poison_pass(&mut k2).poisoned);
+    }
+}

@@ -1,0 +1,259 @@
+//! PTE-scan profiling (paper §II-C, Challenge #1) and the DAMON
+//! region-sampling variant (Fig. 4a).
+
+use neomem_kernel::Kernel;
+use neomem_types::{Nanos, Tier, VirtPage};
+
+/// Full-table PTE-scan configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PteScanConfig {
+    /// CPU time to check+clear one PTE during a scan.
+    pub per_pte_cost: Nanos,
+    /// Epochs in which a page must be seen accessed before it is deemed
+    /// hot (a single epoch carries only one bit of frequency information).
+    pub hot_epochs: u32,
+}
+
+impl Default for PteScanConfig {
+    fn default() -> Self {
+        Self { per_pte_cost: Nanos::new(15), hot_epochs: 2 }
+    }
+}
+
+/// Result of one scan epoch.
+#[derive(Debug, Clone)]
+pub struct ScanOutcome {
+    /// Slow-tier pages that crossed the epoch threshold this scan.
+    pub hot_pages: Vec<VirtPage>,
+    /// Pages observed accessed this epoch (any tier).
+    pub accessed_pages: u64,
+    /// CPU time consumed by the walk.
+    pub overhead: Nanos,
+}
+
+/// Epoch-based full page-table scanning.
+///
+/// Each epoch: harvest+clear all `Accessed` bits, bump an epoch counter
+/// per accessed page, and report slow-tier pages whose counter reached
+/// `hot_epochs`. Capture is one-bit-per-epoch — the resolution ceiling
+/// the paper criticises.
+#[derive(Debug, Clone)]
+pub struct PteScanner {
+    config: PteScanConfig,
+    epoch_counts: Vec<u8>,
+}
+
+impl PteScanner {
+    /// Creates a scanner for an address space of `rss_pages`.
+    pub fn new(config: PteScanConfig, rss_pages: u64) -> Self {
+        Self { config, epoch_counts: vec![0; rss_pages as usize] }
+    }
+
+    /// Runs one scan epoch over the kernel's page table.
+    pub fn scan_epoch(&mut self, kernel: &mut Kernel) -> ScanOutcome {
+        let mut hot = Vec::new();
+        let mut accessed = 0u64;
+        let mut visited = 0u64;
+        // Harvest accessed bits.
+        let mut hits: Vec<(VirtPage, Tier)> = Vec::new();
+        for (vpage, pte) in kernel.page_table().iter() {
+            visited += 1;
+            if pte.accessed {
+                accessed += 1;
+                hits.push((vpage, kernel.memory().tier_of(pte.frame)));
+            }
+        }
+        for (vpage, tier) in hits {
+            let count = &mut self.epoch_counts[vpage.index() as usize];
+            *count = count.saturating_add(1);
+            if u32::from(*count) == self.config.hot_epochs && tier.is_slow() {
+                hot.push(vpage);
+            }
+        }
+        kernel.page_table_mut().clear_accessed_bits();
+        ScanOutcome {
+            hot_pages: hot,
+            accessed_pages: accessed,
+            overhead: self.config.per_pte_cost * visited.max(1),
+        }
+    }
+
+    /// Clears epoch counters (per detection period).
+    pub fn clear(&mut self) {
+        self.epoch_counts.fill(0);
+    }
+}
+
+/// DAMON-style region sampling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DamonConfig {
+    /// Number of monitored regions (space resolution knob).
+    pub nr_regions: usize,
+    /// CPU time per region check (one PTE probe + bookkeeping).
+    pub per_region_cost: Nanos,
+    /// Epochs a region must be seen accessed to be reported hot.
+    pub hot_epochs: u32,
+}
+
+impl Default for DamonConfig {
+    fn default() -> Self {
+        Self { nr_regions: 256, per_region_cost: Nanos::new(60), hot_epochs: 2 }
+    }
+}
+
+/// DAMON-style monitoring: the address space is split into
+/// `nr_regions` regions; each epoch samples one page per region. Scan
+/// cost scales with regions, not RSS — but so does spatial blur
+/// (Fig. 4a's trade-off).
+#[derive(Debug, Clone)]
+pub struct DamonScanner {
+    config: DamonConfig,
+    rss_pages: u64,
+    region_counts: Vec<u8>,
+    epoch: u64,
+}
+
+impl DamonScanner {
+    /// Creates a scanner over `rss_pages`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nr_regions` is zero.
+    pub fn new(config: DamonConfig, rss_pages: u64) -> Self {
+        assert!(config.nr_regions > 0, "need at least one region");
+        Self { config, rss_pages, region_counts: vec![0; config.nr_regions], epoch: 0 }
+    }
+
+    /// Pages per region (spatial resolution).
+    pub fn region_pages(&self) -> u64 {
+        (self.rss_pages / self.config.nr_regions as u64).max(1)
+    }
+
+    /// Runs one sampling epoch: probes one representative page per
+    /// region (rotating deterministically) and reports *whole regions*
+    /// whose probe was accessed `hot_epochs` times.
+    pub fn scan_epoch(&mut self, kernel: &mut Kernel) -> ScanOutcome {
+        self.epoch += 1;
+        let rp = self.region_pages();
+        let mut hot = Vec::new();
+        let mut accessed = 0u64;
+        for region in 0..self.config.nr_regions {
+            let base = region as u64 * rp;
+            let probe = VirtPage::new(base + self.epoch % rp.min(self.rss_pages - base.min(self.rss_pages - 1)).max(1));
+            let Ok(pte) = kernel.page_table().get(probe) else { continue };
+            if pte.accessed {
+                accessed += 1;
+                let count = &mut self.region_counts[region];
+                *count = count.saturating_add(1);
+                if u32::from(*count) == self.config.hot_epochs {
+                    // Coarse report: every slow-tier page of the region.
+                    for p in base..(base + rp).min(self.rss_pages) {
+                        let vp = VirtPage::new(p);
+                        if kernel.tier_of(vp).map(|t| t.is_slow()).unwrap_or(false) {
+                            hot.push(vp);
+                        }
+                    }
+                }
+            }
+        }
+        kernel.page_table_mut().clear_accessed_bits();
+        ScanOutcome {
+            hot_pages: hot,
+            accessed_pages: accessed,
+            overhead: self.config.per_region_cost * self.config.nr_regions as u64,
+        }
+    }
+
+    /// Clears region counters.
+    pub fn clear(&mut self) {
+        self.region_counts.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+    use neomem_types::Nanos;
+
+    fn kernel_with_pages(fast: u64, slow: u64, touched: &[u64]) -> Kernel {
+        let mut k = Kernel::new(KernelConfig::with_frames(fast, slow));
+        for &p in touched {
+            k.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        k
+    }
+
+    #[test]
+    fn needs_hot_epochs_consecutive_scans() {
+        // Page 4 spills to the slow tier (fast holds pages 0..4).
+        let mut k = kernel_with_pages(4, 4, &[0, 1, 2, 3, 4]);
+        let mut s = PteScanner::new(PteScanConfig::default(), 8);
+        k.page_table_mut().mark_accessed(VirtPage::new(4)).unwrap();
+        let o1 = s.scan_epoch(&mut k);
+        assert!(o1.hot_pages.is_empty(), "one epoch = one bit, not hot yet");
+        k.page_table_mut().mark_accessed(VirtPage::new(4)).unwrap();
+        let o2 = s.scan_epoch(&mut k);
+        assert_eq!(o2.hot_pages, vec![VirtPage::new(4)]);
+    }
+
+    #[test]
+    fn fast_tier_pages_not_candidates() {
+        let mut k = kernel_with_pages(4, 4, &[0]);
+        let mut s = PteScanner::new(PteScanConfig::default(), 8);
+        for _ in 0..3 {
+            k.page_table_mut().mark_accessed(VirtPage::new(0)).unwrap();
+            let o = s.scan_epoch(&mut k);
+            assert!(o.hot_pages.is_empty(), "fast page must not be promoted");
+        }
+    }
+
+    #[test]
+    fn scan_overhead_proportional_to_mapped_pages() {
+        let mut k_small = kernel_with_pages(4, 4, &[0, 1]);
+        let mut k_large = kernel_with_pages(8, 8, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let mut s = PteScanner::new(PteScanConfig::default(), 16);
+        let o_small = s.scan_epoch(&mut k_small);
+        let o_large = s.scan_epoch(&mut k_large);
+        assert!(o_large.overhead > o_small.overhead);
+    }
+
+    #[test]
+    fn scan_clears_accessed_bits() {
+        let mut k = kernel_with_pages(2, 2, &[0]);
+        let mut s = PteScanner::new(PteScanConfig::default(), 4);
+        k.page_table_mut().mark_accessed(VirtPage::new(0)).unwrap();
+        let o1 = s.scan_epoch(&mut k);
+        assert_eq!(o1.accessed_pages, 1);
+        let o2 = s.scan_epoch(&mut k);
+        assert_eq!(o2.accessed_pages, 0, "bit must have been cleared");
+    }
+
+    #[test]
+    fn damon_overhead_scales_with_regions_not_rss() {
+        let mut k = kernel_with_pages(64, 64, &(0..100).collect::<Vec<_>>());
+        let mut d_few = DamonScanner::new(DamonConfig { nr_regions: 4, ..Default::default() }, 128);
+        let mut d_many = DamonScanner::new(DamonConfig { nr_regions: 64, ..Default::default() }, 128);
+        let few = d_few.scan_epoch(&mut k).overhead;
+        let many = d_many.scan_epoch(&mut k).overhead;
+        assert_eq!(many.as_nanos(), few.as_nanos() * 16);
+    }
+
+    #[test]
+    fn damon_reports_whole_regions() {
+        // 2 regions over 8 pages; fast tier = 2 frames so pages 2.. are slow.
+        let mut k = kernel_with_pages(2, 8, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let cfg = DamonConfig { nr_regions: 2, hot_epochs: 1, ..Default::default() };
+        let mut d = DamonScanner::new(cfg, 8);
+        // Touch the probe page of region 1 (pages 4..8): mark all to be safe.
+        for p in 4..8 {
+            k.page_table_mut().mark_accessed(VirtPage::new(p)).unwrap();
+        }
+        let o = d.scan_epoch(&mut k);
+        // Region report is coarse: several pages, all slow-tier.
+        assert!(o.hot_pages.len() >= 3, "coarse region report expected, got {:?}", o.hot_pages);
+        for p in &o.hot_pages {
+            assert!(k.tier_of(*p).unwrap().is_slow());
+        }
+    }
+}

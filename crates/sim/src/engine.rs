@@ -1,0 +1,353 @@
+//! The simulation engine.
+
+use neomem_cache::{CacheHierarchy, HitLevel, Tlb};
+use neomem_kernel::{Kernel, KernelConfig};
+use neomem_policies::TieringPolicy;
+use neomem_profilers::AccessEvent;
+use neomem_types::{Access, CacheLine, Nanos, Result, Tier, VirtPage};
+use neomem_workloads::{Workload, WorkloadEvent};
+
+use crate::config::SimConfig;
+use crate::report::{MarkerRecord, RunReport, TimelinePoint};
+
+/// A configured simulation, ready to run.
+pub struct Simulation {
+    config: SimConfig,
+    workload: Box<dyn Workload>,
+    policy: Box<dyn TieringPolicy>,
+    kernel: Kernel,
+    caches: CacheHierarchy,
+    tlb: Tlb,
+}
+
+impl Simulation {
+    /// Builds the simulated machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures, including a
+    /// workload RSS that does not match `config.rss_pages`.
+    pub fn new(
+        config: SimConfig,
+        workload: Box<dyn Workload>,
+        policy: Box<dyn TieringPolicy>,
+    ) -> Result<Self> {
+        config.validate()?;
+        if workload.rss_pages() != config.rss_pages {
+            return Err(neomem_types::Error::invalid_config(format!(
+                "workload rss {} != config rss {}",
+                workload.rss_pages(),
+                config.rss_pages
+            )));
+        }
+        let kernel = Kernel::new(KernelConfig {
+            memory: config.memory_config(),
+            rss_pages: config.rss_pages,
+            costs: config.costs,
+        });
+        let caches = CacheHierarchy::new(config.caches);
+        let tlb = Tlb::new(config.tlb);
+        Ok(Self { config, workload, policy, kernel, caches, tlb })
+    }
+
+    /// Runs to completion and produces the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine runs out of physical memory — the
+    /// configuration validator makes this unreachable for derived
+    /// layouts, so it indicates a config override bug.
+    pub fn run(mut self) -> RunReport {
+        let mut clock = Nanos::ZERO;
+        let mut accesses: u64 = 0;
+        let mut next_tick = Nanos::ZERO;
+        let mut next_sample = self.config.sample_interval;
+        let mut timeline = Vec::new();
+        let mut markers = Vec::new();
+        // Window state for throughput sampling.
+        let mut window_accesses = 0u64;
+        let mut window_start = Nanos::ZERO;
+
+        while accesses < self.config.max_accesses {
+            if let Some(limit) = self.config.max_time {
+                if clock >= limit {
+                    break;
+                }
+            }
+            match self.workload.next_event() {
+                WorkloadEvent::Marker(m) => {
+                    markers.push(MarkerRecord { at: clock, id: m.id, label: m.label });
+                    continue;
+                }
+                WorkloadEvent::Access(access) => {
+                    clock += self.step(access, clock, &mut accesses);
+                    window_accesses += 1;
+                }
+            }
+
+            // Policy tick.
+            if clock >= next_tick {
+                clock += self.policy.maybe_tick(&mut self.kernel, clock);
+                for vpage in self.policy.drain_shootdowns() {
+                    self.tlb.shootdown(vpage);
+                    clock += self.kernel.costs().tlb_shootdown;
+                }
+                next_tick = clock + self.config.tick_quantum;
+            }
+
+            // Timeline sample.
+            if clock >= next_sample {
+                let telemetry = self.policy.telemetry();
+                let slow = self.kernel.memory().node(Tier::Slow).stats();
+                let window = clock.saturating_sub(window_start);
+                timeline.push(TimelinePoint {
+                    at: clock,
+                    accesses,
+                    slow_accesses: slow.reads + slow.writes,
+                    throughput: if window.is_zero() {
+                        0.0
+                    } else {
+                        window_accesses as f64 / window.as_secs_f64()
+                    },
+                    threshold: telemetry.threshold,
+                    p_fraction: telemetry.p_fraction,
+                    bandwidth_util: telemetry.bandwidth_util,
+                    read_util: telemetry.read_util,
+                    write_util: telemetry.write_util,
+                    error_bound: telemetry.error_bound,
+                    histogram: telemetry.histogram,
+                });
+                window_accesses = 0;
+                window_start = clock;
+                next_sample = clock + self.config.sample_interval;
+            }
+        }
+
+        let slow = self.kernel.memory().node(Tier::Slow).stats();
+        let fast = self.kernel.memory().node(Tier::Fast).stats();
+        let cache = self.caches.stats();
+        RunReport {
+            workload: self.workload.name().to_string(),
+            policy: self.policy.name().to_string(),
+            runtime: clock,
+            accesses,
+            llc_misses: cache.llc_misses,
+            slow_reads: slow.reads,
+            slow_writes: slow.writes,
+            fast_reads: fast.reads,
+            fast_writes: fast.writes,
+            kernel: self.kernel.stats(),
+            tlb: self.tlb.stats(),
+            cache,
+            profiling_overhead: self.policy.telemetry().profiling_overhead,
+            promoted_huge_bytes: self.policy.telemetry().promoted_huge_bytes,
+            timeline,
+            markers,
+        }
+    }
+
+    /// Executes one CPU access; returns the time it took.
+    fn step(&mut self, access: Access, now: Nanos, accesses: &mut u64) -> Nanos {
+        let mut elapsed = self.config.cpu_per_access;
+        *accesses += 1;
+        let vpage = access.vpage;
+
+        // 1. Address translation.
+        let tlb_hit = self.tlb.access(vpage);
+        if !tlb_hit {
+            elapsed += self.config.tlb_walk;
+            let was_mapped = self.kernel.page_table().is_mapped(vpage);
+            let preference = self.policy.alloc_preference();
+            self.kernel
+                .touch_alloc_preferring(vpage, preference, now)
+                .expect("simulated machine out of physical memory");
+            if !was_mapped {
+                elapsed += self.kernel.minor_fault_cost();
+            }
+            // The walker sets the PTE Accessed bit.
+            let _ = self.kernel.page_table_mut().mark_accessed(vpage);
+        }
+        let frame = self.kernel.translate(vpage).expect("page mapped above");
+
+        // 2. Cache hierarchy (virtually indexed).
+        let line = CacheLine::of_page(
+            neomem_types::PageNum::new(vpage.index()),
+            access.line_in_page as u64,
+        );
+        let outcome = self.caches.access(line, access.kind);
+        elapsed += match outcome.level {
+            HitLevel::L1 => self.config.cache_latencies.l1,
+            HitLevel::L2 => self.config.cache_latencies.l2,
+            HitLevel::Llc => self.config.cache_latencies.llc,
+            HitLevel::Memory => Nanos::ZERO, // charged below via the node model
+        };
+
+        // 3. Memory traffic.
+        let tier = self.kernel.memory().tier_of(frame);
+        if let Some(_fill) = outcome.traffic.fill {
+            // The demand fill: the CPU waits for it.
+            elapsed += self.kernel.memory_mut().service(frame, neomem_types::AccessKind::Read, now);
+        }
+        if let Some(victim) = outcome.traffic.writeback {
+            // Dirty writeback: asynchronous, occupies bandwidth only.
+            let victim_vpage = VirtPage::new(victim.page().index());
+            if let Ok(victim_frame) = self.kernel.translate(victim_vpage) {
+                let _ = self.kernel.memory_mut().service(
+                    victim_frame,
+                    neomem_types::AccessKind::Write,
+                    now,
+                );
+                // The device side still observes it.
+                let wb_tier = self.kernel.memory().tier_of(victim_frame);
+                let wb_event = AccessEvent {
+                    vpage: victim_vpage,
+                    frame: victim_frame,
+                    tier: wb_tier,
+                    kind: neomem_types::AccessKind::Write,
+                    tlb_hit: true,
+                    llc_miss: true,
+                    now,
+                };
+                elapsed += self.policy.on_access(&wb_event, &mut self.kernel);
+            }
+        }
+
+        // 4. Expose the demand access to the policy.
+        let event = AccessEvent {
+            vpage,
+            frame,
+            tier,
+            kind: access.kind,
+            tlb_hit,
+            llc_miss: outcome.level.is_llc_miss(),
+            now,
+        };
+        elapsed += self.policy.on_access(&event, &mut self.kernel);
+        elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_policies::{
+        FirstTouchPolicy, NeoMemParams, NeoMemPolicy, PebsPolicy, PebsPolicyConfig,
+    };
+    use neomem_profilers::NeoProfDriverConfig;
+    use neomem_types::Bandwidth;
+    use neomem_workloads::WorkloadKind;
+
+    fn neomem_policy(config: &SimConfig) -> Box<dyn TieringPolicy> {
+        let mem = config.memory_config();
+        let dev = neomem_neoprof_config(mem.fast.capacity_frames);
+        Box::new(
+            NeoMemPolicy::new(dev, NeoProfDriverConfig::default(), NeoMemParams::scaled(1000))
+                .unwrap(),
+        )
+    }
+
+    fn neomem_neoprof_config(slow_base: u64) -> neomem_neoprof::NeoProfConfig {
+        neomem_neoprof::NeoProfConfig::small(neomem_types::PageNum::new(slow_base))
+    }
+
+    #[test]
+    fn first_touch_run_completes() {
+        let config = SimConfig { max_accesses: 50_000, ..SimConfig::quick(2048, 2) };
+        let w = WorkloadKind::Gups.build(2048, 1);
+        let report =
+            Simulation::new(config, w, Box::new(FirstTouchPolicy::new())).unwrap().run();
+        assert_eq!(report.accesses, 50_000);
+        assert!(report.runtime > Nanos::ZERO);
+        assert_eq!(report.kernel.promotions, 0);
+        assert!(report.llc_misses > 0, "working set exceeds caches");
+        assert!(report.slow_tier_accesses() > 0, "footprint spills to CXL at 1:2");
+    }
+
+    #[test]
+    fn rss_mismatch_rejected() {
+        let config = SimConfig::quick(2048, 2);
+        let w = WorkloadKind::Gups.build(4096, 1);
+        assert!(Simulation::new(config, w, Box::new(FirstTouchPolicy::new())).is_err());
+    }
+
+    #[test]
+    fn neomem_promotes_and_beats_first_touch_on_gups() {
+        let config = SimConfig { max_accesses: 400_000, ..SimConfig::quick(4096, 4) };
+        let run = |policy: Box<dyn TieringPolicy>| {
+            let w = WorkloadKind::Gups.build(4096, 7);
+            Simulation::new(config.clone(), w, policy).unwrap().run()
+        };
+        let ft = run(Box::new(FirstTouchPolicy::new()));
+        let nm = run(neomem_policy(&config));
+        assert!(nm.kernel.promotions > 0, "NeoMem must migrate hot pages");
+        assert!(
+            nm.runtime < ft.runtime,
+            "NeoMem {} !< first-touch {} on skewed GUPS",
+            nm.runtime,
+            ft.runtime
+        );
+        assert!(nm.slow_tier_accesses() < ft.slow_tier_accesses());
+    }
+
+    #[test]
+    fn pinned_slow_slower_than_pinned_fast() {
+        // Fig. 3b: CXL-only is substantially slower than local-only.
+        let mut config = SimConfig { max_accesses: 150_000, ..SimConfig::quick(1024, 2) };
+        // Both tiers big enough to hold everything.
+        config.memory = Some(neomem_mem::TieredMemoryConfig::with_frames(2048, 2048));
+        let run = |tier| {
+            let w = WorkloadKind::Gups.build(1024, 3);
+            Simulation::new(config.clone(), w, Box::new(FirstTouchPolicy::pinned(tier)))
+                .unwrap()
+                .run()
+        };
+        let fast = run(Tier::Fast);
+        let slow = run(Tier::Slow);
+        assert!(fast.slow_tier_accesses() == 0);
+        let slowdown = slow.runtime.as_nanos() as f64 / fast.runtime.as_nanos() as f64;
+        assert!(slowdown > 1.3, "CXL-only slowdown only {slowdown}");
+    }
+
+    #[test]
+    fn timeline_and_markers_recorded() {
+        let config = SimConfig {
+            max_accesses: 200_000,
+            sample_interval: Nanos::from_micros(50),
+            ..SimConfig::quick(1024, 2)
+        };
+        let w = WorkloadKind::PageRank.build(1024, 5);
+        let report = Simulation::new(config, w, Box::new(FirstTouchPolicy::new())).unwrap().run();
+        assert!(!report.timeline.is_empty());
+        assert!(report.markers.iter().any(|m| m.label == "graph-built"));
+        // Timeline timestamps are monotone.
+        for pair in report.timeline.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn pebs_policy_charges_overhead() {
+        let config = SimConfig { max_accesses: 100_000, ..SimConfig::quick(2048, 2) };
+        let pebs_cfg = PebsPolicyConfig {
+            pebs: neomem_profilers::PebsConfig { sample_interval: 10, ..Default::default() },
+            ..PebsPolicyConfig::scaled(1000)
+        };
+        let w = WorkloadKind::Gups.build(2048, 9);
+        let policy = Box::new(PebsPolicy::new(pebs_cfg, Bandwidth::from_mib_per_sec(256)));
+        let report = Simulation::new(config, w, policy).unwrap().run();
+        assert!(report.profiling_overhead > Nanos::ZERO);
+    }
+
+    #[test]
+    fn max_time_bounds_run() {
+        let config = SimConfig {
+            max_accesses: u64::MAX / 2,
+            max_time: Some(Nanos::from_millis(1)),
+            ..SimConfig::quick(1024, 2)
+        };
+        let w = WorkloadKind::Silo.build(1024, 2);
+        let report = Simulation::new(config, w, Box::new(FirstTouchPolicy::new())).unwrap().run();
+        assert!(report.runtime >= Nanos::from_millis(1));
+        assert!(report.runtime < Nanos::from_millis(100), "should stop promptly");
+    }
+}

@@ -1,0 +1,223 @@
+//! Run reports and timelines.
+
+use neomem_cache::{HierarchyStats, TlbStats};
+use neomem_kernel::KernelStats;
+use neomem_types::Nanos;
+
+/// One timeline sample (the raw material of Figs. 14 and 16).
+#[derive(Debug, Clone, Default)]
+pub struct TimelinePoint {
+    /// Sample timestamp.
+    pub at: Nanos,
+    /// Cumulative CPU accesses.
+    pub accesses: u64,
+    /// Cumulative slow-tier memory requests.
+    pub slow_accesses: u64,
+    /// Instantaneous throughput over the last window (accesses/s).
+    pub throughput: f64,
+    /// Policy threshold θ, when exposed.
+    pub threshold: Option<u16>,
+    /// Algorithm 1's `p`, when exposed.
+    pub p_fraction: Option<f64>,
+    /// Slow-tier bandwidth utilisation, when exposed.
+    pub bandwidth_util: Option<f64>,
+    /// Read-only utilisation, when exposed.
+    pub read_util: Option<f64>,
+    /// Write-only utilisation, when exposed.
+    pub write_util: Option<f64>,
+    /// Sketch error bound, when exposed.
+    pub error_bound: Option<u16>,
+    /// Latest histogram bins, when exposed (Fig. 14d strips).
+    pub histogram: Option<[u64; 64]>,
+}
+
+/// A workload phase marker with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarkerRecord {
+    /// When the marker was emitted.
+    pub at: Nanos,
+    /// Marker id (iteration number etc.).
+    pub id: u32,
+    /// Marker label.
+    pub label: &'static str,
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Policy name.
+    pub policy: String,
+    /// Total simulated time.
+    pub runtime: Nanos,
+    /// CPU accesses executed.
+    pub accesses: u64,
+    /// Requests that reached the memory nodes.
+    pub llc_misses: u64,
+    /// Slow-tier line reads serviced.
+    pub slow_reads: u64,
+    /// Slow-tier line writes serviced.
+    pub slow_writes: u64,
+    /// Fast-tier line reads serviced.
+    pub fast_reads: u64,
+    /// Fast-tier line writes serviced.
+    pub fast_writes: u64,
+    /// Kernel counters (promotions, demotions, ping-pongs, ...).
+    pub kernel: KernelStats,
+    /// TLB counters.
+    pub tlb: TlbStats,
+    /// Cache hierarchy counters.
+    pub cache: HierarchyStats,
+    /// CPU time consumed by profiling + daemon work.
+    pub profiling_overhead: Nanos,
+    /// Bytes promoted as whole huge pages (Table VI; zero unless the
+    /// policy runs in THP mode).
+    pub promoted_huge_bytes: neomem_types::Bytes,
+    /// Periodic samples.
+    pub timeline: Vec<TimelinePoint>,
+    /// Phase markers.
+    pub markers: Vec<MarkerRecord>,
+}
+
+impl RunReport {
+    /// Total slow-tier (CXL) memory requests — the Fig. 13 metric.
+    pub fn slow_tier_accesses(&self) -> u64 {
+        self.slow_reads + self.slow_writes
+    }
+
+    /// Mean throughput in accesses per second of simulated time.
+    pub fn throughput(&self) -> f64 {
+        if self.runtime.is_zero() {
+            0.0
+        } else {
+            self.accesses as f64 / self.runtime.as_secs_f64()
+        }
+    }
+
+    /// Serialises the timeline as CSV (one row per sample) for external
+    /// plotting — the raw material behind the Fig. 14/16 curves.
+    ///
+    /// Columns: `t_ns,accesses,slow_accesses,throughput,threshold,
+    /// p_fraction,bandwidth_util,error_bound`.
+    pub fn timeline_csv(&self) -> String {
+        let mut out = String::from(
+            "t_ns,accesses,slow_accesses,throughput,threshold,p_fraction,bandwidth_util,error_bound\n",
+        );
+        for p in &self.timeline {
+            let opt_u16 = |v: Option<u16>| v.map(|x| x.to_string()).unwrap_or_default();
+            let opt_f = |v: Option<f64>| v.map(|x| format!("{x:.6}")).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{:.3},{},{},{},{}\n",
+                p.at.as_nanos(),
+                p.accesses,
+                p.slow_accesses,
+                p.throughput,
+                opt_u16(p.threshold),
+                opt_f(p.p_fraction),
+                opt_f(p.bandwidth_util),
+                opt_u16(p.error_bound),
+            ));
+        }
+        out
+    }
+
+    /// One-line human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} / {}: runtime {} | {} accesses | {} LLC misses | slow-tier {} | promote {} demote {} ping-pong {}",
+            self.workload,
+            self.policy,
+            self.runtime,
+            self.accesses,
+            self.llc_misses,
+            self.slow_tier_accesses(),
+            self.kernel.promotions,
+            self.kernel.demotions,
+            self.kernel.ping_pongs,
+        )
+    }
+
+    /// Simulated time between two markers with the given label and
+    /// consecutive ids — e.g. one Page-Rank iteration (Fig. 14a).
+    pub fn marker_duration(&self, label: &str, id: u32) -> Option<Nanos> {
+        let end = self.markers.iter().find(|m| m.label == label && m.id == id)?;
+        let start = self
+            .markers
+            .iter()
+            .filter(|m| m.at < end.at)
+            .last()
+            .map(|m| m.at)
+            .unwrap_or(Nanos::ZERO);
+        Some(end.at - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            workload: "test".into(),
+            policy: "none".into(),
+            runtime: Nanos::from_secs(2),
+            accesses: 1000,
+            llc_misses: 100,
+            slow_reads: 30,
+            slow_writes: 10,
+            fast_reads: 50,
+            fast_writes: 10,
+            kernel: KernelStats::default(),
+            tlb: TlbStats::default(),
+            cache: HierarchyStats::default(),
+            profiling_overhead: Nanos::ZERO,
+            promoted_huge_bytes: neomem_types::Bytes::ZERO,
+            timeline: Vec::new(),
+            markers: vec![
+                MarkerRecord { at: Nanos::from_millis(100), id: 0, label: "graph-built" },
+                MarkerRecord { at: Nanos::from_millis(300), id: 1, label: "iteration" },
+                MarkerRecord { at: Nanos::from_millis(600), id: 2, label: "iteration" },
+            ],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert_eq!(r.slow_tier_accesses(), 40);
+        assert!((r.throughput() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_and_summary_render() {
+        let mut r = report();
+        r.timeline.push(TimelinePoint {
+            at: Nanos::from_millis(1),
+            accesses: 10,
+            slow_accesses: 3,
+            throughput: 1e6,
+            threshold: Some(4),
+            p_fraction: Some(0.001),
+            bandwidth_util: Some(0.25),
+            ..Default::default()
+        });
+        let csv = r.timeline_csv();
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("t_ns,"));
+        let row = lines.next().unwrap();
+        assert!(row.starts_with("1000000,10,3,"), "unexpected row: {row}");
+        assert!(row.contains(",4,"), "threshold column missing: {row}");
+        let summary = r.summary();
+        assert!(summary.contains("test / none"));
+        assert!(summary.contains("promote 0"));
+    }
+
+    #[test]
+    fn marker_durations() {
+        let r = report();
+        assert_eq!(r.marker_duration("iteration", 1), Some(Nanos::from_millis(200)));
+        assert_eq!(r.marker_duration("iteration", 2), Some(Nanos::from_millis(300)));
+        assert_eq!(r.marker_duration("iteration", 9), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! A compact fixed-size bitset used for hot and valid bits.
+//!
+//! The paper stores hot/valid bits "physically arranged in a contiguous
+//! manner, allowing for rapid resetting"; a `Vec<u64>` with word-wise clear
+//! is the software equivalent.
+
+#[derive(Debug, Clone)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    pub(crate) fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, idx: usize) {
+        debug_assert!(idx < self.len);
+        self.words[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Word-wise clear: the "rapid reset" path.
+    #[inline]
+    pub(crate) fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    pub(crate) fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bs = BitSet::new(130);
+        assert!(!bs.get(0));
+        bs.set(0);
+        bs.set(64);
+        bs.set(129);
+        assert!(bs.get(0) && bs.get(64) && bs.get(129));
+        assert!(!bs.get(1));
+        assert_eq!(bs.count_ones(), 3);
+        bs.clear_all();
+        assert_eq!(bs.count_ones(), 0);
+        assert_eq!(bs.len(), 130);
+    }
+
+    #[test]
+    fn word_boundary_independence() {
+        let mut bs = BitSet::new(128);
+        bs.set(63);
+        assert!(!bs.get(64));
+        bs.set(64);
+        assert!(bs.get(63) && bs.get(64));
+    }
+}

@@ -1,0 +1,390 @@
+//! The Count-Min sketch with hot/valid bits (paper Fig. 7).
+
+use neomem_types::{DevicePage, Error, Result};
+
+use crate::bitset::BitSet;
+use crate::h3::H3Hash;
+
+/// Maximum supported sketch depth (number of lanes `D`).
+///
+/// The paper's prototype uses `D = 2` and reports no benefit beyond it
+/// (§VI-D "Sensitivity to NeoProf Parameters"); 8 leaves ample headroom
+/// for ablations while letting us use fixed-size index arrays.
+pub const MAX_DEPTH: usize = 8;
+
+/// Construction parameters for [`CmSketch`] (paper Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchParams {
+    /// Sketch width `W` — counters per lane. Must be a power of two
+    /// (the hardware indexes lanes with an `m`-bit H3 hash).
+    pub width: usize,
+    /// Sketch depth `D` — number of lanes, `1..=MAX_DEPTH`.
+    pub depth: usize,
+    /// Seed for the H3 hash seeds (deterministic reproduction).
+    pub seed: u64,
+    /// Capacity of the hot-page output buffer (Table IV: 16 K entries).
+    pub hot_buffer_entries: usize,
+}
+
+impl SketchParams {
+    /// The paper's default prototype configuration (Table IV):
+    /// `W = 512K`, `D = 2`, 16 K hot-buffer entries.
+    pub fn paper_default() -> Self {
+        Self { width: 512 * 1024, depth: 2, seed: 0x5EED, hot_buffer_entries: 16 * 1024 }
+    }
+
+    /// A small configuration for tests and quick simulations.
+    pub fn small() -> Self {
+        Self { width: 1 << 12, depth: 2, seed: 0x5EED, hot_buffer_entries: 1024 }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the width is not a power of
+    /// two, the depth is out of `1..=MAX_DEPTH`, or the hot buffer is empty.
+    pub fn validate(&self) -> Result<()> {
+        if !self.width.is_power_of_two() || self.width < 2 {
+            return Err(Error::invalid_config("sketch width must be a power of two >= 2"));
+        }
+        if self.depth == 0 || self.depth > MAX_DEPTH {
+            return Err(Error::invalid_config(format!("sketch depth must be 1..={MAX_DEPTH}")));
+        }
+        if self.hot_buffer_entries == 0 {
+            return Err(Error::invalid_config("hot buffer must have at least one entry"));
+        }
+        Ok(())
+    }
+
+    /// The `ε` of the (ε, δ) sketch guarantee: `ε = 2 / W`.
+    pub fn epsilon(&self) -> f64 {
+        2.0 / self.width as f64
+    }
+
+    /// The `δ` of the (ε, δ) sketch guarantee: `δ = 2^-D`.
+    pub fn delta(&self) -> f64 {
+        0.5f64.powi(self.depth as i32)
+    }
+}
+
+/// Flat index of (lane, slot) pairs selected by the hash stage for one page.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneIndices {
+    pub(crate) idx: [usize; MAX_DEPTH],
+    pub(crate) depth: usize,
+}
+
+impl LaneIndices {
+    #[inline]
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.idx[..self.depth].iter().copied()
+    }
+}
+
+/// A Count-Min sketch whose entries carry `(counter, hot bit, valid bit)`.
+///
+/// Counters are 16-bit saturating, matching Table IV. The *valid bit*
+/// implements the hardware's rapid clear: `clear()` only zeroes the valid
+/// bitset, and a counter is treated as zero until its entry is re-validated
+/// by the next touch. The *hot bit* backs the hot-page filter; see
+/// [`crate::HotPageDetector`].
+///
+/// ```
+/// use neomem_sketch::{CmSketch, SketchParams};
+/// use neomem_types::DevicePage;
+///
+/// let mut s = CmSketch::new(SketchParams::small())?;
+/// let p = DevicePage::new(99);
+/// assert_eq!(s.estimate(p), 0);
+/// for _ in 0..4 { s.update(p); }
+/// assert!(s.estimate(p) >= 4); // never underestimates
+/// s.clear();
+/// assert_eq!(s.estimate(p), 0);
+/// # Ok::<(), neomem_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmSketch {
+    params: SketchParams,
+    hashes: Vec<H3Hash>,
+    /// `depth * width` counters, lane-major.
+    counters: Vec<u16>,
+    hot: BitSet,
+    valid: BitSet,
+    /// Total updates since the last clear (the `N` of Eq. 3).
+    stream_len: u64,
+    eager_clear: bool,
+}
+
+impl CmSketch {
+    /// Creates a sketch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SketchParams::validate`] failures.
+    pub fn new(params: SketchParams) -> Result<Self> {
+        params.validate()?;
+        let index_bits = params.width.trailing_zeros();
+        // Table IV: 32 address bits cover 16 TB of device memory at 4 KiB.
+        let hashes = (0..params.depth)
+            .map(|lane| H3Hash::new(32, index_bits, params.seed.wrapping_add(lane as u64 * 0x9E37)))
+            .collect();
+        let total = params.depth * params.width;
+        Ok(Self {
+            params,
+            hashes,
+            counters: vec![0; total],
+            hot: BitSet::new(total),
+            valid: BitSet::new(total),
+            stream_len: 0,
+            eager_clear: false,
+        })
+    }
+
+    /// Switches `clear()` to eagerly zero all counters instead of using the
+    /// valid-bit lazy path. Observationally equivalent (property-tested);
+    /// exists as the ablation for design decision #4 in DESIGN.md.
+    pub fn set_eager_clear(&mut self, eager: bool) {
+        self.eager_clear = eager;
+    }
+
+    /// Returns the construction parameters.
+    pub fn params(&self) -> &SketchParams {
+        &self.params
+    }
+
+    /// Total updates observed since the last [`clear`](Self::clear)
+    /// (the `N` of the error bound `â(P) ≤ a(P) + εN`).
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    #[inline]
+    pub(crate) fn lane_indices(&self, page: DevicePage) -> LaneIndices {
+        let mut idx = [0usize; MAX_DEPTH];
+        for (lane, h) in self.hashes.iter().enumerate() {
+            idx[lane] = lane * self.params.width + h.hash(page.index()) as usize;
+        }
+        LaneIndices { idx, depth: self.params.depth }
+    }
+
+    #[inline]
+    fn counter_at(&self, flat: usize) -> u16 {
+        if self.valid.get(flat) {
+            self.counters[flat]
+        } else {
+            0
+        }
+    }
+
+    /// Records one access to `page` and returns the updated frequency
+    /// estimate `â(P) = min_i A[i][h_i(P)]` (Eqs. 1–2).
+    pub fn update(&mut self, page: DevicePage) -> u16 {
+        let indices = self.lane_indices(page);
+        self.stream_len += 1;
+        let mut min = u16::MAX;
+        for flat in indices.iter() {
+            let cur = if self.valid.get(flat) {
+                self.counters[flat]
+            } else {
+                self.valid.set(flat);
+                0
+            };
+            let next = cur.saturating_add(1);
+            self.counters[flat] = next;
+            min = min.min(next);
+        }
+        min
+    }
+
+    /// Returns the current frequency estimate without updating (Eq. 2).
+    pub fn estimate(&self, page: DevicePage) -> u16 {
+        self.lane_indices(page).iter().map(|flat| self.counter_at(flat)).min().unwrap_or(0)
+    }
+
+    /// Tests whether *all* hot bits of the page's entries are set, then
+    /// sets them. Returns `true` if they were all already set — i.e. the
+    /// page was (probabilistically) already reported hot this period.
+    ///
+    /// This is the hot-page filter primitive (Fig. 7 ❺): reusing the hash
+    /// results instead of a separate Bloom filter.
+    pub fn test_and_set_hot(&mut self, page: DevicePage) -> bool {
+        let indices = self.lane_indices(page);
+        let mut all = true;
+        for flat in indices.iter() {
+            if !self.hot.get(flat) {
+                all = false;
+            }
+        }
+        if !all {
+            for flat in indices.iter() {
+                self.hot.set(flat);
+            }
+        }
+        all
+    }
+
+    /// Clears all counters, hot bits and the stream length.
+    ///
+    /// With lazy clearing (the default, as in hardware) this is O(W·D/64):
+    /// only the valid/hot bitsets are zeroed.
+    pub fn clear(&mut self) {
+        if self.eager_clear {
+            self.counters.fill(0);
+            // Eager mode still must reset validity so both modes agree.
+            self.valid.clear_all();
+        } else {
+            self.valid.clear_all();
+        }
+        self.hot.clear_all();
+        self.stream_len = 0;
+    }
+
+    /// Iterates the effective counter values of one lane (invalid entries
+    /// read as zero). Lane 0 feeds the histogram unit (Fig. 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= depth`.
+    pub fn lane_counters(&self, lane: usize) -> impl Iterator<Item = u16> + '_ {
+        assert!(lane < self.params.depth, "lane out of range");
+        let base = lane * self.params.width;
+        (0..self.params.width).map(move |i| self.counter_at(base + i))
+    }
+
+    /// Number of sketch entries whose hot bit is set (diagnostics).
+    pub fn hot_bits_set(&self) -> usize {
+        self.hot.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(i: u64) -> DevicePage {
+        DevicePage::new(i)
+    }
+
+    #[test]
+    fn paper_default_params_match_table_iv() {
+        let p = SketchParams::paper_default();
+        assert_eq!(p.width, 512 * 1024);
+        assert_eq!(p.depth, 2);
+        assert_eq!(p.hot_buffer_entries, 16 * 1024);
+        p.validate().expect("paper defaults are valid");
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let mut p = SketchParams::small();
+        p.width = 1000; // not a power of two
+        assert!(p.validate().is_err());
+        p = SketchParams::small();
+        p.depth = 0;
+        assert!(p.validate().is_err());
+        p = SketchParams::small();
+        p.depth = MAX_DEPTH + 1;
+        assert!(p.validate().is_err());
+        p = SketchParams::small();
+        p.hot_buffer_entries = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn epsilon_delta() {
+        let p = SketchParams { width: 1024, depth: 3, seed: 0, hot_buffer_entries: 16 };
+        assert!((p.epsilon() - 2.0 / 1024.0).abs() < 1e-12);
+        assert!((p.delta() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_underestimates_single_page() {
+        let mut s = CmSketch::new(SketchParams::small()).unwrap();
+        for n in 1..=100u16 {
+            let est = s.update(page(7));
+            assert!(est >= n, "estimate {est} below true count {n}");
+        }
+    }
+
+    #[test]
+    fn distinct_pages_mostly_independent() {
+        let mut s = CmSketch::new(SketchParams::small()).unwrap();
+        for _ in 0..10 {
+            s.update(page(1));
+        }
+        // With W=4096 and 2 pages, collision probability is tiny.
+        assert!(s.estimate(page(2)) <= 10);
+        assert!(s.estimate(page(1)) >= 10);
+    }
+
+    #[test]
+    fn clear_resets_estimates_and_stream_len() {
+        let mut s = CmSketch::new(SketchParams::small()).unwrap();
+        for i in 0..100 {
+            s.update(page(i));
+        }
+        assert_eq!(s.stream_len(), 100);
+        s.clear();
+        assert_eq!(s.stream_len(), 0);
+        for i in 0..100 {
+            assert_eq!(s.estimate(page(i)), 0, "page {i} must read 0 after clear");
+        }
+    }
+
+    #[test]
+    fn lazy_and_eager_clear_equivalent() {
+        let params = SketchParams::small();
+        let mut lazy = CmSketch::new(params).unwrap();
+        let mut eager = CmSketch::new(params).unwrap();
+        eager.set_eager_clear(true);
+        for round in 0..3 {
+            for i in 0..500u64 {
+                let p = page(i * 31 % 97 + round);
+                assert_eq!(lazy.update(p), eager.update(p));
+            }
+            for i in 0..200u64 {
+                assert_eq!(lazy.estimate(page(i)), eager.estimate(page(i)));
+            }
+            lazy.clear();
+            eager.clear();
+        }
+    }
+
+    #[test]
+    fn counters_saturate_at_u16_max() {
+        let mut s = CmSketch::new(SketchParams { width: 2, depth: 1, seed: 1, hot_buffer_entries: 4 }).unwrap();
+        for _ in 0..70_000u32 {
+            s.update(page(5));
+        }
+        assert_eq!(s.estimate(page(5)), u16::MAX);
+    }
+
+    #[test]
+    fn test_and_set_hot_reports_duplicates() {
+        let mut s = CmSketch::new(SketchParams::small()).unwrap();
+        assert!(!s.test_and_set_hot(page(3)), "first report is new");
+        assert!(s.test_and_set_hot(page(3)), "second report is duplicate");
+        s.clear();
+        assert!(!s.test_and_set_hot(page(3)), "clear resets hot bits");
+    }
+
+    #[test]
+    fn lane_counters_reflect_updates() {
+        let mut s = CmSketch::new(SketchParams::small()).unwrap();
+        for _ in 0..5 {
+            s.update(page(11));
+        }
+        let total: u64 = s.lane_counters(0).map(u64::from).sum();
+        assert_eq!(total, 5, "lane 0 must hold exactly the 5 increments");
+    }
+
+    #[test]
+    fn stream_len_counts_every_update() {
+        let mut s = CmSketch::new(SketchParams::small()).unwrap();
+        for i in 0..37 {
+            s.update(page(i % 5));
+        }
+        assert_eq!(s.stream_len(), 37);
+    }
+}

@@ -1,0 +1,299 @@
+//! The hot-page detector pipeline (paper Fig. 7/8).
+
+use neomem_types::{DevicePage, Result};
+
+use crate::bloom::BloomFilter;
+use crate::cm_sketch::{CmSketch, SketchParams};
+
+/// Which duplicate-suppression filter the detector uses
+/// (DESIGN.md ablation #1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterKind {
+    /// The paper's design: hot bits embedded in the sketch entries,
+    /// reusing the sketch's hash results.
+    #[default]
+    HotBits,
+    /// The strawman: a separate Bloom filter with its own hash stage.
+    ExternalBloom,
+}
+
+/// Running statistics of a [`HotPageDetector`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Pages observed since the last clear.
+    pub observed: u64,
+    /// Newly detected hot pages pushed to the buffer.
+    pub detected: u64,
+    /// Reports suppressed by the hot-page filter (duplicates).
+    pub filtered_duplicates: u64,
+    /// Hot pages dropped because the output buffer was full.
+    pub buffer_overflows: u64,
+}
+
+/// The NeoProf hot-page detector: sketch update → threshold compare →
+/// hot-page filter → bounded output buffer.
+///
+/// A page is *hot* when its estimated access frequency `â(P)` exceeds the
+/// threshold `θ` (Eq. 4). Once reported, the hot bits of the page's sketch
+/// entries suppress duplicate reports until the next clear.
+///
+/// ```
+/// use neomem_sketch::{HotPageDetector, SketchParams};
+/// use neomem_types::DevicePage;
+///
+/// let mut det = HotPageDetector::new(SketchParams::small())?;
+/// det.set_threshold(2);
+/// for i in 0..3 { det.observe(DevicePage::new(1)); let _ = i; }
+/// assert_eq!(det.pending_hot_pages(), 1);
+/// # Ok::<(), neomem_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HotPageDetector {
+    sketch: CmSketch,
+    threshold: u16,
+    buffer: Vec<DevicePage>,
+    capacity: usize,
+    stats: DetectorStats,
+    /// `Some` in the external-Bloom ablation mode.
+    bloom: Option<BloomFilter>,
+}
+
+impl HotPageDetector {
+    /// Creates a detector with threshold 0 (report everything above 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SketchParams::validate`] failures.
+    pub fn new(params: SketchParams) -> Result<Self> {
+        Self::with_filter(params, FilterKind::HotBits)
+    }
+
+    /// Creates a detector with an explicit duplicate-suppression filter
+    /// (the external-Bloom variant exists for the DESIGN.md ablation;
+    /// the hot-bit design is what the hardware implements).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SketchParams::validate`] failures.
+    pub fn with_filter(params: SketchParams, filter: FilterKind) -> Result<Self> {
+        let capacity = params.hot_buffer_entries;
+        let bloom = match filter {
+            FilterKind::HotBits => None,
+            // Sized at ~2 bits per sketch counter, like the hot bits
+            // plus slack, with the same lane count of hashes.
+            FilterKind::ExternalBloom => Some(BloomFilter::new(
+                (params.width as u64 * 2).next_power_of_two().trailing_zeros().min(26),
+                params.depth,
+                params.seed ^ 0xB100,
+            )),
+        };
+        Ok(Self {
+            sketch: CmSketch::new(params)?,
+            threshold: 0,
+            buffer: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            stats: DetectorStats::default(),
+            bloom,
+        })
+    }
+
+    /// Sets the hot-page threshold `θ` (the `SetThreshold` MMIO command).
+    pub fn set_threshold(&mut self, threshold: u16) {
+        self.threshold = threshold;
+    }
+
+    /// Returns the current threshold `θ`.
+    pub fn threshold(&self) -> u16 {
+        self.threshold
+    }
+
+    /// Grants read access to the underlying sketch (histogram unit, error
+    /// bound estimation, diagnostics).
+    pub fn sketch(&self) -> &CmSketch {
+        &self.sketch
+    }
+
+    /// Processes one observed page access through the full pipeline.
+    ///
+    /// Returns `Some(page)` when this access caused a *new* hot-page
+    /// report (i.e. it crossed `θ` and passed the duplicate filter and the
+    /// buffer had space).
+    pub fn observe(&mut self, page: DevicePage) -> Option<DevicePage> {
+        self.stats.observed += 1;
+        let estimate = self.sketch.update(page);
+        if estimate <= self.threshold {
+            return None;
+        }
+        // Hot page checker fired; consult the hot-page filter.
+        let duplicate = match &mut self.bloom {
+            None => self.sketch.test_and_set_hot(page),
+            Some(bloom) => bloom.test_and_set(page),
+        };
+        if duplicate {
+            self.stats.filtered_duplicates += 1;
+            return None;
+        }
+        if self.buffer.len() >= self.capacity {
+            self.stats.buffer_overflows += 1;
+            return None;
+        }
+        self.stats.detected += 1;
+        self.buffer.push(page);
+        Some(page)
+    }
+
+    /// Number of hot pages waiting in the output buffer
+    /// (the `GetNrHotPage` MMIO command).
+    pub fn pending_hot_pages(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Pops one hot page from the buffer (the `GetHotPage` MMIO command).
+    pub fn pop_hot_page(&mut self) -> Option<DevicePage> {
+        // FIFO order: the hardware buffer drains oldest-first.
+        if self.buffer.is_empty() {
+            None
+        } else {
+            Some(self.buffer.remove(0))
+        }
+    }
+
+    /// Drains all pending hot pages.
+    pub fn drain_hot_pages(&mut self) -> impl Iterator<Item = DevicePage> + '_ {
+        self.buffer.drain(..)
+    }
+
+    /// Clears sketch counters, hot bits, the buffer and stats
+    /// (the `Reset` MMIO command and the periodic `clear_interval` reset).
+    pub fn clear(&mut self) {
+        self.sketch.clear();
+        self.buffer.clear();
+        if let Some(bloom) = &mut self.bloom {
+            bloom.clear();
+        }
+        self.stats = DetectorStats::default();
+    }
+
+    /// Returns detector statistics since the last clear.
+    pub fn stats(&self) -> DetectorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(threshold: u16) -> HotPageDetector {
+        let mut d = HotPageDetector::new(SketchParams::small()).unwrap();
+        d.set_threshold(threshold);
+        d
+    }
+
+    #[test]
+    fn page_below_threshold_not_reported() {
+        let mut d = detector(10);
+        for _ in 0..10 {
+            assert!(d.observe(DevicePage::new(1)).is_none());
+        }
+        assert_eq!(d.pending_hot_pages(), 0);
+    }
+
+    #[test]
+    fn page_crossing_threshold_reported_once() {
+        let mut d = detector(3);
+        let mut reports = 0;
+        for _ in 0..20 {
+            if d.observe(DevicePage::new(1)).is_some() {
+                reports += 1;
+            }
+        }
+        assert_eq!(reports, 1, "filter must suppress duplicates");
+        assert_eq!(d.stats().filtered_duplicates, 16);
+        assert_eq!(d.pending_hot_pages(), 1);
+    }
+
+    #[test]
+    fn drain_returns_fifo_order() {
+        let mut d = detector(1);
+        for p in [5u64, 9, 2] {
+            d.observe(DevicePage::new(p));
+            d.observe(DevicePage::new(p));
+        }
+        let order: Vec<u64> = d.drain_hot_pages().map(|p| p.index()).collect();
+        assert_eq!(order, vec![5, 9, 2]);
+    }
+
+    #[test]
+    fn pop_hot_page_single() {
+        let mut d = detector(1);
+        d.observe(DevicePage::new(4));
+        d.observe(DevicePage::new(4));
+        assert_eq!(d.pop_hot_page(), Some(DevicePage::new(4)));
+        assert_eq!(d.pop_hot_page(), None);
+    }
+
+    #[test]
+    fn buffer_overflow_counted_and_dropped() {
+        let params = SketchParams { hot_buffer_entries: 2, ..SketchParams::small() };
+        let mut d = HotPageDetector::new(params).unwrap();
+        d.set_threshold(1);
+        for p in 0..5u64 {
+            d.observe(DevicePage::new(p));
+            d.observe(DevicePage::new(p));
+        }
+        assert_eq!(d.pending_hot_pages(), 2);
+        assert_eq!(d.stats().buffer_overflows, 3);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut d = detector(1);
+        d.observe(DevicePage::new(3));
+        d.observe(DevicePage::new(3));
+        d.clear();
+        assert_eq!(d.pending_hot_pages(), 0);
+        assert_eq!(d.stats(), DetectorStats::default());
+        // Page becomes reportable again after clear.
+        d.set_threshold(1);
+        d.observe(DevicePage::new(3));
+        assert!(d.observe(DevicePage::new(3)).is_some());
+    }
+
+    #[test]
+    fn bloom_variant_behaves_like_hot_bits_on_small_sets() {
+        let mut hot_bits = HotPageDetector::new(SketchParams::small()).unwrap();
+        let mut bloom =
+            HotPageDetector::with_filter(SketchParams::small(), FilterKind::ExternalBloom)
+                .unwrap();
+        hot_bits.set_threshold(2);
+        bloom.set_threshold(2);
+        for round in 0..3 {
+            for p in 0..32u64 {
+                hot_bits.observe(DevicePage::new(p));
+                bloom.observe(DevicePage::new(p));
+            }
+            let _ = round;
+        }
+        let a: Vec<_> = hot_bits.drain_hot_pages().collect();
+        let b: Vec<_> = bloom.drain_hot_pages().collect();
+        assert_eq!(a, b, "both filters must report the same pages once");
+        // And both re-report after clear.
+        hot_bits.clear();
+        bloom.clear();
+        hot_bits.set_threshold(1);
+        bloom.set_threshold(1);
+        for _ in 0..2 {
+            hot_bits.observe(DevicePage::new(5));
+            bloom.observe(DevicePage::new(5));
+        }
+        assert_eq!(hot_bits.pending_hot_pages(), 1);
+        assert_eq!(bloom.pending_hot_pages(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_reports_first_touch() {
+        let mut d = detector(0);
+        assert!(d.observe(DevicePage::new(8)).is_some(), "estimate 1 > θ=0");
+    }
+}

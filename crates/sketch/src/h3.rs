@@ -1,0 +1,138 @@
+//! The H3 hardware hash family (Ramakrishna, Fu, Bahcekapili 1997).
+//!
+//! `h_π(x) = x(0)·π(0) ⊕ x(1)·π(1) ⊕ ... ⊕ x(n−1)·π(n−1)` where `x(i)` is
+//! the i-th input bit and `π(i)` the i-th m-bit seed word (Eq. 5 in the
+//! paper). The hardware evaluates this as a pipelined XOR reduction tree;
+//! in software it is a per-set-bit XOR fold.
+
+/// One H3 hash function over `n`-bit inputs producing indices in
+/// `0..2^m_bits`.
+#[derive(Debug, Clone)]
+pub struct H3Hash {
+    /// Per-input-bit seed words (length = input bit width).
+    seeds: Vec<u32>,
+    mask: u32,
+}
+
+/// SplitMix64: tiny deterministic seed expander, avoids a rand dependency
+/// in this `no-frills` algorithm crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl H3Hash {
+    /// Creates an H3 hash over `input_bits`-bit inputs producing
+    /// `index_bits`-bit outputs, with seeds derived deterministically
+    /// from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_bits` is 0 or exceeds 64, or if `index_bits` is 0
+    /// or exceeds 32.
+    pub fn new(input_bits: u32, index_bits: u32, seed: u64) -> Self {
+        assert!((1..=64).contains(&input_bits), "input_bits must be 1..=64");
+        assert!((1..=32).contains(&index_bits), "index_bits must be 1..=32");
+        let mask = if index_bits == 32 { u32::MAX } else { (1u32 << index_bits) - 1 };
+        let mut state = seed ^ 0xA076_1D64_78BD_642F;
+        let seeds = (0..input_bits).map(|_| (splitmix64(&mut state) as u32) & mask).collect();
+        Self { seeds, mask }
+    }
+
+    /// Hashes `x`, using only the configured number of low input bits.
+    #[inline]
+    pub fn hash(&self, x: u64) -> u32 {
+        let mut acc = 0u32;
+        // XOR-fold only over set bits; equivalent to the AND/XOR tree.
+        let mut bits = x & Self::input_mask(self.seeds.len() as u32);
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            acc ^= self.seeds[i];
+            bits &= bits - 1;
+        }
+        acc & self.mask
+    }
+
+    /// Returns the number of input bits consumed.
+    pub fn input_bits(&self) -> u32 {
+        self.seeds.len() as u32
+    }
+
+    #[inline]
+    fn input_mask(bits: u32) -> u64 {
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_hashes_to_zero() {
+        // H3 is linear over GF(2): h(0) = 0 always.
+        for seed in 0..8 {
+            let h = H3Hash::new(32, 16, seed);
+            assert_eq!(h.hash(0), 0);
+        }
+    }
+
+    #[test]
+    fn linearity_over_xor() {
+        let h = H3Hash::new(32, 19, 42);
+        for (x, y) in [(3u64, 5u64), (0xdead, 0xbeef), (1 << 31, 12345)] {
+            assert_eq!(h.hash(x) ^ h.hash(y), h.hash(x ^ y), "h({x})^h({y}) != h(x^y)");
+        }
+    }
+
+    #[test]
+    fn output_respects_index_bits() {
+        let h = H3Hash::new(32, 10, 7);
+        for x in 0..2000u64 {
+            assert!(h.hash(x) < 1 << 10);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let h1 = H3Hash::new(32, 16, 1);
+        let h2 = H3Hash::new(32, 16, 2);
+        let differing = (1..1000u64).filter(|&x| h1.hash(x) != h2.hash(x)).count();
+        assert!(differing > 900, "independent seeds should disagree almost always");
+    }
+
+    #[test]
+    fn ignores_bits_beyond_input_width() {
+        let h = H3Hash::new(16, 12, 9);
+        assert_eq!(h.hash(0x1_0000), h.hash(0));
+        assert_eq!(h.hash(0xFFFF_0000_0000_1234), h.hash(0x1234));
+    }
+
+    #[test]
+    fn spreads_sequential_inputs() {
+        // Not a statistical test, just a smoke check that sequential pages
+        // do not collapse to a handful of buckets. H3 is GF(2)-linear, so
+        // 4096 sequential inputs (12 input bits) land in a subspace of
+        // dimension = rank of the 12 seed vectors; in a 16-bit index space
+        // the rank is >= 11 with overwhelming probability.
+        let h = H3Hash::new(32, 16, 1234);
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..4096u64 {
+            seen.insert(h.hash(x));
+        }
+        assert!(seen.len() >= 2048, "only {} distinct buckets", seen.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "input_bits")]
+    fn rejects_zero_input_bits() {
+        let _ = H3Hash::new(0, 8, 1);
+    }
+}

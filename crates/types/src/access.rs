@@ -1,0 +1,138 @@
+//! Memory-access descriptors flowing through the simulated system.
+
+use core::fmt;
+
+use crate::{PageNum, VirtPage, LINES_PER_PAGE};
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Read`].
+    #[inline]
+    pub const fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+
+    /// Returns `true` for [`AccessKind::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("R"),
+            AccessKind::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// One CPU memory access in *virtual* address space, as emitted by a
+/// workload generator before address translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The virtual page touched.
+    pub vpage: VirtPage,
+    /// The cache line within the page (`0..LINES_PER_PAGE`).
+    pub line_in_page: u8,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Creates an access to line `line_in_page` of `vpage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `line_in_page` is out of range.
+    #[inline]
+    pub fn new(vpage: VirtPage, line_in_page: u8, kind: AccessKind) -> Self {
+        debug_assert!((line_in_page as u64) < LINES_PER_PAGE);
+        Self { vpage, line_in_page, kind }
+    }
+
+    /// Convenience constructor for a read of line 0.
+    #[inline]
+    pub fn read(vpage: VirtPage) -> Self {
+        Self::new(vpage, 0, AccessKind::Read)
+    }
+
+    /// Convenience constructor for a write of line 0.
+    #[inline]
+    pub fn write(vpage: VirtPage) -> Self {
+        Self::new(vpage, 0, AccessKind::Write)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}+{}", self.kind, self.vpage, self.line_in_page)
+    }
+}
+
+/// A memory request that missed the LLC and reaches a memory node, in
+/// *physical* address space. This is what device-side NeoProf observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRequest {
+    /// The physical frame targeted.
+    pub frame: PageNum,
+    /// The cache line within the frame (`0..LINES_PER_PAGE`).
+    pub line_in_page: u8,
+    /// Read or write at the memory interface (a dirty eviction arrives as a
+    /// write even if the CPU instruction was a load).
+    pub kind: AccessKind,
+}
+
+impl MemRequest {
+    /// Creates a request for line `line_in_page` of `frame`.
+    #[inline]
+    pub fn new(frame: PageNum, line_in_page: u8, kind: AccessKind) -> Self {
+        debug_assert!((line_in_page as u64) < LINES_PER_PAGE);
+        Self { frame, line_in_page, kind }
+    }
+}
+
+impl fmt::Display for MemRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}+{}", self.kind, self.frame, self.line_in_page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::Read.is_read());
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(!AccessKind::Write.is_read());
+    }
+
+    #[test]
+    fn access_constructors() {
+        let a = Access::read(VirtPage::new(9));
+        assert_eq!(a.kind, AccessKind::Read);
+        assert_eq!(a.vpage.index(), 9);
+        let w = Access::write(VirtPage::new(2));
+        assert_eq!(w.kind, AccessKind::Write);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        let a = Access::new(VirtPage::new(1), 3, AccessKind::Write);
+        assert!(format!("{a}").contains("W"));
+        let r = MemRequest::new(PageNum::new(4), 0, AccessKind::Read);
+        assert!(format!("{r}").contains("R"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Address and page-number newtypes.
+
+use core::fmt;
+
+/// Log2 of the base page size (4 KiB pages, as in the paper).
+pub const PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Log2 of the cache-line size (64-byte lines).
+pub const LINE_SHIFT: u32 = 6;
+/// Cache-line size in bytes.
+pub const LINE_SIZE: u64 = 1 << LINE_SHIFT;
+/// Number of cache lines in one base page.
+pub const LINES_PER_PAGE: u64 = PAGE_SIZE / LINE_SIZE;
+
+/// A byte-granularity physical address in the host physical address space.
+///
+/// ```
+/// use neomem_types::{PhysAddr, PAGE_SIZE};
+/// let a = PhysAddr::new(3 * PAGE_SIZE + 17);
+/// assert_eq!(a.page().index(), 3);
+/// assert_eq!(a.page_offset(), 17);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical page (frame) containing this address.
+    #[inline]
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Returns the cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> CacheLine {
+        CacheLine(self.0 >> LINE_SHIFT)
+    }
+
+    /// Returns the byte offset within the containing page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(value: PhysAddr) -> Self {
+        value.0
+    }
+}
+
+/// A physical page frame number (host physical address space, 4 KiB units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageNum(u64);
+
+impl PageNum {
+    /// Creates a frame number from a raw page index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw page index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the byte address of the first byte of this page.
+    #[inline]
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Returns the frame number offset by `delta` pages.
+    #[inline]
+    pub const fn offset(self, delta: u64) -> Self {
+        Self(self.0 + delta)
+    }
+}
+
+impl fmt::Display for PageNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PFN:{}", self.0)
+    }
+}
+
+impl From<PageNum> for u64 {
+    fn from(value: PageNum) -> Self {
+        value.0
+    }
+}
+
+/// A virtual page number within one simulated process address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtPage(u64);
+
+impl VirtPage {
+    /// Creates a virtual page number from a raw page index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw page index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the virtual page offset by `delta` pages.
+    #[inline]
+    pub const fn offset(self, delta: u64) -> Self {
+        Self(self.0 + delta)
+    }
+}
+
+impl fmt::Display for VirtPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VPN:{}", self.0)
+    }
+}
+
+impl From<VirtPage> for u64 {
+    fn from(value: VirtPage) -> Self {
+        value.0
+    }
+}
+
+/// A cache-line address (byte address divided by the 64-byte line size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CacheLine(u64);
+
+impl CacheLine {
+    /// Creates a cache-line address from a raw line index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw line index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical page containing this line.
+    #[inline]
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// Builds the line address for line `line_in_page` of page `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `line_in_page >= LINES_PER_PAGE`.
+    #[inline]
+    pub fn of_page(page: PageNum, line_in_page: u64) -> Self {
+        debug_assert!(line_in_page < super::LINES_PER_PAGE);
+        Self((page.index() << (PAGE_SHIFT - LINE_SHIFT)) | line_in_page)
+    }
+}
+
+impl fmt::Display for CacheLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line:{:#x}", self.0)
+    }
+}
+
+/// A page index local to one CXL device's memory region.
+///
+/// NeoProf hardware observes *device* addresses; the kernel driver
+/// translates them back to host [`PageNum`]s by adding the device's base
+/// frame. Keeping the two types distinct prevents mixing the spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DevicePage(u64);
+
+impl DevicePage {
+    /// Creates a device-local page index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        Self(index)
+    }
+
+    /// Returns the raw device-local page index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Translates a host frame into a device page given the device base frame.
+    ///
+    /// Returns `None` when `frame` lies below the device window.
+    #[inline]
+    pub fn from_host(frame: PageNum, device_base: PageNum) -> Option<Self> {
+        frame.index().checked_sub(device_base.index()).map(Self)
+    }
+
+    /// Translates this device page back into a host frame.
+    #[inline]
+    pub const fn to_host(self, device_base: PageNum) -> PageNum {
+        PageNum(self.0 + device_base.index())
+    }
+}
+
+impl fmt::Display for DevicePage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DevPage:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phys_addr_page_round_trip() {
+        let a = PhysAddr::new(7 * PAGE_SIZE + 123);
+        assert_eq!(a.page(), PageNum::new(7));
+        assert_eq!(a.page_offset(), 123);
+        assert_eq!(a.page().base_addr(), PhysAddr::new(7 * PAGE_SIZE));
+    }
+
+    #[test]
+    fn line_of_page_round_trip() {
+        let page = PageNum::new(42);
+        for lip in [0, 1, 17, LINES_PER_PAGE - 1] {
+            let line = CacheLine::of_page(page, lip);
+            assert_eq!(line.page(), page, "line {lip} must map back to its page");
+        }
+    }
+
+    #[test]
+    fn lines_per_page_is_64() {
+        assert_eq!(LINES_PER_PAGE, 64);
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(LINE_SIZE, 64);
+    }
+
+    #[test]
+    fn device_page_translation() {
+        let base = PageNum::new(1000);
+        let host = PageNum::new(1234);
+        let dev = DevicePage::from_host(host, base).expect("in window");
+        assert_eq!(dev.index(), 234);
+        assert_eq!(dev.to_host(base), host);
+        assert_eq!(DevicePage::from_host(PageNum::new(999), base), None);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+        assert!(!format!("{}", PageNum::new(0)).is_empty());
+        assert!(!format!("{}", VirtPage::new(0)).is_empty());
+        assert!(!format!("{}", CacheLine::new(0)).is_empty());
+        assert!(!format!("{}", DevicePage::new(0)).is_empty());
+    }
+
+    #[test]
+    fn orderings_follow_indices() {
+        assert!(PageNum::new(1) < PageNum::new(2));
+        assert!(VirtPage::new(5) > VirtPage::new(3));
+        assert!(PhysAddr::new(10) < PhysAddr::new(11));
+    }
+}

@@ -1,0 +1,100 @@
+//! The workspace-wide error type.
+
+use core::fmt;
+
+use crate::NodeId;
+
+/// A convenience alias for results produced by NeoMem crates.
+pub type Result<T> = core::result::Result<T, Error>;
+
+/// Errors surfaced by the NeoMem reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was out of range or inconsistent.
+    InvalidConfig {
+        /// Which parameter was invalid.
+        what: String,
+    },
+    /// A memory node ran out of free frames.
+    OutOfMemory {
+        /// The exhausted node.
+        node: NodeId,
+    },
+    /// An MMIO access hit an offset that decodes to no NeoProf command.
+    UnknownCommand {
+        /// The faulting MMIO offset.
+        offset: u64,
+    },
+    /// An MMIO command was issued with the wrong direction (e.g. a read of
+    /// a write-only command register).
+    CommandDirection {
+        /// The faulting MMIO offset.
+        offset: u64,
+    },
+    /// A virtual page was not mapped in the simulated page table.
+    UnmappedPage {
+        /// The raw virtual page index.
+        vpn: u64,
+    },
+    /// A migration request could not be honoured (e.g. source equals
+    /// destination, or the page is already mid-migration).
+    MigrationRejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Error {
+    /// Creates an [`Error::InvalidConfig`] from anything string-like.
+    pub fn invalid_config(what: impl Into<String>) -> Self {
+        Error::InvalidConfig { what: what.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            Error::OutOfMemory { node } => write!(f, "{node} has no free frames"),
+            Error::UnknownCommand { offset } => {
+                write!(f, "no NeoProf command at MMIO offset {offset:#x}")
+            }
+            Error::CommandDirection { offset } => {
+                write!(f, "wrong access direction for NeoProf command at offset {offset:#x}")
+            }
+            Error::UnmappedPage { vpn } => write!(f, "virtual page {vpn} is not mapped"),
+            Error::MigrationRejected { reason } => write!(f, "migration rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let cases = [
+            Error::invalid_config("sketch width must be a power of two"),
+            Error::OutOfMemory { node: NodeId::FAST },
+            Error::UnknownCommand { offset: 0xdead },
+            Error::CommandDirection { offset: 0x100 },
+            Error::UnmappedPage { vpn: 7 },
+            Error::MigrationRejected { reason: "page already on target".into() },
+        ];
+        for e in cases {
+            let msg = format!("{e}");
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing period: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared domain types for the NeoMem CXL memory-tiering reproduction.
+//!
+//! This crate defines the vocabulary used by every other crate in the
+//! workspace: physical/virtual page numbers, cache lines, simulated time,
+//! memory tiers, access descriptors, and the common error type.
+//!
+//! The types are deliberately small newtypes ([`PageNum`], [`VirtPage`],
+//! [`Nanos`], ...) so that the compiler statically distinguishes, e.g., a
+//! device-local page index from a host physical frame number — a confusion
+//! that is easy to make when modelling a CXL device which sees *device*
+//! addresses while the kernel reasons about *host* physical addresses.
+//!
+//! # Example
+//!
+//! ```
+//! use neomem_types::{PhysAddr, PageNum, Nanos, AccessKind};
+//!
+//! let addr = PhysAddr::new(0x1234_5678);
+//! let page = addr.page();
+//! assert_eq!(page, PageNum::new(0x12345));
+//! assert_eq!(page.base_addr(), PhysAddr::new(0x1234_5000));
+//!
+//! let t = Nanos::from_micros(3) + Nanos::new(250);
+//! assert_eq!(t.as_nanos(), 3_250);
+//! assert_eq!(AccessKind::Read.is_read(), true);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod addr;
+mod error;
+mod tier;
+mod time;
+
+pub use access::{Access, AccessKind, MemRequest};
+pub use addr::{CacheLine, DevicePage, PageNum, PhysAddr, VirtPage, LINE_SHIFT, LINE_SIZE, LINES_PER_PAGE, PAGE_SHIFT, PAGE_SIZE};
+pub use error::{Error, Result};
+pub use tier::{NodeId, Tier};
+pub use time::{Bandwidth, Bytes, Nanos};

@@ -1,0 +1,113 @@
+//! Memory tiers and NUMA node identifiers.
+
+use core::fmt;
+
+/// The performance class of a memory node.
+///
+/// The paper's system has exactly two tiers: CPU-attached DDR DRAM (fast)
+/// and CXL-attached memory (slow). We keep the enum open for future
+/// multi-tier extensions via explicit match arms in consumers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// CPU-attached DDR DRAM (the promotion target).
+    Fast,
+    /// CXL-attached memory (the demotion target, observed by NeoProf).
+    Slow,
+}
+
+impl Tier {
+    /// Returns `true` for the fast (DDR) tier.
+    #[inline]
+    pub const fn is_fast(self) -> bool {
+        matches!(self, Tier::Fast)
+    }
+
+    /// Returns `true` for the slow (CXL) tier.
+    #[inline]
+    pub const fn is_slow(self) -> bool {
+        matches!(self, Tier::Slow)
+    }
+
+    /// Returns the opposite tier.
+    #[inline]
+    pub const fn other(self) -> Tier {
+        match self {
+            Tier::Fast => Tier::Slow,
+            Tier::Slow => Tier::Fast,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Fast => f.write_str("fast"),
+            Tier::Slow => f.write_str("slow"),
+        }
+    }
+}
+
+/// A NUMA node identifier, mirroring how Linux exposes CXL memory as a
+/// CPU-less NUMA node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u8);
+
+impl NodeId {
+    /// Node 0: the CPU socket's local DDR DRAM.
+    pub const FAST: NodeId = NodeId(0);
+    /// Node 1: the CPU-less CXL memory node.
+    pub const SLOW: NodeId = NodeId(1);
+
+    /// Creates a node identifier.
+    #[inline]
+    pub const fn new(id: u8) -> Self {
+        Self(id)
+    }
+
+    /// Returns the raw node number.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<Tier> for NodeId {
+    fn from(tier: Tier) -> Self {
+        match tier {
+            Tier::Fast => NodeId::FAST,
+            Tier::Slow => NodeId::SLOW,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_predicates_and_other() {
+        assert!(Tier::Fast.is_fast());
+        assert!(Tier::Slow.is_slow());
+        assert_eq!(Tier::Fast.other(), Tier::Slow);
+        assert_eq!(Tier::Slow.other(), Tier::Fast);
+    }
+
+    #[test]
+    fn node_id_mapping() {
+        assert_eq!(NodeId::from(Tier::Fast), NodeId::FAST);
+        assert_eq!(NodeId::from(Tier::Slow), NodeId::SLOW);
+        assert_eq!(NodeId::new(3).index(), 3);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(format!("{}", Tier::Fast), "fast");
+        assert_eq!(format!("{}", NodeId::SLOW), "node1");
+    }
+}

@@ -1,0 +1,200 @@
+//! Trace capture and replay.
+//!
+//! The paper's motivation study (Fig. 4b) analyses a recorded Redis
+//! trace through a cache simulator. This module makes that workflow a
+//! first-class library feature: record any generator's stream into a
+//! [`Trace`], optionally round-trip it through a compact text format,
+//! and replay it as a [`Workload`] — byte-for-byte reproducible input
+//! for cross-policy comparisons or external traces.
+
+use neomem_types::{Access, AccessKind, VirtPage};
+
+use crate::{Marker, Workload, WorkloadEvent};
+
+/// A recorded event stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    events: Vec<WorkloadEvent>,
+    rss_pages: u64,
+}
+
+impl Trace {
+    /// Records `n` events from a generator.
+    pub fn record(workload: &mut dyn Workload, n: usize) -> Self {
+        let events = (0..n).map(|_| workload.next_event()).collect();
+        Self { events, rss_pages: workload.rss_pages() }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serialises the trace in a compact line format:
+    /// `R|W <vpage> <line>` for accesses, `M <id> <label>` for markers,
+    /// preceded by a `# rss <pages>` header.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("# rss {}\n", self.rss_pages);
+        for ev in &self.events {
+            match ev {
+                WorkloadEvent::Access(a) => {
+                    let k = if a.kind.is_read() { 'R' } else { 'W' };
+                    out.push_str(&format!("{k} {} {}\n", a.vpage.index(), a.line_in_page));
+                }
+                WorkloadEvent::Marker(m) => {
+                    out.push_str(&format!("M {} {}\n", m.id, m.label));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the [`to_text`](Self::to_text) format. Marker labels are
+    /// interned as `"trace-marker"` (labels are `&'static str`; external
+    /// traces keep only the id).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        let mut rss_pages = 0u64;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("#") => {
+                    if parts.next() == Some("rss") {
+                        rss_pages = parts
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| format!("line {}: bad rss header", lineno + 1))?;
+                    }
+                }
+                Some(k @ ("R" | "W")) => {
+                    let vpage: u64 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("line {}: bad page", lineno + 1))?;
+                    let lip: u8 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&l| l < 64)
+                        .ok_or_else(|| format!("line {}: bad line index", lineno + 1))?;
+                    let kind = if k == "R" { AccessKind::Read } else { AccessKind::Write };
+                    events.push(WorkloadEvent::Access(Access::new(VirtPage::new(vpage), lip, kind)));
+                }
+                Some("M") => {
+                    let id: u32 = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("line {}: bad marker id", lineno + 1))?;
+                    events.push(WorkloadEvent::Marker(Marker { id, label: "trace-marker" }));
+                }
+                other => return Err(format!("line {}: unknown record {:?}", lineno + 1, other)),
+            }
+        }
+        if rss_pages == 0 {
+            return Err("missing `# rss <pages>` header".into());
+        }
+        Ok(Self { events, rss_pages })
+    }
+
+    /// Wraps the trace as a replayable workload that loops forever.
+    pub fn replay(self) -> TraceReplay {
+        TraceReplay { trace: self, cursor: 0 }
+    }
+}
+
+/// Replays a [`Trace`] as an infinite [`Workload`] (wrapping around at
+/// the end, like the generators it was recorded from).
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: Trace,
+    cursor: usize,
+}
+
+impl Workload for TraceReplay {
+    fn name(&self) -> &'static str {
+        "TraceReplay"
+    }
+
+    fn rss_pages(&self) -> u64 {
+        self.trace.rss_pages
+    }
+
+    fn next_event(&mut self) -> WorkloadEvent {
+        assert!(!self.trace.is_empty(), "cannot replay an empty trace");
+        let ev = self.trace.events[self.cursor];
+        self.cursor = (self.cursor + 1) % self.trace.events.len();
+        ev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadKind;
+
+    #[test]
+    fn record_and_replay_reproduce_the_stream() {
+        let mut gen1 = WorkloadKind::Redis.build(512, 4);
+        let trace = Trace::record(gen1.as_mut(), 500);
+        assert_eq!(trace.len(), 500);
+        let mut replay = trace.clone().replay();
+        let mut gen2 = WorkloadKind::Redis.build(512, 4);
+        for _ in 0..500 {
+            assert_eq!(replay.next_event(), gen2.next_event());
+        }
+        // Replay wraps around.
+        let first_again = replay.next_event();
+        assert_eq!(first_again, trace.events[0]);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut gen = WorkloadKind::Gups.build(256, 9);
+        let trace = Trace::record(gen.as_mut(), 300);
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).expect("well-formed text");
+        assert_eq!(parsed.rss_pages, 256);
+        assert_eq!(parsed.len(), trace.len());
+        // Accesses survive exactly; markers keep their ids.
+        for (a, b) in trace.events.iter().zip(&parsed.events) {
+            match (a, b) {
+                (WorkloadEvent::Access(x), WorkloadEvent::Access(y)) => assert_eq!(x, y),
+                (WorkloadEvent::Marker(x), WorkloadEvent::Marker(y)) => assert_eq!(x.id, y.id),
+                other => panic!("event kind changed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_text_rejected() {
+        assert!(Trace::from_text("R 1 2\n").is_err(), "missing rss header");
+        assert!(Trace::from_text("# rss 64\nX 1 2\n").is_err(), "unknown record");
+        assert!(Trace::from_text("# rss 64\nR 1 99\n").is_err(), "line index out of range");
+        assert!(Trace::from_text("# rss 64\nR abc 0\n").is_err(), "bad page number");
+    }
+
+    #[test]
+    fn replay_is_a_valid_workload() {
+        let mut gen = WorkloadKind::Silo.build(128, 2);
+        let trace = Trace::record(gen.as_mut(), 100);
+        let mut replay = trace.replay();
+        assert_eq!(replay.rss_pages(), 128);
+        for _ in 0..250 {
+            if let WorkloadEvent::Access(a) = replay.next_event() {
+                assert!(a.vpage.index() < 128);
+            }
+        }
+    }
+}

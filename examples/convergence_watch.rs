@@ -1,0 +1,59 @@
+//! Watch NeoMem re-converge after the workload's hot set moves — an
+//! interactive version of the paper's Fig. 16 experiment.
+//!
+//! ```sh
+//! cargo run --release --example convergence_watch
+//! ```
+
+use neomem_repro::prelude::*;
+use neomem_repro::sim::Simulation;
+use neomem_repro::workloads::Gups;
+
+fn main() -> Result<(), neomem_repro::Error> {
+    let rss = 6144u64;
+    let accesses = 1_000_000u64;
+
+    let mut config = SimConfig::quick(rss, 2);
+    config.max_accesses = accesses;
+    config.sample_interval = Nanos::from_micros(500);
+
+    // GUPS with 90% of updates in a hot region that relocates mid-run.
+    let workload = Box::new(Gups::new(rss, 2024).with_relocation(accesses / 2));
+    let policy = neomem_repro::build_policy(
+        PolicyKind::NeoMem,
+        &config,
+        1000,
+        PolicyOverrides::default(),
+    )?;
+    let report = Simulation::new(config, workload, policy)?.run();
+
+    let moved_at = report
+        .markers
+        .iter()
+        .find(|m| m.label == "hot-set-moved")
+        .map(|m| m.at)
+        .expect("relocation marker present");
+
+    println!("hot set moved at t={moved_at}");
+    println!("\nthroughput timeline (× = hot-set move):");
+    let peak = report.timeline.iter().map(|p| p.throughput).fold(0.0, f64::max);
+    let mut marked = false;
+    for point in report.timeline.iter().step_by(4) {
+        let bar_len = (point.throughput / peak * 50.0) as usize;
+        let marker = if !marked && point.at >= moved_at {
+            marked = true;
+            " × hot set moved"
+        } else {
+            ""
+        };
+        println!(
+            "t={:>9} |{:<50}| {:>6.1}M/s{marker}",
+            format!("{}", point.at),
+            "#".repeat(bar_len),
+            point.throughput / 1e6
+        );
+    }
+
+    println!("\npromotions: {}   ping-pongs: {}", report.kernel.promotions, report.kernel.ping_pongs);
+    Ok(())
+}

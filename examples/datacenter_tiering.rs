@@ -1,0 +1,59 @@
+//! Data-center scenario: the paper's introduction motivates CXL tiering
+//! with micro-service workloads. This example runs DeathStarBench under
+//! every tiering solution and prints a comparison table, including the
+//! migration behaviour behind the numbers.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_tiering
+//! ```
+
+use neomem_repro::prelude::*;
+
+fn main() -> Result<(), neomem_repro::Error> {
+    let policies = [
+        PolicyKind::NeoMem,
+        PolicyKind::Pebs,
+        PolicyKind::PteScan,
+        PolicyKind::AutoNuma,
+        PolicyKind::Tpp,
+        PolicyKind::FirstTouch,
+    ];
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "policy", "runtime", "slow-tier", "promote", "demote", "ping-pong"
+    );
+    let mut reports = Vec::new();
+    for policy in policies {
+        let report = Experiment::builder()
+            .workload(WorkloadKind::DeathStarBench)
+            .policy(policy)
+            .rss_pages(6144)
+            .ratio(2)
+            .accesses(600_000)
+            .seed(1)
+            .build()?
+            .run();
+        println!(
+            "{:<18} {:>12} {:>12} {:>10} {:>10} {:>10}",
+            report.policy,
+            format!("{}", report.runtime),
+            report.slow_tier_accesses(),
+            report.kernel.promotions,
+            report.kernel.demotions,
+            report.kernel.ping_pongs,
+        );
+        reports.push(report);
+    }
+
+    let neomem = &reports[0];
+    println!("\nNeoMem speedups:");
+    for other in &reports[1..] {
+        println!(
+            "  vs {:<18} {:.2}x",
+            other.policy,
+            other.runtime.as_nanos() as f64 / neomem.runtime.as_nanos() as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run one workload under the NeoMem tiering policy and
+//! print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use neomem_repro::prelude::*;
+
+fn main() -> Result<(), neomem_repro::Error> {
+    // A GUPS-style workload with a skewed hot set, 24 MiB footprint,
+    // 1:2 fast:slow memory, under the full NeoMem stack: NeoProf device
+    // profiling + Algorithm 1 dynamic thresholds + quota-limited
+    // migration.
+    let report = Experiment::builder()
+        .workload(WorkloadKind::Gups)
+        .policy(PolicyKind::NeoMem)
+        .rss_pages(6144)
+        .ratio(2)
+        .accesses(400_000)
+        .seed(7)
+        .build()?
+        .run();
+
+    println!("workload:           {}", report.workload);
+    println!("policy:             {}", report.policy);
+    println!("simulated runtime:  {}", report.runtime);
+    println!("accesses:           {}", report.accesses);
+    println!("LLC misses:         {}", report.llc_misses);
+    println!("slow-tier requests: {}", report.slow_tier_accesses());
+    println!("promotions:         {}", report.kernel.promotions);
+    println!("demotions:          {}", report.kernel.demotions);
+    println!("ping-pong events:   {}", report.kernel.ping_pongs);
+    println!("profiling overhead: {}", report.profiling_overhead);
+
+    // Compare against no tiering at all.
+    let baseline = Experiment::builder()
+        .workload(WorkloadKind::Gups)
+        .policy(PolicyKind::FirstTouch)
+        .rss_pages(6144)
+        .ratio(2)
+        .accesses(400_000)
+        .seed(7)
+        .build()?
+        .run();
+    let speedup = baseline.runtime.as_nanos() as f64 / report.runtime.as_nanos() as f64;
+    println!("\nspeedup over first-touch NUMA: {speedup:.2}x");
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Root package of the NeoMem reproduction workspace.
+//!
+//! This thin facade re-exports the [`neomem`] crate so the repository-level
+//! `examples/` and `tests/` directories can exercise the public API exactly
+//! as a downstream user would. See the `neomem` crate for the actual API
+//! documentation.
+//!
+//! ```
+//! use neomem_repro::prelude::*;
+//!
+//! let report = Experiment::builder()
+//!     .workload(WorkloadKind::Gups)
+//!     .policy(PolicyKind::NeoMem)
+//!     .accesses(50_000)
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run();
+//! assert!(report.runtime.as_nanos() > 0);
+//! ```
+
+pub use neomem::*;
+
+/// Convenience re-export matching `neomem::prelude`.
+pub mod prelude {
+    pub use neomem::prelude::*;
+}

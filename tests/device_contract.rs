@@ -1,0 +1,102 @@
+//! Integration tests for the NeoProf device ↔ driver ↔ kernel contract.
+
+use neomem_repro::kernel::{Kernel, KernelConfig};
+use neomem_repro::neoprof::{mmio, NeoProf, NeoProfConfig};
+use neomem_repro::prelude::*;
+use neomem_repro::profilers::{NeoProfDriver, NeoProfDriverConfig};
+use neomem_repro::sketch::SketchParams;
+use neomem_repro::types::{AccessKind, MemRequest, PageNum, VirtPage};
+
+#[test]
+fn full_mmio_protocol_round_trip() {
+    let mut dev = NeoProf::new(NeoProfConfig::small(PageNum::new(0))).unwrap();
+    // Drive the entire Table II command set in a realistic order.
+    dev.mmio_write(mmio::RESET, 1, Nanos::ZERO).unwrap();
+    dev.mmio_write(mmio::SET_THRESHOLD, 3, Nanos::ZERO).unwrap();
+    for round in 0..5u64 {
+        for page in 0..32u64 {
+            dev.snoop(
+                MemRequest::new(PageNum::new(page), 0, AccessKind::Read),
+                Nanos::new(5),
+            );
+        }
+        dev.tick();
+        let _ = round;
+    }
+    // Pages crossed θ=3 after 5 rounds.
+    let n = dev.mmio_read(mmio::GET_NR_HOT_PAGE, Nanos::from_micros(1)).unwrap();
+    assert_eq!(n, 32, "all 32 pages became hot exactly once");
+    let mut drained = 0;
+    while dev.mmio_read(mmio::GET_HOT_PAGE, Nanos::from_micros(1)).unwrap() != mmio::EMPTY_SENTINEL
+    {
+        drained += 1;
+    }
+    assert_eq!(drained, 32);
+    // State readout protocol.
+    let cycles = dev.mmio_read(mmio::GET_NR_SAMPLE, Nanos::from_micros(2)).unwrap();
+    assert!(cycles > 0);
+    let rd = dev.mmio_read(mmio::GET_RD_CNT, Nanos::from_micros(2)).unwrap();
+    assert!(rd > 0, "read-busy cycles must be visible");
+    // Histogram protocol.
+    dev.mmio_write(mmio::SET_HIST_EN, 1, Nanos::from_micros(3)).unwrap();
+    assert_eq!(dev.mmio_read(mmio::GET_NR_HIST_BIN, Nanos::from_micros(3)).unwrap(), 64);
+    let mut total = 0u64;
+    for _ in 0..64 {
+        total += dev.mmio_read(mmio::GET_HIST, Nanos::from_micros(3)).unwrap();
+    }
+    assert_eq!(total, SketchParams::small().width as u64);
+}
+
+#[test]
+fn driver_resolves_hot_device_pages_through_kernel_rmap() {
+    let mut kernel = Kernel::new(KernelConfig::with_frames(8, 64));
+    for p in 0..40 {
+        kernel.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+    }
+    let slow_base = kernel.memory().slow_base();
+    let mut driver =
+        NeoProfDriver::new(NeoProfConfig::small(slow_base), NeoProfDriverConfig::default())
+            .unwrap();
+    driver.set_threshold(2, Nanos::ZERO);
+
+    // Hammer three slow-tier pages through the device path.
+    let hot = [VirtPage::new(20), VirtPage::new(25), VirtPage::new(30)];
+    for _ in 0..4 {
+        for &vp in &hot {
+            let frame = kernel.translate(vp).unwrap();
+            assert!(kernel.memory().tier_of(frame).is_slow());
+            driver.snoop(MemRequest::new(frame, 0, AccessKind::Read));
+        }
+    }
+    let (mut pages, cost) = driver.read_hot_pages(&kernel, Nanos::from_micros(5));
+    pages.sort();
+    assert_eq!(pages, hot.to_vec());
+    assert!(cost > Nanos::ZERO, "MMIO readout must cost host time");
+
+    // Migration invalidates the rmap translation for the old frame:
+    // subsequent device reports for stale frames are dropped.
+    let stale_frame = kernel.translate(hot[0]).unwrap();
+    kernel.promote(hot[0], Nanos::ZERO).unwrap();
+    driver.set_threshold(1, Nanos::ZERO);
+    for _ in 0..3 {
+        driver.snoop(MemRequest::new(stale_frame, 0, AccessKind::Read));
+    }
+    let (pages, _) = driver.read_hot_pages(&kernel, Nanos::from_micros(10));
+    assert!(pages.is_empty(), "stale frame reports must not resurface: {pages:?}");
+}
+
+#[test]
+fn device_survives_command_fuzzing() {
+    // Arbitrary offsets must never wedge the device, only error.
+    let mut dev = NeoProf::new(NeoProfConfig::small(PageNum::new(0))).unwrap();
+    for offset in (0u64..0x1000).step_by(0x40) {
+        let _ = dev.mmio_write(offset, 1, Nanos::ZERO);
+        let _ = dev.mmio_read(offset, Nanos::ZERO);
+    }
+    // Still functional afterwards.
+    dev.mmio_write(mmio::SET_THRESHOLD, 1, Nanos::ZERO).unwrap();
+    dev.snoop(MemRequest::new(PageNum::new(3), 0, AccessKind::Read), Nanos::new(5));
+    dev.snoop(MemRequest::new(PageNum::new(3), 0, AccessKind::Read), Nanos::new(5));
+    dev.tick();
+    assert_eq!(dev.mmio_read(mmio::GET_NR_HOT_PAGE, Nanos::ZERO).unwrap(), 1);
+}

@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: the paper's headline claims as
+//! executable assertions, at reduced scale.
+
+use neomem_repro::prelude::*;
+
+fn run(workload: WorkloadKind, policy: PolicyKind, seed: u64) -> RunReport {
+    Experiment::builder()
+        .workload(workload)
+        .policy(policy)
+        .rss_pages(4096)
+        .ratio(2)
+        .accesses(300_000)
+        .seed(seed)
+        .build()
+        .expect("valid experiment")
+        .run()
+}
+
+#[test]
+fn neomem_beats_first_touch_on_skewed_workloads() {
+    // The paper's core claim, at its strongest on GUPS and XSBench.
+    for wl in [WorkloadKind::Gups, WorkloadKind::XsBench] {
+        let neomem = run(wl, PolicyKind::NeoMem, 3);
+        let first_touch = run(wl, PolicyKind::FirstTouch, 3);
+        assert!(
+            neomem.runtime < first_touch.runtime,
+            "{wl}: NeoMem {} should beat first-touch {}",
+            neomem.runtime,
+            first_touch.runtime
+        );
+        assert!(neomem.kernel.promotions > 0, "{wl}: NeoMem must promote");
+    }
+}
+
+#[test]
+fn neomem_has_lowest_slow_tier_traffic_on_gups() {
+    // Fig. 13: NeoMem exhibits significantly lower slow-tier traffic.
+    let neomem = run(WorkloadKind::Gups, PolicyKind::NeoMem, 5);
+    for baseline in [PolicyKind::Pebs, PolicyKind::PteScan, PolicyKind::FirstTouch] {
+        let other = run(WorkloadKind::Gups, baseline, 5);
+        assert!(
+            neomem.slow_tier_accesses() <= other.slow_tier_accesses(),
+            "NeoMem slow traffic {} should not exceed {} of {}",
+            neomem.slow_tier_accesses(),
+            other.slow_tier_accesses(),
+            other.policy
+        );
+    }
+}
+
+#[test]
+fn first_touch_never_migrates() {
+    let report = run(WorkloadKind::Silo, PolicyKind::FirstTouch, 1);
+    assert_eq!(report.kernel.promotions, 0);
+    assert_eq!(report.kernel.demotions, 0);
+    assert_eq!(report.kernel.ping_pongs, 0);
+}
+
+#[test]
+fn pinned_slow_is_substantially_slower_than_pinned_fast() {
+    // Fig. 3b: CXL-only placement costs 64%-295% across benchmarks.
+    let fast = Experiment::builder()
+        .workload(WorkloadKind::Gups)
+        .policy(PolicyKind::PinnedFast)
+        .rss_pages(1024)
+        .accesses(150_000)
+        .configure(|c| {
+            c.memory = Some(neomem_repro::mem::TieredMemoryConfig::with_frames(2048, 2048));
+        })
+        .build()
+        .unwrap()
+        .run();
+    let slow = Experiment::builder()
+        .workload(WorkloadKind::Gups)
+        .policy(PolicyKind::PinnedSlow)
+        .rss_pages(1024)
+        .accesses(150_000)
+        .configure(|c| {
+            c.memory = Some(neomem_repro::mem::TieredMemoryConfig::with_frames(2048, 2048));
+        })
+        .build()
+        .unwrap()
+        .run();
+    let slowdown = slow.runtime.as_nanos() as f64 / fast.runtime.as_nanos() as f64;
+    assert!(slowdown > 1.3, "CXL-only slowdown only {slowdown:.2}x");
+}
+
+#[test]
+fn profiling_overhead_is_negligible_for_neomem() {
+    // §VI-D: NeoProf's host cost (MMIO only) is a vanishing share.
+    let report = run(WorkloadKind::Gups, PolicyKind::NeoMem, 7);
+    let share = report.profiling_overhead.as_nanos() as f64 / report.runtime.as_nanos() as f64;
+    assert!(share < 0.01, "NeoProf host share {share} should be far below 1%");
+}
+
+#[test]
+fn pebs_overhead_grows_with_sampling_frequency() {
+    // Fig. 4c: dense PMU sampling costs real time.
+    let dense = Experiment::builder()
+        .workload(WorkloadKind::Gups)
+        .policy(PolicyKind::Pebs)
+        .rss_pages(4096)
+        .accesses(300_000)
+        .overrides(PolicyOverrides { pebs_sample_interval: Some(5), ..Default::default() })
+        .build()
+        .unwrap()
+        .run();
+    let sparse = Experiment::builder()
+        .workload(WorkloadKind::Gups)
+        .policy(PolicyKind::Pebs)
+        .rss_pages(4096)
+        .accesses(300_000)
+        .overrides(PolicyOverrides { pebs_sample_interval: Some(5000), ..Default::default() })
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        dense.profiling_overhead > sparse.profiling_overhead * 10,
+        "dense {} vs sparse {}",
+        dense.profiling_overhead,
+        sparse.profiling_overhead
+    );
+}
+
+#[test]
+fn deterministic_runs_for_equal_seeds() {
+    let a = run(WorkloadKind::Btree, PolicyKind::NeoMem, 11);
+    let b = run(WorkloadKind::Btree, PolicyKind::NeoMem, 11);
+    assert_eq!(a.runtime, b.runtime);
+    assert_eq!(a.kernel.promotions, b.kernel.promotions);
+    assert_eq!(a.slow_tier_accesses(), b.slow_tier_accesses());
+}
+
+#[test]
+fn every_fig11_cell_runs() {
+    // One cheap sweep over the whole Fig. 11 grid: every workload ×
+    // policy combination must complete and produce sane counters.
+    for wl in WorkloadKind::FIG11 {
+        for policy in PolicyKind::FIG11 {
+            let report = Experiment::builder()
+                .workload(wl)
+                .policy(policy)
+                .rss_pages(1024)
+                .accesses(40_000)
+                .build()
+                .expect("valid experiment")
+                .run();
+            assert!(report.runtime.as_nanos() > 0, "{wl}/{policy}: zero runtime");
+            assert!(report.accesses >= 40_000, "{wl}/{policy}: truncated run");
+            assert!(report.llc_misses > 0, "{wl}/{policy}: no memory traffic");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Workspace-level property tests: whole-system invariants that must
+//! hold for any workload/policy/seed combination.
+
+use neomem_repro::prelude::*;
+use proptest::prelude::*;
+
+fn any_workload() -> impl Strategy<Value = WorkloadKind> {
+    prop::sample::select(vec![
+        WorkloadKind::Gups,
+        WorkloadKind::PageRank,
+        WorkloadKind::XsBench,
+        WorkloadKind::Silo,
+        WorkloadKind::Btree,
+        WorkloadKind::Redis,
+    ])
+}
+
+fn any_policy() -> impl Strategy<Value = PolicyKind> {
+    prop::sample::select(vec![
+        PolicyKind::NeoMem,
+        PolicyKind::Pebs,
+        PolicyKind::PteScan,
+        PolicyKind::Tpp,
+        PolicyKind::AutoNuma,
+        PolicyKind::FirstTouch,
+        PolicyKind::Memtis,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Conservation: every promotion/demotion is visible in byte
+    /// counters; ping-pongs never exceed promotions; runtime is
+    /// positive and at least the pure-CPU lower bound.
+    #[test]
+    fn run_invariants(
+        workload in any_workload(),
+        policy in any_policy(),
+        seed in 0u64..1000,
+    ) {
+        let report = Experiment::builder()
+            .workload(workload)
+            .policy(policy)
+            .rss_pages(1024)
+            .accesses(30_000)
+            .seed(seed)
+            .build()
+            .expect("valid experiment")
+            .run();
+
+        prop_assert!(report.accesses >= 30_000);
+        prop_assert!(report.runtime.as_nanos() > 0);
+        // Byte counters match event counters exactly (4 KiB pages).
+        prop_assert_eq!(
+            report.kernel.promoted_bytes.as_u64(),
+            report.kernel.promotions * 4096
+        );
+        prop_assert_eq!(
+            report.kernel.demoted_bytes.as_u64(),
+            report.kernel.demotions * 4096
+        );
+        // A ping-pong is a kind of promotion.
+        prop_assert!(report.kernel.ping_pongs <= report.kernel.promotions);
+        // Cache counters are consistent with the access count.
+        prop_assert_eq!(report.cache.accesses, report.accesses);
+        prop_assert!(report.llc_misses <= report.accesses);
+        // Memory requests can exceed LLC misses (writebacks) but not by
+        // more than 2x (one fill + at most one writeback per miss).
+        let mem_requests = report.slow_tier_accesses()
+            + report.fast_reads
+            + report.fast_writes;
+        prop_assert!(mem_requests <= report.llc_misses * 2 + 2);
+        // TLB activity covers every access.
+        prop_assert_eq!(report.tlb.hits + report.tlb.misses, report.accesses);
+    }
+
+    /// First-touch is migration-free for every workload and seed.
+    #[test]
+    fn first_touch_is_inert(workload in any_workload(), seed in 0u64..1000) {
+        let report = Experiment::builder()
+            .workload(workload)
+            .policy(PolicyKind::FirstTouch)
+            .rss_pages(1024)
+            .accesses(20_000)
+            .seed(seed)
+            .build()
+            .expect("valid experiment")
+            .run();
+        prop_assert_eq!(report.kernel.promotions, 0);
+        prop_assert_eq!(report.kernel.demotions, 0);
+        prop_assert_eq!(report.profiling_overhead, Nanos::ZERO);
+    }
+}

@@ -34,7 +34,7 @@ impl CacheConfig {
         if self.ways == 0 || self.line_bytes == 0 || self.capacity_bytes == 0 {
             return Err(Error::invalid_config("cache dimensions must be non-zero"));
         }
-        if self.capacity_bytes % (self.ways as u64 * self.line_bytes) != 0 {
+        if !self.capacity_bytes.is_multiple_of(self.ways as u64 * self.line_bytes) {
             return Err(Error::invalid_config("capacity must be a multiple of ways*line"));
         }
         if !self.sets().is_power_of_two() {
@@ -162,7 +162,7 @@ impl SetAssocCache {
         let (base, tag) = self.set_range(line);
         let ways = self.config.ways;
         let set_bits = self.set_mask.trailing_ones();
-        let set_index = (line.index() & self.set_mask) as u64;
+        let set_index = line.index() & self.set_mask;
 
         // Prefer an invalid way; otherwise evict true-LRU.
         let mut victim = base;

@@ -41,7 +41,7 @@ impl TlbConfig {
     /// Returns [`Error::InvalidConfig`] unless `entries` is a non-zero
     /// multiple of `ways` with a power-of-two set count.
     pub fn validate(&self) -> Result<()> {
-        if self.entries == 0 || self.ways == 0 || self.entries % self.ways != 0 {
+        if self.entries == 0 || self.ways == 0 || !self.entries.is_multiple_of(self.ways) {
             return Err(Error::invalid_config("tlb entries must be a non-zero multiple of ways"));
         }
         if !(self.entries / self.ways).is_power_of_two() {

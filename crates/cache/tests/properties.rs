@@ -9,6 +9,13 @@ fn tiny_hierarchy() -> CacheHierarchy {
 }
 
 proptest! {
+    // Fixed case count and no failure-persistence files: runs are
+    // deterministic and CI-reproducible.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
     /// A cache never holds more lines than its capacity, regardless of
     /// the access pattern.
     #[test]

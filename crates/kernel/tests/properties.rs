@@ -44,6 +44,13 @@ fn apply(kernel: &mut Kernel, op: &Op) {
 }
 
 proptest! {
+    // Fixed case count and no failure-persistence files: runs are
+    // deterministic and CI-reproducible.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
     /// Frame conservation: under any operation sequence, the number of
     /// used frames equals the number of mapped pages, the rmap agrees
     /// with the page table in both directions, and no frame is shared.

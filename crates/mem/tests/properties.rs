@@ -5,6 +5,13 @@ use neomem_types::{AccessKind, Nanos, NodeId, PageNum, Tier};
 use proptest::prelude::*;
 
 proptest! {
+    // Fixed case count and no failure-persistence files: runs are
+    // deterministic and CI-reproducible.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
     /// Allocator conservation: free + used always equals capacity, and
     /// no frame is handed out twice while live.
     #[test]

@@ -9,6 +9,13 @@ fn device() -> NeoProf {
 }
 
 proptest! {
+    // Fixed case count and no failure-persistence files: runs are
+    // deterministic and CI-reproducible.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
     /// MMIO fuzzing: arbitrary interleavings of reads/writes at
     /// arbitrary offsets never panic and never wedge the device.
     #[test]

@@ -74,7 +74,7 @@ impl PebsSampler {
             return Nanos::ZERO;
         }
         self.miss_counter += 1;
-        if self.miss_counter % self.config.sample_interval != 0 {
+        if !self.miss_counter.is_multiple_of(self.config.sample_interval) {
             return Nanos::ZERO;
         }
         self.total_samples += 1;

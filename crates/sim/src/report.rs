@@ -144,9 +144,7 @@ impl RunReport {
         let end = self.markers.iter().find(|m| m.label == label && m.id == id)?;
         let start = self
             .markers
-            .iter()
-            .filter(|m| m.at < end.at)
-            .last()
+            .iter().rfind(|m| m.at < end.at)
             .map(|m| m.at)
             .unwrap_or(Nanos::ZERO);
         Some(end.at - start)

@@ -16,6 +16,13 @@ fn small_params() -> SketchParams {
 }
 
 proptest! {
+    // Fixed case count and no failure-persistence files: runs are
+    // deterministic and CI-reproducible.
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
     /// CM sketch never underestimates: `â(P) >= a(P)` (Eq. 3 lower side).
     #[test]
     fn sketch_never_underestimates(stream in prop::collection::vec(0u64..256, 1..2000)) {

@@ -137,10 +137,10 @@ mod tests {
         for _ in 0..100_000 {
             if let WorkloadEvent::Access(a) = b.next_event() {
                 let p = a.vpage.index();
-                for level in 0..LEVELS {
+                for (level, hits) in level_hits.iter_mut().enumerate() {
                     let (lo, hi) = b.level_range(level);
                     if p >= lo && p < hi {
-                        level_hits[level] += 1;
+                        *hits += 1;
                         break;
                     }
                 }
@@ -148,9 +148,9 @@ mod tests {
         }
         // Per-page intensity must decrease sharply with level.
         let mut prev = f64::INFINITY;
-        for level in 0..LEVELS {
+        for (level, &hits) in level_hits.iter().enumerate() {
             let (lo, hi) = b.level_range(level);
-            let per_page = level_hits[level] as f64 / (hi - lo) as f64;
+            let per_page = hits as f64 / (hi - lo) as f64;
             assert!(per_page < prev, "level {level} per-page {per_page} not colder");
             prev = per_page;
         }
@@ -162,10 +162,10 @@ mod tests {
         let mut touched = [false; LEVELS];
         for _ in 0..LEVELS {
             if let WorkloadEvent::Access(a) = b.next_event() {
-                for level in 0..LEVELS {
+                for (level, touched) in touched.iter_mut().enumerate() {
                     let (lo, hi) = b.level_range(level);
                     if a.vpage.index() >= lo && a.vpage.index() < hi {
-                        touched[level] = true;
+                        *touched = true;
                     }
                 }
             }

@@ -93,7 +93,7 @@ impl Workload for DeathStar {
             return WorkloadEvent::Access(a);
         }
         self.accesses += 1;
-        if self.accesses % DRIFT_PERIOD == 0 {
+        if self.accesses.is_multiple_of(DRIFT_PERIOD) {
             // Shift the popular-content window by half its width.
             self.drifts += 1;
             self.window_base =

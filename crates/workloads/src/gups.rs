@@ -130,7 +130,7 @@ impl Workload for Gups {
             return WorkloadEvent::Access(Access::new(VirtPage::new(page), line, AccessKind::Write));
         }
         if let Some(period) = self.relocate_after {
-            if self.accesses > 0 && self.accesses % period == 0 {
+            if self.accesses > 0 && self.accesses.is_multiple_of(period) {
                 self.accesses += 1; // avoid re-triggering on the same count
                 self.relocate_hot_set();
                 return WorkloadEvent::Marker(Marker { id: self.relocations, label: "hot-set-moved" });

@@ -11,14 +11,19 @@ use neomem_repro::workloads::Gups;
 
 fn main() -> Result<(), neomem_repro::Error> {
     let rss = 6144u64;
-    let accesses = 1_000_000u64;
+    let accesses = neomem_repro::example_accesses(1_000_000);
 
     let mut config = SimConfig::quick(rss, 2);
     config.max_accesses = accesses;
     config.sample_interval = Nanos::from_micros(500);
 
     // GUPS with 90% of updates in a hot region that relocates mid-run.
-    let workload = Box::new(Gups::new(rss, 2024).with_relocation(accesses / 2));
+    // `with_relocation` counts steady-state *updates* while the access
+    // budget counts every event (a 4×rss init sweep, then a read and a
+    // write per update), so a period of an eighth of the budget lands
+    // the move roughly mid-run. The `max` keeps the period legal under
+    // absurdly small overrides.
+    let workload = Box::new(Gups::new(rss, 2024).with_relocation((accesses / 8).max(1)));
     let policy = neomem_repro::build_policy(
         PolicyKind::NeoMem,
         &config,
@@ -27,12 +32,17 @@ fn main() -> Result<(), neomem_repro::Error> {
     )?;
     let report = Simulation::new(config, workload, policy)?.run();
 
-    let moved_at = report
-        .markers
-        .iter()
-        .find(|m| m.label == "hot-set-moved")
-        .map(|m| m.at)
-        .expect("relocation marker present");
+    let moved_at = match report.markers.iter().find(|m| m.label == "hot-set-moved") {
+        Some(m) => m.at,
+        None => {
+            eprintln!(
+                "access budget {accesses} ended before the hot set relocated — \
+                 the move lands at event ~{}; raise NEOMEM_EXAMPLE_ACCESSES",
+                4 * rss + accesses / 4
+            );
+            std::process::exit(2);
+        }
+    };
 
     println!("hot set moved at t={moved_at}");
     println!("\nthroughput timeline (× = hot-set move):");

@@ -72,7 +72,7 @@ impl TieringPolicy for RandomPromoter {
 
 fn main() -> Result<(), neomem_repro::Error> {
     let rss = 6144u64;
-    let accesses = 400_000u64;
+    let accesses = neomem_repro::example_accesses(400_000);
 
     // Custom policy through the raw Simulation API.
     let mut config = SimConfig::quick(rss, 2);

@@ -10,6 +10,7 @@
 use neomem_repro::prelude::*;
 
 fn main() -> Result<(), neomem_repro::Error> {
+    let accesses = neomem_repro::example_accesses(600_000);
     let policies = [
         PolicyKind::NeoMem,
         PolicyKind::Pebs,
@@ -30,7 +31,7 @@ fn main() -> Result<(), neomem_repro::Error> {
             .policy(policy)
             .rss_pages(6144)
             .ratio(2)
-            .accesses(600_000)
+            .accesses(accesses)
             .seed(1)
             .build()?
             .run();

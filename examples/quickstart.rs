@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use neomem_repro::example_accesses as accesses;
 use neomem_repro::prelude::*;
 
 fn main() -> Result<(), neomem_repro::Error> {
@@ -17,7 +18,7 @@ fn main() -> Result<(), neomem_repro::Error> {
         .policy(PolicyKind::NeoMem)
         .rss_pages(6144)
         .ratio(2)
-        .accesses(400_000)
+        .accesses(accesses(400_000))
         .seed(7)
         .build()?
         .run();
@@ -39,7 +40,7 @@ fn main() -> Result<(), neomem_repro::Error> {
         .policy(PolicyKind::FirstTouch)
         .rss_pages(6144)
         .ratio(2)
-        .accesses(400_000)
+        .accesses(accesses(400_000))
         .seed(7)
         .build()?
         .run();

@@ -24,3 +24,20 @@ pub use neomem::*;
 pub mod prelude {
     pub use neomem::prelude::*;
 }
+
+/// Access budget for the `examples/` binaries: `default` unless the
+/// `NEOMEM_EXAMPLE_ACCESSES` environment variable holds a number, in
+/// which case that wins. The `examples_smoke` integration test uses the
+/// override to run every example with a tiny budget; unparseable values
+/// fall back to `default`.
+///
+/// ```
+/// // The variable is unset in normal builds, so the default wins.
+/// assert_eq!(neomem_repro::example_accesses(400_000), 400_000);
+/// ```
+pub fn example_accesses(default: u64) -> u64 {
+    std::env::var("NEOMEM_EXAMPLE_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,79 @@
+//! Smoke test for the `examples/` directory: every example must build
+//! (cargo compiles examples as part of `cargo test`) *and* run to a
+//! clean exit, so example rot is caught by the tier-1 gate.
+//!
+//! The examples honour `NEOMEM_EXAMPLE_ACCESSES`, letting this test run
+//! them with a tiny access budget in milliseconds instead of their
+//! default demo-scale runs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Tiny but non-trivial. The floor is set by `convergence_watch`: GUPS
+/// first runs an initialisation sweep of `4 * rss_pages` events (24576
+/// at the example's 6144-page footprint), then the hot-set relocation
+/// fires after `budget / 8` steady-state updates at two events each, so
+/// the marker appears at event `24576 + budget / 4` — the budget must
+/// comfortably exceed `24576 / (3/4) ≈ 32768` for it to land in-run.
+const SMOKE_ACCESSES: &str = "60000";
+
+/// Locates the compiled example binaries next to this test binary
+/// (`target/<profile>/deps/this_test` → `target/<profile>/examples/`).
+fn examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // the test binary
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join("examples")
+}
+
+fn run_example(name: &str) -> String {
+    let binary = examples_dir().join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        binary.exists(),
+        "example binary {} not found — was `{name}` removed from examples/?",
+        binary.display()
+    );
+    let output = Command::new(&binary)
+        .env("NEOMEM_EXAMPLE_ACCESSES", SMOKE_ACCESSES)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", binary.display()));
+    assert!(
+        output.status.success(),
+        "example `{name}` exited with {}\nstdout:\n{}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    String::from_utf8(output.stdout).expect("example output is UTF-8")
+}
+
+#[test]
+fn quickstart_runs() {
+    let out = run_example("quickstart");
+    assert!(out.contains("simulated runtime:"), "unexpected output:\n{out}");
+    assert!(out.contains("speedup over first-touch NUMA:"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn convergence_watch_runs() {
+    let out = run_example("convergence_watch");
+    assert!(out.contains("hot set moved at"), "unexpected output:\n{out}");
+    assert!(out.contains("promotions:"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn custom_policy_runs() {
+    let out = run_example("custom_policy");
+    assert!(out.contains("RandomPromoter"), "unexpected output:\n{out}");
+    assert!(out.contains("faster than blind promotion"), "unexpected output:\n{out}");
+}
+
+#[test]
+fn datacenter_tiering_runs() {
+    let out = run_example("datacenter_tiering");
+    assert!(out.contains("NeoMem"), "unexpected output:\n{out}");
+    assert!(out.contains("ping-pong"), "unexpected output:\n{out}");
+    assert!(out.contains("NeoMem speedups:"), "unexpected output:\n{out}");
+}

@@ -28,7 +28,14 @@ fn any_policy() -> impl Strategy<Value = PolicyKind> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    // Whole-system runs are expensive, so fewer cases than the
+    // per-crate suites; fixed count and no failure-persistence files
+    // keep runs deterministic and CI-reproducible.
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
 
     /// Conservation: every promotion/demotion is visible in byte
     /// counters; ping-pongs never exceed promotions; runtime is

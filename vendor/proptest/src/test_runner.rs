@@ -1,0 +1,125 @@
+//! Case execution: configuration, RNG and the run loop.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Where failing seeds would be persisted. This shim never persists —
+/// runs are deterministic by construction — so the only meaningful
+/// value is `None`; the type exists for source compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePersistence {
+    /// Explicitly off (matches upstream's semantics of `None`).
+    Off,
+}
+
+/// Runner configuration (subset of upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Ignored: runs are deterministic, nothing needs persisting.
+    pub failure_persistence: Option<FailurePersistence>,
+    /// Accepted for compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, failure_persistence: None, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases, everything else default.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// A test-case failure raised by `prop_assert!` and friends.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Upstream-compatible alias of [`TestCaseError::fail`].
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Executes a strategy against a property closure for `config.cases`
+/// iterations.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner whose RNG seed is derived from the test name,
+    /// making every run of a given test reproducible.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { config, seed, name }
+    }
+
+    /// Runs the property. Returns the first failure, formatted with the
+    /// generated inputs, or `Ok(())` if every case passes.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::seed_from_u64(self.seed);
+        for case in 0..self.config.cases {
+            let value = strategy.new_value(&mut rng);
+            let rendering = format!("{value:?}");
+            if let Err(err) = test(value) {
+                return Err(format!(
+                    "proptest `{}` failed at case {}/{} (derived seed {:#x}):\n{}\ninputs: {}",
+                    self.name,
+                    case + 1,
+                    self.config.cases,
+                    self.seed,
+                    err,
+                    truncate(&rendering, 2048),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        return s.to_string();
+    }
+    let mut end = max;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}… ({} bytes total)", &s[..end], s.len())
+}

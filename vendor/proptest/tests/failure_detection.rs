@@ -1,0 +1,68 @@
+//! The one property a property-test shim must never lose: failing
+//! assertions actually fail the test. Guards against the runner
+//! silently swallowing `prop_assert!` errors.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    #[should_panic(expected = "always false")]
+    fn failing_property_panics(x in 0u64..100) {
+        prop_assert!(x > 1000, "always false: got {}", x);
+    }
+
+    #[test]
+    #[should_panic(expected = "left == right")]
+    fn failing_eq_panics(x in 1u64..100) {
+        prop_assert_eq!(x, 0);
+    }
+
+    /// Deterministic generation: the same strategy drawn in two runners
+    /// with the same test name yields the same values.
+    #[test]
+    fn passing_property_sees_many_cases(x in 0u64..1000) {
+        prop_assert!(x < 1000);
+    }
+}
+
+#[test]
+fn runner_is_deterministic() {
+    use proptest::test_runner::{ProptestConfig, TestRunner};
+
+    let collect = |name: &'static str| {
+        let mut seen = Vec::new();
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(32), name);
+        runner
+            .run(&(0u64..1_000_000,), |(v,)| {
+                seen.push(v);
+                Ok(())
+            })
+            .unwrap();
+        seen
+    };
+    assert_eq!(collect("alpha"), collect("alpha"), "same name, same stream");
+    assert_ne!(collect("alpha"), collect("beta"), "different tests get different streams");
+}
+
+#[test]
+fn oneof_and_collections_cover_their_domains() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::{ProptestConfig, TestRunner};
+
+    let strategy = proptest::collection::vec(
+        prop_oneof![(0u64..10).prop_map(|v| v * 2), (0u64..10).prop_map(|v| v * 2 + 1)],
+        1..50,
+    );
+    let mut evens = 0usize;
+    let mut odds = 0usize;
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(64), "coverage");
+    runner
+        .run(&(strategy,), |(v,)| {
+            assert!(!v.is_empty() && v.len() < 50);
+            evens += v.iter().filter(|x| *x % 2 == 0).count();
+            odds += v.iter().filter(|x| *x % 2 == 1).count();
+            Ok(())
+        })
+        .unwrap();
+    assert!(evens > 0 && odds > 0, "both oneof branches must be exercised");
+}

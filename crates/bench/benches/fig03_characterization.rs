@@ -1,85 +1,8 @@
-//! Fig. 3 — Characterizing CXL-enabled commodity hardware.
+//! Fig. 3 — CXL hardware characterisation.
 //!
-//! (a) Idle-latency comparison: host DDR vs ideal-CXL vs FPGA prototype.
-//! (b) End-to-end slowdown when the workload is pinned entirely to CXL
-//!     memory vs entirely to local DRAM.
-
-use neomem::mem::{MemoryNode, NodeConfig};
-use neomem::prelude::*;
-use neomem::types::AccessKind;
-use neomem_bench::{experiment, geomean, header, row, Scale};
-
-fn latency_probe(config: NodeConfig) -> Nanos {
-    let mut node = MemoryNode::new(config);
-    // Pointer-chase: dependent accesses far apart in time → unloaded.
-    let mut total = Nanos::ZERO;
-    for i in 0..1000u64 {
-        total += node.service(AccessKind::Read, Nanos::from_micros(i * 10));
-    }
-    total / 1000
-}
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench fig03`.
 
 fn main() {
-    let scale = Scale::from_env();
-    header(
-        "Fig. 3(a): memory latency characterisation",
-        "paper Fig. 3a (118 ns local, 170-250 ns ideal CXL, ~430 ns prototype)",
-    );
-    let local = latency_probe(NodeConfig::ddr_fast(1024));
-    let ideal = latency_probe(NodeConfig::cxl_ideal(1024));
-    let proto = latency_probe(NodeConfig::cxl_prototype(1024));
-    println!("{}", row(&["tier".into(), "latency".into(), "vs local".into()]));
-    for (name, lat) in [("Local Mem.", local), ("CXL (Ideal)", ideal), ("CXL (Proto.)", proto)] {
-        println!(
-            "{}",
-            row(&[
-                name.into(),
-                format!("{lat}"),
-                format!("{:.2}x", lat.as_nanos() as f64 / local.as_nanos() as f64),
-            ])
-        );
-    }
-
-    header(
-        "Fig. 3(b): slowdown on CXL-only vs local-only placement",
-        "paper Fig. 3b (64%-295% slowdown range)",
-    );
-    println!("{}", row(&["benchmark".into(), "local".into(), "cxl-only".into(), "slowdown".into()]));
-    let mut slowdowns = Vec::new();
-    let mut workloads = WorkloadKind::FIG11.to_vec();
-    workloads.push(WorkloadKind::Redis);
-    for wl in workloads {
-        let run = |policy| {
-            experiment(wl, policy, scale)
-                .accesses(scale.accesses(400_000))
-                // Both tiers sized to hold the full footprint so
-                // placement, not capacity, is measured.
-                .configure(|c| {
-                    c.memory = Some(neomem::mem::TieredMemoryConfig::with_frames(
-                        c.rss_pages + 64,
-                        c.rss_pages + 64,
-                    ));
-                })
-                .build()
-                .expect("valid experiment")
-                .run()
-        };
-        let fast = run(PolicyKind::PinnedFast);
-        let slow = run(PolicyKind::PinnedSlow);
-        let slowdown = slow.runtime.as_nanos() as f64 / fast.runtime.as_nanos() as f64 - 1.0;
-        slowdowns.push(1.0 + slowdown);
-        println!(
-            "{}",
-            row(&[
-                wl.label().into(),
-                format!("{}", fast.runtime),
-                format!("{}", slow.runtime),
-                format!("{:+.0}%", slowdown * 100.0),
-            ])
-        );
-    }
-    println!(
-        "{}",
-        row(&["Geomean".into(), String::new(), String::new(), format!("{:+.0}%", (geomean(&slowdowns) - 1.0) * 100.0)])
-    );
+    neomem_bench::figures::bench_target_main("fig03");
 }

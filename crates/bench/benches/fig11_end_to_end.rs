@@ -1,69 +1,8 @@
-//! Fig. 11 — end-to-end performance comparison: eight benchmarks × six
-//! tiering solutions, normalised to PEBS (higher is better).
+//! Fig. 11 — end-to-end performance comparison + §VI-D overhead.
 //!
-//! Also reports the §VI-D NeoProf CPU-overhead measurement (the paper
-//! reports a 0.021 % slowdown with profiling enabled but migration
-//! disabled).
-
-use neomem::prelude::*;
-use neomem_bench::{experiment, geomean, header, row, Scale};
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench fig11`.
 
 fn main() {
-    let scale = Scale::from_env();
-    header(
-        "Fig. 11: end-to-end performance (normalised to PEBS, higher is better)",
-        "paper Fig. 11 (NeoMem achieves 32%-67% geomean speedup)",
-    );
-    let policies = PolicyKind::FIG11;
-    let mut labels: Vec<String> = vec!["benchmark".into()];
-    labels.extend(policies.iter().map(|p| p.label().to_string()));
-    println!("{}", row(&labels));
-
-    // Per-policy relative performance across benchmarks (vs PEBS).
-    let mut rel: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for wl in WorkloadKind::FIG11 {
-        let runtimes: Vec<f64> = policies
-            .iter()
-            .map(|&p| {
-                experiment(wl, p, scale).build().expect("valid experiment").run().runtime.as_nanos()
-                    as f64
-            })
-            .collect();
-        let pebs_runtime = runtimes[1]; // PolicyKind::FIG11[1] == Pebs
-        let mut cells = vec![wl.label().to_string()];
-        for (i, rt) in runtimes.iter().enumerate() {
-            let norm = pebs_runtime / rt;
-            rel[i].push(norm);
-            cells.push(format!("{norm:.2}"));
-        }
-        println!("{}", row(&cells));
-    }
-    let mut cells = vec!["Geomean".to_string()];
-    let mut geomeans = Vec::new();
-    for series in &rel {
-        let g = geomean(series);
-        geomeans.push(g);
-        cells.push(format!("{g:.2}"));
-    }
-    println!("{}", row(&cells));
-
-    let neomem_g = geomeans[0];
-    println!("\nNeoMem geomean speedups over baselines:");
-    for (i, p) in policies.iter().enumerate().skip(1) {
-        println!("  vs {:<18} {:+.0}%", p.label(), (neomem_g / geomeans[i] - 1.0) * 100.0);
-    }
-
-    // §VI-D: NeoProf CPU overhead on GUPS — the host's only cost is the
-    // MMIO traffic of the daemon readouts, reported as a share of the
-    // run's total time (the paper measures 0.021% by toggling NeoProf).
-    header("§VI-D: CPU overhead of NeoMem profiling (GUPS)", "paper reports 0.021% slowdown");
-    let profiled = experiment(WorkloadKind::Gups, PolicyKind::NeoMem, scale)
-        .accesses(scale.accesses(400_000))
-        .build()
-        .unwrap()
-        .run();
-    let share =
-        profiled.profiling_overhead.as_nanos() as f64 / profiled.runtime.as_nanos() as f64;
-    println!("host MMIO time:          {}", profiled.profiling_overhead);
-    println!("share of total runtime:  {:.4}%", share * 100.0);
+    neomem_bench::figures::bench_target_main("fig11");
 }

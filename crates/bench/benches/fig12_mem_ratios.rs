@@ -1,48 +1,8 @@
-//! Fig. 12 — performance under different fast:slow memory ratios
-//! (1:2, 1:4, 1:8), NeoMem vs PEBS (the second-best solution),
-//! normalised to PEBS at each ratio.
-
-use neomem::prelude::*;
-use neomem_bench::{experiment, header, row, Scale};
+//! Fig. 12 — fast:slow memory-ratio sweep.
+//!
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench fig12`.
 
 fn main() {
-    let scale = Scale::from_env();
-    header(
-        "Fig. 12: performance with different fast:slow memory ratios",
-        "paper Fig. 12 (NeoMem >= PEBS everywhere; gap widens on Page-Rank/Btree as fast shrinks)",
-    );
-    println!(
-        "{}",
-        row(&[
-            "benchmark".into(),
-            "ratio".into(),
-            "NeoMem".into(),
-            "PEBS".into(),
-            "NeoMem/PEBS".into(),
-        ])
-    );
-    for wl in WorkloadKind::FIG11 {
-        for ratio in [2u64, 4, 8] {
-            let run = |policy| {
-                experiment(wl, policy, scale)
-                    .ratio(ratio)
-                    .build()
-                    .expect("valid experiment")
-                    .run()
-                    .runtime
-            };
-            let neomem = run(PolicyKind::NeoMem);
-            let pebs = run(PolicyKind::Pebs);
-            println!(
-                "{}",
-                row(&[
-                    wl.label().into(),
-                    format!("1:{ratio}"),
-                    format!("{neomem}"),
-                    format!("{pebs}"),
-                    format!("{:.2}", pebs.as_nanos() as f64 / neomem.as_nanos() as f64),
-                ])
-            );
-        }
-    }
+    neomem_bench::figures::bench_target_main("fig12");
 }

@@ -1,50 +1,8 @@
-//! Fig. 13 — slow-tier (CXL) traffic and promotion/demotion counts per
-//! solution (promotions/demotions normalised to PEBS).
-
-use neomem::prelude::*;
-use neomem_bench::{experiment, header, row, Scale};
+//! Fig. 13 — slow-tier traffic and migration counts.
+//!
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench fig13`.
 
 fn main() {
-    let scale = Scale::from_env();
-    header(
-        "Fig. 13: slow-tier traffic and promote/demote counts",
-        "paper Fig. 13 (NeoMem lowest slow-tier traffic; TPP fewest migrations; \
-         First-touch no migration; PEBS under-promotes)",
-    );
-    println!(
-        "{}",
-        row(&[
-            "benchmark".into(),
-            "policy".into(),
-            "slow-tier".into(),
-            "promote".into(),
-            "demote".into(),
-            "ping-pong".into(),
-        ])
-    );
-    for wl in WorkloadKind::FIG11 {
-        let mut pebs_promotions = 1u64;
-        for policy in PolicyKind::FIG11 {
-            let report = experiment(wl, policy, scale).build().expect("valid experiment").run();
-            if policy == PolicyKind::Pebs {
-                pebs_promotions = report.kernel.promotions.max(1);
-            }
-            println!(
-                "{}",
-                row(&[
-                    wl.label().into(),
-                    policy.label().into(),
-                    format!("{:.2e}", report.slow_tier_accesses() as f64),
-                    format!(
-                        "{} ({:.1}x)",
-                        report.kernel.promotions,
-                        report.kernel.promotions as f64 / pebs_promotions as f64
-                    ),
-                    format!("{}", report.kernel.demotions),
-                    format!("{}", report.kernel.ping_pongs),
-                ])
-            );
-        }
-        println!();
-    }
+    neomem_bench::figures::bench_target_main("fig13");
 }

@@ -1,139 +1,8 @@
-//! Fig. 14 — profiling NeoMem on the Page-Rank benchmark.
+//! Fig. 14 — Page-Rank policy deep dive.
 //!
-//! (a) Per-iteration execution time: dynamic threshold vs fixed
-//!     θ ∈ {100, 200, 300, 400}.
-//! (b) Dynamic-threshold evolution over the run.
-//! (c) Read/write bandwidth-utilisation timeline from NeoProf's state
-//!     monitor.
-//! (d) Access-frequency histogram strips.
-
-use neomem::prelude::*;
-use neomem_bench::{experiment, header, row, Scale};
-
-fn pagerank_run(policy: PolicyKind, scale: Scale) -> RunReport {
-    experiment(WorkloadKind::PageRank, policy, scale)
-        .accesses(scale.accesses(2_000_000))
-        .configure(|c| c.sample_interval = Nanos::from_micros(500))
-        .build()
-        .expect("valid experiment")
-        .run()
-}
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench fig14`.
 
 fn main() {
-    let scale = Scale::from_env();
-    header(
-        "Fig. 14(a): Page-Rank per-iteration time, dynamic vs fixed thresholds",
-        "paper Fig. 14a (dynamic consistently shortest; fixed θ=200 degrades late)",
-    );
-    // The paper sweeps θ ∈ {100..400} against counts accumulated over a
-    // 5 s detection period; with the period compressed to 5 ms the same
-    // relative sweep lands at {2..32} (the dynamic policy's θ ranges
-    // ~1–16 at this scale).
-    let configs: Vec<(String, PolicyKind)> = vec![
-        ("Dynamic".into(), PolicyKind::NeoMem),
-        ("θ=2".into(), PolicyKind::NeoMemFixed(2)),
-        ("θ=8".into(), PolicyKind::NeoMemFixed(8)),
-        ("θ=16".into(), PolicyKind::NeoMemFixed(16)),
-        ("θ=32".into(), PolicyKind::NeoMemFixed(32)),
-    ];
-    let reports: Vec<(String, RunReport)> =
-        configs.into_iter().map(|(name, p)| (name, pagerank_run(p, scale))).collect();
-
-    let max_iter = reports
-        .iter()
-        .map(|(_, r)| r.markers.iter().filter(|m| m.label == "iteration").count())
-        .min()
-        .unwrap_or(0);
-    let mut head = vec!["iteration".to_string()];
-    head.extend(reports.iter().map(|(n, _)| n.clone()));
-    println!("{}", row(&head));
-    for it in 1..=max_iter.min(16) as u32 {
-        let mut cells = vec![format!("{it}")];
-        for (_, r) in &reports {
-            match r.marker_duration("iteration", it) {
-                Some(d) => cells.push(format!("{:.3}ms", d.as_millis_f64())),
-                None => cells.push("-".into()),
-            }
-        }
-        println!("{}", row(&cells));
-    }
-    let mut cells = vec!["total".to_string()];
-    for (_, r) in &reports {
-        cells.push(format!("{:.2}ms", r.runtime.as_millis_f64()));
-    }
-    println!("{}", row(&cells));
-
-    let dynamic = &reports[0].1;
-    header(
-        "Fig. 14(b): dynamic hotness-threshold evolution",
-        "paper Fig. 14b (threshold rises as the run progresses)",
-    );
-    print_timeline(dynamic, |p| p.threshold.map(|t| format!("θ={t}")));
-
-    header(
-        "Fig. 14(c): slow-tier bandwidth utilisation (read/write)",
-        "paper Fig. 14c (high utilisation early, relieved by promotion)",
-    );
-    print_timeline(dynamic, |p| {
-        match (p.read_util, p.write_util) {
-            (Some(r), Some(w)) => Some(format!("R={:.1}% W={:.1}%", r * 100.0, w * 100.0)),
-            _ => None,
-        }
-    });
-
-    header(
-        "Fig. 14(d): access-frequency histogram strips",
-        "paper Fig. 14d (dark bands follow the threshold trace)",
-    );
-    let strips: Vec<&neomem_sim_point::TimelinePoint> = Vec::new();
-    drop(strips);
-    let mut printed = 0;
-    for point in &dynamic.timeline {
-        if let Some(hist) = &point.histogram {
-            // Render the non-zero-bin occupancy as a density strip.
-            let total: u64 = hist.iter().sum::<u64>().max(1);
-            let strip: String = hist
-                .iter()
-                .map(|&n| {
-                    let frac = n as f64 / total as f64;
-                    match frac {
-                        f if f > 0.1 => '#',
-                        f if f > 0.01 => '+',
-                        f if f > 0.0 => '.',
-                        _ => ' ',
-                    }
-                })
-                .collect();
-            println!("t={:>9} |{strip}|", format!("{}", point.at));
-            printed += 1;
-            if printed >= 20 {
-                break;
-            }
-        }
-    }
-    if printed == 0 {
-        println!("(no histogram samples captured — increase run length)");
-    }
-}
-
-/// Prints every k-th timeline entry where `f` yields a value.
-fn print_timeline(report: &RunReport, f: impl Fn(&neomem_sim_point::TimelinePoint) -> Option<String>) {
-    let mut printed = 0;
-    for point in &report.timeline {
-        if let Some(s) = f(point) {
-            println!("t={:>9}  {s}", format!("{}", point.at));
-            printed += 1;
-            if printed >= 24 {
-                break;
-            }
-        }
-    }
-    if printed == 0 {
-        println!("(no telemetry captured)");
-    }
-}
-
-/// Alias module so the helper signatures stay readable.
-mod neomem_sim_point {
-    pub use neomem::sim::TimelinePoint;
+    neomem_bench::figures::bench_target_main("fig14");
 }

@@ -1,165 +1,8 @@
-//! Fig. 15 — sensitivity to system and NeoProf parameters.
+//! Fig. 15 — parameter sensitivity sweeps.
 //!
-//! (a) Migration-interval sweep (paper: 10 ms → 5000 ms; shorter wins).
-//! (b) Migration-quota sweep (paper: 64 MB/s → 8192 MB/s; sweet spot
-//!     around 128–256 MB/s).
-//! (c) Sketch-width sweep: estimated error bound (paper: → 0 at 512 K).
-//! (d) Sketch-width sweep: end-to-end performance (peaks ≥ 256 K).
-
-use neomem::prelude::*;
-use neomem::sketch::{error_bound, CmSketch, SketchParams};
-use neomem::types::DevicePage;
-use neomem_bench::{experiment, header, row, Scale};
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench fig15`.
 
 fn main() {
-    let scale = Scale::from_env();
-    part_a(scale);
-    part_b(scale);
-    part_c(scale);
-    part_d(scale);
-}
-
-fn pagerank(scale: Scale, overrides: PolicyOverrides) -> RunReport {
-    experiment(WorkloadKind::PageRank, PolicyKind::NeoMem, scale)
-        .overrides(overrides)
-        .build()
-        .expect("valid experiment")
-        .run()
-}
-
-fn part_a(scale: Scale) {
-    header(
-        "Fig. 15(a): migration-interval sweep (Page-Rank)",
-        "paper Fig. 15a (shorter interval -> better performance)",
-    );
-    println!("{}", row(&["interval (scaled)".into(), "runtime".into(), "norm. perf".into()]));
-    // The paper sweeps 10 ms → 5000 ms on wall-clock; cadences here are
-    // time-scaled by 1000, so the sweep covers the same decade span.
-    let mut baseline = None;
-    for micros in [10u64, 50, 100, 500, 1000, 5000] {
-        let report = pagerank(
-            scale,
-            PolicyOverrides {
-                migration_interval: Some(Nanos::from_micros(micros)),
-                ..Default::default()
-            },
-        );
-        let base = *baseline.get_or_insert(report.runtime.as_nanos() as f64);
-        println!(
-            "{}",
-            row(&[
-                format!("{}us", micros),
-                format!("{}", report.runtime),
-                format!("{:.2}", base / report.runtime.as_nanos() as f64),
-            ])
-        );
-    }
-}
-
-fn part_b(scale: Scale) {
-    header(
-        "Fig. 15(b): migration-quota sweep (Page-Rank)",
-        "paper Fig. 15b (64 MB/s ~10% below the 128-256 MB/s sweet spot)",
-    );
-    println!("{}", row(&["mquota".into(), "runtime".into(), "norm. perf".into()]));
-    // Time compression packs the paper's promotion demand into ~1000x
-    // less simulated time, so the quota knee sits lower; the sweep spans
-    // the same two decades around it.
-    let quotas = [1u64, 4, 16, 64, 256, 1024, 4096, 8192];
-    let runs: Vec<RunReport> = quotas
-        .iter()
-        .map(|&mib| {
-            pagerank(
-                scale,
-                PolicyOverrides {
-                    mquota: Some(Bandwidth::from_mib_per_sec(mib)),
-                    ..Default::default()
-                },
-            )
-        })
-        .collect();
-    // Normalise against the paper's default quota (256 MB/s).
-    let base = runs[4].runtime.as_nanos() as f64;
-    for (mib, report) in quotas.iter().zip(&runs) {
-        println!(
-            "{}",
-            row(&[
-                format!("{mib}MB/s"),
-                format!("{}", report.runtime),
-                format!("{:.2}", base / report.runtime.as_nanos() as f64),
-            ])
-        );
-    }
-}
-
-/// Part (c): feed a Page-Rank-like device-page stream into sketches of
-/// varying width and report the tight error bound.
-fn part_c(scale: Scale) {
-    header(
-        "Fig. 15(c): sketch width vs estimated error bound",
-        "paper Fig. 15c (error bound collapses to 0 by W=512K)",
-    );
-    // A paper-scale stream: the prototype's 16 GB CXL device holds 4 M
-    // pages, far above every sketch width — synthesise a zipf-skewed
-    // stream over 2 M device pages so counter aliasing is visible.
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-    let zipf = neomem::workloads::Zipf::new(2_000_000, 0.9);
-    let mut rng = SmallRng::seed_from_u64(11);
-    let want = scale.accesses(2_000_000) as usize;
-    let stream: Vec<DevicePage> =
-        (0..want).map(|_| DevicePage::new(zipf.sample(&mut rng) as u64)).collect();
-    println!("{}", row(&["width".into(), "error bound".into()]));
-    for shift in [15u32, 16, 17, 18, 19] {
-        let width = 1usize << shift;
-        let mut sketch = CmSketch::new(SketchParams {
-            width,
-            depth: 2,
-            seed: 9,
-            hot_buffer_entries: 1024,
-        })
-        .unwrap();
-        for &p in &stream {
-            sketch.update(p);
-        }
-        let e = error_bound::exact(sketch.lane_counters(0), 0.25, 2);
-        println!("{}", row(&[format!("{}K", width / 1024), format!("{e}")]));
-    }
-}
-
-fn part_d(scale: Scale) {
-    header(
-        "Fig. 15(d): sketch width vs end-to-end performance (Page-Rank)",
-        "paper Fig. 15d (performance climbs with W, flat after 256K)",
-    );
-    println!("{}", row(&["width".into(), "runtime".into(), "norm. perf".into()]));
-    // The quick footprint has ~4K slow-tier pages; the paper's RSS has
-    // millions. To keep the width:footprint ratio of the paper's sweep,
-    // the scaled sweep starts below the footprint (256..4K) and ends in
-    // the no-aliasing regime.
-    let mut baseline = None;
-    for shift in [8u32, 10, 12, 14, 19] {
-        let width = 1usize << shift;
-        let report = pagerank(
-            scale,
-            PolicyOverrides {
-                sketch: Some(SketchParams {
-                    width,
-                    depth: 2,
-                    seed: 9,
-                    hot_buffer_entries: 16 * 1024,
-                }),
-                ..Default::default()
-            },
-        );
-        let base = *baseline.get_or_insert(report.runtime.as_nanos() as f64);
-        println!(
-            "{}",
-            row(&[
-                if width >= 1024 { format!("{}K", width / 1024) } else { format!("{width}") },
-                format!("{}", report.runtime),
-                format!("{:.2}", base / report.runtime.as_nanos() as f64),
-            ])
-        );
-    }
+    neomem_bench::figures::bench_target_main("fig15");
 }

@@ -1,94 +1,8 @@
-//! Fig. 16 — convergence analysis on GUPS after a hot-set relocation.
+//! Fig. 16 — GUPS convergence after a hot-set relocation.
 //!
-//! 90 % of updates hit a fixed hot region; mid-run the region moves.
-//! The figure tracks GUPS throughput over time per profiling method:
-//! NeoProf converges fastest and reaches the highest steady state.
-
-use neomem::policies::PolicyKind;
-use neomem::prelude::*;
-use neomem::sim::Simulation;
-use neomem::workloads::Gups;
-use neomem_bench::{header, row, Scale};
-
-fn run_with_relocation(policy: PolicyKind, scale: Scale) -> RunReport {
-    let rss = 6144u64;
-    let accesses = scale.accesses(1_600_000);
-    let config = {
-        let mut c = SimConfig::quick(rss, 2);
-        c.max_accesses = accesses;
-        c.sample_interval = Nanos::from_micros(500);
-        c
-    };
-    // Relocate once, halfway through the update phase.
-    let workload = Box::new(Gups::new(rss, 2024).with_relocation(accesses / 2));
-    let policy =
-        neomem::build_policy(policy, &config, 1000, Default::default()).expect("valid policy");
-    Simulation::new(config, workload, policy).expect("valid sim").run()
-}
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench fig16`.
 
 fn main() {
-    let scale = Scale::from_env();
-    header(
-        "Fig. 16: GUPS convergence after a hot-set change",
-        "paper Fig. 16 (NeoProf: highest plateau, fastest re-convergence)",
-    );
-    let policies = [
-        PolicyKind::NeoMem,
-        PolicyKind::PteScan,
-        PolicyKind::Tpp,
-        PolicyKind::Pebs,
-        PolicyKind::FirstTouch,
-    ];
-    let reports: Vec<RunReport> =
-        policies.iter().map(|&p| run_with_relocation(p, scale)).collect();
-
-    // Print throughput series in 10 buckets before/after the change.
-    println!(
-        "{}",
-        row(&{
-            let mut v = vec!["phase-bucket".to_string()];
-            v.extend(reports.iter().map(|r| r.policy.clone()));
-            v
-        })
-    );
-    let buckets = 30usize;
-    for b in 0..buckets {
-        let mut cells = vec![format!("{b}")];
-        for r in &reports {
-            let move_at = r
-                .markers
-                .iter()
-                .find(|m| m.label == "hot-set-moved")
-                .map(|m| m.at)
-                .unwrap_or(r.runtime / 2);
-            // Bucket timeline around the relocation: 6 before, 6 after.
-            let span = r.runtime / buckets as u64;
-            let lo = span * b as u64;
-            let hi = lo + span;
-            let pts: Vec<f64> = r
-                .timeline
-                .iter()
-                .filter(|p| p.at >= lo && p.at < hi)
-                .map(|p| p.throughput)
-                .collect();
-            let mean = if pts.is_empty() { 0.0 } else { pts.iter().sum::<f64>() / pts.len() as f64 };
-            let marker = if move_at >= lo && move_at < hi { "*" } else { "" };
-            cells.push(format!("{:.1}M{marker}", mean / 1e6));
-        }
-        println!("{}", row(&cells));
-    }
-    println!("(* = bucket containing the hot-set change; units: updates/s of simulated time)");
-
-    println!("\nconvergence summary:");
-    println!("{}", row(&["policy".into(), "runtime".into(), "promotions".into()]));
-    for r in &reports {
-        println!(
-            "{}",
-            row(&[
-                r.policy.clone(),
-                format!("{}", r.runtime),
-                format!("{}", r.kernel.promotions),
-            ])
-        );
-    }
+    neomem_bench::figures::bench_target_main("fig16");
 }

@@ -1,43 +1,8 @@
 //! Fig. 17 — end-to-end comparison with Memtis.
 //!
-//! The paper reports a 1.58× geomean speedup for NeoMem, with Memtis
-//! close on 603.bwaves but far behind on GUPS due to its sluggish
-//! PEBS+histogram hot-set classification.
-
-use neomem::prelude::*;
-use neomem_bench::{experiment, geomean, header, row, Scale};
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench fig17`.
 
 fn main() {
-    let scale = Scale::from_env();
-    header(
-        "Fig. 17: NeoMem vs Memtis (normalised to Memtis, higher is better)",
-        "paper Fig. 17 (NeoMem 1.58x geomean; largest gap on GUPS)",
-    );
-    println!(
-        "{}",
-        row(&["benchmark".into(), "NeoMem".into(), "Memtis".into(), "speedup".into()])
-    );
-    let mut speedups = Vec::new();
-    for wl in WorkloadKind::FIG11 {
-        let run = |policy| {
-            experiment(wl, policy, scale).build().expect("valid experiment").run().runtime
-        };
-        let neomem = run(PolicyKind::NeoMem);
-        let memtis = run(PolicyKind::Memtis);
-        let speedup = memtis.as_nanos() as f64 / neomem.as_nanos() as f64;
-        speedups.push(speedup);
-        println!(
-            "{}",
-            row(&[
-                wl.label().into(),
-                format!("{neomem}"),
-                format!("{memtis}"),
-                format!("{speedup:.2}x"),
-            ])
-        );
-    }
-    println!(
-        "{}",
-        row(&["GeoMean".into(), String::new(), String::new(), format!("{:.2}x", geomean(&speedups))])
-    );
+    neomem_bench::figures::bench_target_main("fig17");
 }

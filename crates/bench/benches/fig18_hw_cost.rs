@@ -1,56 +1,8 @@
-//! Fig. 18 + §VI-B FPGA utilisation — NeoProf hardware cost estimation.
+//! Fig. 18 + §VI-B — NeoProf hardware cost estimation.
 //!
-//! FPGA point (W=512K, D=2): 93.8 K ALMs, 1.5 K M20K BRAMs, 0 DSPs.
-//! ASIC point (TSMC 22 nm, W=256K, D=2): 5.3 mm², 152.2 mW @ 400 MHz,
-//! SRAM ≈ 54 % of area.
-
-use neomem::neoprof::cost;
-use neomem::sketch::SketchParams;
-use neomem_bench::{header, row};
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench fig18`.
 
 fn main() {
-    header(
-        "§VI-B: FPGA resource utilisation (Agilex-7)",
-        "paper: 93.8K ALMs (10%), 1.5K M20K (12%), no DSPs at W=512K, D=2",
-    );
-    println!("{}", row(&["width".into(), "ALMs".into(), "M20K BRAMs".into(), "DSPs".into()]));
-    for shift in [15u32, 16, 17, 18, 19] {
-        let params = SketchParams { width: 1 << shift, ..SketchParams::paper_default() };
-        let fpga = cost::fpga(&params);
-        println!(
-            "{}",
-            row(&[
-                format!("{}K", params.width / 1024),
-                format!("{:.1}K", fpga.alms as f64 / 1000.0),
-                format!("{:.2}K", fpga.brams as f64 / 1000.0),
-                format!("{}", fpga.dsps),
-            ])
-        );
-    }
-
-    header(
-        "Fig. 18: ASIC synthesis estimate (TSMC 22 nm, 400 MHz, 0.8 V)",
-        "paper Fig. 18: 5.3 mm2, 152.2 mW, SRAM ~54% of area at W=256K",
-    );
-    println!(
-        "{}",
-        row(&["width".into(), "area mm2".into(), "SRAM share".into(), "power mW".into()])
-    );
-    for shift in [15u32, 16, 17, 18, 19] {
-        let params = SketchParams { width: 1 << shift, ..SketchParams::paper_default() };
-        let asic = cost::asic(&params);
-        println!(
-            "{}",
-            row(&[
-                format!("{}K", params.width / 1024),
-                format!("{:.2}", asic.area_mm2),
-                format!("{:.0}%", asic.sram_area_fraction * 100.0),
-                format!("{:.1}", asic.power_mw),
-            ])
-        );
-    }
-
-    println!("\nSRAM bit budget at the paper's FPGA configuration:");
-    let p = SketchParams::paper_default();
-    println!("  total SRAM bits: {:.2} Mb", cost::sram_bits(&p) as f64 / 1e6);
+    neomem_bench::figures::bench_target_main("fig18");
 }

@@ -1,64 +1,8 @@
-//! Criterion micro-benchmarks for the simulation substrates: cache
-//! hierarchy, TLB, memory nodes and end-to-end simulator step rate.
+//! Criterion micro-benchmarks for the simulation substrates.
+//!
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench micro_system`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use neomem::cache::{CacheHierarchy, HierarchyConfig, Tlb, TlbConfig};
-use neomem::mem::{MemoryNode, NodeConfig};
-use neomem::prelude::*;
-use neomem::types::{AccessKind, CacheLine, VirtPage};
-
-fn bench_cache_access(c: &mut Criterion) {
-    let mut hier = CacheHierarchy::new(HierarchyConfig::scaled_small());
-    let mut i = 0u64;
-    c.bench_function("cache/hierarchy_access", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37_79B9);
-            black_box(hier.access(CacheLine::new(i % (1 << 20)), AccessKind::Read))
-        })
-    });
+fn main() {
+    neomem_bench::figures::bench_target_main("micro_system");
 }
-
-fn bench_tlb_access(c: &mut Criterion) {
-    let mut tlb = Tlb::new(TlbConfig::scaled_default());
-    let mut i = 0u64;
-    c.bench_function("tlb/access", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(7);
-            black_box(tlb.access(VirtPage::new(i % 10_000)))
-        })
-    });
-}
-
-fn bench_memory_node(c: &mut Criterion) {
-    let mut node = MemoryNode::new(NodeConfig::cxl_prototype(1024));
-    let mut now = Nanos::ZERO;
-    c.bench_function("mem/node_service", |b| {
-        b.iter(|| {
-            now += Nanos::new(500);
-            black_box(node.service(AccessKind::Read, now))
-        })
-    });
-}
-
-fn bench_simulation_throughput(c: &mut Criterion) {
-    c.bench_function("sim/gups_50k_neomem", |b| {
-        b.iter(|| {
-            let report = Experiment::builder()
-                .workload(WorkloadKind::Gups)
-                .policy(PolicyKind::NeoMem)
-                .rss_pages(2048)
-                .accesses(50_000)
-                .build()
-                .unwrap()
-                .run();
-            black_box(report.runtime)
-        })
-    });
-}
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_cache_access, bench_tlb_access, bench_memory_node, bench_simulation_throughput
-);
-criterion_main!(benches);

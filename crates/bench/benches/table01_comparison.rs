@@ -1,9 +1,8 @@
-//! Table I — qualitative comparison of memory-access profiling
-//! techniques.
-
-use neomem_bench::header;
+//! Table I — profiling-technique comparison.
+//!
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench table01`.
 
 fn main() {
-    header("Table I: memory-access profiling techniques comparison", "paper Table I");
-    print!("{}", neomem::profilers::comparison_table());
+    neomem_bench::figures::bench_target_main("table01");
 }

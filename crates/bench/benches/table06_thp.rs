@@ -1,116 +1,8 @@
-//! Table VI — Transparent Huge Pages vs base pages on Page-Rank:
-//! NeoMem vs TPP, THP on/off.
+//! Table VI — THP vs base pages on Page-Rank.
 //!
-//! The paper: NeoMem+THP beats NeoMem+base (7.02 GB of huge pages
-//! migrated); TPP+THP *regresses* because its time resolution is too low
-//! to accumulate per-region heat.
-
-use neomem::policies::{
-    HintFaultPolicy, HintFaultPolicyConfig, NeoMemParams, NeoMemPolicy, TieringPolicy,
-};
-use neomem::prelude::*;
-use neomem::profilers::NeoProfDriverConfig;
-use neomem::sim::Simulation;
-use neomem_bench::{header, row, Scale};
-
-struct Outcome {
-    report: RunReport,
-    promoted_base: Bytes,
-    promoted_huge: Bytes,
-}
-
-fn run(policy_kind: &str, thp: bool, scale: Scale) -> Outcome {
-    let rss = 8192u64;
-    let mut config = SimConfig::quick(rss, 2);
-    config.max_accesses = scale.accesses(1_500_000);
-    let mem = config.memory_config();
-    let slow_base = neomem::types::PageNum::new(mem.fast.capacity_frames);
-    let mquota = Bandwidth::from_mib_per_sec(256);
-
-    // Track huge-page bytes through concrete policy types.
-    let workload = WorkloadKind::PageRank.build(rss, 2024);
-    match policy_kind {
-        "NeoMem" => {
-            let mut params = NeoMemParams::scaled(1000);
-            params.thp = thp;
-            params.thp_votes = 2;
-            let policy = NeoMemPolicy::new(
-                neomem::neoprof::NeoProfConfig::paper_default(slow_base),
-                NeoProfDriverConfig::default(),
-                params,
-            )
-            .expect("valid device");
-            run_with(config, workload, Box::new(policy), thp)
-        }
-        "TPP" => {
-            let mut cfg = HintFaultPolicyConfig::tpp().scaled(1000);
-            cfg.thp = thp;
-            let policy = HintFaultPolicy::new(cfg, mquota);
-            run_with(config, workload, Box::new(policy), thp)
-        }
-        other => panic!("unknown policy {other}"),
-    }
-}
-
-fn run_with(
-    config: SimConfig,
-    workload: Box<dyn neomem::workloads::Workload>,
-    policy: Box<dyn TieringPolicy>,
-    _thp: bool,
-) -> Outcome {
-    let report = Simulation::new(config, workload, policy).expect("valid sim").run();
-    let huge = report.promoted_huge_bytes;
-    let base = Bytes::new(report.kernel.promoted_bytes.as_u64().saturating_sub(huge.as_u64()));
-    Outcome { report, promoted_base: base, promoted_huge: huge }
-}
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench table06`.
 
 fn main() {
-    let scale = Scale::from_env();
-    header(
-        "Table VI: Transparent Huge Page vs base page on Page-Rank",
-        "paper Table VI (NeoMem-THP fastest; TPP barely migrates and regresses with THP)",
-    );
-    let configs =
-        [("NeoMem", true), ("TPP", true), ("NeoMem", false), ("TPP", false)];
-    println!(
-        "{}",
-        row(&[
-            "config".into(),
-            "build".into(),
-            "avg iter".into(),
-            "total".into(),
-            "base promoted".into(),
-            "huge promoted".into(),
-        ])
-    );
-    for (name, thp) in configs {
-        let out = run(name, thp, scale);
-        let r = &out.report;
-        let build = r
-            .markers
-            .iter()
-            .find(|m| m.label == "graph-built")
-            .map(|m| format!("{:.2}ms", m.at.as_millis_f64()))
-            .unwrap_or_else(|| "-".into());
-        let iters: Vec<f64> = (1..=16)
-            .filter_map(|i| r.marker_duration("iteration", i))
-            .map(|d| d.as_millis_f64())
-            .collect();
-        let avg_iter = if iters.is_empty() {
-            "-".to_string()
-        } else {
-            format!("{:.2}ms", iters.iter().sum::<f64>() / iters.len() as f64)
-        };
-        println!(
-            "{}",
-            row(&[
-                format!("{name} {}", if thp { "THP" } else { "Base" }),
-                build,
-                avg_iter,
-                format!("{:.2}ms", r.runtime.as_millis_f64()),
-                format!("{}", out.promoted_base),
-                format!("{}", out.promoted_huge),
-            ])
-        );
-    }
+    neomem_bench::figures::bench_target_main("table06");
 }

@@ -1,0 +1,246 @@
+//! `neomem-bench` — the experiment-campaign CLI.
+//!
+//! Regenerates any paper figure/table by name, runs its experiment grid
+//! on a worker pool, and writes machine-readable JSON results:
+//!
+//! ```sh
+//! neomem-bench fig11 --threads 4            # table to stdout + JSON file
+//! neomem-bench all                          # every figure
+//! neomem-bench list                         # available names
+//! neomem-bench compare BENCH_fig11.json target/bench-results/fig11.json
+//! neomem-bench gate fig11 --baseline BENCH_fig11.json --tolerance 0.1
+//! ```
+//!
+//! JSON lands in `--out` (default `target/bench-results/<name>.json`)
+//! and contains only simulated quantities, so it is byte-identical at
+//! any `--threads` value. `NEOMEM_SCALE=quick|full` selects the access
+//! budget.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use neomem_bench::figures::{self, Figure, RunContext};
+use neomem_bench::Scale;
+use neomem_runner::{compare, GateConfig, Json};
+
+struct Options {
+    threads: usize,
+    out_dir: PathBuf,
+    tolerance: f64,
+    baseline: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            out_dir: PathBuf::from("target/bench-results"),
+            tolerance: 0.10,
+            baseline: None,
+        }
+    }
+}
+
+enum Command {
+    Run(Vec<&'static Figure>),
+    Help,
+    List,
+    Compare(PathBuf, PathBuf),
+    Gate(&'static Figure),
+}
+
+const USAGE: &str = "\
+neomem-bench — regenerate paper figures/tables with machine-readable results
+
+USAGE:
+    neomem-bench <figure>... [--threads N] [--out DIR]
+    neomem-bench all [--threads N] [--out DIR]
+    neomem-bench list
+    neomem-bench compare <baseline.json> <current.json> [--tolerance F]
+    neomem-bench gate <figure> --baseline <file> [--tolerance F] [--threads N] [--out DIR]
+
+OPTIONS:
+    --threads N      worker threads for experiment grids (default: all cores)
+    --out DIR        JSON output directory (default: target/bench-results)
+    --tolerance F    allowed relative runtime drift for compare/gate (default: 0.10)
+    --baseline FILE  checked-in baseline for gate (e.g. BENCH_fig11.json)
+
+ENVIRONMENT:
+    NEOMEM_SCALE     quick (default) | full — ~10x longer runs
+";
+
+fn parse_args() -> Result<(Command, Options), String> {
+    let mut options = Options::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    let mut keyword: Option<String> = None;
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--threads" => {
+                let v = value_for("--threads")?;
+                options.threads =
+                    v.parse().map_err(|_| format!("invalid --threads value {v:?}"))?;
+            }
+            "--out" => options.out_dir = PathBuf::from(value_for("--out")?),
+            "--tolerance" => {
+                let v = value_for("--tolerance")?;
+                options.tolerance =
+                    v.parse().map_err(|_| format!("invalid --tolerance value {v:?}"))?;
+            }
+            "--baseline" => options.baseline = Some(PathBuf::from(value_for("--baseline")?)),
+            "-h" | "--help" => return Ok((Command::Help, options)),
+            // `list` is a command only in first position; anywhere else
+            // it stays a positional (e.g. a results file named `list`).
+            "list" | "--list" if keyword.is_none() && names.is_empty() => list = true,
+            "compare" | "gate" if keyword.is_none() => {
+                if list || !names.is_empty() {
+                    return Err(format!("{arg} cannot be combined with other commands\n\n{USAGE}"));
+                }
+                keyword = Some(arg);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n\n{USAGE}"))
+            }
+            _ => {
+                if keyword.is_some() {
+                    positional.push(arg);
+                } else {
+                    names.push(arg);
+                }
+            }
+        }
+    }
+    if list {
+        if !names.is_empty() || !positional.is_empty() {
+            return Err(format!("list takes no further arguments\n\n{USAGE}"));
+        }
+        return Ok((Command::List, options));
+    }
+    match keyword.as_deref() {
+        Some("compare") => {
+            if positional.len() != 2 {
+                return Err(format!(
+                    "compare takes exactly two files, got {}\n\n{USAGE}",
+                    positional.len()
+                ));
+            }
+            Ok((
+                Command::Compare(PathBuf::from(&positional[0]), PathBuf::from(&positional[1])),
+                options,
+            ))
+        }
+        Some("gate") => {
+            if positional.len() != 1 {
+                return Err(format!("gate takes exactly one figure name\n\n{USAGE}"));
+            }
+            if options.baseline.is_none() {
+                return Err("gate requires --baseline <file>".to_string());
+            }
+            let figure = resolve(&positional[0])?;
+            Ok((Command::Gate(figure), options))
+        }
+        _ => {
+            if names.is_empty() {
+                return Err(USAGE.to_string());
+            }
+            let figures = if names.iter().any(|n| n == "all") {
+                figures::ALL.iter().collect()
+            } else {
+                names.iter().map(|n| resolve(n)).collect::<Result<Vec<_>, _>>()?
+            };
+            Ok((Command::Run(figures), options))
+        }
+    }
+}
+
+fn resolve(name: &str) -> Result<&'static Figure, String> {
+    figures::find(name).ok_or_else(|| {
+        let known: Vec<&str> = figures::ALL.iter().map(|f| f.name).collect();
+        format!("unknown figure {name:?}; known figures: {}", known.join(", "))
+    })
+}
+
+fn load_json(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Runs one figure and writes its JSON result; returns the document.
+fn run_and_write(figure: &Figure, ctx: &RunContext, out_dir: &Path) -> Result<Json, String> {
+    let started = Instant::now();
+    let doc = figures::run_figure(figure, ctx);
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let path = out_dir.join(format!("{}.json", figure.name));
+    std::fs::write(&path, doc.render_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "\n[neomem-bench] {} done in {:.1}s -> {}",
+        figure.name,
+        started.elapsed().as_secs_f64(),
+        path.display()
+    );
+    Ok(doc)
+}
+
+fn main() -> ExitCode {
+    let (command, options) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = RunContext { scale: Scale::from_env(), threads: options.threads };
+    let gate_config = GateConfig { tolerance: options.tolerance, ..Default::default() };
+    let outcome: Result<bool, String> = match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        Command::List => {
+            for figure in figures::ALL {
+                println!("{:<14} {}", figure.name, figure.title);
+            }
+            Ok(true)
+        }
+        Command::Run(figures) => figures
+            .iter()
+            .try_for_each(|figure| run_and_write(figure, &ctx, &options.out_dir).map(|_| ()))
+            .map(|()| true),
+        Command::Compare(baseline_path, current_path) => {
+            load_json(&baseline_path).and_then(|baseline| {
+                load_json(&current_path).map(|current| {
+                    let report = compare(&baseline, &current, &gate_config);
+                    print!("{}", report.summary());
+                    report.passed()
+                })
+            })
+        }
+        Command::Gate(figure) => {
+            let baseline_path = options.baseline.as_deref().expect("validated in parse_args");
+            load_json(baseline_path).and_then(|baseline| {
+                run_and_write(figure, &ctx, &options.out_dir).map(|current| {
+                    let report = compare(&baseline, &current, &gate_config);
+                    print!("{}", report.summary());
+                    report.passed()
+                })
+            })
+        }
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("neomem-bench: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Fig. 3 — Characterizing CXL-enabled commodity hardware.
+//!
+//! (a) Idle-latency comparison: host DDR vs ideal-CXL vs FPGA prototype.
+//! (b) End-to-end slowdown when the workload is pinned entirely to CXL
+//!     memory vs entirely to local DRAM.
+
+use neomem::mem::{MemoryNode, NodeConfig, TieredMemoryConfig};
+use neomem::prelude::*;
+use neomem::sim::SimConfig;
+use neomem::types::AccessKind;
+use neomem_runner::Json;
+
+use super::RunContext;
+use crate::{geomean, header, paper_grid, row};
+
+fn latency_probe(config: NodeConfig) -> Nanos {
+    let mut node = MemoryNode::new(config);
+    // Pointer-chase: dependent accesses far apart in time → unloaded.
+    let mut total = Nanos::ZERO;
+    for i in 0..1000u64 {
+        total += node.service(AccessKind::Read, Nanos::from_micros(i * 10));
+    }
+    total / 1000
+}
+
+/// Sizes both tiers to hold the full footprint so placement, not
+/// capacity, is measured.
+fn both_tiers_hold_footprint(config: &mut SimConfig) {
+    config.memory = Some(TieredMemoryConfig::with_frames(
+        config.rss_pages + 64,
+        config.rss_pages + 64,
+    ));
+}
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "Fig. 3(a): memory latency characterisation",
+        "paper Fig. 3a (118 ns local, 170-250 ns ideal CXL, ~430 ns prototype)",
+    );
+    let local = latency_probe(NodeConfig::ddr_fast(1024));
+    let ideal = latency_probe(NodeConfig::cxl_ideal(1024));
+    let proto = latency_probe(NodeConfig::cxl_prototype(1024));
+    println!("{}", row(&["tier".into(), "latency".into(), "vs local".into()]));
+    let mut latencies = Vec::new();
+    for (name, lat) in [("Local Mem.", local), ("CXL (Ideal)", ideal), ("CXL (Proto.)", proto)] {
+        latencies.push((name.to_string(), Json::U64(lat.as_nanos())));
+        println!(
+            "{}",
+            row(&[
+                name.into(),
+                format!("{lat}"),
+                format!("{:.2}x", lat.as_nanos() as f64 / local.as_nanos() as f64),
+            ])
+        );
+    }
+
+    header(
+        "Fig. 3(b): slowdown on CXL-only vs local-only placement",
+        "paper Fig. 3b (64%-295% slowdown range)",
+    );
+    let mut workloads = WorkloadKind::FIG11.to_vec();
+    workloads.push(WorkloadKind::Redis);
+    let grid = paper_grid("fig03/placement", ctx.scale)
+        .workloads(workloads.iter().copied())
+        .policies([PolicyKind::PinnedFast, PolicyKind::PinnedSlow])
+        .budgets([ctx.scale.accesses(400_000)])
+        .configure(both_tiers_hold_footprint)
+        .run(ctx.threads)
+        .expect("valid fig03 grid");
+    println!("{}", row(&["benchmark".into(), "local".into(), "cxl-only".into(), "slowdown".into()]));
+    let mut slowdowns = Vec::new();
+    let mut series = Vec::new();
+    for &wl in &workloads {
+        let fast = grid.report_for(wl, PolicyKind::PinnedFast);
+        let slow = grid.report_for(wl, PolicyKind::PinnedSlow);
+        let slowdown = slow.runtime.as_nanos() as f64 / fast.runtime.as_nanos() as f64 - 1.0;
+        slowdowns.push(1.0 + slowdown);
+        series.push((wl.label().to_string(), Json::F64(slowdown)));
+        println!(
+            "{}",
+            row(&[
+                wl.label().into(),
+                format!("{}", fast.runtime),
+                format!("{}", slow.runtime),
+                format!("{:+.0}%", slowdown * 100.0),
+            ])
+        );
+    }
+    let geo = geomean(&slowdowns) - 1.0;
+    println!(
+        "{}",
+        row(&["Geomean".into(), String::new(), String::new(), format!("{:+.0}%", geo * 100.0)])
+    );
+    Json::obj([
+        ("grids", Json::Arr(vec![grid.to_json()])),
+        (
+            "series",
+            Json::obj([
+                ("idle_latency_ns", Json::Obj(latencies)),
+                ("cxl_only_slowdown", Json::Obj(series)),
+                ("geomean_slowdown", Json::F64(geo)),
+            ]),
+        ),
+    ])
+}

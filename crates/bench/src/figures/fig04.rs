@@ -1,0 +1,211 @@
+//! Fig. 4 — Evaluating different memory-profiling mechanisms.
+//!
+//! (a) PTE-scan (DAMON) time/space-resolution vs CPU-overhead trade-off,
+//!     against NeoProf's fixed low overhead.
+//! (b) TLB-access vs LLC-access dispersion on a Redis trace
+//!     (Challenge #2: TLB-level profiling misjudges true memory traffic).
+//! (c) PEBS slowdown vs sampling interval (Challenge #3).
+
+use std::collections::HashMap;
+
+use neomem::cache::{CacheHierarchy, HierarchyConfig, Tlb, TlbConfig};
+use neomem::kernel::{Kernel, KernelConfig};
+use neomem::prelude::*;
+use neomem::profilers::{DamonConfig, DamonScanner};
+use neomem::types::{CacheLine, PageNum, VirtPage};
+use neomem::workloads::WorkloadEvent;
+use neomem_runner::{run_indexed, Json};
+
+use super::RunContext;
+use crate::{header, paper_grid, row, Scale};
+
+/// Part (a): sweep DAMON regions; report per-epoch CPU overhead and
+/// spatial resolution. NeoProf's host cost is a handful of MMIO reads.
+fn part_a(ctx: &RunContext) -> Json {
+    header(
+        "Fig. 4(a): PTE-scan (DAMON) trade-off vs NeoProf",
+        "paper Fig. 4a (high overhead OR low resolution; NeoProf has neither)",
+    );
+    let rss: u64 = 32 * 1024;
+    println!(
+        "{}",
+        row(&["profiler".into(), "regions".into(), "pages/region".into(), "scan cost".into()])
+    );
+    let region_counts = [16usize, 64, 256, 1024, 4096];
+    let overheads = run_indexed(&region_counts, ctx.threads, |_, &nr_regions| {
+        let mut kernel = Kernel::new(KernelConfig::with_frames(rss / 3, rss));
+        for p in 0..rss / 2 {
+            kernel.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        let mut damon = DamonScanner::new(DamonConfig { nr_regions, ..Default::default() }, rss);
+        damon.scan_epoch(&mut kernel).overhead
+    });
+    let mut series = Vec::new();
+    for (&nr_regions, overhead) in region_counts.iter().zip(&overheads) {
+        series.push((format!("{nr_regions}"), Json::U64(overhead.as_nanos())));
+        println!(
+            "{}",
+            row(&[
+                "DAMON".into(),
+                format!("{nr_regions}"),
+                format!("{}", rss / nr_regions as u64),
+                format!("{overhead}"),
+            ])
+        );
+    }
+    // NeoProf: one hot-page readout (threshold + count + pages) per
+    // migration interval; resolution is a single 4 KiB page.
+    let mmio = neomem::profilers::NeoProfDriverConfig::default();
+    let neoprof_cost = mmio.mmio_read_cost * 16;
+    println!(
+        "{}",
+        row(&[
+            "NeoProf".into(),
+            "-".into(),
+            "1 (4KiB)".into(),
+            format!("{neoprof_cost}"),
+        ])
+    );
+    Json::obj([
+        ("damon_scan_cost_ns", Json::Obj(series)),
+        ("neoprof_readout_cost_ns", Json::U64(neoprof_cost.as_nanos())),
+    ])
+}
+
+/// Part (b): per-page TLB accesses vs LLC misses on Redis.
+fn part_b(scale: Scale) -> Json {
+    header(
+        "Fig. 4(b): TLB-level vs LLC-level access counts (Redis)",
+        "paper Fig. 4b (high dispersion, weak correlation)",
+    );
+    let rss = 4096u64;
+    let mut workload = WorkloadKind::Redis.build(rss, 7);
+    let mut tlb = Tlb::new(TlbConfig::scaled_small());
+    let mut caches = CacheHierarchy::new(HierarchyConfig::scaled_small());
+    let mut touches: HashMap<u64, u64> = HashMap::new();
+    let mut llc: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..scale.accesses(1_000_000) {
+        if let WorkloadEvent::Access(a) = workload.next_event() {
+            *touches.entry(a.vpage.index()).or_default() += 1;
+            tlb.access(a.vpage);
+            let line = CacheLine::of_page(PageNum::new(a.vpage.index()), a.line_in_page as u64);
+            if caches.access(line, a.kind).level.is_llc_miss() {
+                *llc.entry(a.vpage.index()).or_default() += 1;
+            }
+        }
+    }
+    // Rank correlation between page-touch counts and LLC-miss counts.
+    // Sort pages so the sample below (and the JSON) never depends on
+    // the HashMap's per-process iteration order.
+    let mut pages: Vec<u64> = touches.keys().copied().collect();
+    pages.sort_unstable();
+    let xs: Vec<f64> = pages.iter().map(|p| touches[p] as f64).collect();
+    let ys: Vec<f64> = pages.iter().map(|p| *llc.get(p).unwrap_or(&0) as f64).collect();
+    let r = pearson(&xs, &ys);
+    println!("pages observed: {}", pages.len());
+    println!("pearson(touches, llc_misses) = {r:.3}  (1.0 would mean TLB profiling suffices)");
+    println!("\nsample scatter (page, tlb-level touches, llc misses):");
+    println!("{}", row(&["page".into(), "touches".into(), "llc-misses".into()]));
+    for p in pages.iter().take(12) {
+        println!(
+            "{}",
+            row(&[
+                format!("{p}"),
+                format!("{}", touches[p]),
+                format!("{}", llc.get(p).unwrap_or(&0)),
+            ])
+        );
+    }
+    Json::obj([
+        ("pages_observed", Json::U64(pages.len() as u64)),
+        ("pearson_touches_vs_llc", Json::F64(r)),
+    ])
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx * vy).sqrt()
+    }
+}
+
+/// Part (c): PEBS slowdown vs sampling interval on GUPS.
+fn part_c(ctx: &RunContext) -> (Json, Json) {
+    header(
+        "Fig. 4(c): PEBS overhead vs sampling interval",
+        "paper Fig. 4c (>50% slowdown near interval 10, negligible at 10000)",
+    );
+    // Baseline: the same PEBS policy with sampling effectively off, so
+    // the sweep isolates pure sampling cost (promotion is disabled in
+    // all runs via a tiny quota).
+    let sweep: Vec<(String, u64)> = std::iter::once(("baseline".to_string(), u64::MAX / 2))
+        .chain([10u64, 100, 1000, 10_000].map(|i| (format!("{i}"), i)))
+        .collect();
+    let axis: Vec<(String, PolicyOverrides)> = sweep
+        .iter()
+        .map(|(label, interval)| {
+            (
+                label.clone(),
+                PolicyOverrides {
+                    pebs_sample_interval: Some(*interval),
+                    mquota: Some(Bandwidth::from_bytes_per_sec(1.0)),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let grid = paper_grid("fig04/pebs_interval", ctx.scale)
+        .workloads([WorkloadKind::Gups])
+        .policies([PolicyKind::Pebs])
+        .overrides_axis(axis)
+        .budgets([ctx.scale.accesses(300_000)])
+        .run(ctx.threads)
+        .expect("valid fig04 grid");
+    let baseline = grid.report_where(|c| c.override_label == "baseline");
+    println!("{}", row(&["interval".into(), "runtime".into(), "slowdown".into()]));
+    let mut series = Vec::new();
+    for (label, _) in sweep.iter().skip(1) {
+        let report = grid.report_where(|c| &c.override_label == label);
+        let slowdown =
+            report.runtime.as_nanos() as f64 / baseline.runtime.as_nanos() as f64 - 1.0;
+        series.push((label.clone(), Json::F64(slowdown)));
+        println!(
+            "{}",
+            row(&[
+                label.clone(),
+                format!("{}", report.runtime),
+                format!("{:+.1}%", slowdown * 100.0),
+            ])
+        );
+    }
+    println!(
+        "{}",
+        row(&["NeoProf".into(), format!("{}", baseline.runtime), "~+0.0%".into()])
+    );
+    (grid.to_json(), Json::Obj(series))
+}
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    let damon = part_a(ctx);
+    let dispersion = part_b(ctx.scale);
+    let (pebs_grid, pebs_slowdown) = part_c(ctx);
+    Json::obj([
+        ("grids", Json::Arr(vec![pebs_grid])),
+        (
+            "series",
+            Json::obj([
+                ("damon", damon),
+                ("tlb_dispersion", dispersion),
+                ("pebs_slowdown", pebs_slowdown),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,102 @@
+//! Fig. 11 — end-to-end performance comparison: eight benchmarks × six
+//! tiering solutions, normalised to PEBS (higher is better).
+//!
+//! Also reports the §VI-D NeoProf CPU-overhead measurement (the paper
+//! reports a 0.021 % slowdown with profiling enabled but migration
+//! disabled).
+
+use neomem::prelude::*;
+use neomem_runner::Json;
+
+use super::RunContext;
+use crate::{geomean, header, paper_grid, row};
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "Fig. 11: end-to-end performance (normalised to PEBS, higher is better)",
+        "paper Fig. 11 (NeoMem achieves 32%-67% geomean speedup)",
+    );
+    let policies = PolicyKind::FIG11;
+    let main = paper_grid("fig11/main", ctx.scale)
+        .workloads(WorkloadKind::FIG11)
+        .policies(policies)
+        .run(ctx.threads)
+        .expect("valid fig11 grid");
+
+    let mut labels: Vec<String> = vec!["benchmark".into()];
+    labels.extend(policies.iter().map(|p| p.label().to_string()));
+    println!("{}", row(&labels));
+
+    // Per-policy relative performance across benchmarks (vs PEBS).
+    let mut rel: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    let mut normalised = Vec::new();
+    for wl in WorkloadKind::FIG11 {
+        let runtimes: Vec<f64> = policies
+            .iter()
+            .map(|&p| main.report_for(wl, p).runtime.as_nanos() as f64)
+            .collect();
+        let pebs_runtime = main.report_for(wl, PolicyKind::Pebs).runtime.as_nanos() as f64;
+        let mut cells = vec![wl.label().to_string()];
+        let mut series = Vec::new();
+        for (i, rt) in runtimes.iter().enumerate() {
+            let norm = pebs_runtime / rt;
+            rel[i].push(norm);
+            series.push((policies[i].label().to_string(), Json::F64(norm)));
+            cells.push(format!("{norm:.2}"));
+        }
+        normalised.push((wl.label().to_string(), Json::Obj(series)));
+        println!("{}", row(&cells));
+    }
+    let mut cells = vec!["Geomean".to_string()];
+    let mut geomeans = Vec::new();
+    for series in &rel {
+        let g = geomean(series);
+        geomeans.push(g);
+        cells.push(format!("{g:.2}"));
+    }
+    println!("{}", row(&cells));
+
+    let neomem_g = geomeans[0];
+    println!("\nNeoMem geomean speedups over baselines:");
+    for (i, p) in policies.iter().enumerate().skip(1) {
+        println!("  vs {:<18} {:+.0}%", p.label(), (neomem_g / geomeans[i] - 1.0) * 100.0);
+    }
+
+    // §VI-D: NeoProf CPU overhead on GUPS — the host's only cost is the
+    // MMIO traffic of the daemon readouts, reported as a share of the
+    // run's total time (the paper measures 0.021% by toggling NeoProf).
+    header("§VI-D: CPU overhead of NeoMem profiling (GUPS)", "paper reports 0.021% slowdown");
+    let overhead = paper_grid("fig11/overhead", ctx.scale)
+        .workloads([WorkloadKind::Gups])
+        .policies([PolicyKind::NeoMem])
+        .budgets([ctx.scale.accesses(400_000)])
+        .run(ctx.threads)
+        .expect("valid overhead grid");
+    let profiled = overhead.report_for(WorkloadKind::Gups, PolicyKind::NeoMem);
+    let share =
+        profiled.profiling_overhead.as_nanos() as f64 / profiled.runtime.as_nanos() as f64;
+    println!("host MMIO time:          {}", profiled.profiling_overhead);
+    println!("share of total runtime:  {:.4}%", share * 100.0);
+
+    Json::obj([
+        ("grids", Json::Arr(vec![main.to_json(), overhead.to_json()])),
+        (
+            "series",
+            Json::obj([
+                ("normalised_to_pebs", Json::Obj(normalised)),
+                (
+                    "geomean_vs_pebs",
+                    Json::Obj(
+                        policies
+                            .iter()
+                            .zip(&geomeans)
+                            .map(|(p, g)| (p.label().to_string(), Json::F64(*g)))
+                            .collect(),
+                    ),
+                ),
+                ("profiling_overhead_share", Json::F64(share)),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,60 @@
+//! Fig. 12 — performance under different fast:slow memory ratios
+//! (1:2, 1:4, 1:8), NeoMem vs PEBS (the second-best solution),
+//! normalised to PEBS at each ratio.
+
+use neomem::prelude::*;
+use neomem_runner::Json;
+
+use super::RunContext;
+use crate::{header, paper_grid, row};
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "Fig. 12: performance with different fast:slow memory ratios",
+        "paper Fig. 12 (NeoMem >= PEBS everywhere; gap widens on Page-Rank/Btree as fast shrinks)",
+    );
+    let grid = paper_grid("fig12/ratios", ctx.scale)
+        .workloads(WorkloadKind::FIG11)
+        .ratios([2, 4, 8])
+        .policies([PolicyKind::NeoMem, PolicyKind::Pebs])
+        .run(ctx.threads)
+        .expect("valid fig12 grid");
+    println!(
+        "{}",
+        row(&[
+            "benchmark".into(),
+            "ratio".into(),
+            "NeoMem".into(),
+            "PEBS".into(),
+            "NeoMem/PEBS".into(),
+        ])
+    );
+    let mut speedups = Vec::new();
+    for wl in WorkloadKind::FIG11 {
+        for ratio in [2u64, 4, 8] {
+            let at = |policy| {
+                grid.report_where(|c| c.workload == wl && c.policy == policy && c.ratio == ratio)
+                    .runtime
+            };
+            let neomem = at(PolicyKind::NeoMem);
+            let pebs = at(PolicyKind::Pebs);
+            let speedup = pebs.as_nanos() as f64 / neomem.as_nanos() as f64;
+            speedups.push((format!("{}@1:{ratio}", wl.label()), Json::F64(speedup)));
+            println!(
+                "{}",
+                row(&[
+                    wl.label().into(),
+                    format!("1:{ratio}"),
+                    format!("{neomem}"),
+                    format!("{pebs}"),
+                    format!("{speedup:.2}"),
+                ])
+            );
+        }
+    }
+    Json::obj([
+        ("grids", Json::Arr(vec![grid.to_json()])),
+        ("series", Json::obj([("neomem_over_pebs", Json::Obj(speedups))])),
+    ])
+}

@@ -1,0 +1,59 @@
+//! Fig. 13 — slow-tier (CXL) traffic and promotion/demotion counts per
+//! solution (promotions/demotions normalised to PEBS).
+
+use neomem::prelude::*;
+use neomem_runner::Json;
+
+use super::RunContext;
+use crate::{header, paper_grid, row};
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "Fig. 13: slow-tier traffic and promote/demote counts",
+        "paper Fig. 13 (NeoMem lowest slow-tier traffic; TPP fewest migrations; \
+         First-touch no migration; PEBS under-promotes)",
+    );
+    let grid = paper_grid("fig13/traffic", ctx.scale)
+        .workloads(WorkloadKind::FIG11)
+        .policies(PolicyKind::FIG11)
+        .run(ctx.threads)
+        .expect("valid fig13 grid");
+    println!(
+        "{}",
+        row(&[
+            "benchmark".into(),
+            "policy".into(),
+            "slow-tier".into(),
+            "promote".into(),
+            "demote".into(),
+            "ping-pong".into(),
+        ])
+    );
+    for wl in WorkloadKind::FIG11 {
+        // Normalise every policy's promotions against PEBS's, which the
+        // sequential harness could only do for rows after the PEBS run.
+        let pebs_promotions =
+            grid.report_for(wl, PolicyKind::Pebs).kernel.promotions.max(1);
+        for policy in PolicyKind::FIG11 {
+            let report = grid.report_for(wl, policy);
+            println!(
+                "{}",
+                row(&[
+                    wl.label().into(),
+                    policy.label().into(),
+                    format!("{:.2e}", report.slow_tier_accesses() as f64),
+                    format!(
+                        "{} ({:.1}x)",
+                        report.kernel.promotions,
+                        report.kernel.promotions as f64 / pebs_promotions as f64
+                    ),
+                    format!("{}", report.kernel.demotions),
+                    format!("{}", report.kernel.ping_pongs),
+                ])
+            );
+        }
+        println!();
+    }
+    Json::obj([("grids", Json::Arr(vec![grid.to_json()]))])
+}

@@ -1,0 +1,201 @@
+//! Fig. 15 — sensitivity to system and NeoProf parameters.
+//!
+//! (a) Migration-interval sweep (paper: 10 ms → 5000 ms; shorter wins).
+//! (b) Migration-quota sweep (paper: 64 MB/s → 8192 MB/s; sweet spot
+//!     around 128–256 MB/s).
+//! (c) Sketch-width sweep: estimated error bound (paper: → 0 at 512 K).
+//! (d) Sketch-width sweep: end-to-end performance (peaks ≥ 256 K).
+
+use neomem::prelude::*;
+use neomem::sketch::{error_bound, CmSketch, SketchParams};
+use neomem::types::DevicePage;
+use neomem_runner::{run_indexed, GridRun, Json};
+
+use super::RunContext;
+use crate::{header, paper_grid, row};
+
+/// A Page-Rank × NeoMem sweep over a labelled override axis.
+fn pagerank_sweep(
+    name: &str,
+    ctx: &RunContext,
+    axis: Vec<(String, PolicyOverrides)>,
+) -> GridRun {
+    paper_grid(name, ctx.scale)
+        .workloads([WorkloadKind::PageRank])
+        .policies([PolicyKind::NeoMem])
+        .overrides_axis(axis)
+        .run(ctx.threads)
+        .expect("valid fig15 sweep")
+}
+
+fn part_a(ctx: &RunContext) -> GridRun {
+    header(
+        "Fig. 15(a): migration-interval sweep (Page-Rank)",
+        "paper Fig. 15a (shorter interval -> better performance)",
+    );
+    println!("{}", row(&["interval (scaled)".into(), "runtime".into(), "norm. perf".into()]));
+    // The paper sweeps 10 ms → 5000 ms on wall-clock; cadences here are
+    // time-scaled by 1000, so the sweep covers the same decade span.
+    let axis: Vec<(String, PolicyOverrides)> = [10u64, 50, 100, 500, 1000, 5000]
+        .into_iter()
+        .map(|micros| {
+            (
+                format!("{micros}us"),
+                PolicyOverrides {
+                    migration_interval: Some(Nanos::from_micros(micros)),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let grid = pagerank_sweep("fig15/migration_interval", ctx, axis);
+    let base = grid.cells[0].report.runtime.as_nanos() as f64;
+    for run in &grid.cells {
+        println!(
+            "{}",
+            row(&[
+                run.cell.override_label.clone(),
+                format!("{}", run.report.runtime),
+                format!("{:.2}", base / run.report.runtime.as_nanos() as f64),
+            ])
+        );
+    }
+    grid
+}
+
+fn part_b(ctx: &RunContext) -> GridRun {
+    header(
+        "Fig. 15(b): migration-quota sweep (Page-Rank)",
+        "paper Fig. 15b (64 MB/s ~10% below the 128-256 MB/s sweet spot)",
+    );
+    println!("{}", row(&["mquota".into(), "runtime".into(), "norm. perf".into()]));
+    // Time compression packs the paper's promotion demand into ~1000x
+    // less simulated time, so the quota knee sits lower; the sweep spans
+    // the same two decades around it.
+    let quotas = [1u64, 4, 16, 64, 256, 1024, 4096, 8192];
+    let axis: Vec<(String, PolicyOverrides)> = quotas
+        .into_iter()
+        .map(|mib| {
+            (
+                format!("{mib}MB/s"),
+                PolicyOverrides {
+                    mquota: Some(Bandwidth::from_mib_per_sec(mib)),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let grid = pagerank_sweep("fig15/mquota", ctx, axis);
+    // Normalise against the paper's default quota (256 MB/s).
+    let base =
+        grid.report_where(|c| c.override_label == "256MB/s").runtime.as_nanos() as f64;
+    for run in &grid.cells {
+        println!(
+            "{}",
+            row(&[
+                run.cell.override_label.clone(),
+                format!("{}", run.report.runtime),
+                format!("{:.2}", base / run.report.runtime.as_nanos() as f64),
+            ])
+        );
+    }
+    grid
+}
+
+/// Part (c): feed a Page-Rank-like device-page stream into sketches of
+/// varying width and report the tight error bound.
+fn part_c(ctx: &RunContext) -> Json {
+    header(
+        "Fig. 15(c): sketch width vs estimated error bound",
+        "paper Fig. 15c (error bound collapses to 0 by W=512K)",
+    );
+    // A paper-scale stream: the prototype's 16 GB CXL device holds 4 M
+    // pages, far above every sketch width — synthesise a zipf-skewed
+    // stream over 2 M device pages so counter aliasing is visible.
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let zipf = neomem::workloads::Zipf::new(2_000_000, 0.9);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let want = ctx.scale.accesses(2_000_000) as usize;
+    let stream: Vec<DevicePage> =
+        (0..want).map(|_| DevicePage::new(zipf.sample(&mut rng) as u64)).collect();
+    println!("{}", row(&["width".into(), "error bound".into()]));
+    let shifts = [15u32, 16, 17, 18, 19];
+    let bounds = run_indexed(&shifts, ctx.threads, |_, &shift| {
+        let mut sketch = CmSketch::new(SketchParams {
+            width: 1usize << shift,
+            depth: 2,
+            seed: 9,
+            hot_buffer_entries: 1024,
+        })
+        .unwrap();
+        for &p in &stream {
+            sketch.update(p);
+        }
+        error_bound::exact(sketch.lane_counters(0), 0.25, 2)
+    });
+    let mut series = Vec::new();
+    for (&shift, &bound) in shifts.iter().zip(&bounds) {
+        let width = 1usize << shift;
+        series.push((format!("{}K", width / 1024), Json::U64(bound as u64)));
+        println!("{}", row(&[format!("{}K", width / 1024), format!("{bound}")]));
+    }
+    Json::Obj(series)
+}
+
+fn part_d(ctx: &RunContext) -> GridRun {
+    header(
+        "Fig. 15(d): sketch width vs end-to-end performance (Page-Rank)",
+        "paper Fig. 15d (performance climbs with W, flat after 256K)",
+    );
+    println!("{}", row(&["width".into(), "runtime".into(), "norm. perf".into()]));
+    // The quick footprint has ~4K slow-tier pages; the paper's RSS has
+    // millions. To keep the width:footprint ratio of the paper's sweep,
+    // the scaled sweep starts below the footprint (256..4K) and ends in
+    // the no-aliasing regime.
+    let axis: Vec<(String, PolicyOverrides)> = [8u32, 10, 12, 14, 19]
+        .into_iter()
+        .map(|shift| {
+            let width = 1usize << shift;
+            let label =
+                if width >= 1024 { format!("{}K", width / 1024) } else { format!("{width}") };
+            (
+                label,
+                PolicyOverrides {
+                    sketch: Some(SketchParams {
+                        width,
+                        depth: 2,
+                        seed: 9,
+                        hot_buffer_entries: 16 * 1024,
+                    }),
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    let grid = pagerank_sweep("fig15/sketch_width", ctx, axis);
+    let base = grid.cells[0].report.runtime.as_nanos() as f64;
+    for run in &grid.cells {
+        println!(
+            "{}",
+            row(&[
+                run.cell.override_label.clone(),
+                format!("{}", run.report.runtime),
+                format!("{:.2}", base / run.report.runtime.as_nanos() as f64),
+            ])
+        );
+    }
+    grid
+}
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    let a = part_a(ctx);
+    let b = part_b(ctx);
+    let c = part_c(ctx);
+    let d = part_d(ctx);
+    Json::obj([
+        ("grids", Json::Arr(vec![a.to_json(), b.to_json(), d.to_json()])),
+        ("series", Json::obj([("error_bound_by_width", c)])),
+    ])
+}

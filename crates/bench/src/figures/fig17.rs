@@ -1,0 +1,61 @@
+//! Fig. 17 — end-to-end comparison with Memtis.
+//!
+//! The paper reports a 1.58× geomean speedup for NeoMem, with Memtis
+//! close on 603.bwaves but far behind on GUPS due to its sluggish
+//! PEBS+histogram hot-set classification.
+
+use neomem::prelude::*;
+use neomem_runner::Json;
+
+use super::RunContext;
+use crate::{geomean, header, paper_grid, row};
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "Fig. 17: NeoMem vs Memtis (normalised to Memtis, higher is better)",
+        "paper Fig. 17 (NeoMem 1.58x geomean; largest gap on GUPS)",
+    );
+    let grid = paper_grid("fig17/memtis", ctx.scale)
+        .workloads(WorkloadKind::FIG11)
+        .policies([PolicyKind::NeoMem, PolicyKind::Memtis])
+        .run(ctx.threads)
+        .expect("valid fig17 grid");
+    println!(
+        "{}",
+        row(&["benchmark".into(), "NeoMem".into(), "Memtis".into(), "speedup".into()])
+    );
+    let mut speedups = Vec::new();
+    let mut series = Vec::new();
+    for wl in WorkloadKind::FIG11 {
+        let neomem = grid.report_for(wl, PolicyKind::NeoMem).runtime;
+        let memtis = grid.report_for(wl, PolicyKind::Memtis).runtime;
+        let speedup = memtis.as_nanos() as f64 / neomem.as_nanos() as f64;
+        speedups.push(speedup);
+        series.push((wl.label().to_string(), Json::F64(speedup)));
+        println!(
+            "{}",
+            row(&[
+                wl.label().into(),
+                format!("{neomem}"),
+                format!("{memtis}"),
+                format!("{speedup:.2}x"),
+            ])
+        );
+    }
+    let g = geomean(&speedups);
+    println!(
+        "{}",
+        row(&["GeoMean".into(), String::new(), String::new(), format!("{g:.2}x")])
+    );
+    Json::obj([
+        ("grids", Json::Arr(vec![grid.to_json()])),
+        (
+            "series",
+            Json::obj([
+                ("speedup_vs_memtis", Json::Obj(series)),
+                ("geomean_speedup", Json::F64(g)),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks for the NeoProf sketch pipeline, including
+//! the DESIGN.md ablations: hot-bit filter vs none, lazy vs eager clear,
+//! histogram error bound vs exact sort.
+//!
+//! Timings are wall-clock and host-dependent, so they are printed to
+//! stdout but kept out of the deterministic JSON payload.
+
+use criterion::{black_box, Criterion};
+use neomem::sketch::{
+    error_bound, CmSketch, CounterHistogram, FilterKind, HotPageDetector, SketchParams,
+};
+use neomem::types::DevicePage;
+use neomem_runner::Json;
+
+use super::RunContext;
+
+fn params() -> SketchParams {
+    SketchParams { width: 1 << 16, depth: 2, seed: 7, hot_buffer_entries: 16 * 1024 }
+}
+
+fn bench_sketch_update(c: &mut Criterion) {
+    let mut sketch = CmSketch::new(params()).unwrap();
+    let mut i = 0u64;
+    c.bench_function("sketch/update", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(sketch.update(DevicePage::new(i % 100_000)))
+        })
+    });
+}
+
+fn bench_sketch_estimate(c: &mut Criterion) {
+    let mut sketch = CmSketch::new(params()).unwrap();
+    for i in 0..100_000u64 {
+        sketch.update(DevicePage::new(i % 4096));
+    }
+    let mut i = 0u64;
+    c.bench_function("sketch/estimate", |b| {
+        b.iter(|| {
+            i += 1;
+            black_box(sketch.estimate(DevicePage::new(i % 4096)))
+        })
+    });
+}
+
+fn bench_detector_observe(c: &mut Criterion) {
+    let mut det = HotPageDetector::new(params()).unwrap();
+    det.set_threshold(8);
+    let mut i = 0u64;
+    c.bench_function("detector/observe", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(det.observe(DevicePage::new(i % 50_000)));
+            if det.pending_hot_pages() > 8000 {
+                det.clear();
+                det.set_threshold(8);
+            }
+        })
+    });
+}
+
+/// Ablation #1: hot-bit filter (reuses sketch hashes) vs an external
+/// Bloom filter with its own hash stage.
+fn bench_filter_kinds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detector/filter");
+    for (name, kind) in
+        [("hot_bits", FilterKind::HotBits), ("external_bloom", FilterKind::ExternalBloom)]
+    {
+        group.bench_function(name, |b| {
+            let mut det = HotPageDetector::with_filter(params(), kind).unwrap();
+            det.set_threshold(4);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9E37_79B9);
+                black_box(det.observe(DevicePage::new(i % 20_000)));
+                if det.pending_hot_pages() > 8000 {
+                    det.clear();
+                    det.set_threshold(4);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation #4: valid-bit lazy clear vs eager counter zeroing.
+fn bench_clear_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch/clear");
+    group.bench_function("lazy_valid_bits", |b| {
+        let mut sketch = CmSketch::new(params()).unwrap();
+        b.iter(|| {
+            sketch.update(DevicePage::new(1));
+            sketch.clear();
+        })
+    });
+    group.bench_function("eager_zeroing", |b| {
+        let mut sketch = CmSketch::new(params()).unwrap();
+        sketch.set_eager_clear(true);
+        b.iter(|| {
+            sketch.update(DevicePage::new(1));
+            sketch.clear();
+        })
+    });
+    group.finish();
+}
+
+/// Ablation #2: histogram-based error bound vs exact sorted computation.
+fn bench_error_bound(c: &mut Criterion) {
+    let mut sketch = CmSketch::new(params()).unwrap();
+    for i in 0..500_000u64 {
+        sketch.update(DevicePage::new(i % 10_000));
+    }
+    let mut group = c.benchmark_group("sketch/error_bound");
+    group.bench_function("exact_sort", |b| {
+        b.iter(|| black_box(error_bound::exact(sketch.lane_counters(0), 0.25, 2)))
+    });
+    group.bench_function("histogram_64bin", |b| {
+        b.iter(|| {
+            let hist = CounterHistogram::from_counters(sketch.lane_counters(0));
+            black_box(error_bound::from_histogram(&hist, 0.25, 2))
+        })
+    });
+    group.finish();
+}
+
+/// The benchmark ids, in execution order (part of the JSON payload).
+const BENCH_IDS: &[&str] = &[
+    "sketch/update",
+    "sketch/estimate",
+    "detector/observe",
+    "detector/filter/hot_bits",
+    "detector/filter/external_bloom",
+    "sketch/clear/lazy_valid_bits",
+    "sketch/clear/eager_zeroing",
+    "sketch/error_bound/exact_sort",
+    "sketch/error_bound/histogram_64bin",
+];
+
+/// Runs every micro-benchmark in the group.
+pub fn benches(c: &mut Criterion) {
+    bench_sketch_update(c);
+    bench_sketch_estimate(c);
+    bench_detector_observe(c);
+    bench_filter_kinds(c);
+    bench_clear_modes(c);
+    bench_error_bound(c);
+}
+
+/// Runs the micro-benchmarks; timings go to stdout only.
+pub fn run(_ctx: &RunContext) -> Json {
+    let mut criterion = Criterion::default().sample_size(20);
+    benches(&mut criterion);
+    Json::obj([(
+        "series",
+        Json::obj([
+            ("benchmarks", Json::arr(BENCH_IDS.iter().copied())),
+            (
+                "note",
+                Json::from(
+                    "wall-clock ns/iter printed to stdout; host-dependent, excluded from JSON",
+                ),
+            ),
+        ]),
+    )])
+}

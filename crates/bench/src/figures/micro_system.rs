@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the simulation substrates: cache
+//! hierarchy, TLB, memory nodes and end-to-end simulator step rate.
+//!
+//! Timings are wall-clock and host-dependent, so they are printed to
+//! stdout but kept out of the deterministic JSON payload.
+
+use criterion::{black_box, Criterion};
+use neomem::cache::{CacheHierarchy, HierarchyConfig, Tlb, TlbConfig};
+use neomem::mem::{MemoryNode, NodeConfig};
+use neomem::prelude::*;
+use neomem::types::{AccessKind, CacheLine, VirtPage};
+use neomem_runner::Json;
+
+use super::RunContext;
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut hier = CacheHierarchy::new(HierarchyConfig::scaled_small());
+    let mut i = 0u64;
+    c.bench_function("cache/hierarchy_access", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9);
+            black_box(hier.access(CacheLine::new(i % (1 << 20)), AccessKind::Read))
+        })
+    });
+}
+
+fn bench_tlb_access(c: &mut Criterion) {
+    let mut tlb = Tlb::new(TlbConfig::scaled_default());
+    let mut i = 0u64;
+    c.bench_function("tlb/access", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(7);
+            black_box(tlb.access(VirtPage::new(i % 10_000)))
+        })
+    });
+}
+
+fn bench_memory_node(c: &mut Criterion) {
+    let mut node = MemoryNode::new(NodeConfig::cxl_prototype(1024));
+    let mut now = Nanos::ZERO;
+    c.bench_function("mem/node_service", |b| {
+        b.iter(|| {
+            now += Nanos::new(500);
+            black_box(node.service(AccessKind::Read, now))
+        })
+    });
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    c.bench_function("sim/gups_50k_neomem", |b| {
+        b.iter(|| {
+            let report = Experiment::builder()
+                .workload(WorkloadKind::Gups)
+                .policy(PolicyKind::NeoMem)
+                .rss_pages(2048)
+                .accesses(50_000)
+                .build()
+                .unwrap()
+                .run();
+            black_box(report.runtime)
+        })
+    });
+}
+
+/// The benchmark ids, in execution order (part of the JSON payload).
+const BENCH_IDS: &[&str] =
+    &["cache/hierarchy_access", "tlb/access", "mem/node_service", "sim/gups_50k_neomem"];
+
+/// Runs every micro-benchmark in the group.
+pub fn benches(c: &mut Criterion) {
+    bench_cache_access(c);
+    bench_tlb_access(c);
+    bench_memory_node(c);
+    bench_simulation_throughput(c);
+}
+
+/// Runs the micro-benchmarks; timings go to stdout only.
+pub fn run(_ctx: &RunContext) -> Json {
+    let mut criterion = Criterion::default().sample_size(10);
+    benches(&mut criterion);
+    Json::obj([(
+        "series",
+        Json::obj([
+            ("benchmarks", Json::arr(BENCH_IDS.iter().copied())),
+            (
+                "note",
+                Json::from(
+                    "wall-clock ns/iter printed to stdout; host-dependent, excluded from JSON",
+                ),
+            ),
+        ]),
+    )])
+}

@@ -1,0 +1,21 @@
+//! Table I — qualitative comparison of memory-access profiling
+//! techniques.
+
+use neomem_runner::Json;
+
+use super::RunContext;
+use crate::header;
+
+/// Runs the table (static content; no simulation).
+pub fn run(_ctx: &RunContext) -> Json {
+    header("Table I: memory-access profiling techniques comparison", "paper Table I");
+    let table = neomem::profilers::comparison_table();
+    print!("{table}");
+    Json::obj([(
+        "series",
+        Json::obj([(
+            "table_lines",
+            Json::arr(table.lines().map(str::to_string)),
+        )]),
+    )])
+}

@@ -1,0 +1,131 @@
+//! Table VI — Transparent Huge Pages vs base pages on Page-Rank:
+//! NeoMem vs TPP, THP on/off.
+//!
+//! The paper: NeoMem+THP beats NeoMem+base (7.02 GB of huge pages
+//! migrated); TPP+THP *regresses* because its time resolution is too low
+//! to accumulate per-region heat.
+//!
+//! The four configurations construct concrete policy types (to toggle
+//! THP fields the trait does not expose), so they run on the worker
+//! pool directly rather than through a grid.
+
+use neomem::policies::{
+    HintFaultPolicy, HintFaultPolicyConfig, NeoMemParams, NeoMemPolicy, TieringPolicy,
+};
+use neomem::prelude::*;
+use neomem::profilers::NeoProfDriverConfig;
+use neomem_runner::{metrics_json, run_indexed, Json};
+
+use super::RunContext;
+use crate::{header, row, Scale};
+
+struct Outcome {
+    report: RunReport,
+    promoted_base: Bytes,
+    promoted_huge: Bytes,
+}
+
+fn run_config(policy_kind: &str, thp: bool, scale: Scale) -> Outcome {
+    let rss = 8192u64;
+    let mut config = SimConfig::quick(rss, 2);
+    config.max_accesses = scale.accesses(1_500_000);
+    let mem = config.memory_config();
+    let slow_base = neomem::types::PageNum::new(mem.fast.capacity_frames);
+    let mquota = Bandwidth::from_mib_per_sec(256);
+
+    // Track huge-page bytes through concrete policy types.
+    let workload = WorkloadKind::PageRank.build(rss, 2024);
+    match policy_kind {
+        "NeoMem" => {
+            let mut params = NeoMemParams::scaled(1000);
+            params.thp = thp;
+            params.thp_votes = 2;
+            let policy = NeoMemPolicy::new(
+                neomem::neoprof::NeoProfConfig::paper_default(slow_base),
+                NeoProfDriverConfig::default(),
+                params,
+            )
+            .expect("valid device");
+            run_with(config, workload, Box::new(policy))
+        }
+        "TPP" => {
+            let mut cfg = HintFaultPolicyConfig::tpp().scaled(1000);
+            cfg.thp = thp;
+            let policy = HintFaultPolicy::new(cfg, mquota);
+            run_with(config, workload, Box::new(policy))
+        }
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+fn run_with(
+    config: SimConfig,
+    workload: Box<dyn neomem::workloads::Workload>,
+    policy: Box<dyn TieringPolicy>,
+) -> Outcome {
+    let report = Simulation::new(config, workload, policy).expect("valid sim").run();
+    let huge = report.promoted_huge_bytes;
+    let base = Bytes::new(report.kernel.promoted_bytes.as_u64().saturating_sub(huge.as_u64()));
+    Outcome { report, promoted_base: base, promoted_huge: huge }
+}
+
+/// Runs the table.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "Table VI: Transparent Huge Page vs base page on Page-Rank",
+        "paper Table VI (NeoMem-THP fastest; TPP barely migrates and regresses with THP)",
+    );
+    let configs = [("NeoMem", true), ("TPP", true), ("NeoMem", false), ("TPP", false)];
+    let outcomes =
+        run_indexed(&configs, ctx.threads, |_, &(name, thp)| run_config(name, thp, ctx.scale));
+    println!(
+        "{}",
+        row(&[
+            "config".into(),
+            "build".into(),
+            "avg iter".into(),
+            "total".into(),
+            "base promoted".into(),
+            "huge promoted".into(),
+        ])
+    );
+    let mut runs = Vec::new();
+    for ((name, thp), out) in configs.iter().zip(&outcomes) {
+        let r = &out.report;
+        let config_label = format!("{name} {}", if *thp { "THP" } else { "Base" });
+        let build = r
+            .markers
+            .iter()
+            .find(|m| m.label == "graph-built")
+            .map(|m| format!("{:.2}ms", m.at.as_millis_f64()))
+            .unwrap_or_else(|| "-".into());
+        let iters: Vec<f64> = (1..=16)
+            .filter_map(|i| r.marker_duration("iteration", i))
+            .map(|d| d.as_millis_f64())
+            .collect();
+        let avg_iter = if iters.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.2}ms", iters.iter().sum::<f64>() / iters.len() as f64)
+        };
+        runs.push(Json::obj([
+            ("config", Json::from(config_label.as_str())),
+            ("thp", Json::Bool(*thp)),
+            ("promoted_base_bytes", Json::U64(out.promoted_base.as_u64())),
+            ("promoted_huge_bytes", Json::U64(out.promoted_huge.as_u64())),
+            ("metrics", metrics_json(r)),
+        ]));
+        println!(
+            "{}",
+            row(&[
+                config_label,
+                build,
+                avg_iter,
+                format!("{:.2}ms", r.runtime.as_millis_f64()),
+                format!("{}", out.promoted_base),
+                format!("{}", out.promoted_huge),
+            ])
+        );
+    }
+    Json::obj([("runs", Json::Arr(runs))])
+}

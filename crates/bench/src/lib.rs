@@ -5,10 +5,25 @@
 //! them all with `cargo bench`, or one with e.g.
 //! `cargo bench --bench fig11_end_to_end`.
 //!
+//! The same figures are also exposed through the `neomem-bench` CLI
+//! binary, which additionally writes machine-readable JSON results to
+//! `target/bench-results/<name>.json` and runs experiment grids in
+//! parallel through [`neomem_runner`]:
+//!
+//! ```sh
+//! cargo run --release -p neomem_bench --bin neomem-bench -- fig11 --threads 4
+//! ```
+//!
 //! Set `NEOMEM_SCALE=full` for ~10× longer, higher-fidelity runs
 //! (default: `quick`).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use neomem::prelude::*;
+use neomem_runner::ExperimentGrid;
+
+pub mod figures;
 
 /// Scale knob read from `NEOMEM_SCALE` (`quick` default, `full` = 10×).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,11 +35,39 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Parses a scale name, case-insensitively. Empty input counts as
+    /// unset and maps to quick.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "" | "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
     /// Reads the scale from the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised `NEOMEM_SCALE` value — a misspelling
+    /// like `Fulll` must not silently fall back to a quick run.
     pub fn from_env() -> Self {
-        match std::env::var("NEOMEM_SCALE").as_deref() {
-            Ok("full") | Ok("FULL") => Scale::Full,
-            _ => Scale::Quick,
+        match std::env::var("NEOMEM_SCALE") {
+            Err(_) => Scale::Quick,
+            Ok(value) => Scale::parse(&value).unwrap_or_else(|| {
+                panic!(
+                    "unrecognised NEOMEM_SCALE value {value:?}: expected \"quick\" or \"full\" \
+                     (case-insensitive)"
+                )
+            }),
+        }
+    }
+
+    /// The canonical lowercase name (`quick` / `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
         }
     }
 
@@ -48,6 +91,18 @@ pub fn experiment(workload: WorkloadKind, policy: PolicyKind, scale: Scale) -> E
         .accesses(scale.accesses(1_200_000))
         .time_scale(1000)
         .seed(2024)
+}
+
+/// The grid-level counterpart of [`experiment`]: a campaign shell with
+/// the paper defaults (6144 pages, 1:2 ratio, seed 2024, scaled 1.2 M
+/// access budget) ready for axis overrides.
+pub fn paper_grid(name: &str, scale: Scale) -> ExperimentGrid {
+    ExperimentGrid::new(name)
+        .rss_pages(6144)
+        .ratios([2])
+        .seeds([2024])
+        .budgets([scale.accesses(1_200_000)])
+        .time_scale(1000)
 }
 
 /// Geometric mean of a slice of positive numbers.
@@ -87,9 +142,45 @@ mod tests {
     }
 
     #[test]
+    fn scale_parsing_is_case_insensitive() {
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("FULL"), Some(Scale::Full));
+        assert_eq!(Scale::parse("Full"), Some(Scale::Full));
+        assert_eq!(Scale::parse(" quick "), Some(Scale::Quick));
+        assert_eq!(Scale::parse("QUICK"), Some(Scale::Quick));
+        assert_eq!(Scale::parse(""), Some(Scale::Quick));
+    }
+
+    #[test]
+    fn scale_parsing_rejects_unknown_values() {
+        for bad in ["Fulll", "ful", "10x", "fast", "quick full"] {
+            assert_eq!(Scale::parse(bad), None, "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for scale in [Scale::Quick, Scale::Full] {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
+    }
+
+    #[test]
     fn experiment_shell_builds() {
         let e = experiment(WorkloadKind::Gups, PolicyKind::FirstTouch, Scale::Quick);
         assert!(e.accesses(10_000).rss_pages(1024).build().is_ok());
+    }
+
+    #[test]
+    fn paper_grid_matches_experiment_shell() {
+        let cells = paper_grid("shell", Scale::Quick)
+            .workloads([WorkloadKind::Gups])
+            .policies([PolicyKind::FirstTouch])
+            .cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].seed, 2024);
+        assert_eq!(cells[0].ratio, 2);
+        assert_eq!(cells[0].accesses, 1_200_000);
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub mod sim {
 pub mod prelude {
     pub use crate::experiment::{build_policy, Experiment, ExperimentBuilder, PolicyOverrides};
     pub use neomem_policies::PolicyKind;
-    pub use neomem_sim::{RunReport, SimConfig, Simulation};
+    pub use neomem_sim::{RunReport, SimConfig, Simulation, TimelinePoint};
     pub use neomem_types::{Bandwidth, Bytes, Nanos, Tier};
     pub use neomem_workloads::WorkloadKind;
 }

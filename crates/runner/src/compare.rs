@@ -1,0 +1,286 @@
+//! The perf-regression gate.
+//!
+//! Compares two machine-readable result documents (a checked-in
+//! baseline and a fresh run) cell by cell. Because every metric is
+//! simulated time, drift can only come from behavioural code changes —
+//! the tolerance band absorbs intentional small shifts while failing CI
+//! on real regressions.
+
+use core::fmt;
+
+use crate::json::Json;
+
+/// Gate parameters.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Allowed relative drift of the compared metric: a cell fails when
+    /// `|current / baseline - 1| > tolerance`.
+    pub tolerance: f64,
+    /// The metric compared per cell.
+    pub metric: &'static str,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self { tolerance: 0.10, metric: "runtime_ns" }
+    }
+}
+
+/// One cell's drift measurement.
+#[derive(Debug, Clone)]
+pub struct Drift {
+    /// Cell identity (`grid::workload/policy/...`).
+    pub key: String,
+    /// Baseline metric value.
+    pub baseline: f64,
+    /// Current metric value.
+    pub current: f64,
+}
+
+impl Drift {
+    /// `current / baseline`; infinite when the baseline is zero.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.current == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.current / self.baseline
+        }
+    }
+}
+
+impl fmt::Display for Drift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: baseline {} -> current {} ({:+.2}%)",
+            self.key,
+            self.baseline,
+            self.current,
+            (self.ratio() - 1.0) * 100.0
+        )
+    }
+}
+
+/// The gate verdict.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Number of cells compared.
+    pub checked: usize,
+    /// Cells outside the tolerance band.
+    pub failures: Vec<Drift>,
+    /// Structural problems: missing cells, unreadable documents.
+    pub structural: Vec<String>,
+    /// The largest observed |ratio − 1| across all compared cells.
+    pub max_drift: f64,
+}
+
+impl GateReport {
+    /// `true` when every cell is inside the band and the documents are
+    /// structurally compatible.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && self.structural.is_empty()
+    }
+
+    /// A multi-line human summary suitable for CI logs.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "regression gate: {} cells checked, max drift {:.2}%, {} failures, {} structural issues\n",
+            self.checked,
+            self.max_drift * 100.0,
+            self.failures.len(),
+            self.structural.len()
+        );
+        for issue in &self.structural {
+            out.push_str(&format!("  structural: {issue}\n"));
+        }
+        for drift in &self.failures {
+            out.push_str(&format!("  drift: {drift}\n"));
+        }
+        if self.passed() {
+            out.push_str("  PASS\n");
+        } else {
+            out.push_str("  FAIL\n");
+        }
+        out
+    }
+}
+
+/// Extracts `(key, metric)` pairs from a result document.
+///
+/// Understands the `neomem-bench` schema: a top-level `"grids"` array
+/// of grid objects, and/or a top-level `"cells"` array. Cells missing
+/// the metric are reported through `problems`.
+fn collect_cells(doc: &Json, metric: &str, problems: &mut Vec<String>) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut scan_cells = |grid_name: &str, cells: &[Json], out: &mut Vec<(String, f64)>| {
+        for (i, cell) in cells.iter().enumerate() {
+            let field = |key: &str| {
+                cell.get(key)
+                    .map(|v| match v {
+                        Json::Str(s) => s.clone(),
+                        other => other.render(),
+                    })
+                    .unwrap_or_default()
+            };
+            let key = format!(
+                "{grid_name}::{}/{}/r{}/a{}/s{}/{}",
+                field("workload"),
+                field("policy"),
+                field("ratio"),
+                field("accesses"),
+                field("seed"),
+                field("label"),
+            );
+            match cell.get("metrics").and_then(|m| m.get(metric)).and_then(Json::as_f64) {
+                Some(value) => out.push((key, value)),
+                None => problems.push(format!(
+                    "{grid_name} cell {i} ({key}) has no metric {metric:?}"
+                )),
+            }
+        }
+    };
+    if let Some(grids) = doc.get("grids").and_then(Json::as_arr) {
+        for grid in grids {
+            let name = grid.get("name").and_then(Json::as_str).unwrap_or("<unnamed>");
+            if let Some(cells) = grid.get("cells").and_then(Json::as_arr) {
+                scan_cells(name, cells, &mut out);
+            }
+        }
+    }
+    if let Some(cells) = doc.get("cells").and_then(Json::as_arr) {
+        scan_cells(doc.get("name").and_then(Json::as_str).unwrap_or("<root>"), cells, &mut out);
+    }
+    out
+}
+
+/// Compares `current` against `baseline` under `config`.
+pub fn compare(baseline: &Json, current: &Json, config: &GateConfig) -> GateReport {
+    let mut report = GateReport::default();
+    let base_cells = collect_cells(baseline, config.metric, &mut report.structural);
+    let cur_cells = collect_cells(current, config.metric, &mut report.structural);
+    if base_cells.is_empty() {
+        report.structural.push("baseline document contains no comparable cells".to_string());
+        return report;
+    }
+    for (key, _) in &cur_cells {
+        if !base_cells.iter().any(|(k, _)| k == key) {
+            report.structural.push(format!("cell {key} missing from baseline"));
+        }
+    }
+    for (key, base_value) in &base_cells {
+        let Some((_, cur_value)) = cur_cells.iter().find(|(k, _)| k == key) else {
+            report.structural.push(format!("cell {key} missing from current results"));
+            continue;
+        };
+        report.checked += 1;
+        let drift = Drift { key: key.clone(), baseline: *base_value, current: *cur_value };
+        let off_by = (drift.ratio() - 1.0).abs();
+        if off_by > report.max_drift {
+            report.max_drift = off_by;
+        }
+        if off_by > config.tolerance {
+            report.failures.push(drift);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(runtimes: &[(&str, u64)]) -> Json {
+        Json::obj([(
+            "grids",
+            Json::Arr(vec![Json::obj([
+                ("name", Json::from("g")),
+                (
+                    "cells",
+                    Json::Arr(
+                        runtimes
+                            .iter()
+                            .map(|(policy, rt)| {
+                                Json::obj([
+                                    ("workload", Json::from("GUPS")),
+                                    ("policy", Json::from(*policy)),
+                                    ("ratio", Json::U64(2)),
+                                    ("label", Json::from("")),
+                                    ("accesses", Json::U64(1000)),
+                                    ("seed", Json::U64(2024)),
+                                    ("metrics", Json::obj([("runtime_ns", Json::U64(*rt))])),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let a = doc(&[("NeoMem", 100), ("PEBS", 150)]);
+        let report = compare(&a, &a, &GateConfig::default());
+        assert!(report.passed(), "{}", report.summary());
+        assert_eq!(report.checked, 2);
+        assert_eq!(report.max_drift, 0.0);
+    }
+
+    #[test]
+    fn drift_inside_band_passes_and_is_reported() {
+        let base = doc(&[("NeoMem", 100)]);
+        let cur = doc(&[("NeoMem", 105)]);
+        let report = compare(&base, &cur, &GateConfig::default());
+        assert!(report.passed());
+        assert!((report.max_drift - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_outside_band_fails() {
+        let base = doc(&[("NeoMem", 100), ("PEBS", 200)]);
+        let cur = doc(&[("NeoMem", 125), ("PEBS", 200)]);
+        let report = compare(&base, &cur, &GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].key.contains("NeoMem"));
+        assert!(report.summary().contains("FAIL"));
+    }
+
+    #[test]
+    fn missing_and_extra_cells_are_structural_failures() {
+        let base = doc(&[("NeoMem", 100), ("PEBS", 200)]);
+        let cur = doc(&[("NeoMem", 100), ("TPP", 300)]);
+        let report = compare(&base, &cur, &GateConfig::default());
+        assert!(!report.passed());
+        assert_eq!(report.structural.len(), 2);
+    }
+
+    #[test]
+    fn empty_baseline_is_structural_failure() {
+        let empty = Json::obj([("grids", Json::Arr(vec![]))]);
+        let cur = doc(&[("NeoMem", 100)]);
+        let report = compare(&empty, &cur, &GateConfig::default());
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn zero_baseline_metric_handled() {
+        let base = doc(&[("NeoMem", 0)]);
+        let same = compare(&base, &doc(&[("NeoMem", 0)]), &GateConfig::default());
+        assert!(same.passed());
+        let grew = compare(&base, &doc(&[("NeoMem", 5)]), &GateConfig::default());
+        assert!(!grew.passed());
+    }
+
+    #[test]
+    fn custom_tolerance_widens_the_band() {
+        let base = doc(&[("NeoMem", 100)]);
+        let cur = doc(&[("NeoMem", 125)]);
+        let cfg = GateConfig { tolerance: 0.30, ..Default::default() };
+        assert!(compare(&base, &cur, &cfg).passed());
+    }
+}

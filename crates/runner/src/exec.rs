@@ -1,0 +1,102 @@
+//! The deterministic worker pool.
+//!
+//! Cells are pulled from a shared atomic cursor and their results are
+//! written back into the slot matching their index, so the output order
+//! — and therefore any serialisation of it — is a pure function of the
+//! input, never of thread scheduling. A panicking cell propagates out
+//! of [`run_indexed`] when the scope joins its workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested thread count: `0` means "all available cores".
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `cells` on `threads` workers, returning results in
+/// input order regardless of scheduling.
+///
+/// `threads == 0` uses all available cores; a single thread (or a
+/// single cell) degrades to a plain sequential map with no pool
+/// overhead.
+pub fn run_indexed<C, T, F>(cells: &[C], threads: usize, f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(usize, &C) -> T + Sync,
+{
+    let threads = effective_threads(threads).min(cells.len().max(1));
+    if threads <= 1 {
+        return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let result = f(i, &cells[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_input_order_at_any_thread_count() {
+        let cells: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = cells.iter().map(|c| c * 3).collect();
+        for threads in [1, 2, 4, 16] {
+            let got = run_indexed(&cells, threads, |_, c| c * 3);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn passes_cell_indices() {
+        let cells = ["a", "b", "c"];
+        let got = run_indexed(&cells, 2, |i, c| format!("{i}{c}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn runs_every_cell_exactly_once() {
+        let count = AtomicU64::new(0);
+        let cells: Vec<u32> = (0..64).collect();
+        let _ = run_indexed(&cells, 8, |_, _| count.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got: Vec<u64> = run_indexed(&[] as &[u64], 4, |_, c| *c);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_cores() {
+        assert!(effective_threads(0) >= 1);
+        assert_eq!(effective_threads(3), 3);
+    }
+}

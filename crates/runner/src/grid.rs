@@ -1,0 +1,461 @@
+//! Cartesian experiment grids.
+//!
+//! An [`ExperimentGrid`] describes a sweep over workload × ratio ×
+//! policy × override × access-budget × seed, expands it into
+//! [`GridCell`]s in a fixed row-major order, and runs the cells on the
+//! worker pool. Per-cell seeds are a pure function of the grid
+//! coordinates — never of scheduling — so a run's serialised results
+//! are byte-identical at any thread count.
+
+use neomem::prelude::*;
+use neomem::Error;
+
+use crate::exec;
+use crate::json::Json;
+use crate::report::metrics_json;
+
+/// SplitMix64: a cheap, well-mixed 64-bit hash used to derive seeds.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives `n` replicate seeds from a base seed. The first replicate
+/// keeps the base seed itself (so single-seed grids reproduce the
+/// legacy sequential sweeps exactly); later replicates are SplitMix64
+/// descendants.
+pub fn replicate_seeds(base: u64, n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| if i == 0 { base } else { splitmix64(base.wrapping_add(i)) }).collect()
+}
+
+/// How a cell's workload seed is derived from its coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedMode {
+    /// Every cell with the same seed-axis value shares that seed —
+    /// the paper's convention (all Fig. 11 points use seed 2024).
+    #[default]
+    Shared,
+    /// Each cell mixes the seed-axis value with its full grid
+    /// coordinates through SplitMix64, decorrelating the sweep.
+    PerCell,
+}
+
+/// A stable display name for a policy, distinguishing fixed-threshold
+/// NeoMem variants that share a figure label.
+pub fn policy_name(kind: PolicyKind) -> String {
+    match kind {
+        PolicyKind::NeoMemFixed(theta) => format!("NeoMem-fixed({theta})"),
+        other => other.label().to_string(),
+    }
+}
+
+/// A cartesian sweep description.
+///
+/// Cells expand workload-major, then ratio, policy, override,
+/// access budget, and seed innermost.
+#[derive(Debug, Clone)]
+pub struct ExperimentGrid {
+    name: String,
+    workloads: Vec<WorkloadKind>,
+    policies: Vec<PolicyKind>,
+    ratios: Vec<u64>,
+    overrides: Vec<(String, PolicyOverrides)>,
+    budgets: Vec<u64>,
+    seeds: Vec<u64>,
+    seed_mode: SeedMode,
+    rss_pages: u64,
+    time_scale: u64,
+    large_machine: bool,
+    configure: Option<fn(&mut SimConfig)>,
+}
+
+impl ExperimentGrid {
+    /// Starts a grid with the [`ExperimentBuilder`] defaults: GUPS ×
+    /// NeoMem, ratio 1:2, 4096 pages, 500 k accesses, seed 42.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            workloads: vec![WorkloadKind::Gups],
+            policies: vec![PolicyKind::NeoMem],
+            ratios: vec![2],
+            overrides: vec![(String::new(), PolicyOverrides::default())],
+            budgets: vec![500_000],
+            seeds: vec![42],
+            seed_mode: SeedMode::Shared,
+            rss_pages: 4096,
+            time_scale: 1000,
+            large_machine: false,
+            configure: None,
+        }
+    }
+
+    /// Sets the workload axis.
+    pub fn workloads(mut self, axis: impl IntoIterator<Item = WorkloadKind>) -> Self {
+        self.workloads = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the policy axis.
+    pub fn policies(mut self, axis: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.policies = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the fast:slow ratio axis (`1:r` per entry).
+    pub fn ratios(mut self, axis: impl IntoIterator<Item = u64>) -> Self {
+        self.ratios = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets a labelled policy-override axis (Fig. 15-style sweeps).
+    pub fn overrides_axis(
+        mut self,
+        axis: impl IntoIterator<Item = (String, PolicyOverrides)>,
+    ) -> Self {
+        self.overrides = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the access-budget axis.
+    pub fn budgets(mut self, axis: impl IntoIterator<Item = u64>) -> Self {
+        self.budgets = axis.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed axis (one replicate per seed).
+    pub fn seeds(mut self, axis: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = axis.into_iter().collect();
+        self
+    }
+
+    /// Selects the per-cell seed derivation.
+    pub fn seed_mode(mut self, mode: SeedMode) -> Self {
+        self.seed_mode = mode;
+        self
+    }
+
+    /// Sets the footprint in 4 KiB pages.
+    pub fn rss_pages(mut self, pages: u64) -> Self {
+        self.rss_pages = pages;
+        self
+    }
+
+    /// Divides the paper's daemon cadences by `scale`.
+    pub fn time_scale(mut self, scale: u64) -> Self {
+        self.time_scale = scale.max(1);
+        self
+    }
+
+    /// Uses the full-size cache/TLB presets.
+    pub fn large_machine(mut self, large: bool) -> Self {
+        self.large_machine = large;
+        self
+    }
+
+    /// Installs a final [`SimConfig`] hook applied to every cell.
+    pub fn configure(mut self, hook: fn(&mut SimConfig)) -> Self {
+        self.configure = Some(hook);
+        self
+    }
+
+    /// The number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+            * self.ratios.len()
+            * self.policies.len()
+            * self.overrides.len()
+            * self.budgets.len()
+            * self.seeds.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product into cells, in row-major order.
+    pub fn cells(&self) -> Vec<GridCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for (wi, &workload) in self.workloads.iter().enumerate() {
+            for (ri, &ratio) in self.ratios.iter().enumerate() {
+                for (pi, &policy) in self.policies.iter().enumerate() {
+                    for (oi, (label, overrides)) in self.overrides.iter().enumerate() {
+                        for (bi, &accesses) in self.budgets.iter().enumerate() {
+                            for &base_seed in &self.seeds {
+                                let seed = match self.seed_mode {
+                                    SeedMode::Shared => base_seed,
+                                    SeedMode::PerCell => {
+                                        // Chain the coordinates through the
+                                        // mixer; scheduling never enters.
+                                        let coords =
+                                            [wi as u64, ri as u64, pi as u64, oi as u64, bi as u64];
+                                        coords.iter().fold(base_seed, |acc, &c| {
+                                            splitmix64(acc ^ splitmix64(c))
+                                        })
+                                    }
+                                };
+                                cells.push(GridCell {
+                                    index: cells.len(),
+                                    workload,
+                                    policy,
+                                    ratio,
+                                    override_label: label.clone(),
+                                    overrides: *overrides,
+                                    accesses,
+                                    base_seed,
+                                    seed,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    fn builder_for(&self, cell: &GridCell) -> ExperimentBuilder {
+        let mut builder = Experiment::builder()
+            .workload(cell.workload)
+            .policy(cell.policy)
+            .rss_pages(self.rss_pages)
+            .ratio(cell.ratio)
+            .accesses(cell.accesses)
+            .seed(cell.seed)
+            .time_scale(self.time_scale)
+            .large_machine(self.large_machine)
+            .overrides(cell.overrides);
+        if let Some(hook) = self.configure {
+            builder = builder.configure(hook);
+        }
+        builder
+    }
+
+    /// Runs every cell on `threads` workers (`0` = all cores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any cell fails to build —
+    /// validated up front, before any simulation starts.
+    pub fn run(&self, threads: usize) -> Result<GridRun, Error> {
+        let cells = self.cells();
+        // Validate every cell before spending simulation time on any.
+        for cell in &cells {
+            self.builder_for(cell).build().map_err(|e| {
+                Error::invalid_config(format!(
+                    "grid '{}' cell {} ({} / {}): {e}",
+                    self.name,
+                    cell.index,
+                    cell.workload.label(),
+                    policy_name(cell.policy),
+                ))
+            })?;
+        }
+        let reports = exec::run_indexed(&cells, threads, |_, cell| {
+            self.builder_for(cell).build().expect("cell validated above").run()
+        });
+        Ok(GridRun {
+            name: self.name.clone(),
+            rss_pages: self.rss_pages,
+            time_scale: self.time_scale,
+            cells: cells.into_iter().zip(reports).map(|(cell, report)| CellRun { cell, report }).collect(),
+        })
+    }
+}
+
+/// One point of a grid: fully resolved experiment parameters.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Position in the grid's row-major expansion.
+    pub index: usize,
+    /// Workload under test.
+    pub workload: WorkloadKind,
+    /// Tiering policy under test.
+    pub policy: PolicyKind,
+    /// Fast:slow capacity ratio (`1:ratio`).
+    pub ratio: u64,
+    /// Label of the override-axis entry (empty for the default).
+    pub override_label: String,
+    /// Policy parameter overrides in force.
+    pub overrides: PolicyOverrides,
+    /// CPU-access budget.
+    pub accesses: u64,
+    /// The seed-axis value this cell came from.
+    pub base_seed: u64,
+    /// The derived workload seed (see [`SeedMode`]).
+    pub seed: u64,
+}
+
+/// A completed cell: its coordinates plus the simulation outcome.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// The grid coordinates.
+    pub cell: GridCell,
+    /// The simulation outcome.
+    pub report: RunReport,
+}
+
+/// The outcome of a full grid campaign, in cell order.
+#[derive(Debug, Clone)]
+pub struct GridRun {
+    /// Grid name (used as the JSON `name` and in gate keys).
+    pub name: String,
+    /// Footprint shared by all cells.
+    pub rss_pages: u64,
+    /// Daemon-cadence divisor shared by all cells.
+    pub time_scale: u64,
+    /// Completed cells, row-major.
+    pub cells: Vec<CellRun>,
+}
+
+impl GridRun {
+    /// The first cell matching `pred`.
+    pub fn find(&self, pred: impl Fn(&GridCell) -> bool) -> Option<&CellRun> {
+        self.cells.iter().find(|run| pred(&run.cell))
+    }
+
+    /// The report of the first cell matching `pred`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no cell matches — a programming error in figure
+    /// code, not a data condition.
+    pub fn report_where(&self, pred: impl Fn(&GridCell) -> bool) -> &RunReport {
+        &self.find(pred).expect("no grid cell matches predicate").report
+    }
+
+    /// The report for a (workload, policy) point — the common lookup.
+    pub fn report_for(&self, workload: WorkloadKind, policy: PolicyKind) -> &RunReport {
+        self.report_where(|c| c.workload == workload && c.policy == policy)
+    }
+
+    /// Serialises the campaign: grid header plus one record per cell
+    /// (coordinates + flat metrics). Deterministic at any thread count.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("rss_pages", Json::U64(self.rss_pages)),
+            ("time_scale", Json::U64(self.time_scale)),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|run| {
+                            Json::obj([
+                                ("workload", Json::from(run.cell.workload.label())),
+                                ("policy", Json::from(policy_name(run.cell.policy))),
+                                ("ratio", Json::U64(run.cell.ratio)),
+                                ("label", Json::from(run.cell.override_label.as_str())),
+                                ("accesses", Json::U64(run.cell.accesses)),
+                                ("seed", Json::U64(run.cell.seed)),
+                                ("metrics", metrics_json(&run.report)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_order_is_row_major_and_stable() {
+        let grid = ExperimentGrid::new("order")
+            .workloads([WorkloadKind::Gups, WorkloadKind::Silo])
+            .ratios([2, 4])
+            .policies([PolicyKind::NeoMem, PolicyKind::Pebs]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 8);
+        assert_eq!(grid.len(), 8);
+        assert_eq!(cells[0].workload, WorkloadKind::Gups);
+        assert_eq!((cells[0].ratio, cells[0].policy), (2, PolicyKind::NeoMem));
+        assert_eq!((cells[1].ratio, cells[1].policy), (2, PolicyKind::Pebs));
+        assert_eq!((cells[2].ratio, cells[2].policy), (4, PolicyKind::NeoMem));
+        assert_eq!(cells[4].workload, WorkloadKind::Silo);
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+    }
+
+    #[test]
+    fn shared_seed_mode_reproduces_legacy_seeds() {
+        let cells = ExperimentGrid::new("seeds")
+            .workloads([WorkloadKind::Gups, WorkloadKind::Silo])
+            .seeds([2024])
+            .cells();
+        assert!(cells.iter().all(|c| c.seed == 2024));
+    }
+
+    #[test]
+    fn per_cell_seed_mode_decorrelates_cells() {
+        let cells = ExperimentGrid::new("seeds")
+            .workloads([WorkloadKind::Gups, WorkloadKind::Silo])
+            .policies([PolicyKind::NeoMem, PolicyKind::Pebs])
+            .seeds([2024])
+            .seed_mode(SeedMode::PerCell)
+            .cells();
+        let mut seeds: Vec<u64> = cells.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), cells.len(), "per-cell seeds must be distinct");
+        // And derivation is stable: same grid, same seeds.
+        let again = ExperimentGrid::new("seeds")
+            .workloads([WorkloadKind::Gups, WorkloadKind::Silo])
+            .policies([PolicyKind::NeoMem, PolicyKind::Pebs])
+            .seeds([2024])
+            .seed_mode(SeedMode::PerCell)
+            .cells();
+        assert!(cells.iter().zip(&again).all(|(a, b)| a.seed == b.seed));
+    }
+
+    #[test]
+    fn replicate_seeds_start_at_base_and_diverge() {
+        let seeds = replicate_seeds(2024, 4);
+        assert_eq!(seeds[0], 2024);
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+        assert_eq!(seeds, replicate_seeds(2024, 4));
+    }
+
+    #[test]
+    fn invalid_cells_fail_before_any_simulation() {
+        let err = ExperimentGrid::new("invalid").rss_pages(0).run(1);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn policy_names_distinguish_fixed_thresholds() {
+        assert_eq!(policy_name(PolicyKind::NeoMem), "NeoMem");
+        assert_eq!(policy_name(PolicyKind::NeoMemFixed(8)), "NeoMem-fixed(8)");
+        assert_ne!(
+            policy_name(PolicyKind::NeoMemFixed(2)),
+            policy_name(PolicyKind::NeoMemFixed(4))
+        );
+    }
+
+    #[test]
+    fn grid_run_lookup_and_json() {
+        let run = ExperimentGrid::new("mini")
+            .workloads([WorkloadKind::Gups])
+            .policies([PolicyKind::FirstTouch, PolicyKind::PinnedFast])
+            .rss_pages(512)
+            .budgets([5_000])
+            .run(2)
+            .expect("mini grid runs");
+        assert_eq!(run.cells.len(), 2);
+        let report = run.report_for(WorkloadKind::Gups, PolicyKind::PinnedFast);
+        assert!(report.runtime.as_nanos() > 0);
+        let json = run.to_json();
+        assert_eq!(json.get("name").and_then(Json::as_str), Some("mini"));
+        assert_eq!(json.get("cells").and_then(Json::as_arr).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! # `neomem_runner` — the parallel experiment-campaign layer
+//!
+//! The figure/table regeneration harness and any large parameter sweep
+//! share the same needs: describe a cartesian grid of experiments, fan
+//! the cells out across threads without sacrificing reproducibility,
+//! and emit results a machine can diff. This crate provides exactly
+//! those three pieces, with no external dependencies (the offline
+//! vendor set has no serde or rayon):
+//!
+//! - [`ExperimentGrid`]: a sweep over workload × policy × ratio ×
+//!   override × budget × seed, expanded in a fixed row-major order with
+//!   per-cell seeds derived purely from grid coordinates.
+//! - [`run_indexed`]: a `std::thread` worker pool whose output order is
+//!   a function of the input only — serialised results are
+//!   byte-identical at any thread count.
+//! - [`Json`]: a hand-rolled JSON tree (serialiser + parser) behind the
+//!   `target/bench-results/<name>.json` artifacts and the checked-in
+//!   `BENCH_*.json` baselines.
+//! - [`compare`]: the CI perf-regression gate, comparing per-cell
+//!   simulated runtimes against a baseline within a tolerance band.
+//!
+//! ```
+//! use neomem::prelude::*;
+//! use neomem_runner::ExperimentGrid;
+//!
+//! let run = ExperimentGrid::new("demo")
+//!     .workloads([WorkloadKind::Gups])
+//!     .policies([PolicyKind::FirstTouch])
+//!     .rss_pages(512)
+//!     .budgets([5_000])
+//!     .run(0)?; // 0 = all cores
+//! assert!(run.report_for(WorkloadKind::Gups, PolicyKind::FirstTouch).runtime.as_nanos() > 0);
+//! # Ok::<(), neomem::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compare;
+mod exec;
+mod grid;
+mod json;
+mod report;
+
+pub use compare::{compare, Drift, GateConfig, GateReport};
+pub use exec::{effective_threads, run_indexed};
+pub use grid::{
+    policy_name, replicate_seeds, splitmix64, CellRun, ExperimentGrid, GridCell, GridRun, SeedMode,
+};
+pub use json::{Json, JsonError};
+pub use report::{metrics_json, report_json};

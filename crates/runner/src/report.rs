@@ -1,0 +1,50 @@
+//! [`RunReport`] → JSON serialisation.
+
+use neomem::prelude::RunReport;
+
+use crate::json::Json;
+
+/// The flat metrics of a run as an ordered JSON object.
+///
+/// Every value is a simulated (virtual-clock) quantity, so the object
+/// is byte-identical across hosts and thread counts.
+pub fn metrics_json(report: &RunReport) -> Json {
+    Json::Obj(
+        report.scalar_metrics().into_iter().map(|(k, v)| (k.to_string(), Json::U64(v))).collect(),
+    )
+}
+
+/// A standalone run record: workload + policy labels and the metrics.
+pub fn report_json(report: &RunReport) -> Json {
+    Json::obj([
+        ("workload", Json::from(report.workload.as_str())),
+        ("policy", Json::from(report.policy.as_str())),
+        ("metrics", metrics_json(report)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem::prelude::*;
+
+    #[test]
+    fn metrics_include_runtime_and_counters() {
+        let report = Experiment::builder()
+            .workload(WorkloadKind::Gups)
+            .policy(PolicyKind::FirstTouch)
+            .rss_pages(512)
+            .accesses(5_000)
+            .build()
+            .expect("valid experiment")
+            .run();
+        let json = report_json(&report);
+        assert_eq!(json.get("workload").and_then(Json::as_str), Some("GUPS"));
+        let metrics = json.get("metrics").expect("metrics object");
+        assert!(metrics.get("runtime_ns").and_then(Json::as_u64).unwrap() > 0);
+        assert!(metrics.get("accesses").and_then(Json::as_u64).unwrap() >= 5_000);
+        for key in ["llc_misses", "promotions", "tlb_misses", "profiling_overhead_ns"] {
+            assert!(metrics.get(key).is_some(), "missing metric {key}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The campaign runner's headline guarantee: a grid run serialises to
+//! byte-identical JSON at any thread count.
+
+use neomem::prelude::*;
+use neomem_runner::{ExperimentGrid, SeedMode};
+
+fn grid() -> ExperimentGrid {
+    ExperimentGrid::new("determinism")
+        .workloads([WorkloadKind::Gups, WorkloadKind::Silo])
+        .policies([PolicyKind::NeoMem, PolicyKind::FirstTouch])
+        .rss_pages(1024)
+        .budgets([20_000])
+        .seeds([2024])
+}
+
+#[test]
+fn grid_json_is_byte_identical_across_thread_counts() {
+    let sequential = grid().run(1).expect("grid runs").to_json().render_pretty();
+    let parallel = grid().run(4).expect("grid runs").to_json().render_pretty();
+    assert_eq!(sequential, parallel, "thread count leaked into results");
+}
+
+#[test]
+fn per_cell_seed_mode_is_also_thread_count_invariant() {
+    let grid = || grid().seed_mode(SeedMode::PerCell);
+    let sequential = grid().run(1).expect("grid runs").to_json().render();
+    let parallel = grid().run(3).expect("grid runs").to_json().render();
+    assert_eq!(sequential, parallel);
+}

@@ -122,6 +122,49 @@ impl RunReport {
         out
     }
 
+    /// Flat `(name, value)` scalar counters covering the whole report —
+    /// the serialisation hook behind `neomem_runner`'s JSON results.
+    ///
+    /// Every value is simulated (virtual-clock) state, so the list is
+    /// deterministic for a given configuration and seed. Names are part
+    /// of the `BENCH_*.json` schema; extend rather than rename.
+    pub fn scalar_metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("runtime_ns", self.runtime.as_nanos()),
+            ("accesses", self.accesses),
+            ("llc_misses", self.llc_misses),
+            ("slow_reads", self.slow_reads),
+            ("slow_writes", self.slow_writes),
+            ("fast_reads", self.fast_reads),
+            ("fast_writes", self.fast_writes),
+            ("slow_tier_accesses", self.slow_tier_accesses()),
+            ("promotions", self.kernel.promotions),
+            ("demotions", self.kernel.demotions),
+            ("ping_pongs", self.kernel.ping_pongs),
+            ("promoted_bytes", self.kernel.promoted_bytes.as_u64()),
+            ("demoted_bytes", self.kernel.demoted_bytes.as_u64()),
+            ("failed_promotions", self.kernel.failed_promotions),
+            ("minor_faults", self.kernel.minor_faults),
+            ("hint_faults", self.kernel.hint_faults),
+            ("migration_time_ns", self.kernel.migration_time.as_nanos()),
+            ("tlb_hits", self.tlb.hits),
+            ("tlb_misses", self.tlb.misses),
+            ("tlb_shootdowns", self.tlb.shootdowns),
+            ("cache_accesses", self.cache.accesses),
+            ("cache_llc_misses", self.cache.llc_misses),
+            ("l1_hits", self.cache.l1.hits),
+            ("l1_misses", self.cache.l1.misses),
+            ("l2_hits", self.cache.l2.hits),
+            ("l2_misses", self.cache.l2.misses),
+            ("llc_hits", self.cache.llc.hits),
+            ("llc_level_misses", self.cache.llc.misses),
+            ("profiling_overhead_ns", self.profiling_overhead.as_nanos()),
+            ("promoted_huge_bytes", self.promoted_huge_bytes.as_u64()),
+            ("timeline_samples", self.timeline.len() as u64),
+            ("markers", self.markers.len() as u64),
+        ]
+    }
+
     /// One-line human-readable summary of the run.
     pub fn summary(&self) -> String {
         format!(
@@ -209,6 +252,23 @@ mod tests {
         let summary = r.summary();
         assert!(summary.contains("test / none"));
         assert!(summary.contains("promote 0"));
+    }
+
+    #[test]
+    fn scalar_metrics_cover_the_counters_with_unique_names() {
+        let r = report();
+        let metrics = r.scalar_metrics();
+        let mut names: Vec<&str> = metrics.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        let len_before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len_before, "duplicate metric names");
+        let get = |name: &str| {
+            metrics.iter().find(|(n, _)| *n == name).map(|(_, v)| *v).expect("metric present")
+        };
+        assert_eq!(get("runtime_ns"), Nanos::from_secs(2).as_nanos());
+        assert_eq!(get("slow_tier_accesses"), 40);
+        assert_eq!(get("markers"), 3);
     }
 
     #[test]

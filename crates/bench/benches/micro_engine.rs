@@ -1,0 +1,34 @@
+//! Engine-loop micro-benchmark wrapper.
+//!
+//! Unlike the other thin wrappers, this target installs a counting
+//! global allocator before running the shared `micro_engine` figure,
+//! turning the figure's steady-state allocation report into a hard
+//! assertion: the batched engine's hot path must stay (amortised)
+//! allocation-free. Run with `cargo bench --bench micro_engine`.
+
+neomem_bench::counting_allocator!();
+
+fn main() {
+    install_probe();
+    neomem_bench::figures::bench_target_main("micro_engine");
+
+    // The hard gate: over N extra steady-state accesses the engine may
+    // allocate only incidentals that grow sublinearly (timeline vector
+    // doublings), bounded here well under one allocation per thousand
+    // accesses. A per-access allocation anywhere in step / shootdown
+    // draining / event batching blows straight through this. Gates on
+    // the measurement the figure just took — no second probe run.
+    let (extra_accesses, extra_allocs) =
+        neomem_bench::figures::micro_engine::last_steady_state_allocs()
+            .expect("probe installed above, so the figure measured it");
+    let per_access = extra_allocs as f64 / extra_accesses as f64;
+    assert!(
+        per_access < 0.001,
+        "steady-state hot loop allocates: {extra_allocs} allocations over {extra_accesses} \
+         accesses ({per_access:.6}/access)"
+    );
+    println!(
+        "steady-state allocation gate passed: {extra_allocs} allocations over {extra_accesses} \
+         accesses"
+    );
+}

@@ -1,0 +1,90 @@
+//! Host heap-allocation probe for the engine micro-bench.
+//!
+//! The library forbids unsafe code, so the counting
+//! `#[global_allocator]` lives in the binaries (the `micro_engine`
+//! bench target and the `neomem-bench` CLI own their crate roots);
+//! they register their allocation counter here and the `micro_engine`
+//! figure reads it to report — and, in the bench target, assert —
+//! steady-state allocation behaviour of the simulation hot loop. When
+//! no probe is registered (e.g. the library's own tests) the figure
+//! reports the probe as inactive and skips the check.
+//!
+//! Allocation counts are host-side observations: they go to stderr,
+//! never into the deterministic result JSON.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+static COUNTER: OnceLock<&'static AtomicU64> = OnceLock::new();
+
+/// Registers the counter the installed global allocator increments on
+/// every allocation. Later registrations are ignored (first wins).
+pub fn install(counter: &'static AtomicU64) {
+    let _ = COUNTER.set(counter);
+}
+
+/// Heap allocations observed so far, or `None` when no probe is
+/// installed.
+pub fn count() -> Option<u64> {
+    COUNTER.get().map(|c| c.load(Ordering::Relaxed))
+}
+
+/// Expands to the counting global allocator plus an `install_probe()`
+/// helper, for use in a **binary** crate root. One definition here
+/// keeps the bench target and the CLI counting identically; the macro
+/// form keeps the `unsafe impl GlobalAlloc` out of this library, which
+/// forbids unsafe code.
+#[macro_export]
+macro_rules! counting_allocator {
+    () => {
+        static ALLOCATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+        struct CountingAlloc;
+
+        // SAFETY: defers every operation to the system allocator
+        // unchanged; the counter increment is a pure side effect.
+        unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+            unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+                ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::alloc::System.alloc(layout)
+            }
+            unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+                std::alloc::System.dealloc(ptr, layout)
+            }
+            unsafe fn realloc(
+                &self,
+                ptr: *mut u8,
+                layout: std::alloc::Layout,
+                new_size: usize,
+            ) -> *mut u8 {
+                ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::alloc::System.realloc(ptr, layout, new_size)
+            }
+            unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+                ALLOCATIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::alloc::System.alloc_zeroed(layout)
+            }
+        }
+
+        #[global_allocator]
+        static GLOBAL_COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+        /// Registers the allocator's counter with
+        /// [`neomem_bench::alloc_probe`]. Call first thing in `main`.
+        fn install_probe() {
+            $crate::alloc_probe::install(&ALLOCATIONS);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    // `count()` state is process-global, so the only safely testable
+    // claim from inside the library (which never installs a probe
+    // itself) is the API shape; install/readback is covered by the
+    // micro_engine bench target.
+    #[test]
+    fn probe_api_is_callable() {
+        let _ = super::count();
+    }
+}

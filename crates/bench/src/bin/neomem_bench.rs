@@ -9,12 +9,19 @@
 //! neomem-bench list                         # available names
 //! neomem-bench compare BENCH_fig11.json target/bench-results/fig11.json
 //! neomem-bench gate fig11 --baseline BENCH_fig11.json --tolerance 0.1
+//! neomem-bench perf fig11                   # + wall-clock throughput report
 //! ```
 //!
 //! JSON lands in `--out` (default `target/bench-results/<name>.json`)
 //! and contains only simulated quantities, so it is byte-identical at
 //! any `--threads` value. `NEOMEM_SCALE=quick|full` selects the access
 //! budget.
+//!
+//! Host-side measurement is strictly separated from the results: `perf`
+//! (and `--wall-report` on plain runs) reports wall-clock simulated
+//! accesses per second per figure on stderr and into its own JSON file
+//! — never into the result documents, whose bytes and metric names are
+//! a baseline contract.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -22,13 +29,19 @@ use std::time::Instant;
 
 use neomem_bench::figures::{self, Figure, RunContext};
 use neomem_bench::Scale;
-use neomem_runner::{compare, GateConfig, Json};
+use neomem_runner::{compare, effective_threads, GateConfig, Json};
+
+// Counting global allocator, so `neomem-bench perf micro_engine` can
+// report steady-state allocation counts of the engine loop (see
+// `neomem_bench::alloc_probe`).
+neomem_bench::counting_allocator!();
 
 struct Options {
     threads: usize,
     out_dir: PathBuf,
     tolerance: f64,
     baseline: Option<PathBuf>,
+    wall_report: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -38,12 +51,14 @@ impl Default for Options {
             out_dir: PathBuf::from("target/bench-results"),
             tolerance: 0.10,
             baseline: None,
+            wall_report: None,
         }
     }
 }
 
 enum Command {
     Run(Vec<&'static Figure>),
+    Perf(Vec<&'static Figure>),
     Help,
     List,
     Compare(PathBuf, PathBuf),
@@ -54,17 +69,23 @@ const USAGE: &str = "\
 neomem-bench — regenerate paper figures/tables with machine-readable results
 
 USAGE:
-    neomem-bench <figure>... [--threads N] [--out DIR]
-    neomem-bench all [--threads N] [--out DIR]
+    neomem-bench <figure>... [--threads N] [--out DIR] [--wall-report FILE]
+    neomem-bench all [--threads N] [--out DIR] [--wall-report FILE]
+    neomem-bench perf <figure>...|all [--threads N] [--out DIR] [--wall-report FILE]
     neomem-bench list
     neomem-bench compare <baseline.json> <current.json> [--tolerance F]
     neomem-bench gate <figure> --baseline <file> [--tolerance F] [--threads N] [--out DIR]
 
 OPTIONS:
-    --threads N      worker threads for experiment grids (default: all cores)
-    --out DIR        JSON output directory (default: target/bench-results)
-    --tolerance F    allowed relative runtime drift for compare/gate (default: 0.10)
-    --baseline FILE  checked-in baseline for gate (e.g. BENCH_fig11.json)
+    --threads N         worker threads for experiment grids (default: all cores)
+    --out DIR           JSON output directory (default: target/bench-results)
+    --tolerance F       allowed relative runtime drift for compare/gate (default: 0.10)
+    --baseline FILE     checked-in baseline for gate (e.g. BENCH_fig11.json)
+    --wall-report FILE  write host wall-clock throughput JSON here
+                        (perf default: target/wall-reports/perf.wall.json)
+
+Result JSON carries simulated (virtual-clock) quantities only; wall-clock
+throughput goes to stderr and the wall-report file, never into results.
 
 ENVIRONMENT:
     NEOMEM_SCALE     quick (default) | full — ~10x longer runs
@@ -94,11 +115,14 @@ fn parse_args() -> Result<(Command, Options), String> {
                     v.parse().map_err(|_| format!("invalid --tolerance value {v:?}"))?;
             }
             "--baseline" => options.baseline = Some(PathBuf::from(value_for("--baseline")?)),
+            "--wall-report" => {
+                options.wall_report = Some(PathBuf::from(value_for("--wall-report")?))
+            }
             "-h" | "--help" => return Ok((Command::Help, options)),
             // `list` is a command only in first position; anywhere else
             // it stays a positional (e.g. a results file named `list`).
             "list" | "--list" if keyword.is_none() && names.is_empty() => list = true,
-            "compare" | "gate" if keyword.is_none() => {
+            "compare" | "gate" | "perf" if keyword.is_none() => {
                 if list || !names.is_empty() {
                     return Err(format!("{arg} cannot be combined with other commands\n\n{USAGE}"));
                 }
@@ -145,15 +169,18 @@ fn parse_args() -> Result<(Command, Options), String> {
             let figure = resolve(&positional[0])?;
             Ok((Command::Gate(figure), options))
         }
+        Some("perf") => {
+            if positional.is_empty() {
+                return Err(format!("perf takes at least one figure name (or all)\n\n{USAGE}"));
+            }
+            let figures = resolve_many(&positional)?;
+            Ok((Command::Perf(figures), options))
+        }
         _ => {
             if names.is_empty() {
                 return Err(USAGE.to_string());
             }
-            let figures = if names.iter().any(|n| n == "all") {
-                figures::ALL.iter().collect()
-            } else {
-                names.iter().map(|n| resolve(n)).collect::<Result<Vec<_>, _>>()?
-            };
+            let figures = resolve_many(&names)?;
             Ok((Command::Run(figures), options))
         }
     }
@@ -166,16 +193,125 @@ fn resolve(name: &str) -> Result<&'static Figure, String> {
     })
 }
 
+fn resolve_many(names: &[String]) -> Result<Vec<&'static Figure>, String> {
+    if names.iter().any(|n| n == "all") {
+        Ok(figures::ALL.iter().collect())
+    } else {
+        names.iter().map(|n| resolve(n)).collect()
+    }
+}
+
 fn load_json(path: &Path) -> Result<Json, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
 }
 
-/// Runs one figure and writes its JSON result; returns the document.
-fn run_and_write(figure: &Figure, ctx: &RunContext, out_dir: &Path) -> Result<Json, String> {
+/// One figure's host-side timing: everything needed for the wall
+/// report, none of it allowed anywhere near the result JSON.
+struct WallEntry {
+    figure: &'static str,
+    wall_seconds: f64,
+    simulated_accesses: u64,
+}
+
+impl WallEntry {
+    fn accesses_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.simulated_accesses as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Sums every `metrics.accesses` in a result document — the simulated
+/// accesses the figure executed, whatever its grid/cell layout.
+fn simulated_accesses(doc: &Json) -> u64 {
+    match doc {
+        Json::Obj(fields) => fields
+            .iter()
+            .map(|(key, value)| {
+                if key == "metrics" {
+                    value.get("accesses").and_then(Json::as_u64).unwrap_or(0)
+                } else {
+                    simulated_accesses(value)
+                }
+            })
+            .sum(),
+        Json::Arr(items) => items.iter().map(simulated_accesses).sum(),
+        _ => 0,
+    }
+}
+
+/// Renders and writes the wall report: a separate artifact so the
+/// nondeterministic host numbers can accumulate across PRs without
+/// ever touching the byte-stable result files.
+fn write_wall_report(
+    path: &Path,
+    entries: &[WallEntry],
+    ctx: &RunContext,
+    threads: usize,
+) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+    }
+    let total_wall: f64 = entries.iter().map(|e| e.wall_seconds).sum();
+    let total_accesses: u64 = entries.iter().map(|e| e.simulated_accesses).sum();
+    let doc = Json::obj([
+        ("schema_version", Json::U64(1)),
+        ("kind", Json::from("wall_report")),
+        ("scale", Json::from(ctx.scale.name())),
+        ("threads", Json::U64(effective_threads(threads) as u64)),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("figure", Json::from(e.figure)),
+                            ("wall_seconds", Json::F64(e.wall_seconds)),
+                            ("simulated_accesses", Json::U64(e.simulated_accesses)),
+                            ("accesses_per_wall_second", Json::F64(e.accesses_per_second())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "total",
+            Json::obj([
+                ("wall_seconds", Json::F64(total_wall)),
+                ("simulated_accesses", Json::U64(total_accesses)),
+                (
+                    "accesses_per_wall_second",
+                    Json::F64(if total_wall > 0.0 {
+                        total_accesses as f64 / total_wall
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ),
+    ]);
+    std::fs::write(path, doc.render_pretty())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    eprintln!("[neomem-bench] wall report -> {}", path.display());
+    Ok(())
+}
+
+/// Runs one figure and writes its JSON result; returns the document
+/// and the host-side timing entry.
+fn run_and_write(
+    figure: &Figure,
+    ctx: &RunContext,
+    out_dir: &Path,
+) -> Result<(Json, WallEntry), String> {
     let started = Instant::now();
     let doc = figures::run_figure(figure, ctx);
+    let wall_seconds = started.elapsed().as_secs_f64();
     std::fs::create_dir_all(out_dir)
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
     let path = out_dir.join(format!("{}.json", figure.name));
@@ -184,13 +320,42 @@ fn run_and_write(figure: &Figure, ctx: &RunContext, out_dir: &Path) -> Result<Js
     println!(
         "\n[neomem-bench] {} done in {:.1}s -> {}",
         figure.name,
-        started.elapsed().as_secs_f64(),
+        wall_seconds,
         path.display()
     );
-    Ok(doc)
+    let entry =
+        WallEntry { figure: figure.name, wall_seconds, simulated_accesses: simulated_accesses(&doc) };
+    Ok((doc, entry))
+}
+
+/// Runs a figure set, reporting wall-clock throughput per figure on
+/// stderr and (optionally) into `wall_report`.
+fn run_figures(
+    figures: &[&'static Figure],
+    ctx: &RunContext,
+    options: &Options,
+    wall_report: Option<&Path>,
+) -> Result<(), String> {
+    let mut entries = Vec::new();
+    for figure in figures {
+        let (_, entry) = run_and_write(figure, ctx, &options.out_dir)?;
+        eprintln!(
+            "[perf] {}: {} simulated accesses in {:.2}s wall = {:.2} M accesses/s",
+            entry.figure,
+            entry.simulated_accesses,
+            entry.wall_seconds,
+            entry.accesses_per_second() / 1e6,
+        );
+        entries.push(entry);
+    }
+    if let Some(path) = wall_report {
+        write_wall_report(path, &entries, ctx, options.threads)?;
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
+    install_probe();
     let (command, options) = match parse_args() {
         Ok(parsed) => parsed,
         Err(message) => {
@@ -211,10 +376,14 @@ fn main() -> ExitCode {
             }
             Ok(true)
         }
-        Command::Run(figures) => figures
-            .iter()
-            .try_for_each(|figure| run_and_write(figure, &ctx, &options.out_dir).map(|_| ()))
-            .map(|()| true),
+        Command::Run(figures) => {
+            run_figures(&figures, &ctx, &options, options.wall_report.as_deref()).map(|()| true)
+        }
+        Command::Perf(figures) => {
+            let default_path = PathBuf::from("target/wall-reports/perf.wall.json");
+            let path = options.wall_report.clone().unwrap_or(default_path);
+            run_figures(&figures, &ctx, &options, Some(&path)).map(|()| true)
+        }
         Command::Compare(baseline_path, current_path) => {
             load_json(&baseline_path).and_then(|baseline| {
                 load_json(&current_path).map(|current| {
@@ -227,7 +396,7 @@ fn main() -> ExitCode {
         Command::Gate(figure) => {
             let baseline_path = options.baseline.as_deref().expect("validated in parse_args");
             load_json(baseline_path).and_then(|baseline| {
-                run_and_write(figure, &ctx, &options.out_dir).map(|current| {
+                run_and_write(figure, &ctx, &options.out_dir).map(|(current, _)| {
                     let report = compare(&baseline, &current, &gate_config);
                     print!("{}", report.summary());
                     report.passed()

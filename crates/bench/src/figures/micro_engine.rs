@@ -1,0 +1,170 @@
+//! `micro_engine` — the batched simulation engine loop, exercised
+//! directly (no experiment grid, no worker pool).
+//!
+//! Three jobs:
+//!
+//! 1. **Throughput**: run representative (workload, policy) cells
+//!    through `Simulation::run` and report wall-clock simulated
+//!    accesses per second — the number every engine optimisation PR is
+//!    judged against. Wall-clock goes to *stderr*; the JSON payload
+//!    carries only simulated (virtual-clock) metrics.
+//! 2. **Batch invariance**: re-run one cell at batch size 1 and assert
+//!    the simulated results are identical — the engine's batch
+//!    contract, double-checked wherever this figure runs.
+//! 3. **Allocation probe**: when the hosting binary installed a
+//!    counting allocator (see [`crate::alloc_probe`]), measure
+//!    steady-state heap allocations of the hot loop by differencing
+//!    two first-touch runs whose budgets differ by a known amount —
+//!    setup allocations cancel, so the remainder is the per-access
+//!    allocation rate, which the batched engine keeps at (amortised)
+//!    zero. The `micro_engine` bench target asserts this; here the
+//!    numbers are reported on stderr.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use neomem::prelude::*;
+use neomem_runner::{report_json, Json};
+
+use crate::alloc_probe;
+use crate::{header, row};
+
+use super::RunContext;
+
+/// Cells exercised for throughput: hot-loop-heavy generators against
+/// the cheapest and the most involved policy.
+const CELLS: &[(WorkloadKind, PolicyKind)] = &[
+    (WorkloadKind::Gups, PolicyKind::FirstTouch),
+    (WorkloadKind::Gups, PolicyKind::NeoMem),
+    (WorkloadKind::Btree, PolicyKind::FirstTouch),
+    (WorkloadKind::PageRank, PolicyKind::NeoMem),
+];
+
+fn run_cell(
+    workload: WorkloadKind,
+    policy: PolicyKind,
+    accesses: u64,
+    batch_size: usize,
+) -> RunReport {
+    Experiment::builder()
+        .workload(workload)
+        .policy(policy)
+        .rss_pages(2048)
+        .accesses(accesses)
+        .seed(2024)
+        .batch_size(batch_size)
+        .build()
+        .expect("valid micro_engine cell")
+        .run()
+}
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "micro_engine: batched engine loop — throughput, batch invariance, allocations",
+        "no paper figure; the perf-measurement substrate for engine PRs",
+    );
+    let budget = ctx.scale.accesses(300_000);
+
+    println!("{}", row(&["workload".into(), "policy".into(), "runtime".into(), "accesses".into()]));
+    let mut cells = Vec::new();
+    for &(workload, policy) in CELLS {
+        let started = Instant::now();
+        let report = run_cell(workload, policy, budget, 256);
+        let wall = started.elapsed().as_secs_f64();
+        eprintln!(
+            "[micro_engine] {} / {}: {:.2} M simulated accesses/s of wall time",
+            workload.label(),
+            policy.label(),
+            report.accesses as f64 / wall / 1e6,
+        );
+        println!(
+            "{}",
+            row(&[
+                workload.label().into(),
+                policy.label().into(),
+                format!("{}", report.runtime),
+                report.accesses.to_string(),
+            ])
+        );
+        cells.push(report_json(&report));
+    }
+
+    // Batch invariance: size 1 degrades to the event-at-a-time seed
+    // path and must reproduce the batched results exactly.
+    let check_budget = ctx.scale.accesses(60_000);
+    let batched = run_cell(WorkloadKind::Gups, PolicyKind::NeoMem, check_budget, 256);
+    let unbatched = run_cell(WorkloadKind::Gups, PolicyKind::NeoMem, check_budget, 1);
+    assert_eq!(
+        batched.scalar_metrics(),
+        unbatched.scalar_metrics(),
+        "batch contract violated: batch=256 diverged from batch=1"
+    );
+    println!("\nbatch invariance: batch=256 == batch=1 over {check_budget} accesses ✓");
+
+    // Steady-state allocation probe (host-side; stderr only).
+    let alloc_stats = steady_state_allocs(ctx);
+    match alloc_stats {
+        Some((extra_accesses, extra_allocs)) => eprintln!(
+            "[micro_engine] steady state: {extra_allocs} heap allocations over {extra_accesses} \
+             extra accesses ({:.6} per access)",
+            extra_allocs as f64 / extra_accesses as f64,
+        ),
+        None => eprintln!("[micro_engine] allocation probe inactive (no counting allocator)"),
+    }
+
+    Json::obj([
+        ("cells", Json::Arr(cells)),
+        (
+            "series",
+            Json::obj([
+                ("batch_invariance_accesses", Json::U64(check_budget)),
+                (
+                    "note",
+                    Json::from(
+                        "wall-clock throughput and allocation counts printed to stderr; \
+                         host-dependent, excluded from JSON",
+                    ),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Last probe measurement taken by [`run`], for the bench target's
+/// allocation gate (0 accesses = no probe ran). Host-side state only.
+static LAST_PROBE_ACCESSES: AtomicU64 = AtomicU64::new(0);
+static LAST_PROBE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// The `(extra_accesses, extra_allocations)` measured by the most
+/// recent [`run`] in this process, or `None` when no probe was
+/// installed — lets the `micro_engine` bench target gate on the
+/// measurement the figure already took instead of re-running it.
+pub fn last_steady_state_allocs() -> Option<(u64, u64)> {
+    match LAST_PROBE_ACCESSES.load(Ordering::Relaxed) {
+        0 => None,
+        accesses => Some((accesses, LAST_PROBE_ALLOCS.load(Ordering::Relaxed))),
+    }
+}
+
+/// Measures steady-state allocations of the first-touch hot loop by
+/// differencing an N-access and a 2N-access run: identical setup work
+/// cancels, leaving only what the extra N accesses allocated. Returns
+/// `(extra_accesses, extra_allocations)`, or `None` without a probe.
+fn steady_state_allocs(ctx: &RunContext) -> Option<(u64, u64)> {
+    alloc_probe::count()?;
+    let n = ctx.scale.accesses(150_000);
+    let allocs_of = |accesses: u64| -> u64 {
+        let before = alloc_probe::count().expect("probe checked above");
+        let report = run_cell(WorkloadKind::Gups, PolicyKind::FirstTouch, accesses, 256);
+        let after = alloc_probe::count().expect("probe checked above");
+        assert_eq!(report.accesses, accesses);
+        after - before
+    };
+    let short = allocs_of(n);
+    let long = allocs_of(2 * n);
+    let extra = long.saturating_sub(short);
+    LAST_PROBE_ACCESSES.store(n, Ordering::Relaxed);
+    LAST_PROBE_ALLOCS.store(extra, Ordering::Relaxed);
+    Some((n, extra))
+}

@@ -19,6 +19,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod micro_engine;
 pub mod micro_sketch;
 pub mod micro_system;
 pub mod table01;
@@ -82,6 +83,7 @@ pub const ALL: &[Figure] = &[
     Figure { name: "fig18", title: "Fig. 18 + §VI-B: hardware cost estimation", run: fig18::run },
     Figure { name: "table01", title: "Table I: profiling-technique comparison", run: table01::run },
     Figure { name: "table06", title: "Table VI: THP vs base pages on Page-Rank", run: table06::run },
+    Figure { name: "micro_engine", title: "Engine-loop micro-bench: throughput, batch invariance, allocations", run: micro_engine::run },
     Figure { name: "micro_sketch", title: "Criterion micro-benchmarks: sketch pipeline", run: micro_sketch::run },
     Figure { name: "micro_system", title: "Criterion micro-benchmarks: simulation substrates", run: micro_system::run },
 ];
@@ -132,7 +134,7 @@ mod tests {
 
     #[test]
     fn registry_covers_all_bench_targets_uniquely() {
-        assert_eq!(ALL.len(), 14);
+        assert_eq!(ALL.len(), 15);
         let mut names: Vec<&str> = ALL.iter().map(|f| f.name).collect();
         names.sort_unstable();
         let before = names.len();

@@ -23,6 +23,7 @@
 use neomem::prelude::*;
 use neomem_runner::ExperimentGrid;
 
+pub mod alloc_probe;
 pub mod figures;
 
 /// Scale knob read from `NEOMEM_SCALE` (`quick` default, `full` = 10×).

@@ -146,6 +146,7 @@ pub struct ExperimentBuilder {
     seed: u64,
     time_scale: u64,
     large_machine: bool,
+    batch_size: Option<usize>,
     overrides: PolicyOverrides,
     config_hook: Option<fn(&mut SimConfig)>,
 }
@@ -161,6 +162,7 @@ impl Default for ExperimentBuilder {
             seed: 42,
             time_scale: 1000,
             large_machine: false,
+            batch_size: None,
             overrides: PolicyOverrides::default(),
             config_hook: None,
         }
@@ -218,6 +220,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Overrides the engine's event batch size (default: the
+    /// [`SimConfig`] preset). A host-side dispatch knob only — any
+    /// value yields bit-identical simulated results; 1 recovers the
+    /// event-at-a-time seed path.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size);
+        self
+    }
+
     /// Applies policy parameter overrides.
     pub fn overrides(mut self, overrides: PolicyOverrides) -> Self {
         self.overrides = overrides;
@@ -244,6 +255,9 @@ impl ExperimentBuilder {
             SimConfig::quick(self.rss_pages, self.ratio)
         };
         config.max_accesses = self.accesses;
+        if let Some(batch_size) = self.batch_size {
+            config.batch_size = batch_size;
+        }
         if let Some(hook) = self.config_hook {
             hook(&mut config);
         }

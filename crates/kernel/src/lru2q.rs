@@ -6,7 +6,7 @@
 //! from the cold end of `A1in` first (touched once, never again), then
 //! from the LRU end of `Am`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use neomem_types::VirtPage;
 
@@ -24,11 +24,17 @@ struct Entry {
 
 /// A 2Q structure over the fast tier's resident pages.
 ///
-/// Uses lazy deletion: queues store `(seq, page)` tickets and a side map
-/// records each page's live ticket, so `on_access` is O(1) amortised.
+/// Uses lazy deletion: queues store `(seq, page)` tickets and a dense
+/// side table records each page's live ticket, so `on_access` is O(1)
+/// amortised. The side table is a flat `Vec` indexed by page number —
+/// the kernel's pages are dense in `0..rss_pages`, so this replaces a
+/// hash per touch (this is the `record_fast_access` hot path) with an
+/// array index, with identical observable behaviour: the table is only
+/// ever keyed, never iterated.
 #[derive(Debug, Clone, Default)]
 pub struct Lru2Q {
-    entries: HashMap<u64, Entry>,
+    entries: Vec<Option<Entry>>,
+    live: usize,
     a1in: VecDeque<(u64, u64)>,
     am: VecDeque<(u64, u64)>,
     next_seq: u64,
@@ -42,26 +48,50 @@ impl Lru2Q {
 
     /// Number of tracked pages.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// Whether no pages are tracked.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Whether `page` is tracked.
     pub fn contains(&self, page: VirtPage) -> bool {
-        self.entries.contains_key(&page.index())
+        self.slot(page.index()).is_some()
+    }
+
+    #[inline]
+    fn slot(&self, page: u64) -> Option<&Entry> {
+        self.entries.get(page as usize).and_then(Option::as_ref)
+    }
+
+    fn set(&mut self, page: u64, entry: Entry) {
+        let idx = page as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, None);
+        }
+        if self.entries[idx].is_none() {
+            self.live += 1;
+        }
+        self.entries[idx] = Some(entry);
     }
 
     fn push(&mut self, page: u64, queue: Queue) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.entries.insert(page, Entry { queue, seq });
+        self.set(page, Entry { queue, seq });
         match queue {
             Queue::A1in => self.a1in.push_back((seq, page)),
             Queue::Am => self.am.push_back((seq, page)),
+        }
+    }
+
+    fn clear_slot(&mut self, page: u64) {
+        if let Some(slot) = self.entries.get_mut(page as usize) {
+            if slot.take().is_some() {
+                self.live -= 1;
+            }
         }
     }
 
@@ -76,7 +106,7 @@ impl Lru2Q {
     /// to `Am`; `Am` pages refresh to most-recently-used.
     pub fn on_access(&mut self, page: VirtPage) {
         let key = page.index();
-        if self.entries.contains_key(&key) {
+        if self.slot(key).is_some() {
             // Both transitions re-enqueue at the hot end of Am.
             self.push(key, Queue::Am);
         }
@@ -84,14 +114,18 @@ impl Lru2Q {
 
     /// Stops tracking a page (demoted or unmapped).
     pub fn remove(&mut self, page: VirtPage) {
-        self.entries.remove(&page.index());
+        self.clear_slot(page.index());
         // Queue tickets expire lazily.
     }
 
-    fn pop_live(queue: &mut VecDeque<(u64, u64)>, entries: &HashMap<u64, Entry>, which: Queue) -> Option<u64> {
+    fn pop_live(
+        queue: &mut VecDeque<(u64, u64)>,
+        entries: &[Option<Entry>],
+        which: Queue,
+    ) -> Option<u64> {
         while let Some(&(seq, page)) = queue.front() {
             queue.pop_front();
-            if let Some(e) = entries.get(&page) {
+            if let Some(e) = entries.get(page as usize).and_then(Option::as_ref) {
                 if e.seq == seq && e.queue == which {
                     return Some(page);
                 }
@@ -112,7 +146,7 @@ impl Lru2Q {
             };
             match page {
                 Some(p) => {
-                    self.entries.remove(&p);
+                    self.clear_slot(p);
                     victims.push(VirtPage::new(p));
                 }
                 None => break,
@@ -124,12 +158,14 @@ impl Lru2Q {
     /// Compacts the lazy queues (call occasionally in long runs).
     pub fn compact(&mut self) {
         let entries = &self.entries;
-        self.a1in.retain(|&(seq, page)| {
-            entries.get(&page).is_some_and(|e| e.seq == seq && e.queue == Queue::A1in)
-        });
-        self.am.retain(|&(seq, page)| {
-            entries.get(&page).is_some_and(|e| e.seq == seq && e.queue == Queue::Am)
-        });
+        let live = |seq: u64, page: u64, which: Queue| {
+            entries
+                .get(page as usize)
+                .and_then(Option::as_ref)
+                .is_some_and(|e| e.seq == seq && e.queue == which)
+        };
+        self.a1in.retain(|&(seq, page)| live(seq, page, Queue::A1in));
+        self.am.retain(|&(seq, page)| live(seq, page, Queue::Am));
     }
 }
 

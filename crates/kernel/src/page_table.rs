@@ -32,12 +32,16 @@ impl Pte {
 #[derive(Debug, Clone)]
 pub struct PageTable {
     entries: Vec<Option<Pte>>,
+    /// Running count of `Some` entries, maintained by the mapping paths
+    /// so [`mapped_count`](Self::mapped_count) is O(1) instead of a
+    /// full-span scan.
+    mapped: usize,
 }
 
 impl PageTable {
     /// Creates an empty table covering `rss_pages` virtual pages.
     pub fn new(rss_pages: u64) -> Self {
-        Self { entries: vec![None; rss_pages as usize] }
+        Self { entries: vec![None; rss_pages as usize], mapped: 0 }
     }
 
     /// Number of virtual pages covered (mapped or not).
@@ -47,7 +51,12 @@ impl PageTable {
 
     /// Number of currently mapped pages.
     pub fn mapped_count(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        debug_assert_eq!(
+            self.mapped,
+            self.entries.iter().filter(|e| e.is_some()).count(),
+            "running mapped counter out of sync with the table"
+        );
+        self.mapped
     }
 
     #[inline]
@@ -71,6 +80,23 @@ impl PageTable {
         let slot = self.slot_mut(vpage)?;
         let old = slot.map(|p| p.frame);
         *slot = Some(Pte::new(frame));
+        if old.is_none() {
+            self.mapped += 1;
+        }
+        Ok(old)
+    }
+
+    /// Unmaps `vpage`, returning the removed PTE if one existed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnmappedPage`] when `vpage` is outside the table span.
+    pub fn unmap(&mut self, vpage: VirtPage) -> Result<Option<Pte>> {
+        let slot = self.slot_mut(vpage)?;
+        let old = slot.take();
+        if old.is_some() {
+            self.mapped -= 1;
+        }
         Ok(old)
     }
 
@@ -188,6 +214,24 @@ mod tests {
         .unwrap();
         let pte = pt.get(VirtPage::new(0)).unwrap();
         assert!(pte.poisoned && pte.demoted);
+    }
+
+    #[test]
+    fn mapped_count_tracks_map_remap_unmap() {
+        let mut pt = PageTable::new(4);
+        assert_eq!(pt.mapped_count(), 0);
+        pt.map(VirtPage::new(0), PageNum::new(1)).unwrap();
+        pt.map(VirtPage::new(2), PageNum::new(2)).unwrap();
+        assert_eq!(pt.mapped_count(), 2);
+        // A remap replaces, it does not add.
+        pt.map(VirtPage::new(0), PageNum::new(9)).unwrap();
+        assert_eq!(pt.mapped_count(), 2);
+        assert!(pt.unmap(VirtPage::new(0)).unwrap().is_some());
+        assert_eq!(pt.mapped_count(), 1);
+        // Unmapping an already-unmapped in-span page is a no-op.
+        assert!(pt.unmap(VirtPage::new(0)).unwrap().is_none());
+        assert_eq!(pt.mapped_count(), 1);
+        assert!(pt.unmap(VirtPage::new(9)).is_err(), "out of span");
     }
 
     #[test]

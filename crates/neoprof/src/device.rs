@@ -103,16 +103,14 @@ impl NeoProf {
     }
 
     /// Runs the low-frequency core: drains up to `drain_per_tick` pages
-    /// through the hot-page detector pipeline.
+    /// through the hot-page detector pipeline in one allocation-free
+    /// sweep.
     pub fn tick(&mut self) {
-        for _ in 0..self.drain_per_tick {
-            match self.fifo.pop() {
-                Some(page) => {
-                    if self.detector.observe(page).is_some() {
-                        self.stats.hot_reported += 1;
-                    }
-                }
-                None => break,
+        let n = self.drain_per_tick;
+        let Self { fifo, detector, stats, .. } = self;
+        for page in fifo.drain_up_to(n) {
+            if detector.observe(page).is_some() {
+                stats.hot_reported += 1;
             }
         }
     }

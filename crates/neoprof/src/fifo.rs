@@ -46,10 +46,13 @@ impl<T> AsyncFifo<T> {
         self.queue.pop_front()
     }
 
-    /// Dequeues up to `n` elements into a vector.
-    pub fn drain_up_to(&mut self, n: usize) -> Vec<T> {
+    /// Dequeues up to `n` elements as a draining iterator — no
+    /// intermediate vector, so the per-tick drain path of the core
+    /// never allocates. Elements not consumed before the iterator is
+    /// dropped are still removed (standard `drain` semantics).
+    pub fn drain_up_to(&mut self, n: usize) -> std::collections::vec_deque::Drain<'_, T> {
         let take = n.min(self.queue.len());
-        self.queue.drain(..take).collect()
+        self.queue.drain(..take)
     }
 
     /// Current occupancy.
@@ -113,10 +116,21 @@ mod tests {
         for i in 0..5 {
             f.push(i);
         }
-        assert_eq!(f.drain_up_to(3), vec![0, 1, 2]);
+        assert_eq!(f.drain_up_to(3).collect::<Vec<_>>(), vec![0, 1, 2]);
         assert_eq!(f.len(), 2);
-        assert_eq!(f.drain_up_to(10), vec![3, 4]);
+        assert_eq!(f.drain_up_to(10).collect::<Vec<_>>(), vec![3, 4]);
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn drain_up_to_removes_even_if_unconsumed() {
+        let mut f = AsyncFifo::new(8);
+        for i in 0..4 {
+            f.push(i);
+        }
+        drop(f.drain_up_to(2));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.pop(), Some(2));
     }
 
     #[test]

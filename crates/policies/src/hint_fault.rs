@@ -217,8 +217,8 @@ impl TieringPolicy for HintFaultPolicy {
         cost
     }
 
-    fn drain_shootdowns(&mut self) -> Vec<VirtPage> {
-        std::mem::take(&mut self.pending_shootdowns)
+    fn drain_shootdowns_into(&mut self, out: &mut Vec<VirtPage>) {
+        out.append(&mut self.pending_shootdowns);
     }
 
     fn telemetry(&self) -> PolicyTelemetry {
@@ -261,6 +261,12 @@ mod tests {
         HintFaultPolicy::new(cfg, Bandwidth::from_mib_per_sec(256))
     }
 
+    fn drain(p: &mut HintFaultPolicy) -> Vec<VirtPage> {
+        let mut out = Vec::new();
+        p.drain_shootdowns_into(&mut out);
+        out
+    }
+
     #[test]
     fn two_faults_promote_under_tpp() {
         let mut k = kernel();
@@ -268,7 +274,7 @@ mod tests {
         cfg.sampler.poison_batch = 64; // cover all 16 slow pages
         let mut p = policy(cfg);
         p.maybe_tick(&mut k, Nanos::ZERO); // poison pass
-        let shoots = p.drain_shootdowns();
+        let shoots = drain(&mut p);
         assert!(!shoots.is_empty());
         // Fault page 20 twice: each fault unpoisons, so re-poison
         // between faults via another pass.
@@ -280,7 +286,7 @@ mod tests {
         // Re-poison after the scan interval but before the clear interval
         // would wipe the fault counts (scaled: scan 1 ms, clear 5 ms).
         p.maybe_tick(&mut k, Nanos::from_millis(2));
-        p.drain_shootdowns();
+        drain(&mut p);
         let c2 = p.on_access(&walk_miss(&k, 20, Nanos::from_micros(2100)), &mut k);
         assert!(c2 > c1, "second fault includes promotion work");
         assert!(k.tier_of(target).unwrap().is_fast(), "two faults promote");
@@ -301,7 +307,7 @@ mod tests {
         let mut k = kernel();
         let mut p = policy(HintFaultPolicyConfig::tpp().scaled(1000));
         p.maybe_tick(&mut k, Nanos::ZERO);
-        p.drain_shootdowns();
+        drain(&mut p);
         let mut ev = walk_miss(&k, 20, Nanos::ZERO);
         ev.tlb_hit = true;
         assert_eq!(p.on_access(&ev, &mut k), Nanos::ZERO);
@@ -319,7 +325,7 @@ mod tests {
         let mut k = kernel();
         let mut p = policy(HintFaultPolicyConfig::tpp().scaled(1000));
         p.maybe_tick(&mut k, Nanos::ZERO);
-        p.drain_shootdowns();
+        drain(&mut p);
         p.on_access(&walk_miss(&k, 21, Nanos::new(5)), &mut k);
         assert!(p.telemetry().profiling_overhead > Nanos::ZERO);
     }

@@ -87,9 +87,12 @@ pub trait TieringPolicy {
 
     /// Drains TLB shootdowns the policy requested (PTE poisoning,
     /// migrations already shot down by the kernel are *not* repeated
-    /// here). The simulator applies them to its TLB model.
-    fn drain_shootdowns(&mut self) -> Vec<VirtPage> {
-        Vec::new()
+    /// here) by appending them to `out`, the simulator's reusable
+    /// buffer — the drain itself must not allocate on the policy side.
+    /// The simulator applies the pages to its TLB model and clears the
+    /// buffer between ticks. Default: no shootdowns.
+    fn drain_shootdowns_into(&mut self, out: &mut Vec<VirtPage>) {
+        let _ = out;
     }
 
     /// Current telemetry snapshot.

@@ -52,6 +52,12 @@ pub struct SimConfig {
     pub tick_quantum: Nanos,
     /// Timeline sampling period (Fig. 14/16 traces).
     pub sample_interval: Nanos,
+    /// Events pulled per [`neomem_workloads::Workload::fill_events`]
+    /// batch. Purely a host-side dispatch amortisation: any value
+    /// produces bit-identical simulated results (the engine's batch
+    /// contract), so this never needs sweeping — 1 recovers the
+    /// event-at-a-time seed path for debugging.
+    pub batch_size: usize,
 }
 
 impl SimConfig {
@@ -75,6 +81,7 @@ impl SimConfig {
             max_time: None,
             tick_quantum: Nanos::from_micros(100),
             sample_interval: Nanos::from_millis(1),
+            batch_size: 256,
         }
     }
 
@@ -122,6 +129,9 @@ impl SimConfig {
         if self.tick_quantum.is_zero() || self.sample_interval.is_zero() {
             return Err(Error::invalid_config("tick and sample intervals must be non-zero"));
         }
+        if self.batch_size == 0 {
+            return Err(Error::invalid_config("batch_size must be non-zero"));
+        }
         Ok(())
     }
 }
@@ -150,6 +160,7 @@ mod tests {
     fn rejects_bad_configs() {
         assert!(SimConfig { rss_pages: 0, ..SimConfig::quick(64, 2) }.validate().is_err());
         assert!(SimConfig { max_accesses: 0, ..SimConfig::quick(64, 2) }.validate().is_err());
+        assert!(SimConfig { batch_size: 0, ..SimConfig::quick(64, 2) }.validate().is_err());
         let mut tiny_mem = SimConfig::quick(4096, 2);
         tiny_mem.memory = Some(neomem_mem::TieredMemoryConfig::with_frames(4, 4));
         assert!(tiny_mem.validate().is_err(), "footprint larger than memory");

@@ -10,6 +10,41 @@ use neomem_workloads::{Workload, WorkloadEvent};
 use crate::config::SimConfig;
 use crate::report::{MarkerRecord, RunReport, TimelinePoint};
 
+/// Per-access latencies resolved out of [`SimConfig`] once, before the
+/// run loop, so [`Simulation::step`] reads locals instead of chasing
+/// config fields on every access.
+#[derive(Debug, Clone, Copy)]
+struct HotCosts {
+    cpu_per_access: Nanos,
+    tlb_walk: Nanos,
+    l1: Nanos,
+    l2: Nanos,
+    llc: Nanos,
+}
+
+impl HotCosts {
+    fn of(config: &SimConfig) -> Self {
+        Self {
+            cpu_per_access: config.cpu_per_access,
+            tlb_walk: config.tlb_walk,
+            l1: config.cache_latencies.l1,
+            l2: config.cache_latencies.l2,
+            llc: config.cache_latencies.llc,
+        }
+    }
+}
+
+/// The earliest of the tick, sample and (optional) stop deadlines: the
+/// single comparison the per-access fast path makes.
+#[inline]
+fn earliest_deadline(next_tick: Nanos, next_sample: Nanos, limit: Option<Nanos>) -> Nanos {
+    let d = next_tick.min(next_sample);
+    match limit {
+        Some(l) => d.min(l),
+        None => d,
+    }
+}
+
 /// A configured simulation, ready to run.
 pub struct Simulation {
     config: SimConfig,
@@ -52,6 +87,17 @@ impl Simulation {
 
     /// Runs to completion and produces the report.
     ///
+    /// The engine pulls events in batches through
+    /// [`Workload::fill_events`] into one reused buffer (a single
+    /// virtual dispatch per batch instead of one per access) and hoists
+    /// the `max_time` / policy-tick / timeline-sample checks out of the
+    /// per-access path behind a single precomputed *next deadline*: the
+    /// common iteration is `step` plus one branch. The slow path runs
+    /// the due checks in exactly the seed engine's order (tick, sample,
+    /// stop), so a batched run is observably identical to the
+    /// event-at-a-time path for any batch size — the
+    /// `batch_determinism` suite holds this invariant.
+    ///
     /// # Panics
     ///
     /// Panics if the machine runs out of physical memory — the
@@ -68,64 +114,97 @@ impl Simulation {
         let mut window_accesses = 0u64;
         let mut window_start = Nanos::ZERO;
 
-        while accesses < self.config.max_accesses {
-            if let Some(limit) = self.config.max_time {
-                if clock >= limit {
-                    break;
-                }
+        let limit = self.config.max_time;
+        let costs = HotCosts::of(&self.config);
+        let batch = self.config.batch_size.max(1);
+        let mut events: Vec<WorkloadEvent> = Vec::with_capacity(batch);
+        // Reusable shootdown buffer: policies append into it, so the
+        // steady-state tick path performs no heap allocation.
+        let mut shootdowns: Vec<VirtPage> = Vec::new();
+        let mut next_deadline = earliest_deadline(next_tick, next_sample, limit);
+
+        'run: while accesses < self.config.max_accesses {
+            if limit.is_some_and(|l| clock >= l) {
+                break;
             }
-            match self.workload.next_event() {
-                WorkloadEvent::Marker(m) => {
-                    markers.push(MarkerRecord { at: clock, id: m.id, label: m.label });
+            // A batch of n events yields at most n accesses, so capping
+            // at the remaining budget can never overshoot max_accesses.
+            let n = (self.config.max_accesses - accesses).min(batch as u64) as usize;
+            events.clear();
+            self.workload.fill_events(&mut events, n);
+            for &event in &events {
+                let access = match event {
+                    WorkloadEvent::Access(access) => access,
+                    WorkloadEvent::Marker(m) => {
+                        // Markers skip the deadline checks, exactly like
+                        // the seed engine's `continue`.
+                        markers.push(MarkerRecord { at: clock, id: m.id, label: m.label });
+                        continue;
+                    }
+                };
+                clock += self.step(access, clock, &costs);
+                accesses += 1;
+                window_accesses += 1;
+
+                if clock < next_deadline {
                     continue;
                 }
-                WorkloadEvent::Access(access) => {
-                    clock += self.step(access, clock, &mut accesses);
-                    window_accesses += 1;
-                }
-            }
 
-            // Policy tick.
-            if clock >= next_tick {
-                clock += self.policy.maybe_tick(&mut self.kernel, clock);
-                for vpage in self.policy.drain_shootdowns() {
-                    self.tlb.shootdown(vpage);
-                    clock += self.kernel.costs().tlb_shootdown;
+                // Policy tick.
+                if clock >= next_tick {
+                    clock += self.policy.maybe_tick(&mut self.kernel, clock);
+                    self.policy.drain_shootdowns_into(&mut shootdowns);
+                    for &vpage in &shootdowns {
+                        self.tlb.shootdown(vpage);
+                        clock += self.kernel.costs().tlb_shootdown;
+                    }
+                    shootdowns.clear();
+                    next_tick = clock + self.config.tick_quantum;
                 }
-                next_tick = clock + self.config.tick_quantum;
-            }
 
-            // Timeline sample.
-            if clock >= next_sample {
-                let telemetry = self.policy.telemetry();
-                let slow = self.kernel.memory().node(Tier::Slow).stats();
-                let window = clock.saturating_sub(window_start);
-                timeline.push(TimelinePoint {
-                    at: clock,
-                    accesses,
-                    slow_accesses: slow.reads + slow.writes,
-                    throughput: if window.is_zero() {
-                        0.0
-                    } else {
-                        window_accesses as f64 / window.as_secs_f64()
-                    },
-                    threshold: telemetry.threshold,
-                    p_fraction: telemetry.p_fraction,
-                    bandwidth_util: telemetry.bandwidth_util,
-                    read_util: telemetry.read_util,
-                    write_util: telemetry.write_util,
-                    error_bound: telemetry.error_bound,
-                    histogram: telemetry.histogram,
-                });
-                window_accesses = 0;
-                window_start = clock;
-                next_sample = clock + self.config.sample_interval;
+                // Timeline sample.
+                if clock >= next_sample {
+                    let telemetry = self.policy.telemetry();
+                    let slow = self.kernel.memory().node(Tier::Slow).stats();
+                    let window = clock.saturating_sub(window_start);
+                    timeline.push(TimelinePoint {
+                        at: clock,
+                        accesses,
+                        slow_accesses: slow.reads + slow.writes,
+                        throughput: if window.is_zero() {
+                            0.0
+                        } else {
+                            window_accesses as f64 / window.as_secs_f64()
+                        },
+                        threshold: telemetry.threshold,
+                        p_fraction: telemetry.p_fraction,
+                        bandwidth_util: telemetry.bandwidth_util,
+                        read_util: telemetry.read_util,
+                        write_util: telemetry.write_util,
+                        error_bound: telemetry.error_bound,
+                        histogram: telemetry.histogram,
+                    });
+                    window_accesses = 0;
+                    window_start = clock;
+                    next_sample = clock + self.config.sample_interval;
+                }
+
+                // Simulated-time stop: checked after the due tick and
+                // sample, matching the seed engine's loop-top check
+                // before the next event. Remaining batched events were
+                // never processed, so discarding them cannot be
+                // observed in the report.
+                if limit.is_some_and(|l| clock >= l) {
+                    break 'run;
+                }
+                next_deadline = earliest_deadline(next_tick, next_sample, limit);
             }
         }
 
         let slow = self.kernel.memory().node(Tier::Slow).stats();
         let fast = self.kernel.memory().node(Tier::Fast).stats();
         let cache = self.caches.stats();
+        let telemetry = self.policy.telemetry();
         RunReport {
             workload: self.workload.name().to_string(),
             policy: self.policy.name().to_string(),
@@ -139,23 +218,24 @@ impl Simulation {
             kernel: self.kernel.stats(),
             tlb: self.tlb.stats(),
             cache,
-            profiling_overhead: self.policy.telemetry().profiling_overhead,
-            promoted_huge_bytes: self.policy.telemetry().promoted_huge_bytes,
+            profiling_overhead: telemetry.profiling_overhead,
+            promoted_huge_bytes: telemetry.promoted_huge_bytes,
             timeline,
             markers,
         }
     }
 
-    /// Executes one CPU access; returns the time it took.
-    fn step(&mut self, access: Access, now: Nanos, accesses: &mut u64) -> Nanos {
-        let mut elapsed = self.config.cpu_per_access;
-        *accesses += 1;
+    /// Executes one CPU access; returns the time it took. `costs` holds
+    /// the pre-resolved per-access latencies so the hot loop does not
+    /// re-read them through `self.config`.
+    fn step(&mut self, access: Access, now: Nanos, costs: &HotCosts) -> Nanos {
+        let mut elapsed = costs.cpu_per_access;
         let vpage = access.vpage;
 
         // 1. Address translation.
         let tlb_hit = self.tlb.access(vpage);
         if !tlb_hit {
-            elapsed += self.config.tlb_walk;
+            elapsed += costs.tlb_walk;
             let was_mapped = self.kernel.page_table().is_mapped(vpage);
             let preference = self.policy.alloc_preference();
             self.kernel
@@ -176,9 +256,9 @@ impl Simulation {
         );
         let outcome = self.caches.access(line, access.kind);
         elapsed += match outcome.level {
-            HitLevel::L1 => self.config.cache_latencies.l1,
-            HitLevel::L2 => self.config.cache_latencies.l2,
-            HitLevel::Llc => self.config.cache_latencies.llc,
+            HitLevel::L1 => costs.l1,
+            HitLevel::L2 => costs.l2,
+            HitLevel::Llc => costs.llc,
             HitLevel::Memory => Nanos::ZERO, // charged below via the node model
         };
 

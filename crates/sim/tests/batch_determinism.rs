@@ -1,0 +1,154 @@
+//! The engine's batch contract: a batched run — any batch size, with
+//! or without the per-workload `fill_events` overrides — produces a
+//! `RunReport` identical to the event-at-a-time seed path.
+//!
+//! This is the invariant that lets `BENCH_*.json` baselines survive
+//! host-side performance work: batching amortises dispatch, it never
+//! changes simulated results.
+
+use neomem_policies::{FirstTouchPolicy, NeoMemParams, NeoMemPolicy, TieringPolicy};
+use neomem_profilers::NeoProfDriverConfig;
+use neomem_sim::{RunReport, SimConfig, Simulation};
+use neomem_types::PageNum;
+use neomem_workloads::{Workload, WorkloadEvent, WorkloadKind};
+
+const RSS_PAGES: u64 = 1024;
+const ACCESSES: u64 = 60_000;
+const SEED: u64 = 2024;
+
+/// Forces the *default* `fill_events` (the `next_event` loop) even for
+/// workloads that override it — the unbatched seed path in trait form.
+struct Unbatched(Box<dyn Workload>);
+
+impl Workload for Unbatched {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn rss_pages(&self) -> u64 {
+        self.0.rss_pages()
+    }
+    fn next_event(&mut self) -> WorkloadEvent {
+        self.0.next_event()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    FirstTouch,
+    NeoMem,
+}
+
+fn build_policy(policy: Policy, config: &SimConfig) -> Box<dyn TieringPolicy> {
+    match policy {
+        Policy::FirstTouch => Box::new(FirstTouchPolicy::new()),
+        Policy::NeoMem => {
+            let slow_base = config.memory_config().fast.capacity_frames;
+            let dev = neomem_neoprof::NeoProfConfig::small(PageNum::new(slow_base));
+            Box::new(
+                NeoMemPolicy::new(
+                    dev,
+                    NeoProfDriverConfig::default(),
+                    NeoMemParams::scaled(1000),
+                )
+                .expect("valid NeoMem config"),
+            )
+        }
+    }
+}
+
+fn run(kind: WorkloadKind, policy: Policy, batch_size: usize, unbatched: bool) -> RunReport {
+    let config = SimConfig {
+        max_accesses: ACCESSES,
+        batch_size,
+        ..SimConfig::quick(RSS_PAGES, 2)
+    };
+    let workload = kind.build(RSS_PAGES, SEED);
+    let workload: Box<dyn Workload> =
+        if unbatched { Box::new(Unbatched(workload)) } else { workload };
+    let policy = build_policy(policy, &config);
+    Simulation::new(config, workload, policy).expect("valid simulation").run()
+}
+
+/// Every observable of a report, with floats bit-compared. Keep this
+/// exhaustive: a field missed here is a field batching could silently
+/// change.
+fn fingerprint(r: &RunReport) -> (Vec<(&'static str, u64)>, Vec<String>, Vec<String>) {
+    let scalars = r.scalar_metrics();
+    let timeline = r
+        .timeline
+        .iter()
+        .map(|p| {
+            format!(
+                "{}|{}|{}|{:x}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+                p.at,
+                p.accesses,
+                p.slow_accesses,
+                p.throughput.to_bits(),
+                p.threshold,
+                p.p_fraction.map(f64::to_bits),
+                p.bandwidth_util.map(f64::to_bits),
+                p.read_util.map(f64::to_bits),
+                p.write_util.map(f64::to_bits),
+                p.error_bound,
+                p.histogram,
+            )
+        })
+        .collect();
+    let markers = r.markers.iter().map(|m| format!("{}|{}|{}", m.at, m.id, m.label)).collect();
+    (scalars, timeline, markers)
+}
+
+fn assert_identical(kind: WorkloadKind, policy: Policy) {
+    let reference = run(kind, policy, 1, true);
+    let reference_fp = fingerprint(&reference);
+    for batch_size in [1usize, 7, 256, 1024] {
+        let batched = run(kind, policy, batch_size, false);
+        assert_eq!(
+            fingerprint(&batched),
+            reference_fp,
+            "{kind} / {policy:?}: batch={batch_size} diverged from the unbatched seed path"
+        );
+    }
+}
+
+#[test]
+fn first_touch_batched_runs_match_seed_path() {
+    let mut kinds = WorkloadKind::FIG11.to_vec();
+    kinds.push(WorkloadKind::Redis);
+    for kind in kinds {
+        assert_identical(kind, Policy::FirstTouch);
+    }
+}
+
+#[test]
+fn neomem_batched_runs_match_seed_path() {
+    let mut kinds = WorkloadKind::FIG11.to_vec();
+    kinds.push(WorkloadKind::Redis);
+    for kind in kinds {
+        assert_identical(kind, Policy::NeoMem);
+    }
+}
+
+#[test]
+fn max_time_stop_is_batch_invariant() {
+    // The simulated-time stop lives on the hoisted deadline path; a
+    // batched run must cut off at exactly the same access.
+    use neomem_types::Nanos;
+    let run_limited = |batch_size: usize, unbatched: bool| {
+        let config = SimConfig {
+            max_accesses: u64::MAX / 2,
+            max_time: Some(Nanos::from_micros(300)),
+            batch_size,
+            ..SimConfig::quick(RSS_PAGES, 2)
+        };
+        let workload = WorkloadKind::Silo.build(RSS_PAGES, 5);
+        let workload: Box<dyn Workload> =
+            if unbatched { Box::new(Unbatched(workload)) } else { workload };
+        let policy = build_policy(Policy::FirstTouch, &config);
+        Simulation::new(config, workload, policy).expect("valid simulation").run()
+    };
+    let reference = fingerprint(&run_limited(1, true));
+    for batch_size in [1usize, 13, 512] {
+        assert_eq!(fingerprint(&run_limited(batch_size, false)), reference, "batch={batch_size}");
+    }
+}

@@ -71,6 +71,8 @@ impl Btree {
 }
 
 impl Workload for Btree {
+    crate::impl_batched_fill_events!();
+
     fn name(&self) -> &'static str {
         "Btree"
     }

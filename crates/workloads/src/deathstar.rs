@@ -80,6 +80,8 @@ impl DeathStar {
 }
 
 impl Workload for DeathStar {
+    crate::impl_batched_fill_events!();
+
     fn name(&self) -> &'static str {
         "DeathStarBench"
     }

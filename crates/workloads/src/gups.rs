@@ -106,6 +106,8 @@ impl Gups {
 }
 
 impl Workload for Gups {
+    crate::impl_batched_fill_events!();
+
     fn name(&self) -> &'static str {
         "GUPS"
     }

@@ -80,7 +80,40 @@ pub trait Workload {
 
     /// Produces the next event.
     fn next_event(&mut self) -> WorkloadEvent;
+
+    /// Appends exactly `n` further events to `buf`, in stream order.
+    ///
+    /// The batch contract: the events appended must be *identical* to
+    /// `n` successive [`next_event`](Self::next_event) calls — batching
+    /// is a dispatch optimisation, never a behavioural one. The default
+    /// implementation loops `next_event`; high-volume generators
+    /// override it with a statically-dispatched loop so the simulator
+    /// pays one virtual call per batch instead of one per access.
+    fn fill_events(&mut self, buf: &mut Vec<WorkloadEvent>, n: usize) {
+        buf.reserve(n);
+        for _ in 0..n {
+            buf.push(self.next_event());
+        }
+    }
 }
+
+/// Overrides [`Workload::fill_events`] inside a concrete `impl
+/// Workload for …` block with the canonical batch loop over that
+/// type's `next_event`. The loop body matches the trait default (which
+/// is itself monomorphised per implementing type); the explicit
+/// override pins the batch contract on each high-volume generator and
+/// marks the spot where a genuinely specialised batch body would go.
+macro_rules! impl_batched_fill_events {
+    () => {
+        fn fill_events(&mut self, buf: &mut Vec<$crate::WorkloadEvent>, n: usize) {
+            buf.reserve(n);
+            for _ in 0..n {
+                buf.push(self.next_event());
+            }
+        }
+    };
+}
+pub(crate) use impl_batched_fill_events;
 
 /// The benchmark suite of the paper (Fig. 11 order), plus Redis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -203,6 +236,54 @@ mod tests {
             }
         }
         assert!(diffs > 500, "seeds must decorrelate streams");
+    }
+
+    #[test]
+    fn fill_events_matches_next_event_stream() {
+        // The batch contract: fill_events (any batch size, including
+        // sizes that straddle marker boundaries and queued bursts) must
+        // reproduce the exact next_event stream.
+        let mut kinds = WorkloadKind::FIG11.to_vec();
+        kinds.push(WorkloadKind::Redis);
+        for kind in kinds {
+            for batch in [1usize, 3, 257] {
+                let mut reference = kind.build(1024, 9);
+                let mut batched = kind.build(1024, 9);
+                let mut buf = Vec::new();
+                let mut compared = 0usize;
+                while compared < 6000 {
+                    buf.clear();
+                    batched.fill_events(&mut buf, batch);
+                    assert_eq!(buf.len(), batch, "{kind}: short batch");
+                    for ev in &buf {
+                        assert_eq!(*ev, reference.next_event(), "{kind} batch={batch}");
+                        compared += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_fill_events_appends_without_clearing() {
+        // The default implementation must append, preserving prior
+        // contents — the engine reuses one buffer across batches.
+        struct Fixed;
+        impl Workload for Fixed {
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+            fn rss_pages(&self) -> u64 {
+                64
+            }
+            fn next_event(&mut self) -> WorkloadEvent {
+                WorkloadEvent::Marker(Marker { id: 7, label: "m" })
+            }
+        }
+        let mut w = Fixed;
+        let mut buf = vec![w.next_event()];
+        w.fill_events(&mut buf, 3);
+        assert_eq!(buf.len(), 4);
     }
 
     #[test]

@@ -91,6 +91,8 @@ impl PageRank {
 }
 
 impl Workload for PageRank {
+    crate::impl_batched_fill_events!();
+
     fn name(&self) -> &'static str {
         "Page-Rank"
     }

@@ -62,6 +62,8 @@ impl Redis {
 }
 
 impl Workload for Redis {
+    crate::impl_batched_fill_events!();
+
     fn name(&self) -> &'static str {
         "Redis"
     }

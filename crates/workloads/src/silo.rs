@@ -58,6 +58,8 @@ impl Silo {
 }
 
 impl Workload for Silo {
+    crate::impl_batched_fill_events!();
+
     fn name(&self) -> &'static str {
         "Silo"
     }

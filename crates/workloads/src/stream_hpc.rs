@@ -90,6 +90,8 @@ impl StreamingHpc {
 }
 
 impl Workload for StreamingHpc {
+    crate::impl_batched_fill_events!();
+
     fn name(&self) -> &'static str {
         self.kind.label()
     }

@@ -67,6 +67,8 @@ impl XsBench {
 }
 
 impl Workload for XsBench {
+    crate::impl_batched_fill_events!();
+
     fn name(&self) -> &'static str {
         "XSBench"
     }

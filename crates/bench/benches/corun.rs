@@ -1,0 +1,8 @@
+//! Co-run — multi-tenant workloads contending for the fast tier.
+//!
+//! Thin wrapper over the shared figure registry; the same figure is
+//! available with JSON output via `neomem-bench corun`.
+
+fn main() {
+    neomem_bench::figures::bench_target_main("corun");
+}

@@ -1,0 +1,291 @@
+//! Co-run — multi-tenant workloads contending for the fast tier.
+//!
+//! Not a paper figure: the paper evaluates one workload at a time,
+//! while real tiered-memory deployments co-locate tenants. This figure
+//! exercises the co-run engine three ways:
+//!
+//! 1. **Mixes**: representative tenant mixes under NeoMem vs
+//!    first-touch — does hardware-assisted tiering still pay off when
+//!    the fast tier is contended?
+//! 2. **Fairness**: the NeoMem fast-tier share cap swept on one mix —
+//!    what does enforcing proportional occupancy cost/buy?
+//! 3. **Scaling**: 1 → 2 → 4 identical tenants — how does contention
+//!    grow with tenant count?
+//!
+//! The payload carries only simulated (virtual-clock) quantities, so
+//! the JSON is byte-identical at any `--threads` value and at any
+//! `SimConfig::batch_size` (the co-run determinism contract, enforced
+//! by `neomem_sim`'s `corun_determinism` tests and re-checked by the
+//! thread-invariance test in this crate).
+
+use neomem::prelude::*;
+use neomem_runner::{ExperimentGrid, Json};
+
+use super::RunContext;
+use crate::{header, row, Scale};
+
+/// The representative tenant mixes: homogeneous, complementary, and a
+/// four-way free-for-all.
+///
+/// The seed literals (2024, 2025, …) match what the grid path derives:
+/// `ExperimentGrid::corun` re-seeds every cell's mix from the seed axis
+/// as `cell seed + tenant index`, and these grids put 2024 on that
+/// axis — so the literals document the effective seeds rather than
+/// choosing them. Editing them here changes nothing for the figure;
+/// change the grid's `.seeds([...])` instead.
+fn mixes() -> Vec<(&'static str, TenantMix)> {
+    vec![
+        (
+            "2xGUPS",
+            TenantMix::homogeneous(WorkloadKind::Gups, 2, 2048, 2024).expect("valid mix"),
+        ),
+        (
+            "GUPS+Page-Rank",
+            TenantMix::builder()
+                .tenant(WorkloadKind::Gups, 2048, 2024)
+                .tenant(WorkloadKind::PageRank, 2048, 2025)
+                .build()
+                .expect("valid mix"),
+        ),
+        (
+            "quad-mix",
+            TenantMix::builder()
+                .tenant(WorkloadKind::Gups, 1536, 2024)
+                .tenant(WorkloadKind::PageRank, 1536, 2025)
+                .tenant(WorkloadKind::Silo, 1536, 2026)
+                .tenant(WorkloadKind::XsBench, 1536, 2027)
+                .build()
+                .expect("valid mix"),
+        ),
+    ]
+}
+
+/// The shared grid shell: paper seed/cadence conventions at a co-run
+/// budget.
+fn corun_grid(name: &str, scale: Scale) -> ExperimentGrid {
+    ExperimentGrid::new(name)
+        .workloads([])
+        .ratios([2])
+        .seeds([2024])
+        .budgets([scale.accesses(600_000)])
+        .time_scale(1000)
+}
+
+fn fairness_overrides(cap: Option<f64>) -> PolicyOverrides {
+    PolicyOverrides { corun_fast_share_cap: cap, ..Default::default() }
+}
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "Co-run: concurrent tenants contending for the fast tier",
+        "no paper figure — new multi-tenant experiment on the paper's machine model",
+    );
+
+    // 1. Mixes under NeoMem vs first-touch.
+    let mix_defs = mixes();
+    let mut grid = corun_grid("corun/mixes", ctx.scale)
+        .policies([PolicyKind::NeoMem, PolicyKind::FirstTouch]);
+    for (label, mix) in &mix_defs {
+        grid = grid.corun(*label, mix.clone());
+    }
+    let mixes_run = grid.run(ctx.threads).expect("valid corun mixes grid");
+
+    println!(
+        "{}",
+        row(&[
+            "mix".into(),
+            "policy".into(),
+            "runtime".into(),
+            "slow-tier".into(),
+            "x-evictions".into(),
+            "fairness".into(),
+        ])
+    );
+    let mut mix_series = Vec::new();
+    for (label, _) in &mix_defs {
+        let label = *label;
+        let mut per_policy = Vec::new();
+        for policy in [PolicyKind::NeoMem, PolicyKind::FirstTouch] {
+            let cell = mixes_run.corun_for(label, policy, "");
+            let sections = cell.corun.as_ref().expect("corun cell");
+            println!(
+                "{}",
+                row(&[
+                    label.to_string(),
+                    policy.label().to_string(),
+                    format!("{}", cell.report.runtime),
+                    format!("{}", cell.report.slow_tier_accesses()),
+                    format!("{}", sections.contention.cross_tenant_evictions),
+                    format!("{:.3}", sections.occupancy_fairness),
+                ])
+            );
+            per_policy.push((
+                policy.label().to_string(),
+                Json::obj([
+                    ("runtime_ns", Json::U64(cell.report.runtime.as_nanos())),
+                    (
+                        "cross_tenant_evictions",
+                        Json::U64(sections.contention.cross_tenant_evictions),
+                    ),
+                    ("occupancy_fairness", Json::F64(sections.occupancy_fairness)),
+                ]),
+            ));
+        }
+        let neomem = mixes_run.corun_for(label, PolicyKind::NeoMem, "").report.runtime;
+        let ft = mixes_run.corun_for(label, PolicyKind::FirstTouch, "").report.runtime;
+        per_policy.push((
+            "first_touch_over_neomem".to_string(),
+            Json::F64(ft.as_nanos() as f64 / neomem.as_nanos() as f64),
+        ));
+        mix_series.push((label.to_string(), Json::Obj(per_policy)));
+    }
+
+    // 2. Fairness-cap sweep on the complementary mix.
+    header(
+        "Fast-tier fairness cap (NeoMem, GUPS+Page-Rank)",
+        "per-tenant occupancy capped at cap x weighted fair share",
+    );
+    let caps: [(&str, Option<f64>); 3] =
+        [("uncapped", None), ("cap1.5", Some(1.5)), ("cap1.0", Some(1.0))];
+    let fairness_run = corun_grid("corun/fairness", ctx.scale)
+        .corun("GUPS+Page-Rank", mix_defs[1].1.clone())
+        .policies([PolicyKind::NeoMem])
+        .overrides_axis(
+            caps.iter().map(|(label, cap)| (label.to_string(), fairness_overrides(*cap))),
+        )
+        .run(ctx.threads)
+        .expect("valid corun fairness grid");
+    println!(
+        "{}",
+        row(&["cap".into(), "runtime".into(), "fairness".into(), "x-evictions".into()])
+    );
+    let mut fairness_series = Vec::new();
+    for (label, _) in &caps {
+        let cell = fairness_run.corun_for("GUPS+Page-Rank", PolicyKind::NeoMem, label);
+        let sections = cell.corun.as_ref().expect("corun cell");
+        println!(
+            "{}",
+            row(&[
+                label.to_string(),
+                format!("{}", cell.report.runtime),
+                format!("{:.3}", sections.occupancy_fairness),
+                format!("{}", sections.contention.cross_tenant_evictions),
+            ])
+        );
+        fairness_series.push((
+            label.to_string(),
+            Json::obj([
+                ("runtime_ns", Json::U64(cell.report.runtime.as_nanos())),
+                ("occupancy_fairness", Json::F64(sections.occupancy_fairness)),
+                (
+                    "cross_tenant_evictions",
+                    Json::U64(sections.contention.cross_tenant_evictions),
+                ),
+            ]),
+        ));
+    }
+
+    // 3. Tenant-count scaling: identical tenants, identical per-tenant
+    // footprint, so the per-tenant fast-tier share shrinks with count.
+    header(
+        "Tenant-count scaling (NeoMem, GUPS x N)",
+        "fixed per-tenant footprint; contention grows with tenant count",
+    );
+    let counts = [1usize, 2, 4];
+    let mut scaling = corun_grid("corun/scaling", ctx.scale).policies([PolicyKind::NeoMem]);
+    for &n in &counts {
+        let mix = TenantMix::homogeneous(WorkloadKind::Gups, n, 2048, 2024).expect("valid mix");
+        scaling = scaling.corun(format!("{n}xGUPS"), mix);
+    }
+    let scaling_run = scaling.run(ctx.threads).expect("valid corun scaling grid");
+    println!(
+        "{}",
+        row(&["tenants".into(), "runtime".into(), "slow-tier".into(), "x-evictions".into()])
+    );
+    let mut scaling_series = Vec::new();
+    for &n in &counts {
+        let label = format!("{n}xGUPS");
+        let cell = scaling_run.corun_for(&label, PolicyKind::NeoMem, "");
+        let sections = cell.corun.as_ref().expect("corun cell");
+        println!(
+            "{}",
+            row(&[
+                format!("{n}"),
+                format!("{}", cell.report.runtime),
+                format!("{}", cell.report.slow_tier_accesses()),
+                format!("{}", sections.contention.cross_tenant_evictions),
+            ])
+        );
+        scaling_series.push((
+            label,
+            Json::obj([
+                ("runtime_ns", Json::U64(cell.report.runtime.as_nanos())),
+                ("slow_tier_accesses", Json::U64(cell.report.slow_tier_accesses())),
+                (
+                    "cross_tenant_evictions",
+                    Json::U64(sections.contention.cross_tenant_evictions),
+                ),
+            ]),
+        ));
+    }
+
+    Json::obj([
+        (
+            "grids",
+            Json::Arr(vec![mixes_run.to_json(), fairness_run.to_json(), scaling_run.to_json()]),
+        ),
+        (
+            "series",
+            Json::obj([
+                ("mixes", Json::Obj(mix_series)),
+                ("fairness_sweep", Json::Obj(fairness_series)),
+                ("tenant_scaling", Json::Obj(scaling_series)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_runner::GridRun;
+
+    /// The mixes-grid shape at a test-sized budget, through the exact
+    /// figure path.
+    fn tiny_mixes_run(threads: usize) -> GridRun {
+        let mut grid = ExperimentGrid::new("corun/tiny")
+            .workloads([])
+            .ratios([2])
+            .seeds([2024])
+            .budgets([20_000])
+            .time_scale(1000)
+            .policies([PolicyKind::NeoMem, PolicyKind::FirstTouch]);
+        for (label, mix) in mixes() {
+            grid = grid.corun(label, mix);
+        }
+        grid.run(threads).expect("valid tiny corun grid")
+    }
+
+    #[test]
+    fn corun_grid_json_is_thread_invariant_through_the_figure_path() {
+        // The figure's own grid shape, at a test-sized budget: JSON
+        // must be byte-identical at 1 vs 4 worker threads.
+        let one = tiny_mixes_run(1).to_json().render_pretty();
+        let four = tiny_mixes_run(4).to_json().render_pretty();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn mixes_are_valid_and_distinctly_labelled() {
+        let ms = mixes();
+        assert_eq!(ms.len(), 3);
+        let mut labels: Vec<&str> = ms.iter().map(|(l, _)| *l).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3, "duplicate mix labels");
+        for (_, mix) in &ms {
+            assert!(mix.total_rss_pages() >= 4096);
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! Payloads contain only simulated (virtual-clock) quantities, so a
 //! figure's JSON is byte-identical at any `--threads` value.
 
+pub mod corun;
 pub mod fig03;
 pub mod fig04;
 pub mod fig11;
@@ -83,6 +84,7 @@ pub const ALL: &[Figure] = &[
     Figure { name: "fig18", title: "Fig. 18 + §VI-B: hardware cost estimation", run: fig18::run },
     Figure { name: "table01", title: "Table I: profiling-technique comparison", run: table01::run },
     Figure { name: "table06", title: "Table VI: THP vs base pages on Page-Rank", run: table06::run },
+    Figure { name: "corun", title: "Co-run: multi-tenant contention for the fast tier", run: corun::run },
     Figure { name: "micro_engine", title: "Engine-loop micro-bench: throughput, batch invariance, allocations", run: micro_engine::run },
     Figure { name: "micro_sketch", title: "Criterion micro-benchmarks: sketch pipeline", run: micro_sketch::run },
     Figure { name: "micro_system", title: "Criterion micro-benchmarks: simulation substrates", run: micro_system::run },
@@ -134,7 +136,7 @@ mod tests {
 
     #[test]
     fn registry_covers_all_bench_targets_uniquely() {
-        assert_eq!(ALL.len(), 15);
+        assert_eq!(ALL.len(), 16);
         let mut names: Vec<&str> = ALL.iter().map(|f| f.name).collect();
         names.sort_unstable();
         let before = names.len();

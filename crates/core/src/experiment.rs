@@ -23,6 +23,13 @@ pub struct PolicyOverrides {
     pub sketch: Option<SketchParams>,
     /// PEBS sampling interval (Fig. 4c sweep, Table V range 200–5000).
     pub pebs_sample_interval: Option<u64>,
+    /// Fast-tier fairness cap for co-run cells: each tenant's fast-tier
+    /// occupancy is capped at `cap ×` its weighted fair share. Ignored
+    /// by [`build_policy`] (it is not a policy-construction parameter);
+    /// the co-run execution path forwards it to
+    /// [`neomem_policies::TieringPolicy::configure_tenants`] via the
+    /// tenant layout. `None` = no cap.
+    pub corun_fast_share_cap: Option<f64>,
 }
 
 /// Builds [`neomem_policies::TieringPolicy`] instances from a
@@ -316,6 +323,7 @@ mod tests {
             pebs_sample_interval: Some(10),
             mquota: Some(Bandwidth::from_mib_per_sec(64)),
             migration_interval: Some(Nanos::from_micros(500)),
+            ..Default::default()
         };
         // Constructs without error; behavioural effect covered in the
         // sensitivity benches.

@@ -99,9 +99,11 @@ pub mod sim {
 pub mod prelude {
     pub use crate::experiment::{build_policy, Experiment, ExperimentBuilder, PolicyOverrides};
     pub use neomem_policies::PolicyKind;
-    pub use neomem_sim::{RunReport, SimConfig, Simulation, TimelinePoint};
+    pub use neomem_sim::{
+        CoRunConfig, CoRunReport, CoRunSimulation, RunReport, SimConfig, Simulation, TimelinePoint,
+    };
     pub use neomem_types::{Bandwidth, Bytes, Nanos, Tier};
-    pub use neomem_workloads::WorkloadKind;
+    pub use neomem_workloads::{TenantMix, WorkloadKind};
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ mod neomem;
 mod pebs;
 mod pte_scan;
 mod quota;
+mod tenancy;
 
 pub use first_touch::FirstTouchPolicy;
 pub use hint_fault::{HintFaultPolicy, HintFaultPolicyConfig, HintFaultStyle};
@@ -37,6 +38,7 @@ pub use neomem::{NeoMemParams, NeoMemPolicy, ThresholdMode};
 pub use pebs::{MemtisPolicy, PebsPolicy, PebsPolicyConfig};
 pub use pte_scan::{PteScanPolicy, PteScanPolicyConfig};
 pub use quota::QuotaMeter;
+pub use tenancy::TenantLayout;
 
 use neomem_kernel::Kernel;
 use neomem_profilers::AccessEvent;
@@ -98,6 +100,18 @@ pub trait TieringPolicy {
     /// Current telemetry snapshot.
     fn telemetry(&self) -> PolicyTelemetry {
         PolicyTelemetry::default()
+    }
+
+    /// Informs the policy that it arbitrates a multi-tenant machine.
+    ///
+    /// The co-run engine calls this once, before the run starts, with
+    /// the tenant base offsets and weights. Tenant-aware policies use
+    /// the layout for per-tenant migration-quota accounting and
+    /// fast-tier fairness; the default ignores it, so every policy
+    /// keeps its single-tenant behaviour bit-identical when the hook is
+    /// never called.
+    fn configure_tenants(&mut self, layout: &TenantLayout) {
+        let _ = layout;
     }
 }
 

@@ -7,6 +7,7 @@ use neomem_sketch::error_bound;
 use neomem_types::{Bandwidth, Bytes, MemRequest, Nanos, Result, Tier};
 
 use crate::quota::QuotaMeter;
+use crate::tenancy::TenantLayout;
 use crate::{ensure_fast_headroom_with, DemotionStrategy, PolicyTelemetry, TieringPolicy};
 
 /// Threshold control mode (Fig. 14a compares dynamic against fixed θ).
@@ -111,6 +112,36 @@ pub struct NeoMemPolicy {
     huge_map: neomem_kernel::HugePageMap,
     /// Bytes promoted as part of whole-huge-page migrations.
     promoted_huge_bytes: u64,
+    /// Multi-tenant arbitration state; `None` (single-tenant machines)
+    /// leaves every decision path exactly as it always was.
+    tenancy: Option<TenancyState>,
+}
+
+/// Per-tenant arbitration state, active only on co-run machines.
+#[derive(Debug)]
+struct TenancyState {
+    layout: TenantLayout,
+    /// Fast-tier occupancy per tenant, refreshed from the kernel's
+    /// reverse map at each migration tick. Promotions performed inside
+    /// the tick update the counts incrementally; concurrent demotions
+    /// are picked up by the next refresh, which keeps the fairness gate
+    /// slightly conservative between refreshes.
+    fast_counts: Vec<u64>,
+}
+
+impl TenancyState {
+    /// Recounts each tenant's fast-tier pages from the kernel rmap.
+    fn refresh(&mut self, kernel: &Kernel) {
+        self.layout.count_fast_pages(kernel, &mut self.fast_counts);
+    }
+
+    /// Whether `tenant` already occupies its configured fast-tier
+    /// share (always `false` without a cap).
+    fn over_fast_cap(&self, tenant: usize, fast_capacity: u64) -> bool {
+        self.layout
+            .fast_cap_frames(tenant, fast_capacity)
+            .is_some_and(|cap| self.fast_counts[tenant] >= cap)
+    }
 }
 
 impl NeoMemPolicy {
@@ -145,6 +176,7 @@ impl NeoMemPolicy {
             telemetry: PolicyTelemetry::default(),
             huge_map: neomem_kernel::HugePageMap::new(params.thp_votes.max(1)),
             promoted_huge_bytes: 0,
+            tenancy: None,
         })
     }
 
@@ -253,9 +285,27 @@ impl NeoMemPolicy {
             ensure_fast_headroom_with(kernel, self.params.headroom_frac, now, self.params.demotion);
         let (pages, mmio) = self.driver.read_hot_pages(kernel, now);
         cost += mmio;
+        if let Some(state) = &mut self.tenancy {
+            state.refresh(kernel);
+        }
+        let fast_capacity = kernel.memory().allocator(Tier::Fast).capacity();
         for vpage in pages {
             if self.params.thp {
                 if let Some(region) = self.huge_map.record_hot(vpage) {
+                    // Huge migrations pass the same tenant arbitration
+                    // as base pages. The cap gate and the quota charge
+                    // key on the region's base-page owner (a 2 MiB
+                    // region is migrated as one unit); occupancy
+                    // credit is exact per moved page, so a region
+                    // straddling a tenant boundary cannot inflate the
+                    // wrong tenant's count past one refresh interval.
+                    if let Some(state) = &self.tenancy {
+                        let t = state.layout.tenant_of(region);
+                        if state.over_fast_cap(t, fast_capacity) {
+                            continue;
+                        }
+                        self.quota.set_active_tenant(t);
+                    }
                     cost += self.promote_huge_region(region, kernel, now + cost);
                 }
                 continue;
@@ -263,11 +313,29 @@ impl NeoMemPolicy {
             if kernel.tier_of(vpage).map(|t| t.is_fast()).unwrap_or(true) {
                 continue; // already promoted or unmapped
             }
+            // Multi-tenant arbitration: charge the migration budget to
+            // the page's owner, and hold a tenant at its fast-tier
+            // occupancy cap back so co-runners keep their shares.
+            let tenant = self.tenancy.as_ref().map(|s| s.layout.tenant_of(vpage));
+            if let (Some(state), Some(t)) = (&self.tenancy, tenant) {
+                if state.over_fast_cap(t, fast_capacity) {
+                    continue;
+                }
+                self.quota.set_active_tenant(t);
+            }
             if !self.quota.try_consume(Bytes::new(neomem_types::PAGE_SIZE), now + cost) {
+                if tenant.is_some() {
+                    // Only this owner's share is spent; co-runners may
+                    // still be in budget.
+                    continue;
+                }
                 break;
             }
             if let Ok(t) = kernel.promote(vpage, now + cost) {
                 cost += t;
+                if let (Some(state), Some(owner)) = (&mut self.tenancy, tenant) {
+                    state.fast_counts[owner] += 1;
+                }
             }
         }
         cost
@@ -294,6 +362,11 @@ impl NeoMemPolicy {
                     // migrations; keep only the copy time.
                     cost += t.saturating_sub(kernel.costs().per_page_overhead);
                     moved += 1;
+                    // Occupancy credit goes to each page's own tenant:
+                    // a region straddling a boundary credits both.
+                    if let Some(state) = &mut self.tenancy {
+                        state.fast_counts[state.layout.tenant_of(vpage)] += 1;
+                    }
                 }
             }
         }
@@ -355,6 +428,14 @@ impl TieringPolicy for NeoMemPolicy {
         t.promoted_huge_bytes = neomem_types::Bytes::new(self.promoted_huge_bytes);
         t.profiling_overhead = self.driver.mmio_time();
         t
+    }
+
+    fn configure_tenants(&mut self, layout: &TenantLayout) {
+        self.quota.enable_tenant_accounting(layout.weights());
+        self.tenancy = Some(TenancyState {
+            fast_counts: vec![0; layout.tenant_count()],
+            layout: layout.clone(),
+        });
     }
 }
 
@@ -485,6 +566,160 @@ mod tests {
             let frac = policy.p_fraction();
             assert!(frac >= params.pmin - 1e-12 && frac <= params.pmax + 1e-12, "p = {frac}");
         }
+    }
+}
+
+#[cfg(test)]
+mod tenancy_tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+    use neomem_types::{AccessKind, VirtPage};
+
+    fn hammer(policy: &mut NeoMemPolicy, kernel: &mut Kernel, vpage: u64) {
+        let frame = kernel.translate(VirtPage::new(vpage)).unwrap();
+        for _ in 0..8 {
+            let ev = AccessEvent {
+                vpage: VirtPage::new(vpage),
+                frame,
+                tier: kernel.memory().tier_of(frame),
+                kind: AccessKind::Read,
+                tlb_hit: true,
+                llc_miss: true,
+                now: Nanos::ZERO,
+            };
+            policy.on_access(&ev, kernel);
+        }
+    }
+
+    #[test]
+    fn fast_share_cap_holds_a_tenant_at_its_share() {
+        // 4 fast frames, two equal-weight tenants (pages 0..18, 18..36),
+        // strict cap: each tenant may hold ceil(4 * 0.5) = 2 fast pages.
+        let mut kernel = Kernel::new(KernelConfig::with_frames(4, 36));
+        for p in 0..36 {
+            kernel.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        let mut params = NeoMemParams::scaled(1000);
+        params.threshold_mode = ThresholdMode::Fixed(3);
+        // No headroom demotion: the cap alone must do the limiting.
+        params.headroom_frac = 0.0;
+        let dev = neomem_neoprof::NeoProfConfig::small(kernel.memory().slow_base());
+        let mut policy = NeoMemPolicy::new(
+            dev,
+            neomem_profilers::NeoProfDriverConfig::default(),
+            params,
+        )
+        .unwrap();
+        let layout = TenantLayout::new(vec![0, 18], vec![1, 1], Some(1.0)).unwrap();
+        policy.configure_tenants(&layout);
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        // Hammer four of tenant 1's slow pages: only two may come up.
+        for p in [20u64, 21, 22, 23] {
+            assert!(kernel.tier_of(VirtPage::new(p)).unwrap().is_slow());
+            hammer(&mut policy, &mut kernel, p);
+        }
+        policy.maybe_tick(&mut kernel, Nanos::from_millis(100));
+        let fast_tenant1 = (18..36)
+            .filter(|&p| kernel.tier_of(VirtPage::new(p)).unwrap().is_fast())
+            .count();
+        assert!(
+            fast_tenant1 <= 2,
+            "tenant 1 exceeded its fast-tier share: {fast_tenant1} pages"
+        );
+        assert!(kernel.stats().promotions > 0, "promotions up to the cap still happen");
+    }
+
+    #[test]
+    fn thp_promotions_respect_the_fast_share_cap() {
+        // 256 fast frames, two equal tenants at a strict cap of 128
+        // frames each; tenant 1's hot huge region (512 pages) cannot
+        // promote once the tenant is at its share.
+        let mut kernel = Kernel::new(KernelConfig::with_frames(256, 4096));
+        for p in 0..4096u64 {
+            kernel.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        let mut params = NeoMemParams::scaled(1000);
+        params.threshold_mode = ThresholdMode::Fixed(2);
+        params.headroom_frac = 0.0;
+        params.thp = true;
+        params.thp_votes = 1;
+        let dev = neomem_neoprof::NeoProfConfig::small(kernel.memory().slow_base());
+        let mut policy = NeoMemPolicy::new(
+            dev,
+            neomem_profilers::NeoProfDriverConfig::default(),
+            params,
+        )
+        .unwrap();
+        // Tenant 1 owns pages 2048.. and already holds 0 fast pages,
+        // but its cap is 128 < the 512-page huge region: the refresh
+        // before promotion keeps counts, and after one region (which
+        // would blow past the cap only when allowed at all) the next
+        // region must be gated. Use a cap of 1.0 -> 128 frames, well
+        // under one huge region, after the first region promotes
+        // partially (fast tier has only 256 frames anyway).
+        let layout = TenantLayout::new(vec![0, 2048], vec![1, 1], Some(1.0)).unwrap();
+        policy.configure_tenants(&layout);
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        // Hammer hot pages in two different huge regions of tenant 1.
+        for &p in &[2100u64, 2700] {
+            let frame = kernel.translate(VirtPage::new(p)).unwrap();
+            assert!(kernel.memory().tier_of(frame).is_slow());
+            let ev = AccessEvent {
+                vpage: VirtPage::new(p),
+                frame,
+                tier: Tier::Slow,
+                kind: AccessKind::Read,
+                tlb_hit: true,
+                llc_miss: true,
+                now: Nanos::ZERO,
+            };
+            for _ in 0..5 {
+                policy.on_access(&ev, &mut kernel);
+            }
+        }
+        policy.maybe_tick(&mut kernel, Nanos::from_millis(100));
+        // The owner-tracked count updates inside the tick, so at most
+        // one region's pages moved before the gate engaged; a second
+        // region promoting in the same tick would mean the cap was
+        // ignored.
+        let fast_tenant1 = (2048..4096)
+            .filter(|&p| kernel.tier_of(VirtPage::new(p)).unwrap().is_fast())
+            .count() as u64;
+        assert!(
+            fast_tenant1 <= 512,
+            "second huge region promoted past the cap: {fast_tenant1} fast pages"
+        );
+        assert!(
+            kernel.tier_of(VirtPage::new(2700)).unwrap().is_slow()
+                || kernel.tier_of(VirtPage::new(2100)).unwrap().is_slow(),
+            "both hot regions promoted despite the occupancy cap"
+        );
+    }
+
+    #[test]
+    fn per_tenant_quota_charges_the_page_owner() {
+        let mut kernel = Kernel::new(KernelConfig::with_frames(4, 36));
+        for p in 0..36 {
+            kernel.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        let mut params = NeoMemParams::scaled(1000);
+        params.threshold_mode = ThresholdMode::Fixed(3);
+        params.headroom_frac = 0.0;
+        let dev = neomem_neoprof::NeoProfConfig::small(kernel.memory().slow_base());
+        let mut policy = NeoMemPolicy::new(
+            dev,
+            neomem_profilers::NeoProfDriverConfig::default(),
+            params,
+        )
+        .unwrap();
+        let layout = TenantLayout::new(vec![0, 18], vec![1, 1], None).unwrap();
+        policy.configure_tenants(&layout);
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        hammer(&mut policy, &mut kernel, 20); // tenant 1's page
+        policy.maybe_tick(&mut kernel, Nanos::from_millis(100));
+        assert!(kernel.stats().promotions >= 1);
+        assert_eq!(policy.quota.used_by(0), Bytes::ZERO, "tenant 0 never migrated");
+        assert!(policy.quota.used_by(1) >= Bytes::new(neomem_types::PAGE_SIZE));
     }
 }
 

@@ -6,8 +6,15 @@
 //! worker pool. Per-cell seeds are a pure function of the grid
 //! coordinates — never of scheduling — so a run's serialised results
 //! are byte-identical at any thread count.
+//!
+//! The workload axis can mix single-tenant workloads with co-run
+//! tenant mixes ([`ExperimentGrid::corun`]): a co-run entry expands
+//! against the same ratio/policy/override/budget/seed axes, runs
+//! through [`CoRunSimulation`], and its cells carry per-tenant and
+//! contention sections in addition to the machine-wide metrics.
 
 use neomem::prelude::*;
+use neomem::sim::{CoRunContention, TenantRunReport};
 use neomem::Error;
 
 use crate::exec;
@@ -58,7 +65,7 @@ pub fn policy_name(kind: PolicyKind) -> String {
 #[derive(Debug, Clone)]
 pub struct ExperimentGrid {
     name: String,
-    workloads: Vec<WorkloadKind>,
+    workloads: Vec<GridWorkload>,
     policies: Vec<PolicyKind>,
     ratios: Vec<u64>,
     overrides: Vec<(String, PolicyOverrides)>,
@@ -68,7 +75,16 @@ pub struct ExperimentGrid {
     rss_pages: u64,
     time_scale: u64,
     large_machine: bool,
+    corun_quantum: usize,
     configure: Option<fn(&mut SimConfig)>,
+}
+
+/// One entry of the workload axis: a classic single-tenant workload or
+/// a labelled co-run tenant mix.
+#[derive(Debug, Clone)]
+enum GridWorkload {
+    Single(WorkloadKind),
+    CoRun(String, TenantMix),
 }
 
 impl ExperimentGrid {
@@ -77,7 +93,7 @@ impl ExperimentGrid {
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
-            workloads: vec![WorkloadKind::Gups],
+            workloads: vec![GridWorkload::Single(WorkloadKind::Gups)],
             policies: vec![PolicyKind::NeoMem],
             ratios: vec![2],
             overrides: vec![(String::new(), PolicyOverrides::default())],
@@ -87,13 +103,37 @@ impl ExperimentGrid {
             rss_pages: 4096,
             time_scale: 1000,
             large_machine: false,
+            corun_quantum: 64,
             configure: None,
         }
     }
 
-    /// Sets the workload axis.
+    /// Sets the workload axis (replacing any co-run entries added so
+    /// far — call [`ExperimentGrid::corun`] afterwards to append them).
     pub fn workloads(mut self, axis: impl IntoIterator<Item = WorkloadKind>) -> Self {
-        self.workloads = axis.into_iter().collect();
+        self.workloads = axis.into_iter().map(GridWorkload::Single).collect();
+        self
+    }
+
+    /// Appends a labelled co-run tenant mix to the workload axis. The
+    /// entry expands against the same ratio/policy/override/budget/seed
+    /// axes as single-tenant workloads; its cells run through
+    /// [`CoRunSimulation`] with the mix's own footprint (the grid's
+    /// `rss_pages` does not apply). The seed axis applies through
+    /// [`TenantMix::reseeded`] — tenant `i` runs with `cell seed + i`,
+    /// so seed sweeps decorrelate co-run cells exactly like
+    /// single-tenant ones. Run [`CoRunSimulation`] directly for full
+    /// per-tenant seed control.
+    pub fn corun(mut self, label: impl Into<String>, mix: TenantMix) -> Self {
+        self.workloads.push(GridWorkload::CoRun(label.into(), mix));
+        self
+    }
+
+    /// Sets the co-run interleave quantum (events a weight-1 tenant
+    /// runs per scheduling round; default 64). Single-tenant cells are
+    /// unaffected.
+    pub fn corun_quantum(mut self, quantum: usize) -> Self {
+        self.corun_quantum = quantum;
         self
     }
 
@@ -178,7 +218,21 @@ impl ExperimentGrid {
     /// Expands the cartesian product into cells, in row-major order.
     pub fn cells(&self) -> Vec<GridCell> {
         let mut cells = Vec::with_capacity(self.len());
-        for (wi, &workload) in self.workloads.iter().enumerate() {
+        for (wi, entry) in self.workloads.iter().enumerate() {
+            let (workload, corun) = match entry {
+                GridWorkload::Single(kind) => (*kind, None),
+                GridWorkload::CoRun(label, mix) => (
+                    // The kind slot is a placeholder for co-run cells
+                    // (the first tenant's kind); lookups key on the
+                    // `corun` label instead.
+                    mix.tenants()[0].kind,
+                    Some(CorunCellSpec {
+                        label: label.clone(),
+                        mix: mix.clone(),
+                        interleave_quantum: self.corun_quantum,
+                    }),
+                ),
+            };
             for (ri, &ratio) in self.ratios.iter().enumerate() {
                 for (pi, &policy) in self.policies.iter().enumerate() {
                     for (oi, (label, overrides)) in self.overrides.iter().enumerate() {
@@ -199,6 +253,7 @@ impl ExperimentGrid {
                                 cells.push(GridCell {
                                     index: cells.len(),
                                     workload,
+                                    corun: corun.clone(),
                                     policy,
                                     ratio,
                                     override_label: label.clone(),
@@ -233,6 +288,33 @@ impl ExperimentGrid {
         builder
     }
 
+    /// Builds the [`CoRunSimulation`] of a co-run cell: the machine is
+    /// sized for the mix's total footprint at the cell's ratio, the
+    /// policy comes from the same [`build_policy`] path as
+    /// single-tenant cells, and the overrides' fairness cap flows into
+    /// the tenant layout.
+    fn corun_simulation_for(&self, cell: &GridCell) -> Result<CoRunSimulation, Error> {
+        let spec = cell.corun.as_ref().expect("corun cell");
+        let mut config = if self.large_machine {
+            SimConfig::large(spec.mix.total_rss_pages(), cell.ratio)
+        } else {
+            SimConfig::quick(spec.mix.total_rss_pages(), cell.ratio)
+        };
+        config.max_accesses = cell.accesses;
+        if let Some(hook) = self.configure {
+            hook(&mut config);
+        }
+        let policy = build_policy(cell.policy, &config, self.time_scale, cell.overrides)?;
+        let corun_config = CoRunConfig {
+            sim: config,
+            interleave_quantum: spec.interleave_quantum,
+            fast_share_cap: cell.overrides.corun_fast_share_cap,
+        };
+        // The seed axis drives tenant seeds (tenant i gets seed + i),
+        // so seed sweeps produce genuinely different co-runs.
+        CoRunSimulation::new(corun_config, &spec.mix.reseeded(cell.seed), policy)
+    }
+
     /// Runs every cell on `threads` workers (`0` = all cores).
     ///
     /// # Errors
@@ -243,26 +325,62 @@ impl ExperimentGrid {
         let cells = self.cells();
         // Validate every cell before spending simulation time on any.
         for cell in &cells {
-            self.builder_for(cell).build().map_err(|e| {
+            let check = if cell.corun.is_some() {
+                self.corun_simulation_for(cell).map(|_| ())
+            } else {
+                self.builder_for(cell).build().map(|_| ())
+            };
+            check.map_err(|e| {
                 Error::invalid_config(format!(
                     "grid '{}' cell {} ({} / {}): {e}",
                     self.name,
                     cell.index,
-                    cell.workload.label(),
+                    cell.workload_label(),
                     policy_name(cell.policy),
                 ))
             })?;
         }
-        let reports = exec::run_indexed(&cells, threads, |_, cell| {
-            self.builder_for(cell).build().expect("cell validated above").run()
+        let outcomes = exec::run_indexed(&cells, threads, |_, cell| {
+            if cell.corun.is_some() {
+                let outcome =
+                    self.corun_simulation_for(cell).expect("cell validated above").run();
+                let occupancy_fairness = outcome.occupancy_fairness();
+                (
+                    outcome.combined,
+                    Some(CorunSections {
+                        tenants: outcome.tenants,
+                        contention: outcome.contention,
+                        occupancy_fairness,
+                    }),
+                )
+            } else {
+                (self.builder_for(cell).build().expect("cell validated above").run(), None)
+            }
         });
         Ok(GridRun {
             name: self.name.clone(),
             rss_pages: self.rss_pages,
             time_scale: self.time_scale,
-            cells: cells.into_iter().zip(reports).map(|(cell, report)| CellRun { cell, report }).collect(),
+            cells: cells
+                .into_iter()
+                .zip(outcomes)
+                .map(|(cell, (report, corun))| CellRun { cell, report, corun })
+                .collect(),
         })
     }
+}
+
+/// The co-run parameters of a grid cell (present when the cell came
+/// from an [`ExperimentGrid::corun`] axis entry).
+#[derive(Debug, Clone)]
+pub struct CorunCellSpec {
+    /// The axis label — the cell's `workload` identity in JSON and
+    /// gate keys.
+    pub label: String,
+    /// The tenant mix under test.
+    pub mix: TenantMix,
+    /// Interleave quantum in force.
+    pub interleave_quantum: usize,
 }
 
 /// One point of a grid: fully resolved experiment parameters.
@@ -270,8 +388,12 @@ impl ExperimentGrid {
 pub struct GridCell {
     /// Position in the grid's row-major expansion.
     pub index: usize,
-    /// Workload under test.
+    /// Workload under test. For co-run cells this slot holds the first
+    /// tenant's kind as a placeholder — identify those cells through
+    /// [`GridCell::corun`] / [`GridCell::workload_label`] instead.
     pub workload: WorkloadKind,
+    /// Co-run parameters; `None` for classic single-tenant cells.
+    pub corun: Option<CorunCellSpec>,
     /// Tiering policy under test.
     pub policy: PolicyKind,
     /// Fast:slow capacity ratio (`1:ratio`).
@@ -284,8 +406,33 @@ pub struct GridCell {
     pub accesses: u64,
     /// The seed-axis value this cell came from.
     pub base_seed: u64,
-    /// The derived workload seed (see [`SeedMode`]).
+    /// The derived workload seed (see [`SeedMode`]). Co-run cells
+    /// derive tenant seeds from it: tenant `i` runs with `seed + i`.
     pub seed: u64,
+}
+
+impl GridCell {
+    /// The cell's workload identity: the paper label for single-tenant
+    /// cells, the co-run axis label otherwise.
+    pub fn workload_label(&self) -> String {
+        match &self.corun {
+            Some(spec) => spec.label.clone(),
+            None => self.workload.label().to_string(),
+        }
+    }
+}
+
+/// The co-run sections of a completed cell: per-tenant attribution
+/// plus shared-tier contention.
+#[derive(Debug, Clone)]
+pub struct CorunSections {
+    /// Per-tenant reports, in mix order.
+    pub tenants: Vec<TenantRunReport>,
+    /// Shared-tier contention metrics.
+    pub contention: CoRunContention,
+    /// Jain's fairness index over weighted fast-tier occupancy (see
+    /// [`CoRunReport::occupancy_fairness`]).
+    pub occupancy_fairness: f64,
 }
 
 /// A completed cell: its coordinates plus the simulation outcome.
@@ -293,8 +440,11 @@ pub struct GridCell {
 pub struct CellRun {
     /// The grid coordinates.
     pub cell: GridCell,
-    /// The simulation outcome.
+    /// The simulation outcome (the machine-wide combined report for
+    /// co-run cells).
     pub report: RunReport,
+    /// Per-tenant + contention sections, present for co-run cells.
+    pub corun: Option<CorunSections>,
 }
 
 /// The outcome of a full grid campaign, in cell order.
@@ -327,12 +477,36 @@ impl GridRun {
     }
 
     /// The report for a (workload, policy) point — the common lookup.
+    /// Skips co-run cells; look those up with [`GridRun::corun_for`].
     pub fn report_for(&self, workload: WorkloadKind, policy: PolicyKind) -> &RunReport {
-        self.report_where(|c| c.workload == workload && c.policy == policy)
+        self.report_where(|c| c.corun.is_none() && c.workload == workload && c.policy == policy)
+    }
+
+    /// The first co-run cell with the given axis label, policy and
+    /// override label.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no cell matches — a programming error in figure
+    /// code, not a data condition.
+    pub fn corun_for(&self, label: &str, policy: PolicyKind, override_label: &str) -> &CellRun {
+        self.cells
+            .iter()
+            .find(|run| {
+                run.cell.policy == policy
+                    && run.cell.override_label == override_label
+                    && run.cell.corun.as_ref().is_some_and(|s| s.label == label)
+            })
+            .expect("no co-run cell matches label/policy")
     }
 
     /// Serialises the campaign: grid header plus one record per cell
     /// (coordinates + flat metrics). Deterministic at any thread count.
+    ///
+    /// Single-tenant cells keep the exact v1 record shape. Co-run cells
+    /// use their axis label as the `workload` identity and append a
+    /// `corun` section (tenants + contention) — a schema extension, no
+    /// existing key is renamed.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("name", Json::from(self.name.as_str())),
@@ -344,21 +518,78 @@ impl GridRun {
                     self.cells
                         .iter()
                         .map(|run| {
-                            Json::obj([
-                                ("workload", Json::from(run.cell.workload.label())),
-                                ("policy", Json::from(policy_name(run.cell.policy))),
-                                ("ratio", Json::U64(run.cell.ratio)),
-                                ("label", Json::from(run.cell.override_label.as_str())),
-                                ("accesses", Json::U64(run.cell.accesses)),
-                                ("seed", Json::U64(run.cell.seed)),
-                                ("metrics", metrics_json(&run.report)),
-                            ])
+                            let mut fields = vec![
+                                (
+                                    "workload".to_string(),
+                                    Json::Str(run.cell.workload_label()),
+                                ),
+                                ("policy".to_string(), Json::Str(policy_name(run.cell.policy))),
+                                ("ratio".to_string(), Json::U64(run.cell.ratio)),
+                                (
+                                    "label".to_string(),
+                                    Json::from(run.cell.override_label.as_str()),
+                                ),
+                                ("accesses".to_string(), Json::U64(run.cell.accesses)),
+                                ("seed".to_string(), Json::U64(run.cell.seed)),
+                                ("metrics".to_string(), metrics_json(&run.report)),
+                            ];
+                            if let Some(sections) = &run.corun {
+                                fields.push(("corun".to_string(), corun_json(sections)));
+                            }
+                            Json::Obj(fields)
                         })
                         .collect(),
                 ),
             ),
         ])
     }
+}
+
+/// Serialises a cell's co-run sections: contention scalars plus one
+/// record per tenant. Metric names are part of the result schema —
+/// extend, don't rename.
+fn corun_json(sections: &CorunSections) -> Json {
+    // Co-run cells size the machine from the mix, not the grid header's
+    // rss_pages — record the real footprint with the cell.
+    let total_rss: u64 = sections.tenants.iter().map(|t| t.rss_pages).sum();
+    Json::obj([
+        ("total_rss_pages", Json::U64(total_rss)),
+        ("interleave_quantum", Json::U64(sections.contention.interleave_quantum)),
+        ("fast_capacity_pages", Json::U64(sections.contention.fast_capacity_pages)),
+        ("cross_tenant_evictions", Json::U64(sections.contention.cross_tenant_evictions)),
+        ("rounds", Json::U64(sections.contention.rounds)),
+        ("slices", Json::U64(sections.contention.slices)),
+        ("occupancy_fairness", Json::F64(sections.occupancy_fairness)),
+        (
+            "tenants",
+            Json::Arr(
+                sections
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        Json::obj([
+                            ("tenant", Json::U64(t.tenant as u64)),
+                            ("workload", Json::from(t.workload.as_str())),
+                            ("weight", Json::U64(t.weight as u64)),
+                            ("rss_pages", Json::U64(t.rss_pages)),
+                            ("base_page", Json::U64(t.base_page)),
+                            ("seed", Json::U64(t.seed)),
+                            ("mean_fast_share", Json::F64(t.mean_fast_share)),
+                            (
+                                "metrics",
+                                Json::Obj(
+                                    t.scalar_metrics()
+                                        .into_iter()
+                                        .map(|(k, v)| (k.to_string(), Json::U64(v)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 #[cfg(test)]
@@ -440,6 +671,97 @@ mod tests {
             policy_name(PolicyKind::NeoMemFixed(2)),
             policy_name(PolicyKind::NeoMemFixed(4))
         );
+    }
+
+    fn tiny_mix() -> TenantMix {
+        TenantMix::builder()
+            .tenant(WorkloadKind::Gups, 512, 5)
+            .weighted_tenant(WorkloadKind::Silo, 512, 2, 6)
+            .build()
+            .expect("valid mix")
+    }
+
+    #[test]
+    fn corun_axis_expands_against_the_other_axes() {
+        let grid = ExperimentGrid::new("mixed")
+            .workloads([WorkloadKind::Gups])
+            .corun("pair", tiny_mix())
+            .policies([PolicyKind::FirstTouch, PolicyKind::PinnedFast])
+            .budgets([4_000]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 4, "2 workload-axis entries x 2 policies");
+        assert!(cells[0].corun.is_none());
+        assert!(cells[2].corun.is_some());
+        assert_eq!(cells[2].workload_label(), "pair");
+        assert_eq!(cells[0].workload_label(), "GUPS");
+    }
+
+    #[test]
+    fn corun_cells_run_and_carry_tenant_sections() {
+        let run = ExperimentGrid::new("corun")
+            .workloads([])
+            .corun("pair", tiny_mix())
+            .policies([PolicyKind::FirstTouch])
+            .budgets([8_000])
+            .run(2)
+            .expect("corun grid runs");
+        assert_eq!(run.cells.len(), 1);
+        let cell = run.corun_for("pair", PolicyKind::FirstTouch, "");
+        let sections = cell.corun.as_ref().expect("corun sections present");
+        assert_eq!(sections.tenants.len(), 2);
+        let attributed: u64 = sections.tenants.iter().map(|t| t.accesses).sum();
+        assert_eq!(attributed, cell.report.accesses);
+        assert!(sections.occupancy_fairness > 0.0 && sections.occupancy_fairness <= 1.0);
+        // JSON carries the extension section under the mix label.
+        let json = run.to_json();
+        let cells = json.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells[0].get("workload").and_then(Json::as_str), Some("pair"));
+        let corun = cells[0].get("corun").expect("corun section");
+        assert!(corun.get("cross_tenant_evictions").and_then(Json::as_u64).is_some());
+        let tenants = corun.get("tenants").and_then(Json::as_arr).unwrap();
+        assert_eq!(tenants.len(), 2);
+        assert!(tenants[0].get("metrics").and_then(|m| m.get("slow_tier_accesses")).is_some());
+    }
+
+    #[test]
+    fn corun_json_is_thread_count_invariant() {
+        let grid = ExperimentGrid::new("threads")
+            .workloads([WorkloadKind::Gups])
+            .corun("pair", tiny_mix())
+            .policies([PolicyKind::FirstTouch, PolicyKind::NeoMem])
+            .rss_pages(512)
+            .budgets([6_000]);
+        let one = grid.run(1).expect("1 thread").to_json().render_pretty();
+        let four = grid.run(4).expect("4 threads").to_json().render_pretty();
+        assert_eq!(one, four, "corun grids must serialise byte-identically at any thread count");
+    }
+
+    #[test]
+    fn report_for_skips_corun_cells() {
+        // A corun cell whose placeholder kind collides with the single
+        // axis entry must not shadow it.
+        let run = ExperimentGrid::new("shadow")
+            .workloads([WorkloadKind::Gups])
+            .corun("gups-pair", TenantMix::homogeneous(WorkloadKind::Gups, 2, 512, 9).unwrap())
+            .policies([PolicyKind::FirstTouch])
+            .rss_pages(512)
+            .budgets([4_000])
+            .run(2)
+            .expect("grid runs");
+        let single = run.report_for(WorkloadKind::Gups, PolicyKind::FirstTouch);
+        assert!(!single.workload.starts_with("corun["));
+    }
+
+    #[test]
+    fn invalid_corun_cells_fail_before_any_simulation() {
+        // A zero quantum is rejected up front with cell context.
+        let err = ExperimentGrid::new("invalid-corun")
+            .workloads([])
+            .corun("pair", tiny_mix())
+            .corun_quantum(0)
+            .policies([PolicyKind::FirstTouch])
+            .run(1);
+        assert!(err.is_err());
     }
 
     #[test]

@@ -45,7 +45,8 @@ mod report;
 pub use compare::{compare, Drift, GateConfig, GateReport};
 pub use exec::{effective_threads, run_indexed};
 pub use grid::{
-    policy_name, replicate_seeds, splitmix64, CellRun, ExperimentGrid, GridCell, GridRun, SeedMode,
+    policy_name, replicate_seeds, splitmix64, CellRun, CorunCellSpec, CorunSections,
+    ExperimentGrid, GridCell, GridRun, SeedMode,
 };
 pub use json::{Json, JsonError};
 pub use report::{metrics_json, report_json};

@@ -1,0 +1,790 @@
+//! The multi-tenant co-run engine.
+//!
+//! A [`CoRunSimulation`] drives `N` independent workloads — a
+//! [`TenantMix`] — through one shared tiered-memory machine. Each
+//! tenant keeps a private page-id namespace (its pages live at a
+//! disjoint base offset of the global address space), while the cache
+//! hierarchy, TLB, kernel and tiering policy are shared: exactly the
+//! co-located-tenants regime where fast-tier capacity and migration
+//! quota become contended resources.
+//!
+//! # Scheduling and determinism
+//!
+//! Tenants are interleaved by a deterministic weighted round-robin: in
+//! every round, tenant `i` executes a *slice* of
+//! `interleave_quantum × weight_i` events before the next tenant runs.
+//! The slice schedule is a pure function of the configuration — never
+//! of `SimConfig::batch_size` (which only sets how many events are
+//! pulled per [`neomem_workloads::Workload::fill_events`] call inside a
+//! slice) and never of host threading — so a co-run, like a
+//! single-tenant run, is bit-identical at any batch size and at any
+//! `--threads` value.
+//!
+//! Per-access semantics are shared with the single-tenant engine (the
+//! same internal machine step), so a one-tenant co-run is the same
+//! machine as a classic [`crate::Simulation`] — only the page-id
+//! remapping and the slice accounting differ.
+//!
+//! # Attribution
+//!
+//! Slices run one tenant at a time, so per-tenant metrics are exact
+//! deltas of the shared counters around each slice: memory-node
+//! traffic, migrations, faults and elapsed virtual time are charged to
+//! the tenant whose slice produced them. Fast-tier occupancy is scanned
+//! at every slice boundary, which also exposes *cross-tenant
+//! evictions*: the net fast-tier occupancy an idle tenant lost while
+//! another tenant's slice ran. Net, because the scans see occupancy,
+//! not individual migrations — a slice that demotes three of an idle
+//! tenant's pages and promotes two of them back counts one; the
+//! number is a lower bound on gross cross-tenant demotions.
+
+use neomem_policies::{TenantLayout, TieringPolicy};
+use neomem_types::{Nanos, Result, Tier, VirtPage};
+use neomem_workloads::{TenantMix, Workload, WorkloadEvent};
+
+use crate::config::SimConfig;
+use crate::engine::{earliest_deadline, HotCosts, Machine};
+use crate::report::{MarkerRecord, RunReport};
+
+/// Configuration of a co-run: the shared machine plus the interleave
+/// and fairness knobs.
+#[derive(Debug, Clone)]
+pub struct CoRunConfig {
+    /// The shared machine. `sim.rss_pages` must equal the mix's total
+    /// footprint; every other field (memory layout, caches, budgets,
+    /// `batch_size`, …) keeps its single-tenant meaning.
+    pub sim: SimConfig,
+    /// Events a weight-1 tenant executes per scheduling round. Purely
+    /// a simulated-schedule knob: smaller quanta interleave tenants
+    /// more finely (more contention churn), larger quanta approximate
+    /// coarse time-sharing.
+    pub interleave_quantum: usize,
+    /// Fast-tier fairness cap forwarded to tenant-aware policies: each
+    /// tenant's fast-tier occupancy is capped at `cap ×` its weighted
+    /// fair share (see [`TenantLayout::fast_cap_frames`]). `None`
+    /// disables the cap (free-for-all contention).
+    pub fast_share_cap: Option<f64>,
+}
+
+impl CoRunConfig {
+    /// Wraps an explicit [`SimConfig`] with the default interleave
+    /// quantum (64) and no fairness cap.
+    pub fn new(sim: SimConfig) -> Self {
+        Self { sim, interleave_quantum: 64, fast_share_cap: None }
+    }
+
+    /// A quick-running machine sized for `mix` at `1:ratio`, the
+    /// co-run counterpart of [`SimConfig::quick`].
+    pub fn quick(mix: &TenantMix, ratio: u64) -> Self {
+        Self::new(SimConfig::quick(mix.total_rss_pages(), ratio))
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`neomem_types::Error::InvalidConfig`] when the machine
+    /// configuration is invalid or the quantum is zero.
+    pub fn validate(&self) -> Result<()> {
+        self.sim.validate()?;
+        if self.interleave_quantum == 0 {
+            return Err(neomem_types::Error::invalid_config(
+                "interleave_quantum must be non-zero",
+            ));
+        }
+        if self.fast_share_cap.is_some_and(|c| c <= 0.0 || c.is_nan()) {
+            return Err(neomem_types::Error::invalid_config(
+                "fast_share_cap must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One tenant's lane: its generator, address-space placement and
+/// per-slice accumulators.
+struct Lane {
+    workload: Box<dyn Workload>,
+    base: u64,
+    weight: u32,
+    rss_pages: u64,
+    seed: u64,
+    /// Reused event buffer (one per lane so streams never mix).
+    buf: Vec<WorkloadEvent>,
+    // Accumulated attribution.
+    accesses: u64,
+    active_time: Nanos,
+    slow_reads: u64,
+    slow_writes: u64,
+    fast_reads: u64,
+    fast_writes: u64,
+    promotions: u64,
+    demotions: u64,
+    ping_pongs: u64,
+    minor_faults: u64,
+    markers: u64,
+    evicted_by_others: u64,
+    evictions_caused: u64,
+    /// Sum of fast-tier occupancy over slice-boundary scans.
+    occupancy_sum: u64,
+}
+
+/// A configured co-run, ready to run.
+pub struct CoRunSimulation {
+    config: CoRunConfig,
+    machine: Machine,
+    layout: TenantLayout,
+    lanes: Vec<Lane>,
+    mix_label: String,
+}
+
+impl CoRunSimulation {
+    /// Builds the shared machine and the tenant lanes, and hands the
+    /// tenant layout to the policy
+    /// ([`TieringPolicy::configure_tenants`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures, including a mix
+    /// footprint that does not match `config.sim.rss_pages`.
+    pub fn new(
+        config: CoRunConfig,
+        mix: &TenantMix,
+        mut policy: Box<dyn TieringPolicy>,
+    ) -> Result<Self> {
+        config.validate()?;
+        if mix.total_rss_pages() != config.sim.rss_pages {
+            return Err(neomem_types::Error::invalid_config(format!(
+                "tenant mix rss {} != config rss {}",
+                mix.total_rss_pages(),
+                config.sim.rss_pages
+            )));
+        }
+        let layout = TenantLayout::new(mix.bases(), mix.weights(), config.fast_share_cap)?;
+        policy.configure_tenants(&layout);
+        let machine = Machine::new(config.sim.clone(), policy)?;
+        let lanes = mix
+            .tenants()
+            .iter()
+            .zip(mix.bases())
+            .map(|(spec, base)| Lane {
+                workload: spec.kind.build(spec.rss_pages, spec.seed),
+                base,
+                weight: spec.weight,
+                rss_pages: spec.rss_pages,
+                seed: spec.seed,
+                buf: Vec::new(),
+                accesses: 0,
+                active_time: Nanos::ZERO,
+                slow_reads: 0,
+                slow_writes: 0,
+                fast_reads: 0,
+                fast_writes: 0,
+                promotions: 0,
+                demotions: 0,
+                ping_pongs: 0,
+                minor_faults: 0,
+                markers: 0,
+                evicted_by_others: 0,
+                evictions_caused: 0,
+                occupancy_sum: 0,
+            })
+            .collect();
+        Ok(Self { config, machine, layout, lanes, mix_label: mix.label() })
+    }
+
+    /// Counts each tenant's fast-tier pages into `out`, through the
+    /// same [`TenantLayout::count_fast_pages`] NeoMem's fairness gate
+    /// uses — one counting rule, shared.
+    fn scan_occupancy(machine: &Machine, layout: &TenantLayout, out: &mut [u64]) {
+        layout.count_fast_pages(&machine.kernel, out);
+    }
+
+    /// Runs the co-run to completion and produces the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine runs out of physical memory — unreachable
+    /// for validated configurations, as in [`crate::Simulation::run`].
+    pub fn run(mut self) -> CoRunReport {
+        let mut clock = Nanos::ZERO;
+        let mut accesses: u64 = 0;
+        let mut next_tick = Nanos::ZERO;
+        let mut next_sample = self.machine.config.sample_interval;
+        let mut timeline = Vec::new();
+        let mut markers = Vec::new();
+        let mut occupancy_timeline = Vec::new();
+        let mut window_accesses = 0u64;
+        let mut window_start = Nanos::ZERO;
+
+        let limit = self.machine.config.max_time;
+        let costs = HotCosts::of(&self.machine.config);
+        let batch = self.machine.config.batch_size.max(1);
+        let max_accesses = self.machine.config.max_accesses;
+        let tick_quantum = self.machine.config.tick_quantum;
+        let sample_interval = self.machine.config.sample_interval;
+        let quantum = self.config.interleave_quantum;
+        let tenant_count = self.lanes.len();
+        let fast_capacity =
+            self.machine.kernel.memory().allocator(Tier::Fast).capacity();
+
+        let mut shootdowns: Vec<VirtPage> = Vec::new();
+        let mut next_deadline = earliest_deadline(next_tick, next_sample, limit);
+
+        // Slice-boundary occupancy scans: `occ_before` holds the state
+        // entering the current slice, `occ_after` is the fresh scan at
+        // its end (and becomes the next slice's `before`).
+        let mut occ_before = vec![0u64; tenant_count];
+        let mut occ_after = vec![0u64; tenant_count];
+        Self::scan_occupancy(&self.machine, &self.layout, &mut occ_before);
+
+        let mut rounds: u64 = 0;
+        let mut slices: u64 = 0;
+        let mut cross_tenant_evictions: u64 = 0;
+        let mut stopped = false;
+
+        'run: while accesses < max_accesses {
+            if limit.is_some_and(|l| clock >= l) {
+                break;
+            }
+            rounds += 1;
+            for lane_idx in 0..tenant_count {
+                if accesses >= max_accesses || limit.is_some_and(|l| clock >= l) {
+                    break 'run;
+                }
+                slices += 1;
+                let slice_events = quantum * self.lanes[lane_idx].weight as usize;
+                let clock_before = clock;
+                let accesses_before = accesses;
+                let slow_before = self.machine.kernel.memory().node(Tier::Slow).stats();
+                let fast_before = self.machine.kernel.memory().node(Tier::Fast).stats();
+                let kernel_before = self.machine.kernel.stats();
+
+                // The slice: pull this tenant's events through its own
+                // buffer in batch_size chunks and drive them through
+                // the shared machine. The checks mirror the
+                // single-tenant engine exactly (tick, sample, stop).
+                let mut produced = 0usize;
+                // Move the lane's buffer out so the event loop can
+                // borrow the machine and the lane counters freely.
+                let mut buf = std::mem::take(&mut self.lanes[lane_idx].buf);
+                let base = self.lanes[lane_idx].base;
+                'slice: while produced < slice_events && accesses < max_accesses {
+                    // Events yield at most one access each, so capping
+                    // at the remaining access budget never overshoots.
+                    let n = (slice_events - produced)
+                        .min(batch)
+                        .min((max_accesses - accesses) as usize);
+                    buf.clear();
+                    self.lanes[lane_idx].workload.fill_events(&mut buf, n);
+                    produced += n;
+                    for &event in &buf {
+                        let access = match event {
+                            WorkloadEvent::Access(mut access) => {
+                                // Relocate into the tenant's namespace.
+                                access.vpage = VirtPage::new(base + access.vpage.index());
+                                access
+                            }
+                            WorkloadEvent::Marker(m) => {
+                                self.lanes[lane_idx].markers += 1;
+                                markers.push(MarkerRecord { at: clock, id: m.id, label: m.label });
+                                continue;
+                            }
+                        };
+                        clock += self.machine.step(access, clock, &costs);
+                        accesses += 1;
+                        window_accesses += 1;
+
+                        if clock < next_deadline {
+                            continue;
+                        }
+
+                        // Policy tick.
+                        if clock >= next_tick {
+                            clock += self.machine.policy_tick(clock, &mut shootdowns);
+                            next_tick = clock + tick_quantum;
+                        }
+
+                        // Timeline sample, plus the co-run occupancy
+                        // snapshot keyed to the same timestamp.
+                        if clock >= next_sample {
+                            timeline.push(self.machine.sample(
+                                clock,
+                                accesses,
+                                window_accesses,
+                                window_start,
+                            ));
+                            let mut fast_pages = vec![0u64; tenant_count];
+                            Self::scan_occupancy(&self.machine, &self.layout, &mut fast_pages);
+                            occupancy_timeline.push(OccupancyPoint { at: clock, fast_pages });
+                            window_accesses = 0;
+                            window_start = clock;
+                            next_sample = clock + sample_interval;
+                        }
+
+                        // Simulated-time stop: the slice accounting
+                        // below must still run, so leave the slice
+                        // loops and stop the round loop afterwards.
+                        if limit.is_some_and(|l| clock >= l) {
+                            stopped = true;
+                            break 'slice;
+                        }
+                        next_deadline = earliest_deadline(next_tick, next_sample, limit);
+                    }
+                }
+                self.lanes[lane_idx].buf = buf;
+
+                // Attribute the slice deltas to the tenant that ran.
+                let slow = self.machine.kernel.memory().node(Tier::Slow).stats();
+                let fast = self.machine.kernel.memory().node(Tier::Fast).stats();
+                let kernel = self.machine.kernel.stats();
+                // Fast-tier occupancy only moves through allocations,
+                // promotions and demotions, so a slice without any of
+                // those keeps the previous scan — most steady-state
+                // slices skip the O(fast-capacity) rmap walk entirely.
+                let occupancy_moved = kernel.promotions != kernel_before.promotions
+                    || kernel.demotions != kernel_before.demotions
+                    || kernel.minor_faults != kernel_before.minor_faults;
+                if occupancy_moved {
+                    Self::scan_occupancy(&self.machine, &self.layout, &mut occ_after);
+                } else {
+                    occ_after.copy_from_slice(&occ_before);
+                }
+                {
+                    let lane = &mut self.lanes[lane_idx];
+                    lane.accesses += accesses - accesses_before;
+                    lane.active_time += clock.saturating_sub(clock_before);
+                    lane.slow_reads += slow.reads - slow_before.reads;
+                    lane.slow_writes += slow.writes - slow_before.writes;
+                    lane.fast_reads += fast.reads - fast_before.reads;
+                    lane.fast_writes += fast.writes - fast_before.writes;
+                    lane.promotions += kernel.promotions - kernel_before.promotions;
+                    lane.demotions += kernel.demotions - kernel_before.demotions;
+                    lane.ping_pongs += kernel.ping_pongs - kernel_before.ping_pongs;
+                    lane.minor_faults += kernel.minor_faults - kernel_before.minor_faults;
+                }
+                // Cross-tenant evictions: the net fast-tier occupancy
+                // idle tenants lost while this slice ran.
+                for j in 0..tenant_count {
+                    self.lanes[j].occupancy_sum += occ_after[j];
+                    if j != lane_idx && occ_after[j] < occ_before[j] {
+                        let lost = occ_before[j] - occ_after[j];
+                        cross_tenant_evictions += lost;
+                        self.lanes[j].evicted_by_others += lost;
+                        self.lanes[lane_idx].evictions_caused += lost;
+                    }
+                }
+                std::mem::swap(&mut occ_before, &mut occ_after);
+
+                if stopped {
+                    break 'run;
+                }
+            }
+        }
+
+        // `occ_before` holds the final scan after the swap above.
+        let final_occupancy = occ_before;
+        let tenants = self
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(i, lane)| TenantRunReport {
+                tenant: i,
+                workload: lane.workload.name().to_string(),
+                weight: lane.weight,
+                rss_pages: lane.rss_pages,
+                base_page: lane.base,
+                seed: lane.seed,
+                accesses: lane.accesses,
+                active_time: lane.active_time,
+                slow_reads: lane.slow_reads,
+                slow_writes: lane.slow_writes,
+                fast_reads: lane.fast_reads,
+                fast_writes: lane.fast_writes,
+                promotions: lane.promotions,
+                demotions: lane.demotions,
+                ping_pongs: lane.ping_pongs,
+                minor_faults: lane.minor_faults,
+                markers: lane.markers,
+                evicted_by_others: lane.evicted_by_others,
+                evictions_caused: lane.evictions_caused,
+                final_fast_pages: final_occupancy[i],
+                mean_fast_share: if slices == 0 || fast_capacity == 0 {
+                    0.0
+                } else {
+                    lane.occupancy_sum as f64 / (slices as f64 * fast_capacity as f64)
+                },
+            })
+            .collect();
+
+        let combined = self.machine.into_report(
+            format!("corun[{}]", self.mix_label),
+            clock,
+            accesses,
+            timeline,
+            markers,
+        );
+        CoRunReport {
+            combined,
+            tenants,
+            contention: CoRunContention {
+                fast_capacity_pages: fast_capacity,
+                cross_tenant_evictions,
+                rounds,
+                slices,
+                interleave_quantum: quantum as u64,
+                occupancy_timeline,
+            },
+        }
+    }
+}
+
+/// One tenant's share of a co-run outcome. Every counter is the exact
+/// delta of the shared machine state over the tenant's own slices
+/// (see the module docs on attribution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantRunReport {
+    /// Tenant index, in mix order.
+    pub tenant: usize,
+    /// Workload name.
+    pub workload: String,
+    /// Interleave weight.
+    pub weight: u32,
+    /// Private footprint in pages.
+    pub rss_pages: u64,
+    /// Base offset of the tenant's page-id namespace.
+    pub base_page: u64,
+    /// Generator seed.
+    pub seed: u64,
+    /// CPU accesses the tenant executed.
+    pub accesses: u64,
+    /// Virtual time accrued while the tenant's slices ran.
+    pub active_time: Nanos,
+    /// Slow-tier line reads during the tenant's slices.
+    pub slow_reads: u64,
+    /// Slow-tier line writes during the tenant's slices.
+    pub slow_writes: u64,
+    /// Fast-tier line reads during the tenant's slices.
+    pub fast_reads: u64,
+    /// Fast-tier line writes during the tenant's slices.
+    pub fast_writes: u64,
+    /// Pages promoted during the tenant's slices.
+    pub promotions: u64,
+    /// Pages demoted during the tenant's slices.
+    pub demotions: u64,
+    /// Ping-pong migrations during the tenant's slices.
+    pub ping_pongs: u64,
+    /// Minor faults during the tenant's slices.
+    pub minor_faults: u64,
+    /// Phase markers the tenant emitted.
+    pub markers: u64,
+    /// Net fast-tier occupancy this tenant lost while *other* tenants
+    /// ran (a lower bound on gross cross-tenant demotions — see the
+    /// module docs).
+    pub evicted_by_others: u64,
+    /// Net fast-tier occupancy *other* tenants lost while this tenant
+    /// ran.
+    pub evictions_caused: u64,
+    /// Fast-tier pages the tenant held at the end of the run.
+    pub final_fast_pages: u64,
+    /// Mean share of the fast tier held across slice-boundary scans,
+    /// in `[0, 1]`.
+    pub mean_fast_share: f64,
+}
+
+impl TenantRunReport {
+    /// Total slow-tier requests during the tenant's slices — the
+    /// per-tenant Fig. 13 metric.
+    pub fn slow_tier_accesses(&self) -> u64 {
+        self.slow_reads + self.slow_writes
+    }
+
+    /// Mean throughput in accesses per second of the tenant's active
+    /// virtual time.
+    pub fn throughput(&self) -> f64 {
+        if self.active_time.is_zero() {
+            0.0
+        } else {
+            self.accesses as f64 / self.active_time.as_secs_f64()
+        }
+    }
+
+    /// Flat `(name, value)` integer counters, mirroring
+    /// [`RunReport::scalar_metrics`] for the per-tenant JSON sections.
+    /// Names are part of the co-run JSON schema; extend, don't rename.
+    pub fn scalar_metrics(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("accesses", self.accesses),
+            ("active_time_ns", self.active_time.as_nanos()),
+            ("slow_reads", self.slow_reads),
+            ("slow_writes", self.slow_writes),
+            ("fast_reads", self.fast_reads),
+            ("fast_writes", self.fast_writes),
+            ("slow_tier_accesses", self.slow_tier_accesses()),
+            ("promotions", self.promotions),
+            ("demotions", self.demotions),
+            ("ping_pongs", self.ping_pongs),
+            ("minor_faults", self.minor_faults),
+            ("markers", self.markers),
+            ("evicted_by_others", self.evicted_by_others),
+            ("evictions_caused", self.evictions_caused),
+            ("final_fast_pages", self.final_fast_pages),
+        ]
+    }
+}
+
+/// One fast-tier occupancy snapshot, taken at the timeline sample
+/// cadence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyPoint {
+    /// Snapshot timestamp.
+    pub at: Nanos,
+    /// Fast-tier pages held per tenant, in mix order.
+    pub fast_pages: Vec<u64>,
+}
+
+/// Shared-tier contention metrics of a co-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoRunContention {
+    /// Fast-tier capacity in pages (the contended resource).
+    pub fast_capacity_pages: u64,
+    /// Net fast-tier occupancy idle tenants lost while another
+    /// tenant's slice ran (a lower bound on gross cross-tenant
+    /// demotions — see the module docs).
+    pub cross_tenant_evictions: u64,
+    /// Completed scheduling rounds.
+    pub rounds: u64,
+    /// Executed tenant slices.
+    pub slices: u64,
+    /// The interleave quantum in force.
+    pub interleave_quantum: u64,
+    /// Per-tenant fast-tier occupancy over time.
+    pub occupancy_timeline: Vec<OccupancyPoint>,
+}
+
+/// The outcome of a co-run: the combined machine-wide report plus the
+/// per-tenant sections and contention metrics.
+#[derive(Debug, Clone)]
+pub struct CoRunReport {
+    /// Machine-wide totals, exactly a [`RunReport`] (the workload name
+    /// is the mix label, e.g. `corun[GUPS+2*Silo]`).
+    pub combined: RunReport,
+    /// Per-tenant attribution, in mix order.
+    pub tenants: Vec<TenantRunReport>,
+    /// Shared-tier contention metrics.
+    pub contention: CoRunContention,
+}
+
+impl CoRunReport {
+    /// Jain's fairness index over each tenant's fast-tier occupancy
+    /// normalised by its weighted fair share: `1.0` means every tenant
+    /// holds exactly its share, `1/N` means one tenant holds
+    /// everything.
+    pub fn occupancy_fairness(&self) -> f64 {
+        let total_weight: u64 = self.tenants.iter().map(|t| t.weight as u64).sum();
+        let normalised: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| t.mean_fast_share * total_weight as f64 / t.weight as f64)
+            .collect();
+        jain_fairness(&normalised)
+    }
+
+    /// Multi-line human-readable summary: the combined machine row plus
+    /// one row per tenant.
+    pub fn summary(&self) -> String {
+        let mut out = format!("{}\n", self.combined.summary());
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "  tenant {} {:<14} w{} | {} accesses | slow-tier {} | fast pages {} (mean share {:.2}) | evicted-by-others {}\n",
+                t.tenant,
+                t.workload,
+                t.weight,
+                t.accesses,
+                t.slow_tier_accesses(),
+                t.final_fast_pages,
+                t.mean_fast_share,
+                t.evicted_by_others,
+            ));
+        }
+        out.push_str(&format!(
+            "  contention: {} cross-tenant evictions over {} slices | occupancy fairness {:.3}\n",
+            self.contention.cross_tenant_evictions,
+            self.contention.slices,
+            self.occupancy_fairness(),
+        ));
+        out
+    }
+}
+
+/// Jain's fairness index `(Σx)² / (n·Σx²)` over non-negative values;
+/// `1.0` when all equal, `1/n` when one value dominates. Returns 1.0
+/// for empty or all-zero input (nothing is being shared unfairly).
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if values.is_empty() || sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_policies::FirstTouchPolicy;
+    use neomem_workloads::WorkloadKind;
+
+    fn mix_2() -> TenantMix {
+        TenantMix::builder()
+            .tenant(WorkloadKind::Gups, 1024, 3)
+            .tenant(WorkloadKind::Silo, 1024, 5)
+            .build()
+            .unwrap()
+    }
+
+    fn quick_corun(mix: &TenantMix, max_accesses: u64) -> CoRunConfig {
+        let mut config = CoRunConfig::quick(mix, 2);
+        config.sim.max_accesses = max_accesses;
+        config
+    }
+
+    #[test]
+    fn corun_runs_and_attributes_all_accesses() {
+        let mix = mix_2();
+        let report = CoRunSimulation::new(
+            quick_corun(&mix, 60_000),
+            &mix,
+            Box::new(FirstTouchPolicy::new()),
+        )
+        .unwrap()
+        .run();
+        assert_eq!(report.combined.accesses, 60_000);
+        assert_eq!(report.tenants.len(), 2);
+        let attributed: u64 = report.tenants.iter().map(|t| t.accesses).sum();
+        assert_eq!(attributed, 60_000, "every access belongs to exactly one tenant");
+        let active: Nanos = report
+            .tenants
+            .iter()
+            .fold(Nanos::ZERO, |acc, t| acc + t.active_time);
+        assert_eq!(active, report.combined.runtime, "virtual time fully attributed");
+        let slow: u64 = report.tenants.iter().map(|t| t.slow_tier_accesses()).sum();
+        assert_eq!(slow, report.combined.slow_tier_accesses(), "slow traffic fully attributed");
+        assert!(report.combined.workload.starts_with("corun["));
+        assert!(report.contention.slices >= report.contention.rounds);
+        assert!(!report.summary().is_empty());
+    }
+
+    #[test]
+    fn weights_shape_the_interleave() {
+        let mix = TenantMix::builder()
+            .tenant(WorkloadKind::Gups, 512, 1)
+            .weighted_tenant(WorkloadKind::Gups, 512, 3, 2)
+            .build()
+            .unwrap();
+        let report = CoRunSimulation::new(
+            quick_corun(&mix, 40_000),
+            &mix,
+            Box::new(FirstTouchPolicy::new()),
+        )
+        .unwrap()
+        .run();
+        let a = report.tenants[0].accesses as f64;
+        let b = report.tenants[1].accesses as f64;
+        assert!(b > 2.5 * a, "weight-3 tenant must run ~3x the slices ({a} vs {b})");
+    }
+
+    #[test]
+    fn tenant_namespaces_are_disjoint() {
+        // Each tenant's pages live in its own base range: with
+        // first-touch and no migration, tenant 1's minor faults cannot
+        // touch tenant 0's mappings.
+        let mix = mix_2();
+        let report = CoRunSimulation::new(
+            quick_corun(&mix, 50_000),
+            &mix,
+            Box::new(FirstTouchPolicy::new()),
+        )
+        .unwrap()
+        .run();
+        let mapped: u64 = report.tenants.iter().map(|t| t.minor_faults).sum();
+        assert_eq!(report.combined.kernel.minor_faults, mapped);
+        // Both tenants faulted their own pages in.
+        assert!(report.tenants.iter().all(|t| t.minor_faults > 0));
+        assert!(report.tenants.iter().all(|t| t.minor_faults <= t.rss_pages));
+    }
+
+    #[test]
+    fn rss_mismatch_rejected() {
+        let mix = mix_2();
+        let mut config = quick_corun(&mix, 1_000);
+        config.sim.rss_pages += 1;
+        config.sim.memory = None;
+        assert!(
+            CoRunSimulation::new(config, &mix, Box::new(FirstTouchPolicy::new())).is_err()
+        );
+    }
+
+    #[test]
+    fn zero_quantum_rejected() {
+        let mix = mix_2();
+        let mut config = quick_corun(&mix, 1_000);
+        config.interleave_quantum = 0;
+        assert!(
+            CoRunSimulation::new(config, &mix, Box::new(FirstTouchPolicy::new())).is_err()
+        );
+    }
+
+    #[test]
+    fn max_time_bounds_corun() {
+        let mix = mix_2();
+        let mut config = quick_corun(&mix, u64::MAX / 2);
+        config.sim.max_time = Some(Nanos::from_millis(1));
+        let report = CoRunSimulation::new(config, &mix, Box::new(FirstTouchPolicy::new()))
+            .unwrap()
+            .run();
+        assert!(report.combined.runtime >= Nanos::from_millis(1));
+        assert!(report.combined.runtime < Nanos::from_millis(100), "should stop promptly");
+        // Attribution still holds on the early-stop path.
+        let attributed: u64 = report.tenants.iter().map(|t| t.accesses).sum();
+        assert_eq!(attributed, report.combined.accesses);
+    }
+
+    #[test]
+    fn single_tenant_corun_matches_plain_simulation() {
+        // A one-tenant co-run must be the same machine as Simulation:
+        // identical runtime, traffic and kernel counters.
+        let mix = TenantMix::builder().tenant(WorkloadKind::Gups, 2048, 7).build().unwrap();
+        let config = quick_corun(&mix, 80_000);
+        let corun = CoRunSimulation::new(
+            config.clone(),
+            &mix,
+            Box::new(FirstTouchPolicy::new()),
+        )
+        .unwrap()
+        .run();
+        let plain = crate::Simulation::new(
+            config.sim,
+            WorkloadKind::Gups.build(2048, 7),
+            Box::new(FirstTouchPolicy::new()),
+        )
+        .unwrap()
+        .run();
+        assert_eq!(corun.combined.runtime, plain.runtime);
+        assert_eq!(corun.combined.accesses, plain.accesses);
+        assert_eq!(corun.combined.llc_misses, plain.llc_misses);
+        assert_eq!(corun.combined.slow_reads, plain.slow_reads);
+        assert_eq!(corun.combined.slow_writes, plain.slow_writes);
+        assert_eq!(corun.combined.kernel, plain.kernel);
+        assert_eq!(corun.combined.tlb, plain.tlb);
+        assert_eq!(corun.contention.cross_tenant_evictions, 0);
+    }
+
+    #[test]
+    fn jain_index_basics() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[1.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!((jain_fairness(&[]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -14,7 +14,7 @@ use crate::report::{MarkerRecord, RunReport, TimelinePoint};
 /// run loop, so [`Simulation::step`] reads locals instead of chasing
 /// config fields on every access.
 #[derive(Debug, Clone, Copy)]
-struct HotCosts {
+pub(crate) struct HotCosts {
     cpu_per_access: Nanos,
     tlb_walk: Nanos,
     l1: Nanos,
@@ -23,7 +23,7 @@ struct HotCosts {
 }
 
 impl HotCosts {
-    fn of(config: &SimConfig) -> Self {
+    pub(crate) fn of(config: &SimConfig) -> Self {
         Self {
             cpu_per_access: config.cpu_per_access,
             tlb_walk: config.tlb_walk,
@@ -37,7 +37,7 @@ impl HotCosts {
 /// The earliest of the tick, sample and (optional) stop deadlines: the
 /// single comparison the per-access fast path makes.
 #[inline]
-fn earliest_deadline(next_tick: Nanos, next_sample: Nanos, limit: Option<Nanos>) -> Nanos {
+pub(crate) fn earliest_deadline(next_tick: Nanos, next_sample: Nanos, limit: Option<Nanos>) -> Nanos {
     let d = next_tick.min(next_sample);
     match limit {
         Some(l) => d.min(l),
@@ -45,36 +45,25 @@ fn earliest_deadline(next_tick: Nanos, next_sample: Nanos, limit: Option<Nanos>)
     }
 }
 
-/// A configured simulation, ready to run.
-pub struct Simulation {
-    config: SimConfig,
-    workload: Box<dyn Workload>,
-    policy: Box<dyn TieringPolicy>,
-    kernel: Kernel,
-    caches: CacheHierarchy,
-    tlb: Tlb,
+/// The simulated machine shared by the single-tenant [`Simulation`]
+/// and the multi-tenant [`crate::CoRunSimulation`]: configuration,
+/// kernel, cache hierarchy, TLB, and the active tiering policy.
+///
+/// Both engines drive accesses through the same [`Machine::step`], so
+/// a co-run of one tenant is observably the same machine as a classic
+/// single-workload run.
+pub(crate) struct Machine {
+    pub(crate) config: SimConfig,
+    pub(crate) policy: Box<dyn TieringPolicy>,
+    pub(crate) kernel: Kernel,
+    pub(crate) caches: CacheHierarchy,
+    pub(crate) tlb: Tlb,
 }
 
-impl Simulation {
-    /// Builds the simulated machine.
-    ///
-    /// # Errors
-    ///
-    /// Propagates configuration validation failures, including a
-    /// workload RSS that does not match `config.rss_pages`.
-    pub fn new(
-        config: SimConfig,
-        workload: Box<dyn Workload>,
-        policy: Box<dyn TieringPolicy>,
-    ) -> Result<Self> {
+impl Machine {
+    /// Validates `config` and builds the machine around `policy`.
+    pub(crate) fn new(config: SimConfig, policy: Box<dyn TieringPolicy>) -> Result<Self> {
         config.validate()?;
-        if workload.rss_pages() != config.rss_pages {
-            return Err(neomem_types::Error::invalid_config(format!(
-                "workload rss {} != config rss {}",
-                workload.rss_pages(),
-                config.rss_pages
-            )));
-        }
         let kernel = Kernel::new(KernelConfig {
             memory: config.memory_config(),
             rss_pages: config.rss_pages,
@@ -82,133 +71,72 @@ impl Simulation {
         });
         let caches = CacheHierarchy::new(config.caches);
         let tlb = Tlb::new(config.tlb);
-        Ok(Self { config, workload, policy, kernel, caches, tlb })
+        Ok(Self { config, policy, kernel, caches, tlb })
     }
 
-    /// Runs to completion and produces the report.
-    ///
-    /// The engine pulls events in batches through
-    /// [`Workload::fill_events`] into one reused buffer (a single
-    /// virtual dispatch per batch instead of one per access) and hoists
-    /// the `max_time` / policy-tick / timeline-sample checks out of the
-    /// per-access path behind a single precomputed *next deadline*: the
-    /// common iteration is `step` plus one branch. The slow path runs
-    /// the due checks in exactly the seed engine's order (tick, sample,
-    /// stop), so a batched run is observably identical to the
-    /// event-at-a-time path for any batch size — the
-    /// `batch_determinism` suite holds this invariant.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the machine runs out of physical memory — the
-    /// configuration validator makes this unreachable for derived
-    /// layouts, so it indicates a config override bug.
-    pub fn run(mut self) -> RunReport {
-        let mut clock = Nanos::ZERO;
-        let mut accesses: u64 = 0;
-        let mut next_tick = Nanos::ZERO;
-        let mut next_sample = self.config.sample_interval;
-        let mut timeline = Vec::new();
-        let mut markers = Vec::new();
-        // Window state for throughput sampling.
-        let mut window_accesses = 0u64;
-        let mut window_start = Nanos::ZERO;
-
-        let limit = self.config.max_time;
-        let costs = HotCosts::of(&self.config);
-        let batch = self.config.batch_size.max(1);
-        let mut events: Vec<WorkloadEvent> = Vec::with_capacity(batch);
-        // Reusable shootdown buffer: policies append into it, so the
-        // steady-state tick path performs no heap allocation.
-        let mut shootdowns: Vec<VirtPage> = Vec::new();
-        let mut next_deadline = earliest_deadline(next_tick, next_sample, limit);
-
-        'run: while accesses < self.config.max_accesses {
-            if limit.is_some_and(|l| clock >= l) {
-                break;
-            }
-            // A batch of n events yields at most n accesses, so capping
-            // at the remaining budget can never overshoot max_accesses.
-            let n = (self.config.max_accesses - accesses).min(batch as u64) as usize;
-            events.clear();
-            self.workload.fill_events(&mut events, n);
-            for &event in &events {
-                let access = match event {
-                    WorkloadEvent::Access(access) => access,
-                    WorkloadEvent::Marker(m) => {
-                        // Markers skip the deadline checks, exactly like
-                        // the seed engine's `continue`.
-                        markers.push(MarkerRecord { at: clock, id: m.id, label: m.label });
-                        continue;
-                    }
-                };
-                clock += self.step(access, clock, &costs);
-                accesses += 1;
-                window_accesses += 1;
-
-                if clock < next_deadline {
-                    continue;
-                }
-
-                // Policy tick.
-                if clock >= next_tick {
-                    clock += self.policy.maybe_tick(&mut self.kernel, clock);
-                    self.policy.drain_shootdowns_into(&mut shootdowns);
-                    for &vpage in &shootdowns {
-                        self.tlb.shootdown(vpage);
-                        clock += self.kernel.costs().tlb_shootdown;
-                    }
-                    shootdowns.clear();
-                    next_tick = clock + self.config.tick_quantum;
-                }
-
-                // Timeline sample.
-                if clock >= next_sample {
-                    let telemetry = self.policy.telemetry();
-                    let slow = self.kernel.memory().node(Tier::Slow).stats();
-                    let window = clock.saturating_sub(window_start);
-                    timeline.push(TimelinePoint {
-                        at: clock,
-                        accesses,
-                        slow_accesses: slow.reads + slow.writes,
-                        throughput: if window.is_zero() {
-                            0.0
-                        } else {
-                            window_accesses as f64 / window.as_secs_f64()
-                        },
-                        threshold: telemetry.threshold,
-                        p_fraction: telemetry.p_fraction,
-                        bandwidth_util: telemetry.bandwidth_util,
-                        read_util: telemetry.read_util,
-                        write_util: telemetry.write_util,
-                        error_bound: telemetry.error_bound,
-                        histogram: telemetry.histogram,
-                    });
-                    window_accesses = 0;
-                    window_start = clock;
-                    next_sample = clock + self.config.sample_interval;
-                }
-
-                // Simulated-time stop: checked after the due tick and
-                // sample, matching the seed engine's loop-top check
-                // before the next event. Remaining batched events were
-                // never processed, so discarding them cannot be
-                // observed in the report.
-                if limit.is_some_and(|l| clock >= l) {
-                    break 'run;
-                }
-                next_deadline = earliest_deadline(next_tick, next_sample, limit);
-            }
+    /// Offers the policy a tick at `now` and applies any TLB shootdowns
+    /// it requested, reusing the caller's `shootdowns` buffer (cleared
+    /// on return). Returns the total time charged — exactly the
+    /// sequence of charges the seed engine's inline tick block made.
+    pub(crate) fn policy_tick(&mut self, now: Nanos, shootdowns: &mut Vec<VirtPage>) -> Nanos {
+        let mut elapsed = self.policy.maybe_tick(&mut self.kernel, now);
+        self.policy.drain_shootdowns_into(shootdowns);
+        for &vpage in shootdowns.iter() {
+            self.tlb.shootdown(vpage);
+            elapsed += self.kernel.costs().tlb_shootdown;
         }
+        shootdowns.clear();
+        elapsed
+    }
 
+    /// One timeline sample of the machine state at `clock`.
+    pub(crate) fn sample(
+        &self,
+        clock: Nanos,
+        accesses: u64,
+        window_accesses: u64,
+        window_start: Nanos,
+    ) -> TimelinePoint {
+        let telemetry = self.policy.telemetry();
+        let slow = self.kernel.memory().node(Tier::Slow).stats();
+        let window = clock.saturating_sub(window_start);
+        TimelinePoint {
+            at: clock,
+            accesses,
+            slow_accesses: slow.reads + slow.writes,
+            throughput: if window.is_zero() {
+                0.0
+            } else {
+                window_accesses as f64 / window.as_secs_f64()
+            },
+            threshold: telemetry.threshold,
+            p_fraction: telemetry.p_fraction,
+            bandwidth_util: telemetry.bandwidth_util,
+            read_util: telemetry.read_util,
+            write_util: telemetry.write_util,
+            error_bound: telemetry.error_bound,
+            histogram: telemetry.histogram,
+        }
+    }
+
+    /// Consumes the machine into the final [`RunReport`], fetching the
+    /// end-of-run counters in the same order as the seed engine.
+    pub(crate) fn into_report(
+        self,
+        workload: String,
+        runtime: Nanos,
+        accesses: u64,
+        timeline: Vec<TimelinePoint>,
+        markers: Vec<MarkerRecord>,
+    ) -> RunReport {
         let slow = self.kernel.memory().node(Tier::Slow).stats();
         let fast = self.kernel.memory().node(Tier::Fast).stats();
         let cache = self.caches.stats();
         let telemetry = self.policy.telemetry();
         RunReport {
-            workload: self.workload.name().to_string(),
+            workload,
             policy: self.policy.name().to_string(),
-            runtime: clock,
+            runtime,
             accesses,
             llc_misses: cache.llc_misses,
             slow_reads: slow.reads,
@@ -228,7 +156,7 @@ impl Simulation {
     /// Executes one CPU access; returns the time it took. `costs` holds
     /// the pre-resolved per-access latencies so the hot loop does not
     /// re-read them through `self.config`.
-    fn step(&mut self, access: Access, now: Nanos, costs: &HotCosts) -> Nanos {
+    pub(crate) fn step(&mut self, access: Access, now: Nanos, costs: &HotCosts) -> Nanos {
         let mut elapsed = costs.cpu_per_access;
         let vpage = access.vpage;
 
@@ -304,6 +232,134 @@ impl Simulation {
         };
         elapsed += self.policy.on_access(&event, &mut self.kernel);
         elapsed
+    }
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation {
+    machine: Machine,
+    workload: Box<dyn Workload>,
+}
+
+impl Simulation {
+    /// Builds the simulated machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures, including a
+    /// workload RSS that does not match `config.rss_pages`.
+    pub fn new(
+        config: SimConfig,
+        workload: Box<dyn Workload>,
+        policy: Box<dyn TieringPolicy>,
+    ) -> Result<Self> {
+        config.validate()?;
+        if workload.rss_pages() != config.rss_pages {
+            return Err(neomem_types::Error::invalid_config(format!(
+                "workload rss {} != config rss {}",
+                workload.rss_pages(),
+                config.rss_pages
+            )));
+        }
+        Ok(Self { machine: Machine::new(config, policy)?, workload })
+    }
+
+    /// Runs to completion and produces the report.
+    ///
+    /// The engine pulls events in batches through
+    /// [`Workload::fill_events`] into one reused buffer (a single
+    /// virtual dispatch per batch instead of one per access) and hoists
+    /// the `max_time` / policy-tick / timeline-sample checks out of the
+    /// per-access path behind a single precomputed *next deadline*: the
+    /// common iteration is `step` plus one branch. The slow path runs
+    /// the due checks in exactly the seed engine's order (tick, sample,
+    /// stop), so a batched run is observably identical to the
+    /// event-at-a-time path for any batch size — the
+    /// `batch_determinism` suite holds this invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine runs out of physical memory — the
+    /// configuration validator makes this unreachable for derived
+    /// layouts, so it indicates a config override bug.
+    pub fn run(self) -> RunReport {
+        let Self { mut machine, mut workload } = self;
+        let mut clock = Nanos::ZERO;
+        let mut accesses: u64 = 0;
+        let mut next_tick = Nanos::ZERO;
+        let mut next_sample = machine.config.sample_interval;
+        let mut timeline = Vec::new();
+        let mut markers = Vec::new();
+        // Window state for throughput sampling.
+        let mut window_accesses = 0u64;
+        let mut window_start = Nanos::ZERO;
+
+        let limit = machine.config.max_time;
+        let costs = HotCosts::of(&machine.config);
+        let batch = machine.config.batch_size.max(1);
+        let max_accesses = machine.config.max_accesses;
+        let tick_quantum = machine.config.tick_quantum;
+        let sample_interval = machine.config.sample_interval;
+        let mut events: Vec<WorkloadEvent> = Vec::with_capacity(batch);
+        // Reusable shootdown buffer: policies append into it, so the
+        // steady-state tick path performs no heap allocation.
+        let mut shootdowns: Vec<VirtPage> = Vec::new();
+        let mut next_deadline = earliest_deadline(next_tick, next_sample, limit);
+
+        'run: while accesses < max_accesses {
+            if limit.is_some_and(|l| clock >= l) {
+                break;
+            }
+            // A batch of n events yields at most n accesses, so capping
+            // at the remaining budget can never overshoot max_accesses.
+            let n = (max_accesses - accesses).min(batch as u64) as usize;
+            events.clear();
+            workload.fill_events(&mut events, n);
+            for &event in &events {
+                let access = match event {
+                    WorkloadEvent::Access(access) => access,
+                    WorkloadEvent::Marker(m) => {
+                        // Markers skip the deadline checks, exactly like
+                        // the seed engine's `continue`.
+                        markers.push(MarkerRecord { at: clock, id: m.id, label: m.label });
+                        continue;
+                    }
+                };
+                clock += machine.step(access, clock, &costs);
+                accesses += 1;
+                window_accesses += 1;
+
+                if clock < next_deadline {
+                    continue;
+                }
+
+                // Policy tick.
+                if clock >= next_tick {
+                    clock += machine.policy_tick(clock, &mut shootdowns);
+                    next_tick = clock + tick_quantum;
+                }
+
+                // Timeline sample.
+                if clock >= next_sample {
+                    timeline.push(machine.sample(clock, accesses, window_accesses, window_start));
+                    window_accesses = 0;
+                    window_start = clock;
+                    next_sample = clock + sample_interval;
+                }
+
+                // Simulated-time stop: checked after the due tick and
+                // sample, matching the seed engine's loop-top check
+                // before the next event. Remaining batched events were
+                // never processed, so discarding them cannot be
+                // observed in the report.
+                if limit.is_some_and(|l| clock >= l) {
+                    break 'run;
+                }
+                next_deadline = earliest_deadline(next_tick, next_sample, limit);
+            }
+        }
+
+        machine.into_report(workload.name().to_string(), clock, accesses, timeline, markers)
     }
 }
 

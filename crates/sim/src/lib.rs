@@ -30,9 +30,14 @@
 #![warn(missing_docs)]
 
 mod config;
+mod corun;
 mod engine;
 mod report;
 
 pub use config::{CacheLatencies, SimConfig};
+pub use corun::{
+    jain_fairness, CoRunConfig, CoRunContention, CoRunReport, CoRunSimulation, OccupancyPoint,
+    TenantRunReport,
+};
 pub use engine::Simulation;
 pub use report::{MarkerRecord, RunReport, TimelinePoint};

@@ -23,6 +23,10 @@
 //! All generators are deterministic given a seed and emit an infinite
 //! stream of [`WorkloadEvent`]s; the simulator bounds runs by access
 //! count or simulated time.
+//!
+//! Multi-tenant co-runs compose any of these generators through a
+//! [`TenantMix`]: per-tenant footprints, interleave weights and seeds,
+//! each tenant in a private page-id namespace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +39,7 @@ mod perm;
 mod redis;
 mod silo;
 mod stream_hpc;
+mod tenant;
 mod trace;
 mod xsbench;
 mod zipf;
@@ -46,6 +51,7 @@ pub use pagerank::PageRank;
 pub use redis::Redis;
 pub use silo::Silo;
 pub use stream_hpc::{StreamingHpc, StreamKind};
+pub use tenant::{TenantMix, TenantMixBuilder, TenantSpec};
 pub use trace::{Trace, TraceReplay};
 pub use xsbench::XsBench;
 pub use zipf::Zipf;

@@ -12,6 +12,29 @@ use neomem_types::{Access, AccessKind, VirtPage};
 use crate::{Marker, Workload, WorkloadEvent};
 
 /// A recorded event stream.
+///
+/// Record any generator, round-trip through the text format, and
+/// replay — the replayed stream reproduces the recording exactly:
+///
+/// ```
+/// use neomem_workloads::{Trace, Workload, WorkloadKind};
+///
+/// let mut generator = WorkloadKind::Redis.build(512, 7);
+/// let trace = Trace::record(generator.as_mut(), 100);
+/// assert_eq!(trace.len(), 100);
+///
+/// // The compact text form survives a parse round-trip…
+/// let parsed = Trace::from_text(&trace.to_text()).expect("well-formed");
+/// assert_eq!(parsed.len(), trace.len());
+///
+/// // …and replaying the trace repeats the recorded stream event for
+/// // event (a fresh same-seed generator is the reference).
+/// let mut replay = trace.replay();
+/// let mut reference = WorkloadKind::Redis.build(512, 7);
+/// for _ in 0..100 {
+///     assert_eq!(replay.next_event(), reference.next_event());
+/// }
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     events: Vec<WorkloadEvent>,

@@ -1,0 +1,6 @@
+//! Scenarios: dynamic tenancy — churn, phased workloads, and the
+//! contention-aware NeoMem variant on the co-run machine.
+
+fn main() {
+    neomem_bench::figures::bench_target_main("scenarios");
+}

@@ -354,6 +354,21 @@ fn run_figures(
     Ok(())
 }
 
+/// Reads `NEOMEM_SCALE` without panicking: unlike the bench-wrapper
+/// path ([`Scale::from_env`]), a CLI rejects bad user input with an
+/// actionable message and a failure exit code.
+fn scale_from_env() -> Result<Scale, String> {
+    match std::env::var("NEOMEM_SCALE") {
+        Err(_) => Ok(Scale::Quick),
+        Ok(value) => Scale::parse(&value).ok_or_else(|| {
+            format!(
+                "unrecognised NEOMEM_SCALE value {value:?}: expected \"quick\" or \"full\" \
+                 (case-insensitive)"
+            )
+        }),
+    }
+}
+
 fn main() -> ExitCode {
     install_probe();
     let (command, options) = match parse_args() {
@@ -363,7 +378,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let ctx = RunContext { scale: Scale::from_env(), threads: options.threads };
+    let scale = match scale_from_env() {
+        Ok(scale) => scale,
+        Err(message) => {
+            eprintln!("neomem-bench: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ctx = RunContext { scale, threads: options.threads };
     let gate_config = GateConfig { tolerance: options.tolerance, ..Default::default() };
     let outcome: Result<bool, String> = match command {
         Command::Help => {

@@ -25,7 +25,9 @@ use super::RunContext;
 use crate::{header, row, Scale};
 
 /// The representative tenant mixes: homogeneous, complementary, and a
-/// four-way free-for-all.
+/// four-way free-for-all. Public so the scheduler-equivalence suite
+/// can prove the dynamic scheduler bit-identical on exactly the mixes
+/// this figure gates.
 ///
 /// The seed literals (2024, 2025, …) match what the grid path derives:
 /// `ExperimentGrid::corun` re-seeds every cell's mix from the seed axis
@@ -33,7 +35,7 @@ use crate::{header, row, Scale};
 /// axis — so the literals document the effective seeds rather than
 /// choosing them. Editing them here changes nothing for the figure;
 /// change the grid's `.seeds([...])` instead.
-fn mixes() -> Vec<(&'static str, TenantMix)> {
+pub fn mixes() -> Vec<(&'static str, TenantMix)> {
     vec![
         (
             "2xGUPS",

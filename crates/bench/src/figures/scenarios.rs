@@ -1,0 +1,346 @@
+//! Scenarios — dynamic tenancy on the co-run machine.
+//!
+//! Not a paper figure: the paper (and the `corun` figure) holds the
+//! tenant population fixed for a whole run, while production
+//! multi-tenant hosts see churn — tenants starting, stopping and
+//! changing behaviour mid-run. This figure drives the scenario engine
+//! ([`CoRunSimulation::with_scenario`]) three ways:
+//!
+//! 1. **Churn sweep**: a resident GUPS tenant joined by a Silo tenant
+//!    that arrives and departs 0×/1×/2× over the run — what does tenant
+//!    churn cost the resident, and how much fast-tier reclaim does each
+//!    departure trigger?
+//! 2. **Phase-shift sweep**: a resident GUPS tenant co-running with a
+//!    phased tenant that flips between GUPS-like and Silo-like
+//!    behaviour (and halves its working set) every N events — how fast
+//!    does NeoMem re-converge as the phase length shrinks?
+//! 3. **Contention duel**: a weight-3 GUPS antagonist against a
+//!    weight-1 Silo victim, plain NeoMem vs the contention-aware
+//!    variant (`NeoMem-CA`) that throttles aggressors' promotion quota
+//!    using the cross-tenant-eviction signal.
+//!
+//! The payload carries only simulated (virtual-clock) quantities, so
+//! the JSON is byte-identical at any `--threads` value and at any
+//! `SimConfig::batch_size`, like every other figure.
+
+use neomem::prelude::*;
+use neomem_runner::{ExperimentGrid, Json};
+
+use super::RunContext;
+use crate::{header, row, Scale};
+
+/// The resident + churner mix shared by the churn scenarios.
+fn churn_mix() -> TenantMix {
+    TenantMix::builder()
+        .tenant(WorkloadKind::Gups, 2048, 2024)
+        .tenant(WorkloadKind::Silo, 2048, 2025)
+        .build()
+        .expect("valid mix")
+}
+
+/// The churn sweep: the Silo tenant arrives/departs `cycles` times.
+/// Cycle windows sit well inside the quick-scale run (~50 ms of
+/// virtual time at the 600 k access budget).
+fn churn_scenario(cycles: usize) -> Scenario {
+    let mut builder = Scenario::builder(churn_mix());
+    if cycles > 0 {
+        // The churner starts idle and cycles through residency windows.
+        let window = Nanos::from_millis(8);
+        let gap = Nanos::from_millis(4);
+        let mut at = Nanos::from_millis(4);
+        for _ in 0..cycles {
+            builder = builder.arrive(1, at);
+            at += window;
+            builder = builder.depart(1, at);
+            at += gap;
+        }
+    }
+    builder.build().expect("valid churn scenario")
+}
+
+/// The phase-shift sweep: tenant 1 alternates GUPS-like and Silo-like
+/// phases of `phase_events` events, halving its working set in the
+/// Silo phase.
+fn phase_scenario(phase_events: u64) -> Scenario {
+    Scenario::builder(churn_mix())
+        .phased(
+            1,
+            vec![
+                PhaseSpec { kind: WorkloadKind::Gups, rss_pages: 2048, events: phase_events },
+                PhaseSpec { kind: WorkloadKind::Silo, rss_pages: 1024, events: phase_events },
+            ],
+        )
+        .build()
+        .expect("valid phase scenario")
+}
+
+/// The contention duel: a weight-3 GUPS antagonist vs a weight-1 Silo
+/// victim, as a steady scenario (no timeline events — the duel is
+/// about the policy, not churn).
+fn duel_scenario() -> Scenario {
+    let mix = TenantMix::builder()
+        .weighted_tenant(WorkloadKind::Gups, 2048, 3, 2024)
+        .tenant(WorkloadKind::Silo, 2048, 2025)
+        .build()
+        .expect("valid mix");
+    Scenario::steady(mix)
+}
+
+/// The shared grid shell: paper seed/cadence conventions at the co-run
+/// budget.
+fn scenario_grid(name: &str, scale: Scale) -> ExperimentGrid {
+    ExperimentGrid::new(name)
+        .workloads([])
+        .ratios([2])
+        .seeds([2024])
+        .budgets([scale.accesses(600_000)])
+        .time_scale(1000)
+}
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "Scenarios: tenant churn, phased workloads, contention-aware tiering",
+        "no paper figure — dynamic tenancy on the paper's machine model",
+    );
+
+    // 1. Churn sweep under NeoMem.
+    let cycles = [0usize, 1, 2];
+    let mut churn = scenario_grid("scenarios/churn", ctx.scale).policies([PolicyKind::NeoMem]);
+    for &n in &cycles {
+        churn = churn.scenario(format!("churn{n}"), churn_scenario(n));
+    }
+    let churn_run = churn.run(ctx.threads).expect("valid churn grid");
+    println!(
+        "{}",
+        row(&[
+            "cycles".into(),
+            "runtime".into(),
+            "x-evictions".into(),
+            "reclaims".into(),
+            "resident slow".into(),
+        ])
+    );
+    let mut churn_series = Vec::new();
+    for &n in &cycles {
+        let label = format!("churn{n}");
+        let cell = churn_run.scenario_for(&label, PolicyKind::NeoMem, "");
+        let corun = cell.corun.as_ref().expect("corun sections");
+        let scenario = cell.scenario.as_ref().expect("scenario sections");
+        // The churner's departures show up as demotions attributed to
+        // it at each retire (the normal-eviction reclaim path).
+        let churner_demotions = corun.tenants[1].demotions;
+        println!(
+            "{}",
+            row(&[
+                format!("{n}"),
+                format!("{}", cell.report.runtime),
+                format!("{}", corun.contention.cross_tenant_evictions),
+                format!("{churner_demotions}"),
+                format!("{}", corun.tenants[0].slow_tier_accesses()),
+            ])
+        );
+        churn_series.push((
+            label,
+            Json::obj([
+                ("runtime_ns", Json::U64(cell.report.runtime.as_nanos())),
+                (
+                    "cross_tenant_evictions",
+                    Json::U64(corun.contention.cross_tenant_evictions),
+                ),
+                ("churner_demotions", Json::U64(churner_demotions)),
+                (
+                    "resident_slow_tier_accesses",
+                    Json::U64(corun.tenants[0].slow_tier_accesses()),
+                ),
+                ("epochs", Json::U64(scenario.epochs.len() as u64)),
+            ]),
+        ));
+    }
+
+    // 2. Phase-shift sweep under NeoMem.
+    header(
+        "Phase shifts (NeoMem, GUPS + phased co-runner)",
+        "phased tenant flips GUPS-like <-> Silo-like every N events",
+    );
+    let phase_lengths: [u64; 3] = [
+        ctx.scale.accesses(50_000),
+        ctx.scale.accesses(100_000),
+        ctx.scale.accesses(200_000),
+    ];
+    let mut phases = scenario_grid("scenarios/phases", ctx.scale).policies([PolicyKind::NeoMem]);
+    for &events in &phase_lengths {
+        phases = phases.scenario(format!("phase{events}"), phase_scenario(events));
+    }
+    let phases_run = phases.run(ctx.threads).expect("valid phases grid");
+    println!(
+        "{}",
+        row(&[
+            "phase events".into(),
+            "runtime".into(),
+            "promotions".into(),
+            "slow-tier".into(),
+            "shifts".into(),
+        ])
+    );
+    let mut phase_series = Vec::new();
+    for &events in &phase_lengths {
+        let label = format!("phase{events}");
+        let cell = phases_run.scenario_for(&label, PolicyKind::NeoMem, "");
+        let corun = cell.corun.as_ref().expect("corun sections");
+        println!(
+            "{}",
+            row(&[
+                format!("{events}"),
+                format!("{}", cell.report.runtime),
+                format!("{}", cell.report.kernel.promotions),
+                format!("{}", cell.report.slow_tier_accesses()),
+                format!("{}", corun.tenants[1].markers),
+            ])
+        );
+        phase_series.push((
+            label,
+            Json::obj([
+                ("runtime_ns", Json::U64(cell.report.runtime.as_nanos())),
+                ("promotions", Json::U64(cell.report.kernel.promotions)),
+                ("slow_tier_accesses", Json::U64(cell.report.slow_tier_accesses())),
+                ("phase_shifts", Json::U64(corun.tenants[1].markers)),
+            ]),
+        ));
+    }
+
+    // 3. Contention-aware vs plain NeoMem under an antagonist.
+    header(
+        "Contention duel (3*GUPS antagonist vs Silo victim)",
+        "NeoMem-CA throttles aggressors' promotion quota via the cross-tenant-eviction signal",
+    );
+    let duel_policies = [PolicyKind::NeoMem, PolicyKind::NeoMemContentionAware];
+    let duel_run = scenario_grid("scenarios/contention", ctx.scale)
+        .scenario("duel", duel_scenario())
+        .policies(duel_policies)
+        .run(ctx.threads)
+        .expect("valid contention grid");
+    println!(
+        "{}",
+        row(&[
+            "policy".into(),
+            "runtime".into(),
+            "victim evicted".into(),
+            "victim slow".into(),
+            "fairness".into(),
+        ])
+    );
+    let mut duel_series = Vec::new();
+    for policy in duel_policies {
+        let cell = duel_run.scenario_for("duel", policy, "");
+        let corun = cell.corun.as_ref().expect("corun sections");
+        let victim = &corun.tenants[1];
+        println!(
+            "{}",
+            row(&[
+                policy.label().to_string(),
+                format!("{}", cell.report.runtime),
+                format!("{}", victim.evicted_by_others),
+                format!("{}", victim.slow_tier_accesses()),
+                format!("{:.3}", corun.occupancy_fairness),
+            ])
+        );
+        duel_series.push((
+            policy.label().to_string(),
+            Json::obj([
+                ("runtime_ns", Json::U64(cell.report.runtime.as_nanos())),
+                ("victim_evicted_by_others", Json::U64(victim.evicted_by_others)),
+                ("victim_slow_tier_accesses", Json::U64(victim.slow_tier_accesses())),
+                ("occupancy_fairness", Json::F64(corun.occupancy_fairness)),
+            ]),
+        ));
+    }
+
+    Json::obj([
+        (
+            "grids",
+            Json::Arr(vec![churn_run.to_json(), phases_run.to_json(), duel_run.to_json()]),
+        ),
+        (
+            "series",
+            Json::obj([
+                ("churn_sweep", Json::Obj(churn_series)),
+                ("phase_sweep", Json::Obj(phase_series)),
+                ("contention_duel", Json::Obj(duel_series)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_runner::GridRun;
+
+    #[test]
+    fn scenarios_are_valid_and_cover_the_three_shapes() {
+        for n in [0usize, 1, 2] {
+            let s = churn_scenario(n);
+            assert_eq!(s.arrivals(), n);
+            assert_eq!(s.departures(), n);
+        }
+        // Churn cycles keep the churner idle at the start.
+        assert_eq!(churn_scenario(1).initially_active(), vec![true, false]);
+        assert_eq!(churn_scenario(0).initially_active(), vec![true, true]);
+        let p = phase_scenario(10_000);
+        assert!(p.phases()[1].is_some());
+        assert!(p.events().is_empty());
+        let d = duel_scenario();
+        assert_eq!(d.mix().tenants()[0].weight, 3);
+    }
+
+    /// The churn-grid shape at a test-sized budget, through the exact
+    /// figure path.
+    fn tiny_churn_run(threads: usize) -> GridRun {
+        let mut grid = ExperimentGrid::new("scenarios/tiny")
+            .workloads([])
+            .ratios([2])
+            .seeds([2024])
+            .budgets([20_000])
+            .time_scale(1000)
+            .policies([PolicyKind::NeoMem]);
+        for n in [0usize, 1] {
+            grid = grid.scenario(format!("churn{n}"), churn_scenario(n));
+        }
+        grid.run(threads).expect("valid tiny churn grid")
+    }
+
+    #[test]
+    fn scenario_grid_json_is_thread_invariant_through_the_figure_path() {
+        let one = tiny_churn_run(1).to_json().render_pretty();
+        let four = tiny_churn_run(4).to_json().render_pretty();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn contention_aware_protects_the_victim() {
+        // At a test budget, NeoMem-CA must not leave the victim worse
+        // off than plain NeoMem on the eviction signal it consumes.
+        let run = ExperimentGrid::new("scenarios/duel-test")
+            .workloads([])
+            .ratios([2])
+            .seeds([2024])
+            .budgets([120_000])
+            .time_scale(1000)
+            .scenario("duel", duel_scenario())
+            .policies([PolicyKind::NeoMem, PolicyKind::NeoMemContentionAware])
+            .run(2)
+            .expect("valid duel grid");
+        let plain = run.scenario_for("duel", PolicyKind::NeoMem, "");
+        let ca = run.scenario_for("duel", PolicyKind::NeoMemContentionAware, "");
+        let evicted = |cell: &neomem_runner::CellRun| {
+            cell.corun.as_ref().expect("corun sections").tenants[1].evicted_by_others
+        };
+        assert!(
+            evicted(ca) <= evicted(plain),
+            "NeoMem-CA victim evictions {} !<= plain {}",
+            evicted(ca),
+            evicted(plain)
+        );
+    }
+}

@@ -52,7 +52,7 @@ pub fn build_policy(
     let slow_base = PageNum::new(mem.fast.capacity_frames);
     let mquota = overrides.mquota.unwrap_or(Bandwidth::from_mib_per_sec(256));
     let policy: Box<dyn TieringPolicy> = match kind {
-        PolicyKind::NeoMem | PolicyKind::NeoMemFixed(_) => {
+        PolicyKind::NeoMem | PolicyKind::NeoMemFixed(_) | PolicyKind::NeoMemContentionAware => {
             let mut params = NeoMemParams::scaled(time_scale);
             params.mquota = mquota;
             if let Some(interval) = overrides.migration_interval {
@@ -60,6 +60,9 @@ pub fn build_policy(
             }
             if let PolicyKind::NeoMemFixed(theta) = kind {
                 params.threshold_mode = ThresholdMode::Fixed(theta);
+            }
+            if kind == PolicyKind::NeoMemContentionAware {
+                params.contention_aware = true;
             }
             let mut dev = NeoProfConfig::paper_default(slow_base);
             if let Some(sketch) = overrides.sketch {
@@ -300,6 +303,7 @@ mod tests {
         let kinds = [
             PolicyKind::NeoMem,
             PolicyKind::NeoMemFixed(100),
+            PolicyKind::NeoMemContentionAware,
             PolicyKind::Pebs,
             PolicyKind::Memtis,
             PolicyKind::PteScan,

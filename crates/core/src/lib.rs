@@ -103,7 +103,7 @@ pub mod prelude {
         CoRunConfig, CoRunReport, CoRunSimulation, RunReport, SimConfig, Simulation, TimelinePoint,
     };
     pub use neomem_types::{Bandwidth, Bytes, Nanos, Tier};
-    pub use neomem_workloads::{TenantMix, WorkloadKind};
+    pub use neomem_workloads::{PhaseSpec, Scenario, TenantMix, WorkloadKind};
 }
 
 #[cfg(test)]

@@ -113,6 +113,34 @@ pub trait TieringPolicy {
     fn configure_tenants(&mut self, layout: &TenantLayout) {
         let _ = layout;
     }
+
+    /// Informs the policy that a tenant just started running (dynamic
+    /// scenarios: the tenant was part of the configured layout but idle
+    /// until now). Called at the slice boundary where the arrival takes
+    /// effect, before the tenant's first slice. Default: no-op, so
+    /// static co-runs and single-tenant runs are untouched.
+    fn on_tenant_arrival(&mut self, tenant: usize) {
+        let _ = tenant;
+    }
+
+    /// Informs the policy that a tenant stopped running. The engine
+    /// reclaims the tenant's fast-tier pages through the normal
+    /// eviction path right after this call; policies drop any
+    /// per-tenant soft state (aggression scores, cached counts) here.
+    /// Default: no-op.
+    fn on_tenant_departure(&mut self, tenant: usize) {
+        let _ = tenant;
+    }
+
+    /// Feeds the co-run engine's cross-tenant-eviction signal to the
+    /// policy: while `aggressor`'s slice ran, other tenants lost
+    /// `pages` of net fast-tier occupancy. Called at slice boundaries
+    /// with `pages > 0` only. Contention-aware policies use it to
+    /// throttle the aggressor's promotion quota; the default ignores
+    /// it, keeping every existing policy bit-identical.
+    fn note_cross_tenant_evictions(&mut self, aggressor: usize, pages: u64) {
+        let _ = (aggressor, pages);
+    }
 }
 
 /// Which victims feed the demotion path.
@@ -161,6 +189,12 @@ pub enum PolicyKind {
     NeoMem,
     /// NeoMem hardware with a fixed threshold (Fig. 14a ablation).
     NeoMemFixed(u16),
+    /// NeoMem with contention-aware promotion throttling: aggressors —
+    /// tenants whose slices evict co-runners' fast-tier pages — pay a
+    /// quota penalty proportional to the cross-tenant-eviction signal.
+    /// Only meaningful on co-run machines; single-tenant behaviour is
+    /// identical to [`PolicyKind::NeoMem`].
+    NeoMemContentionAware,
     /// PMU-sampling baseline.
     Pebs,
     /// Memtis (Fig. 17).
@@ -185,6 +219,7 @@ impl PolicyKind {
         match self {
             PolicyKind::NeoMem => "NeoMem",
             PolicyKind::NeoMemFixed(_) => "NeoMem-fixed",
+            PolicyKind::NeoMemContentionAware => "NeoMem-CA",
             PolicyKind::Pebs => "PEBS",
             PolicyKind::Memtis => "Memtis",
             PolicyKind::PteScan => "PTE-Scan",

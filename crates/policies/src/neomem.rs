@@ -53,6 +53,19 @@ pub struct NeoMemParams {
     pub thp_votes: u32,
     /// Demotion victim selection (ablation: LRU-2Q vs arbitrary).
     pub demotion: DemotionStrategy,
+    /// Contention-aware promotion throttling (the `NeoMem-CA` variant):
+    /// consume the co-run engine's cross-tenant-eviction signal and
+    /// charge aggressors a quota penalty, slowing their promotion rate
+    /// while they displace co-runners. Off by default — plain NeoMem
+    /// ignores the signal entirely.
+    pub contention_aware: bool,
+    /// Cross-tenant evictions (pages) per unit of quota penalty: an
+    /// aggressor with `a` accumulated eviction pages pays a
+    /// `1 + a / contention_penalty_pages` multiplier on every promotion
+    /// quota charge.
+    pub contention_penalty_pages: u64,
+    /// Ceiling on the quota-penalty multiplier.
+    pub contention_max_penalty: u64,
 }
 
 impl NeoMemParams {
@@ -73,6 +86,9 @@ impl NeoMemParams {
             thp: false,
             thp_votes: 3,
             demotion: DemotionStrategy::Lru2Q,
+            contention_aware: false,
+            contention_penalty_pages: 8,
+            contention_max_penalty: 4,
         }
     }
 
@@ -127,6 +143,19 @@ struct TenancyState {
     /// are picked up by the next refresh, which keeps the fairness gate
     /// slightly conservative between refreshes.
     fast_counts: Vec<u64>,
+    /// Accumulated cross-tenant-eviction pages per tenant (the
+    /// aggression score behind the `NeoMem-CA` quota penalty). Fed by
+    /// [`TieringPolicy::note_cross_tenant_evictions`], halved at every
+    /// threshold update so sustained aggression keeps the penalty up
+    /// while a reformed tenant recovers within a few windows. Stays
+    /// all-zero unless `contention_aware` is set.
+    aggression: Vec<u64>,
+    /// Per-tenant candidate counters behind the admission throttle: a
+    /// tenant at penalty `p` promotes only every `p`-th of its hot-page
+    /// candidates, so the throttle bites even when the migration quota
+    /// is far from saturated (quick-scale runs never fill a 256 MiB/s
+    /// window).
+    throttle_counters: Vec<u64>,
 }
 
 impl TenancyState {
@@ -141,6 +170,29 @@ impl TenancyState {
         self.layout
             .fast_cap_frames(tenant, fast_capacity)
             .is_some_and(|cap| self.fast_counts[tenant] >= cap)
+    }
+
+    /// The quota-charge multiplier `tenant` pays per promotion under
+    /// contention-aware throttling: 1 while it behaves, growing with
+    /// its accumulated aggression up to the configured ceiling.
+    fn quota_penalty(&self, tenant: usize, params: &NeoMemParams) -> u64 {
+        if !params.contention_aware {
+            return 1;
+        }
+        let per_unit = params.contention_penalty_pages.max(1);
+        (1 + self.aggression[tenant] / per_unit).min(params.contention_max_penalty.max(1))
+    }
+
+    /// Admission throttle: at penalty `p`, only every `p`-th candidate
+    /// of the tenant passes. Returns `true` when the candidate must be
+    /// skipped. Deterministic — a pure function of the candidate
+    /// sequence.
+    fn throttled(&mut self, tenant: usize, penalty: u64) -> bool {
+        if penalty <= 1 {
+            return false;
+        }
+        self.throttle_counters[tenant] += 1;
+        !self.throttle_counters[tenant].is_multiple_of(penalty)
     }
 }
 
@@ -239,6 +291,15 @@ impl NeoMemPolicy {
         self.last_ping_pongs = stats.ping_pongs;
         self.last_promoted_bytes = stats.promoted_bytes.as_u64();
 
+        // Contention-aware decay: aggression scores halve once per
+        // threshold window, so the quota penalty tracks *recent*
+        // displacement rather than run-lifetime history.
+        if self.params.contention_aware {
+            if let Some(state) = &mut self.tenancy {
+                state.aggression.iter_mut().for_each(|a| *a /= 2);
+            }
+        }
+
         if let ThresholdMode::Dynamic = self.params.threshold_mode {
             if migrated_bytes < quota_bytes {
                 // p ← p·(1+B)^α / (1+P)^β, bounded.
@@ -299,14 +360,19 @@ impl NeoMemPolicy {
                     // credit is exact per moved page, so a region
                     // straddling a tenant boundary cannot inflate the
                     // wrong tenant's count past one refresh interval.
-                    if let Some(state) = &self.tenancy {
+                    let mut penalty = 1;
+                    if let Some(state) = &mut self.tenancy {
                         let t = state.layout.tenant_of(region);
                         if state.over_fast_cap(t, fast_capacity) {
                             continue;
                         }
+                        penalty = state.quota_penalty(t, &self.params);
+                        if state.throttled(t, penalty) {
+                            continue;
+                        }
                         self.quota.set_active_tenant(t);
                     }
-                    cost += self.promote_huge_region(region, kernel, now + cost);
+                    cost += self.promote_huge_region(region, penalty, kernel, now + cost);
                 }
                 continue;
             }
@@ -315,15 +381,24 @@ impl NeoMemPolicy {
             }
             // Multi-tenant arbitration: charge the migration budget to
             // the page's owner, and hold a tenant at its fast-tier
-            // occupancy cap back so co-runners keep their shares.
+            // occupancy cap back so co-runners keep their shares. Under
+            // contention-aware throttling the owner additionally pays
+            // its aggression penalty on the quota charge, so a tenant
+            // that keeps displacing co-runners promotes at a fraction
+            // of its share until the signal decays.
             let tenant = self.tenancy.as_ref().map(|s| s.layout.tenant_of(vpage));
-            if let (Some(state), Some(t)) = (&self.tenancy, tenant) {
+            let mut penalty = 1;
+            if let (Some(state), Some(t)) = (&mut self.tenancy, tenant) {
                 if state.over_fast_cap(t, fast_capacity) {
+                    continue;
+                }
+                penalty = state.quota_penalty(t, &self.params);
+                if state.throttled(t, penalty) {
                     continue;
                 }
                 self.quota.set_active_tenant(t);
             }
-            if !self.quota.try_consume(Bytes::new(neomem_types::PAGE_SIZE), now + cost) {
+            if !self.quota.try_consume(Bytes::new(neomem_types::PAGE_SIZE * penalty), now + cost) {
                 if tenant.is_some() {
                     // Only this owner's share is spent; co-runners may
                     // still be in budget.
@@ -342,15 +417,17 @@ impl NeoMemPolicy {
     }
 
     /// Promotes every slow-tier base page of a 2 MiB region in one go,
-    /// charging the huge-page fixed overhead once.
+    /// charging the huge-page fixed overhead once. `penalty` scales the
+    /// quota charge (contention-aware throttling; 1 = no penalty).
     fn promote_huge_region(
         &mut self,
         region: neomem_types::VirtPage,
+        penalty: u64,
         kernel: &mut Kernel,
         now: Nanos,
     ) -> Nanos {
         let huge_bytes = neomem_kernel::PAGES_PER_HUGE * neomem_types::PAGE_SIZE;
-        if !self.quota.try_consume(Bytes::new(huge_bytes), now) {
+        if !self.quota.try_consume(Bytes::new(huge_bytes * penalty), now) {
             return Nanos::ZERO;
         }
         let mut cost = kernel.costs().huge_page_overhead;
@@ -377,6 +454,9 @@ impl NeoMemPolicy {
 
 impl TieringPolicy for NeoMemPolicy {
     fn name(&self) -> &'static str {
+        if self.params.contention_aware {
+            return "NeoMem-CA";
+        }
         match self.params.threshold_mode {
             ThresholdMode::Dynamic => "NeoMem",
             ThresholdMode::Fixed(_) => "NeoMem-fixed",
@@ -434,8 +514,45 @@ impl TieringPolicy for NeoMemPolicy {
         self.quota.enable_tenant_accounting(layout.weights());
         self.tenancy = Some(TenancyState {
             fast_counts: vec![0; layout.tenant_count()],
+            aggression: vec![0; layout.tenant_count()],
+            throttle_counters: vec![0; layout.tenant_count()],
             layout: layout.clone(),
         });
+    }
+
+    fn on_tenant_departure(&mut self, tenant: usize) {
+        // A departed tenant's history must not throttle it when (and
+        // if) it re-arrives; its occupancy count is refreshed from the
+        // rmap at the next migration tick anyway.
+        if let Some(state) = &mut self.tenancy {
+            if let Some(a) = state.aggression.get_mut(tenant) {
+                *a = 0;
+            }
+        }
+    }
+
+    fn note_cross_tenant_evictions(&mut self, aggressor: usize, pages: u64) {
+        if !self.params.contention_aware {
+            return;
+        }
+        if let Some(state) = &mut self.tenancy {
+            // Only over-share displacement counts as aggression: a
+            // tenant below its weighted fair share of the fast tier is
+            // reclaiming its own share (retaliation), not attacking —
+            // penalising it would hand the tier to whoever got there
+            // first. Occupancy comes from the last migration-tick
+            // refresh, the same counts the fairness cap uses.
+            let total: u64 = state.fast_counts.iter().sum();
+            if total > 0 {
+                let share = state.layout.weight_share(aggressor);
+                if (state.fast_counts[aggressor] as f64) < share * total as f64 {
+                    return;
+                }
+            }
+            if let Some(a) = state.aggression.get_mut(aggressor) {
+                *a = a.saturating_add(pages);
+            }
+        }
     }
 }
 
@@ -720,6 +837,128 @@ mod tenancy_tests {
         assert!(kernel.stats().promotions >= 1);
         assert_eq!(policy.quota.used_by(0), Bytes::ZERO, "tenant 0 never migrated");
         assert!(policy.quota.used_by(1) >= Bytes::new(neomem_types::PAGE_SIZE));
+    }
+}
+
+#[cfg(test)]
+mod contention_tests {
+    use super::*;
+    use neomem_kernel::KernelConfig;
+    use neomem_types::{AccessKind, VirtPage};
+
+    fn contention_policy(kernel: &Kernel, aware: bool) -> NeoMemPolicy {
+        let mut params = NeoMemParams::scaled(1000);
+        params.threshold_mode = ThresholdMode::Fixed(3);
+        params.headroom_frac = 0.0;
+        params.contention_aware = aware;
+        params.contention_penalty_pages = 4;
+        params.contention_max_penalty = 4;
+        // Tight quota so the penalty visibly bites: 4 pages/window.
+        params.mquota = Bandwidth::from_bytes_per_sec(4.0 * 4096.0);
+        let dev = neomem_neoprof::NeoProfConfig::small(kernel.memory().slow_base());
+        let mut policy = NeoMemPolicy::new(
+            dev,
+            neomem_profilers::NeoProfDriverConfig::default(),
+            params,
+        )
+        .unwrap();
+        policy.quota = QuotaMeter::new(params.mquota);
+        let layout = TenantLayout::new(vec![0, 18], vec![1, 1], None).unwrap();
+        policy.configure_tenants(&layout);
+        policy
+    }
+
+    fn hammer(policy: &mut NeoMemPolicy, kernel: &mut Kernel, vpage: u64) {
+        let frame = kernel.translate(VirtPage::new(vpage)).unwrap();
+        for _ in 0..8 {
+            let ev = AccessEvent {
+                vpage: VirtPage::new(vpage),
+                frame,
+                tier: kernel.memory().tier_of(frame),
+                kind: AccessKind::Read,
+                tlb_hit: true,
+                llc_miss: true,
+                now: Nanos::ZERO,
+            };
+            policy.on_access(&ev, kernel);
+        }
+    }
+
+    fn setup_kernel() -> Kernel {
+        let mut kernel = Kernel::new(KernelConfig::with_frames(4, 36));
+        for p in 0..36 {
+            kernel.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        kernel
+    }
+
+    #[test]
+    fn aggression_penalty_throttles_promotions() {
+        // Same hot set, same quota — the aggressor-flagged run must
+        // promote fewer pages than the clean run.
+        let mut clean_kernel = setup_kernel();
+        let mut clean = contention_policy(&clean_kernel, true);
+        clean.maybe_tick(&mut clean_kernel, Nanos::ZERO);
+
+        let mut flagged_kernel = setup_kernel();
+        let mut flagged = contention_policy(&flagged_kernel, true);
+        flagged.maybe_tick(&mut flagged_kernel, Nanos::ZERO);
+        // Tenant 1 caused 8 cross-tenant eviction pages → penalty 3.
+        flagged.note_cross_tenant_evictions(1, 8);
+
+        for p in [20u64, 21, 22, 23] {
+            hammer(&mut clean, &mut clean_kernel, p);
+            hammer(&mut flagged, &mut flagged_kernel, p);
+        }
+        clean.maybe_tick(&mut clean_kernel, Nanos::from_micros(200));
+        flagged.maybe_tick(&mut flagged_kernel, Nanos::from_micros(200));
+        let clean_promos = clean_kernel.stats().promotions;
+        let flagged_promos = flagged_kernel.stats().promotions;
+        assert!(clean_promos > 0, "clean tenant promotes");
+        assert!(
+            flagged_promos < clean_promos,
+            "penalty must throttle: flagged {flagged_promos} !< clean {clean_promos}"
+        );
+    }
+
+    #[test]
+    fn plain_neomem_ignores_the_signal() {
+        let kernel = setup_kernel();
+        let mut policy = contention_policy(&kernel, false);
+        policy.note_cross_tenant_evictions(1, 1_000_000);
+        let state = policy.tenancy.as_ref().unwrap();
+        assert_eq!(state.aggression, vec![0, 0], "plain NeoMem accumulates nothing");
+        assert_eq!(state.quota_penalty(1, &policy.params), 1);
+    }
+
+    #[test]
+    fn aggression_decays_and_departure_clears_it() {
+        let mut kernel = setup_kernel();
+        let mut policy = contention_policy(&kernel, true);
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        policy.note_cross_tenant_evictions(0, 16);
+        assert_eq!(policy.tenancy.as_ref().unwrap().aggression[0], 16);
+        assert_eq!(
+            policy.tenancy.as_ref().unwrap().quota_penalty(0, &policy.params),
+            4,
+            "1 + 16/4 capped at the max penalty"
+        );
+        // A threshold-update window halves the score.
+        let thr = policy.params.thr_update_interval;
+        policy.maybe_tick(&mut kernel, thr + Nanos::new(1));
+        assert_eq!(policy.tenancy.as_ref().unwrap().aggression[0], 8);
+        // Departure zeroes it outright.
+        policy.on_tenant_departure(0);
+        assert_eq!(policy.tenancy.as_ref().unwrap().aggression[0], 0);
+    }
+
+    #[test]
+    fn contention_aware_name_is_distinct() {
+        let kernel = setup_kernel();
+        assert_eq!(contention_policy(&kernel, true).name(), "NeoMem-CA");
+        // The fixture pins the threshold, so the non-aware variant
+        // reports the fixed-θ name.
+        assert_eq!(contention_policy(&kernel, false).name(), "NeoMem-fixed");
     }
 }
 

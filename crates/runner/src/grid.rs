@@ -14,7 +14,8 @@
 //! contention sections in addition to the machine-wide metrics.
 
 use neomem::prelude::*;
-use neomem::sim::{CoRunContention, TenantRunReport};
+use neomem::sim::{CoRunContention, TenantEpoch, TenantRunReport};
+use neomem::workloads::{TenantEvent, TenantEventKind};
 use neomem::Error;
 
 use crate::exec;
@@ -79,12 +80,13 @@ pub struct ExperimentGrid {
     configure: Option<fn(&mut SimConfig)>,
 }
 
-/// One entry of the workload axis: a classic single-tenant workload or
-/// a labelled co-run tenant mix.
+/// One entry of the workload axis: a classic single-tenant workload, a
+/// labelled co-run tenant mix, or a labelled dynamic-tenancy scenario.
 #[derive(Debug, Clone)]
 enum GridWorkload {
     Single(WorkloadKind),
     CoRun(String, TenantMix),
+    Scenario(String, Scenario),
 }
 
 impl ExperimentGrid {
@@ -129,9 +131,22 @@ impl ExperimentGrid {
         self
     }
 
+    /// Appends a labelled dynamic-tenancy scenario to the workload
+    /// axis. Like [`ExperimentGrid::corun`], the entry expands against
+    /// the full ratio/policy/override/budget/seed axes; its cells run
+    /// through [`CoRunSimulation::with_scenario`] (tenant arrivals,
+    /// departures, weight changes and phased workloads all apply) and
+    /// carry a `scenario` JSON section — timeline and tenant-epochs —
+    /// on top of the usual co-run sections. The seed axis applies
+    /// through [`Scenario::reseeded`].
+    pub fn scenario(mut self, label: impl Into<String>, scenario: Scenario) -> Self {
+        self.workloads.push(GridWorkload::Scenario(label.into(), scenario));
+        self
+    }
+
     /// Sets the co-run interleave quantum (events a weight-1 tenant
-    /// runs per scheduling round; default 64). Single-tenant cells are
-    /// unaffected.
+    /// runs per scheduling round; default 64). Applies to both co-run
+    /// and scenario cells; single-tenant cells are unaffected.
     pub fn corun_quantum(mut self, quantum: usize) -> Self {
         self.corun_quantum = quantum;
         self
@@ -219,8 +234,8 @@ impl ExperimentGrid {
     pub fn cells(&self) -> Vec<GridCell> {
         let mut cells = Vec::with_capacity(self.len());
         for (wi, entry) in self.workloads.iter().enumerate() {
-            let (workload, corun) = match entry {
-                GridWorkload::Single(kind) => (*kind, None),
+            let (workload, corun, scenario) = match entry {
+                GridWorkload::Single(kind) => (*kind, None, None),
                 GridWorkload::CoRun(label, mix) => (
                     // The kind slot is a placeholder for co-run cells
                     // (the first tenant's kind); lookups key on the
@@ -229,6 +244,16 @@ impl ExperimentGrid {
                     Some(CorunCellSpec {
                         label: label.clone(),
                         mix: mix.clone(),
+                        interleave_quantum: self.corun_quantum,
+                    }),
+                    None,
+                ),
+                GridWorkload::Scenario(label, scenario) => (
+                    scenario.mix().tenants()[0].kind,
+                    None,
+                    Some(ScenarioCellSpec {
+                        label: label.clone(),
+                        scenario: scenario.clone(),
                         interleave_quantum: self.corun_quantum,
                     }),
                 ),
@@ -254,6 +279,7 @@ impl ExperimentGrid {
                                     index: cells.len(),
                                     workload,
                                     corun: corun.clone(),
+                                    scenario: scenario.clone(),
                                     policy,
                                     ratio,
                                     override_label: label.clone(),
@@ -315,6 +341,34 @@ impl ExperimentGrid {
         CoRunSimulation::new(corun_config, &spec.mix.reseeded(cell.seed), policy)
     }
 
+    /// Builds the [`CoRunSimulation`] of a scenario cell: identical to
+    /// [`ExperimentGrid::corun`] cells except the engine follows the
+    /// scenario's dynamic-tenancy timeline.
+    fn scenario_simulation_for(&self, cell: &GridCell) -> Result<CoRunSimulation, Error> {
+        let spec = cell.scenario.as_ref().expect("scenario cell");
+        let total_rss = spec.scenario.mix().total_rss_pages();
+        let mut config = if self.large_machine {
+            SimConfig::large(total_rss, cell.ratio)
+        } else {
+            SimConfig::quick(total_rss, cell.ratio)
+        };
+        config.max_accesses = cell.accesses;
+        if let Some(hook) = self.configure {
+            hook(&mut config);
+        }
+        let policy = build_policy(cell.policy, &config, self.time_scale, cell.overrides)?;
+        let corun_config = CoRunConfig {
+            sim: config,
+            interleave_quantum: spec.interleave_quantum,
+            fast_share_cap: cell.overrides.corun_fast_share_cap,
+        };
+        CoRunSimulation::with_scenario(
+            corun_config,
+            &spec.scenario.reseeded(cell.seed),
+            policy,
+        )
+    }
+
     /// Runs every cell on `threads` workers (`0` = all cores).
     ///
     /// # Errors
@@ -325,7 +379,9 @@ impl ExperimentGrid {
         let cells = self.cells();
         // Validate every cell before spending simulation time on any.
         for cell in &cells {
-            let check = if cell.corun.is_some() {
+            let check = if cell.scenario.is_some() {
+                self.scenario_simulation_for(cell).map(|_| ())
+            } else if cell.corun.is_some() {
                 self.corun_simulation_for(cell).map(|_| ())
             } else {
                 self.builder_for(cell).build().map(|_| ())
@@ -341,10 +397,17 @@ impl ExperimentGrid {
             })?;
         }
         let outcomes = exec::run_indexed(&cells, threads, |_, cell| {
-            if cell.corun.is_some() {
-                let outcome =
-                    self.corun_simulation_for(cell).expect("cell validated above").run();
+            if cell.corun.is_some() || cell.scenario.is_some() {
+                let outcome = if cell.scenario.is_some() {
+                    self.scenario_simulation_for(cell).expect("cell validated above").run()
+                } else {
+                    self.corun_simulation_for(cell).expect("cell validated above").run()
+                };
                 let occupancy_fairness = outcome.occupancy_fairness();
+                let scenario = cell.scenario.as_ref().map(|spec| ScenarioSections {
+                    events: spec.scenario.events().to_vec(),
+                    epochs: outcome.epochs.clone(),
+                });
                 (
                     outcome.combined,
                     Some(CorunSections {
@@ -352,9 +415,14 @@ impl ExperimentGrid {
                         contention: outcome.contention,
                         occupancy_fairness,
                     }),
+                    scenario,
                 )
             } else {
-                (self.builder_for(cell).build().expect("cell validated above").run(), None)
+                (
+                    self.builder_for(cell).build().expect("cell validated above").run(),
+                    None,
+                    None,
+                )
             }
         });
         Ok(GridRun {
@@ -364,7 +432,12 @@ impl ExperimentGrid {
             cells: cells
                 .into_iter()
                 .zip(outcomes)
-                .map(|(cell, (report, corun))| CellRun { cell, report, corun })
+                .map(|(cell, (report, corun, scenario))| CellRun {
+                    cell,
+                    report,
+                    corun,
+                    scenario,
+                })
                 .collect(),
         })
     }
@@ -383,17 +456,34 @@ pub struct CorunCellSpec {
     pub interleave_quantum: usize,
 }
 
+/// The scenario parameters of a grid cell (present when the cell came
+/// from an [`ExperimentGrid::scenario`] axis entry).
+#[derive(Debug, Clone)]
+pub struct ScenarioCellSpec {
+    /// The axis label — the cell's `workload` identity in JSON and
+    /// gate keys.
+    pub label: String,
+    /// The dynamic-tenancy scenario under test.
+    pub scenario: Scenario,
+    /// Interleave quantum in force.
+    pub interleave_quantum: usize,
+}
+
 /// One point of a grid: fully resolved experiment parameters.
 #[derive(Debug, Clone)]
 pub struct GridCell {
     /// Position in the grid's row-major expansion.
     pub index: usize,
-    /// Workload under test. For co-run cells this slot holds the first
-    /// tenant's kind as a placeholder — identify those cells through
-    /// [`GridCell::corun`] / [`GridCell::workload_label`] instead.
+    /// Workload under test. For co-run and scenario cells this slot
+    /// holds the first tenant's kind as a placeholder — identify those
+    /// cells through [`GridCell::corun`] / [`GridCell::scenario`] /
+    /// [`GridCell::workload_label`] instead.
     pub workload: WorkloadKind,
     /// Co-run parameters; `None` for classic single-tenant cells.
     pub corun: Option<CorunCellSpec>,
+    /// Scenario parameters; `None` unless the cell came from an
+    /// [`ExperimentGrid::scenario`] axis entry.
+    pub scenario: Option<ScenarioCellSpec>,
     /// Tiering policy under test.
     pub policy: PolicyKind,
     /// Fast:slow capacity ratio (`1:ratio`).
@@ -413,8 +503,11 @@ pub struct GridCell {
 
 impl GridCell {
     /// The cell's workload identity: the paper label for single-tenant
-    /// cells, the co-run axis label otherwise.
+    /// cells, the co-run/scenario axis label otherwise.
     pub fn workload_label(&self) -> String {
+        if let Some(spec) = &self.scenario {
+            return spec.label.clone();
+        }
         match &self.corun {
             Some(spec) => spec.label.clone(),
             None => self.workload.label().to_string(),
@@ -435,6 +528,16 @@ pub struct CorunSections {
     pub occupancy_fairness: f64,
 }
 
+/// The scenario sections of a completed cell: the timeline that was
+/// applied and the per-residency tenant-epoch attribution.
+#[derive(Debug, Clone)]
+pub struct ScenarioSections {
+    /// The scenario timeline, sorted by time.
+    pub events: Vec<TenantEvent>,
+    /// Tenant epochs, ordered by (tenant, epoch).
+    pub epochs: Vec<TenantEpoch>,
+}
+
 /// A completed cell: its coordinates plus the simulation outcome.
 #[derive(Debug, Clone)]
 pub struct CellRun {
@@ -443,8 +546,11 @@ pub struct CellRun {
     /// The simulation outcome (the machine-wide combined report for
     /// co-run cells).
     pub report: RunReport,
-    /// Per-tenant + contention sections, present for co-run cells.
+    /// Per-tenant + contention sections, present for co-run and
+    /// scenario cells.
     pub corun: Option<CorunSections>,
+    /// Timeline + epoch sections, present for scenario cells only.
+    pub scenario: Option<ScenarioSections>,
 }
 
 /// The outcome of a full grid campaign, in cell order.
@@ -477,9 +583,15 @@ impl GridRun {
     }
 
     /// The report for a (workload, policy) point — the common lookup.
-    /// Skips co-run cells; look those up with [`GridRun::corun_for`].
+    /// Skips co-run and scenario cells; look those up with
+    /// [`GridRun::corun_for`] / [`GridRun::scenario_for`].
     pub fn report_for(&self, workload: WorkloadKind, policy: PolicyKind) -> &RunReport {
-        self.report_where(|c| c.corun.is_none() && c.workload == workload && c.policy == policy)
+        self.report_where(|c| {
+            c.corun.is_none()
+                && c.scenario.is_none()
+                && c.workload == workload
+                && c.policy == policy
+        })
     }
 
     /// The first co-run cell with the given axis label, policy and
@@ -498,6 +610,29 @@ impl GridRun {
                     && run.cell.corun.as_ref().is_some_and(|s| s.label == label)
             })
             .expect("no co-run cell matches label/policy")
+    }
+
+    /// The first scenario cell with the given axis label, policy and
+    /// override label.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no cell matches — a programming error in figure
+    /// code, not a data condition.
+    pub fn scenario_for(
+        &self,
+        label: &str,
+        policy: PolicyKind,
+        override_label: &str,
+    ) -> &CellRun {
+        self.cells
+            .iter()
+            .find(|run| {
+                run.cell.policy == policy
+                    && run.cell.override_label == override_label
+                    && run.cell.scenario.as_ref().is_some_and(|s| s.label == label)
+            })
+            .expect("no scenario cell matches label/policy")
     }
 
     /// Serialises the campaign: grid header plus one record per cell
@@ -535,6 +670,9 @@ impl GridRun {
                             ];
                             if let Some(sections) = &run.corun {
                                 fields.push(("corun".to_string(), corun_json(sections)));
+                            }
+                            if let Some(sections) = &run.scenario {
+                                fields.push(("scenario".to_string(), scenario_json(sections)));
                             }
                             Json::Obj(fields)
                         })
@@ -584,6 +722,59 @@ fn corun_json(sections: &CorunSections) -> Json {
                                         .collect(),
                                 ),
                             ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serialises a cell's scenario sections: the applied timeline plus
+/// per-residency tenant epochs. Metric names are part of the result
+/// schema — extend, don't rename.
+fn scenario_json(sections: &ScenarioSections) -> Json {
+    let event_json = |event: &TenantEvent| {
+        let (kind, weight) = match event.kind {
+            TenantEventKind::Arrive => ("arrive", None),
+            TenantEventKind::Depart => ("depart", None),
+            TenantEventKind::SetWeight(w) => ("set_weight", Some(w)),
+        };
+        let mut fields = vec![
+            ("at_ns".to_string(), Json::U64(event.at.as_nanos())),
+            ("tenant".to_string(), Json::U64(event.tenant as u64)),
+            ("kind".to_string(), Json::from(kind)),
+        ];
+        if let Some(w) = weight {
+            fields.push(("weight".to_string(), Json::U64(w as u64)));
+        }
+        Json::Obj(fields)
+    };
+    let arrivals =
+        sections.events.iter().filter(|e| e.kind == TenantEventKind::Arrive).count();
+    let departures =
+        sections.events.iter().filter(|e| e.kind == TenantEventKind::Depart).count();
+    let weight_changes = sections.events.len() - arrivals - departures;
+    Json::obj([
+        ("arrivals", Json::U64(arrivals as u64)),
+        ("departures", Json::U64(departures as u64)),
+        ("weight_changes", Json::U64(weight_changes as u64)),
+        ("events", Json::Arr(sections.events.iter().map(event_json).collect())),
+        (
+            "epochs",
+            Json::Arr(
+                sections
+                    .epochs
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("tenant", Json::U64(e.tenant as u64)),
+                            ("epoch", Json::U64(e.epoch as u64)),
+                            ("start_ns", Json::U64(e.start.as_nanos())),
+                            ("end_ns", Json::U64(e.end.as_nanos())),
+                            ("accesses", Json::U64(e.accesses)),
+                            ("slow_tier_accesses", Json::U64(e.slow_tier_accesses)),
+                            ("evicted_by_others", Json::U64(e.evicted_by_others)),
                         ])
                     })
                     .collect(),
@@ -762,6 +953,76 @@ mod tests {
             .policies([PolicyKind::FirstTouch])
             .run(1);
         assert!(err.is_err());
+    }
+
+    fn churn_scenario() -> Scenario {
+        let mix = TenantMix::builder()
+            .tenant(WorkloadKind::Gups, 512, 5)
+            .tenant(WorkloadKind::Silo, 512, 6)
+            .build()
+            .expect("valid mix");
+        Scenario::builder(mix)
+            .arrive(1, Nanos::from_micros(200))
+            .depart(1, Nanos::from_millis(2))
+            .build()
+            .expect("valid scenario")
+    }
+
+    #[test]
+    fn scenario_axis_runs_and_carries_sections() {
+        let run = ExperimentGrid::new("scenario")
+            .workloads([])
+            .scenario("churn", churn_scenario())
+            .policies([PolicyKind::FirstTouch])
+            .budgets([8_000])
+            .run(2)
+            .expect("scenario grid runs");
+        assert_eq!(run.cells.len(), 1);
+        let cell = run.scenario_for("churn", PolicyKind::FirstTouch, "");
+        assert_eq!(cell.cell.workload_label(), "churn");
+        let corun = cell.corun.as_ref().expect("co-run sections present");
+        assert_eq!(corun.tenants.len(), 2);
+        let scenario = cell.scenario.as_ref().expect("scenario sections present");
+        assert_eq!(scenario.events.len(), 2);
+        assert!(!scenario.epochs.is_empty());
+        // JSON carries both extension sections under the axis label.
+        let json = run.to_json();
+        let cells = json.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells[0].get("workload").and_then(Json::as_str), Some("churn"));
+        assert!(cells[0].get("corun").is_some());
+        let section = cells[0].get("scenario").expect("scenario section");
+        assert_eq!(section.get("arrivals").and_then(Json::as_u64), Some(1));
+        assert_eq!(section.get("departures").and_then(Json::as_u64), Some(1));
+        let events = section.get("events").and_then(Json::as_arr).unwrap();
+        assert_eq!(events[0].get("kind").and_then(Json::as_str), Some("arrive"));
+        let epochs = section.get("epochs").and_then(Json::as_arr).unwrap();
+        assert!(epochs[0].get("accesses").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn scenario_json_is_thread_count_invariant() {
+        let grid = ExperimentGrid::new("scenario-threads")
+            .workloads([])
+            .scenario("churn", churn_scenario())
+            .policies([PolicyKind::FirstTouch, PolicyKind::NeoMem])
+            .budgets([6_000]);
+        let one = grid.run(1).expect("1 thread").to_json().render_pretty();
+        let four = grid.run(4).expect("4 threads").to_json().render_pretty();
+        assert_eq!(one, four, "scenario grids must serialise byte-identically at any thread count");
+    }
+
+    #[test]
+    fn report_for_skips_scenario_cells() {
+        let run = ExperimentGrid::new("scenario-shadow")
+            .workloads([WorkloadKind::Gups])
+            .scenario("gups-churn", churn_scenario())
+            .policies([PolicyKind::FirstTouch])
+            .rss_pages(512)
+            .budgets([4_000])
+            .run(2)
+            .expect("grid runs");
+        let single = run.report_for(WorkloadKind::Gups, PolicyKind::FirstTouch);
+        assert!(!single.workload.starts_with("corun["));
     }
 
     #[test]

@@ -224,9 +224,12 @@ impl Json {
     /// # Errors
     ///
     /// Returns a [`JsonError`] with a byte offset on malformed input,
-    /// including trailing garbage after the top-level value.
+    /// including trailing garbage after the top-level value and
+    /// nesting deeper than [`MAX_PARSE_DEPTH`] (the recursive parser
+    /// must report pathological inputs instead of overflowing the
+    /// stack — baseline files come from the filesystem, i.e. users).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
         parser.skip_ws();
         let value = parser.value()?;
         parser.skip_ws();
@@ -280,14 +283,30 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting [`Json::parse`] accepts. Result documents
+/// nest a handful of levels; 128 leaves two orders of magnitude of
+/// headroom while keeping the recursive parser a safe distance from
+/// stack exhaustion on hostile input.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> JsonError {
         JsonError { pos: self.pos, msg: msg.to_string() }
+    }
+
+    /// Guards one level of container recursion.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting deeper than MAX_PARSE_DEPTH"));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -333,11 +352,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -348,6 +369,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -356,11 +378,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -376,6 +400,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -579,6 +604,19 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\"}", "tru", "1 2", "\"abc", "{\"a\":}", "[1 2]"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting_without_overflow() {
+        // Just inside the limit parses; past it errors (instead of
+        // blowing the stack on hostile input).
+        let deep_ok = format!("{}0{}", "[".repeat(127), "]".repeat(127));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let too_deep = format!("{}0{}", "[".repeat(1_000_000), "]".repeat(1_000_000));
+        let err = Json::parse(&too_deep).expect_err("must reject");
+        assert!(err.msg.contains("nesting"), "{err}");
+        let mixed = format!("{}1{}", "[{\"k\":".repeat(500_000), "}]".repeat(500_000));
+        assert!(Json::parse(&mixed).is_err());
     }
 
     #[test]

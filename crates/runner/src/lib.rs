@@ -46,7 +46,7 @@ pub use compare::{compare, Drift, GateConfig, GateReport};
 pub use exec::{effective_threads, run_indexed};
 pub use grid::{
     policy_name, replicate_seeds, splitmix64, CellRun, CorunCellSpec, CorunSections,
-    ExperimentGrid, GridCell, GridRun, SeedMode,
+    ExperimentGrid, GridCell, GridRun, ScenarioCellSpec, ScenarioSections, SeedMode,
 };
-pub use json::{Json, JsonError};
+pub use json::{Json, JsonError, MAX_PARSE_DEPTH};
 pub use report::{metrics_json, report_json};

@@ -10,11 +10,18 @@
 //!
 //! # Scheduling and determinism
 //!
-//! Tenants are interleaved by a deterministic weighted round-robin: in
-//! every round, tenant `i` executes a *slice* of
-//! `interleave_quantum × weight_i` events before the next tenant runs.
-//! The slice schedule is a pure function of the configuration — never
-//! of `SimConfig::batch_size` (which only sets how many events are
+//! Scheduling is delegated to a [`SliceScheduler`]: the engine asks it
+//! what to do at every slice boundary and executes the decision. The
+//! default [`StaticRoundRobin`] interleaves a fixed mix by a
+//! deterministic weighted round-robin — in every round, tenant `i`
+//! executes a *slice* of `interleave_quantum × weight_i` events before
+//! the next tenant runs. A [`DynamicSchedule`]
+//! ([`CoRunSimulation::with_scenario`]) additionally admits and
+//! retires tenants along a [`neomem_workloads::Scenario`] timeline,
+//! reclaiming departed tenants' fast-tier pages through the normal
+//! eviction path. Either way the slice schedule is a pure function of
+//! the configuration and the virtual clock — never of
+//! `SimConfig::batch_size` (which only sets how many events are
 //! pulled per [`neomem_workloads::Workload::fill_events`] call inside a
 //! slice) and never of host threading — so a co-run, like a
 //! single-tenant run, is bit-identical at any batch size and at any
@@ -40,11 +47,12 @@
 
 use neomem_policies::{TenantLayout, TieringPolicy};
 use neomem_types::{Nanos, Result, Tier, VirtPage};
-use neomem_workloads::{TenantMix, Workload, WorkloadEvent};
+use neomem_workloads::{Scenario, TenantMix, Workload, WorkloadEvent};
 
 use crate::config::SimConfig;
 use crate::engine::{earliest_deadline, HotCosts, Machine};
 use crate::report::{MarkerRecord, RunReport};
+use crate::sched::{DynamicSchedule, SchedulerOp, SliceScheduler, StaticRoundRobin};
 
 /// Configuration of a co-run: the shared machine plus the interleave
 /// and fairness knobs.
@@ -136,12 +144,19 @@ pub struct CoRunSimulation {
     layout: TenantLayout,
     lanes: Vec<Lane>,
     mix_label: String,
+    scheduler: Box<dyn SliceScheduler>,
+    /// Which lanes run from time zero (all, for static mixes). The
+    /// scheduler owns the live admission state; the engine only needs
+    /// the initial mask to open the first epochs.
+    initially_active: Vec<bool>,
 }
 
 impl CoRunSimulation {
     /// Builds the shared machine and the tenant lanes, and hands the
     /// tenant layout to the policy
-    /// ([`TieringPolicy::configure_tenants`]).
+    /// ([`TieringPolicy::configure_tenants`]). The mix is scheduled by
+    /// the classic [`StaticRoundRobin`]: every tenant runs from time
+    /// zero to the end of the run.
     ///
     /// # Errors
     ///
@@ -150,7 +165,54 @@ impl CoRunSimulation {
     pub fn new(
         config: CoRunConfig,
         mix: &TenantMix,
+        policy: Box<dyn TieringPolicy>,
+    ) -> Result<Self> {
+        let scheduler = Box::new(StaticRoundRobin::new(
+            mix.tenants().iter().map(|t| t.weight).collect(),
+            config.interleave_quantum,
+        ));
+        let active = vec![true; mix.len()];
+        let build = |spec: &neomem_workloads::TenantSpec, _i: usize| {
+            spec.kind.build(spec.rss_pages, spec.seed)
+        };
+        Self::build(config, mix, mix.label(), policy, scheduler, active, build)
+    }
+
+    /// Builds a scenario-driven co-run: the [`DynamicSchedule`] admits
+    /// and retires tenants along the scenario timeline, tenants with
+    /// phase schedules run [`neomem_workloads::PhasedWorkload`]
+    /// generators, and departed tenants' fast-tier pages are reclaimed
+    /// through the normal eviction path. A scenario with no events and
+    /// no phases schedules identically to [`CoRunSimulation::new`] on
+    /// the same mix (the scheduler-equivalence suite holds this
+    /// bit-for-bit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures, including a
+    /// scenario footprint that does not match `config.sim.rss_pages`.
+    pub fn with_scenario(
+        config: CoRunConfig,
+        scenario: &Scenario,
+        policy: Box<dyn TieringPolicy>,
+    ) -> Result<Self> {
+        let scheduler = Box::new(DynamicSchedule::new(scenario, config.interleave_quantum));
+        let active = scenario.initially_active();
+        let label = scenario.label();
+        let build =
+            |_spec: &neomem_workloads::TenantSpec, i: usize| scenario.build_workload(i);
+        Self::build(config, scenario.mix(), label, policy, scheduler, active, build)
+    }
+
+    /// Builds a co-run around an explicit scheduler and admission mask.
+    fn build(
+        config: CoRunConfig,
+        mix: &TenantMix,
+        label: String,
         mut policy: Box<dyn TieringPolicy>,
+        scheduler: Box<dyn SliceScheduler>,
+        active: Vec<bool>,
+        build_workload: impl Fn(&neomem_workloads::TenantSpec, usize) -> Box<dyn Workload>,
     ) -> Result<Self> {
         config.validate()?;
         if mix.total_rss_pages() != config.sim.rss_pages {
@@ -167,8 +229,9 @@ impl CoRunSimulation {
             .tenants()
             .iter()
             .zip(mix.bases())
-            .map(|(spec, base)| Lane {
-                workload: spec.kind.build(spec.rss_pages, spec.seed),
+            .enumerate()
+            .map(|(i, (spec, base))| Lane {
+                workload: build_workload(spec, i),
                 base,
                 weight: spec.weight,
                 rss_pages: spec.rss_pages,
@@ -190,7 +253,15 @@ impl CoRunSimulation {
                 occupancy_sum: 0,
             })
             .collect();
-        Ok(Self { config, machine, layout, lanes, mix_label: mix.label() })
+        Ok(Self {
+            config,
+            machine,
+            layout,
+            lanes,
+            mix_label: label,
+            scheduler,
+            initially_active: active,
+        })
     }
 
     /// Counts each tenant's fast-tier pages into `out`, through the
@@ -200,7 +271,43 @@ impl CoRunSimulation {
         layout.count_fast_pages(&machine.kernel, out);
     }
 
+    /// Demotes every fast-resident page of `lane` through the normal
+    /// eviction path (the departed tenant's frames go back to the slow
+    /// tier like any reclaim victim: demotion counters, LRU removal and
+    /// migration costs all apply). Best-effort: pages the slow tier
+    /// cannot take stay put and fall to ordinary eviction later.
+    /// Returns the time charged.
+    fn reclaim_fast_pages(
+        machine: &mut Machine,
+        layout: &TenantLayout,
+        lane: usize,
+        now: Nanos,
+    ) -> Nanos {
+        let fast_frames = machine.kernel.memory().slow_base().index();
+        let mut pages = Vec::new();
+        for frame in 0..fast_frames {
+            if let Some(vpage) = machine.kernel.vpage_of(neomem_types::PageNum::new(frame)) {
+                if layout.tenant_of(vpage) == lane {
+                    pages.push(vpage);
+                }
+            }
+        }
+        let mut elapsed = Nanos::ZERO;
+        for vpage in pages {
+            if let Ok(t) = machine.kernel.demote(vpage, now + elapsed) {
+                elapsed += t;
+            }
+        }
+        elapsed
+    }
+
     /// Runs the co-run to completion and produces the report.
+    ///
+    /// The loop executes whatever the [`SliceScheduler`] decides at
+    /// each slice boundary: tenant slices (the hot path, identical to
+    /// the pre-extraction engine), admissions, retirements (with
+    /// fast-tier reclaim through the normal eviction path), weight
+    /// changes, and idle gaps.
     ///
     /// # Panics
     ///
@@ -223,7 +330,6 @@ impl CoRunSimulation {
         let max_accesses = self.machine.config.max_accesses;
         let tick_quantum = self.machine.config.tick_quantum;
         let sample_interval = self.machine.config.sample_interval;
-        let quantum = self.config.interleave_quantum;
         let tenant_count = self.lanes.len();
         let fast_capacity =
             self.machine.kernel.memory().allocator(Tier::Fast).capacity();
@@ -243,17 +349,138 @@ impl CoRunSimulation {
         let mut cross_tenant_evictions: u64 = 0;
         let mut stopped = false;
 
-        'run: while accesses < max_accesses {
-            if limit.is_some_and(|l| clock >= l) {
+        // Tenant-epoch attribution: one epoch per contiguous residency
+        // interval, opened for initially-active lanes at time zero and
+        // at every admission, closed at departure or run end.
+        let mut epochs: Vec<TenantEpoch> = Vec::new();
+        let mut epoch_ordinal = vec![0u32; tenant_count];
+        let mut open_epochs: Vec<Option<EpochMark>> = (0..tenant_count)
+            .map(|i| {
+                self.initially_active[i].then(|| EpochMark::open(Nanos::ZERO, &self.lanes[i]))
+            })
+            .collect();
+
+        'run: loop {
+            if accesses >= max_accesses || limit.is_some_and(|l| clock >= l) {
                 break;
             }
-            rounds += 1;
-            for lane_idx in 0..tenant_count {
-                if accesses >= max_accesses || limit.is_some_and(|l| clock >= l) {
-                    break 'run;
+            let (lane_idx, slice_events) = match self.scheduler.next(clock) {
+                SchedulerOp::Done => break,
+                SchedulerOp::Slice { lane, events, new_round } => {
+                    if new_round {
+                        rounds += 1;
+                    }
+                    slices += 1;
+                    (lane, events)
                 }
-                slices += 1;
-                let slice_events = quantum * self.lanes[lane_idx].weight as usize;
+                SchedulerOp::Admit { lane } => {
+                    self.machine.policy.on_tenant_arrival(lane);
+                    open_epochs[lane] = Some(EpochMark::open(clock, &self.lanes[lane]));
+                    continue;
+                }
+                SchedulerOp::Retire { lane } => {
+                    self.machine.policy.on_tenant_departure(lane);
+                    // Reclaim through the normal eviction path and
+                    // attribute the deltas (demotions, node traffic,
+                    // time) to the departing tenant itself.
+                    let slow_before =
+                        self.machine.kernel.memory().node(Tier::Slow).stats();
+                    let fast_before =
+                        self.machine.kernel.memory().node(Tier::Fast).stats();
+                    let kernel_before = self.machine.kernel.stats();
+                    let reclaim =
+                        Self::reclaim_fast_pages(&mut self.machine, &self.layout, lane, clock);
+                    clock += reclaim;
+                    let slow = self.machine.kernel.memory().node(Tier::Slow).stats();
+                    let fast = self.machine.kernel.memory().node(Tier::Fast).stats();
+                    let kernel = self.machine.kernel.stats();
+                    {
+                        let l = &mut self.lanes[lane];
+                        l.active_time += reclaim;
+                        l.slow_reads += slow.reads - slow_before.reads;
+                        l.slow_writes += slow.writes - slow_before.writes;
+                        l.fast_reads += fast.reads - fast_before.reads;
+                        l.fast_writes += fast.writes - fast_before.writes;
+                        l.promotions += kernel.promotions - kernel_before.promotions;
+                        l.demotions += kernel.demotions - kernel_before.demotions;
+                        l.ping_pongs += kernel.ping_pongs - kernel_before.ping_pongs;
+                        l.minor_faults += kernel.minor_faults - kernel_before.minor_faults;
+                    }
+                    // The occupancy baseline moved: rescan so the next
+                    // slice's cross-tenant accounting cannot blame its
+                    // tenant for the departure reclaim.
+                    Self::scan_occupancy(&self.machine, &self.layout, &mut occ_before);
+                    if let Some(mark) = open_epochs[lane].take() {
+                        epochs.push(mark.close(
+                            lane,
+                            &mut epoch_ordinal,
+                            clock,
+                            &self.lanes[lane],
+                        ));
+                    }
+                    continue;
+                }
+                SchedulerOp::SetWeight { lane, weight } => {
+                    self.lanes[lane].weight = weight;
+                    // The scheduler already resizes future slices;
+                    // re-arbitrate the policy side too, so quota
+                    // shares, fairness caps and fair-share exemptions
+                    // track the new weights instead of the
+                    // construction-time ones. Policies treat this as a
+                    // fresh configure_tenants: per-tenant soft state
+                    // (occupancy counts, aggression, the current quota
+                    // window's per-tenant usage split) restarts, which
+                    // is the intended semantics of a re-weighting.
+                    let layout = TenantLayout::new(
+                        self.lanes.iter().map(|l| l.base).collect(),
+                        self.lanes.iter().map(|l| l.weight as u64).collect(),
+                        self.config.fast_share_cap,
+                    )
+                    .expect("bases unchanged and scenario-validated weights stay valid");
+                    self.machine.policy.configure_tenants(&layout);
+                    self.layout = layout;
+                    continue;
+                }
+                SchedulerOp::AdvanceTo(target) => {
+                    // Idle gap (no runnable tenant until the next
+                    // timeline event): jump the clock in one go, firing
+                    // the due policy tick and timeline sample once in
+                    // engine order so daemons stay alive across it.
+                    if target > clock {
+                        clock = target;
+                    }
+                    let mut ticked = false;
+                    if clock >= next_tick {
+                        clock += self.machine.policy_tick(clock, &mut shootdowns);
+                        next_tick = clock + tick_quantum;
+                        ticked = true;
+                    }
+                    if clock >= next_sample {
+                        timeline.push(self.machine.sample(
+                            clock,
+                            accesses,
+                            window_accesses,
+                            window_start,
+                        ));
+                        let mut fast_pages = vec![0u64; tenant_count];
+                        Self::scan_occupancy(&self.machine, &self.layout, &mut fast_pages);
+                        occupancy_timeline.push(OccupancyPoint { at: clock, fast_pages });
+                        window_accesses = 0;
+                        window_start = clock;
+                        next_sample = clock + sample_interval;
+                    }
+                    if ticked {
+                        // The idle-gap tick may have migrated pages:
+                        // rescan the baseline so the next slice's
+                        // tenant isn't blamed for occupancy that moved
+                        // while nobody ran.
+                        Self::scan_occupancy(&self.machine, &self.layout, &mut occ_before);
+                    }
+                    next_deadline = earliest_deadline(next_tick, next_sample, limit);
+                    continue;
+                }
+            };
+            {
                 let clock_before = clock;
                 let accesses_before = accesses;
                 let slow_before = self.machine.kernel.memory().node(Tier::Slow).stats();
@@ -365,14 +592,21 @@ impl CoRunSimulation {
                 }
                 // Cross-tenant evictions: the net fast-tier occupancy
                 // idle tenants lost while this slice ran.
+                let mut lost_total = 0u64;
                 for j in 0..tenant_count {
                     self.lanes[j].occupancy_sum += occ_after[j];
                     if j != lane_idx && occ_after[j] < occ_before[j] {
                         let lost = occ_before[j] - occ_after[j];
                         cross_tenant_evictions += lost;
+                        lost_total += lost;
                         self.lanes[j].evicted_by_others += lost;
                         self.lanes[lane_idx].evictions_caused += lost;
                     }
+                }
+                if lost_total > 0 {
+                    // Feed the signal to contention-aware policies (a
+                    // no-op for everything else — the default hook).
+                    self.machine.policy.note_cross_tenant_evictions(lane_idx, lost_total);
                 }
                 std::mem::swap(&mut occ_before, &mut occ_after);
 
@@ -381,6 +615,16 @@ impl CoRunSimulation {
                 }
             }
         }
+
+        // Close the epochs of every still-resident tenant at the final
+        // clock, then order the records by (tenant, epoch) for stable
+        // serialisation.
+        for (lane, open) in open_epochs.iter_mut().enumerate() {
+            if let Some(mark) = open.take() {
+                epochs.push(mark.close(lane, &mut epoch_ordinal, clock, &self.lanes[lane]));
+            }
+        }
+        epochs.sort_by_key(|e| (e.tenant, e.epoch));
 
         // `occ_before` holds the final scan after the swap above.
         let final_occupancy = occ_before;
@@ -427,16 +671,81 @@ impl CoRunSimulation {
         CoRunReport {
             combined,
             tenants,
+            epochs,
             contention: CoRunContention {
                 fast_capacity_pages: fast_capacity,
                 cross_tenant_evictions,
                 rounds,
                 slices,
-                interleave_quantum: quantum as u64,
+                interleave_quantum: self.config.interleave_quantum as u64,
                 occupancy_timeline,
             },
         }
     }
+}
+
+/// Bookkeeping for one open tenant-epoch: the lane-accumulator values
+/// at the instant the epoch opened, so closing it yields exact deltas.
+#[derive(Debug, Clone, Copy)]
+struct EpochMark {
+    start: Nanos,
+    accesses: u64,
+    slow_tier: u64,
+    evicted: u64,
+}
+
+impl EpochMark {
+    fn open(start: Nanos, lane: &Lane) -> Self {
+        Self {
+            start,
+            accesses: lane.accesses,
+            slow_tier: lane.slow_reads + lane.slow_writes,
+            evicted: lane.evicted_by_others,
+        }
+    }
+
+    fn close(
+        self,
+        tenant: usize,
+        ordinals: &mut [u32],
+        end: Nanos,
+        lane: &Lane,
+    ) -> TenantEpoch {
+        let epoch = ordinals[tenant];
+        ordinals[tenant] += 1;
+        TenantEpoch {
+            tenant,
+            epoch,
+            start: self.start,
+            end,
+            accesses: lane.accesses - self.accesses,
+            slow_tier_accesses: lane.slow_reads + lane.slow_writes - self.slow_tier,
+            evicted_by_others: lane.evicted_by_others - self.evicted,
+        }
+    }
+}
+
+/// One contiguous residency interval of a tenant: from its admission
+/// (or time zero) to its departure (or the end of the run), with the
+/// metrics attributed to the tenant over exactly that interval. Static
+/// mixes produce one epoch per tenant spanning the whole run; dynamic
+/// scenarios produce one per arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantEpoch {
+    /// Tenant index, in mix order.
+    pub tenant: usize,
+    /// Per-tenant epoch ordinal (0 = first residency).
+    pub epoch: u32,
+    /// Virtual time the epoch opened.
+    pub start: Nanos,
+    /// Virtual time the epoch closed.
+    pub end: Nanos,
+    /// CPU accesses the tenant executed during the epoch.
+    pub accesses: u64,
+    /// Slow-tier line requests during the tenant's slices this epoch.
+    pub slow_tier_accesses: u64,
+    /// Net fast-tier occupancy lost to co-runners during the epoch.
+    pub evicted_by_others: u64,
 }
 
 /// One tenant's share of a co-run outcome. Every counter is the exact
@@ -571,6 +880,10 @@ pub struct CoRunReport {
     pub combined: RunReport,
     /// Per-tenant attribution, in mix order.
     pub tenants: Vec<TenantRunReport>,
+    /// Per-residency attribution, ordered by (tenant, epoch). One
+    /// whole-run epoch per tenant for static mixes; one per arrival
+    /// for dynamic scenarios.
+    pub epochs: Vec<TenantEpoch>,
     /// Shared-tier contention metrics.
     pub contention: CoRunContention,
 }
@@ -778,6 +1091,164 @@ mod tests {
         assert_eq!(corun.combined.kernel, plain.kernel);
         assert_eq!(corun.combined.tlb, plain.tlb);
         assert_eq!(corun.contention.cross_tenant_evictions, 0);
+    }
+
+    #[test]
+    fn steady_scenario_is_bit_identical_to_static() {
+        // The scheduler-equivalence contract at engine level: an
+        // event-free scenario over a mix must reproduce the static
+        // round-robin exactly, counter for counter.
+        let mix = mix_2();
+        let config = quick_corun(&mix, 60_000);
+        let fixed = CoRunSimulation::new(
+            config.clone(),
+            &mix,
+            Box::new(FirstTouchPolicy::new()),
+        )
+        .unwrap()
+        .run();
+        let scenario = neomem_workloads::Scenario::steady(mix);
+        let dynamic =
+            CoRunSimulation::with_scenario(config, &scenario, Box::new(FirstTouchPolicy::new()))
+                .unwrap()
+                .run();
+        assert_eq!(fixed.combined.runtime, dynamic.combined.runtime);
+        assert_eq!(fixed.combined.scalar_metrics(), dynamic.combined.scalar_metrics());
+        assert_eq!(fixed.tenants, dynamic.tenants);
+        assert_eq!(fixed.contention, dynamic.contention);
+        // Static runs report one whole-run epoch per tenant.
+        assert_eq!(dynamic.epochs.len(), 2);
+        assert!(dynamic.epochs.iter().all(|e| e.epoch == 0 && e.start.is_zero()));
+    }
+
+    #[test]
+    fn arrivals_and_departures_bound_tenant_activity() {
+        use neomem_types::Nanos;
+        // Tenant 1 arrives 1 ms in and departs at 3 ms; the run is
+        // bounded at 6 ms so both events land mid-run.
+        let mix = mix_2();
+        let scenario = neomem_workloads::Scenario::builder(mix.clone())
+            .arrive(1, Nanos::from_millis(1))
+            .depart(1, Nanos::from_millis(3))
+            .build()
+            .unwrap();
+        let mut config = quick_corun(&mix, u64::MAX / 2);
+        config.sim.max_time = Some(Nanos::from_millis(6));
+        let report =
+            CoRunSimulation::with_scenario(config, &scenario, Box::new(FirstTouchPolicy::new()))
+                .unwrap()
+                .run();
+        // Both tenants ran; every access is attributed.
+        let attributed: u64 = report.tenants.iter().map(|t| t.accesses).sum();
+        assert_eq!(attributed, report.combined.accesses);
+        assert!(report.tenants[1].accesses > 0, "tenant 1 ran between its events");
+        // Tenant 1's single epoch sits inside [1ms, 3ms+reclaim].
+        let epochs1: Vec<_> = report.epochs.iter().filter(|e| e.tenant == 1).collect();
+        assert_eq!(epochs1.len(), 1);
+        assert!(epochs1[0].start >= Nanos::from_millis(1));
+        assert!(epochs1[0].end < Nanos::from_millis(6));
+        assert_eq!(epochs1[0].accesses, report.tenants[1].accesses);
+        // Tenant 0's epoch spans the whole run.
+        let epochs0: Vec<_> = report.epochs.iter().filter(|e| e.tenant == 0).collect();
+        assert_eq!(epochs0.len(), 1);
+        assert!(epochs0[0].start.is_zero());
+        assert_eq!(epochs0[0].end, report.combined.runtime);
+        // Departure leaves no residency: tenant 1 arrived after tenant
+        // 0 had filled the fast tier (first-touch), and whatever it did
+        // hold was reclaimed.
+        assert_eq!(report.tenants[1].final_fast_pages, 0, "no fast pages after departure");
+    }
+
+    #[test]
+    fn departure_reclaims_fast_pages_through_eviction() {
+        use neomem_types::Nanos;
+        // Both tenants run from time zero, so tenant 1 holds fast-tier
+        // pages when it departs at 2 ms: the reclaim must demote them
+        // through the normal eviction path and attribute the demotions
+        // to the departing tenant.
+        let mix = mix_2();
+        let scenario = neomem_workloads::Scenario::builder(mix.clone())
+            .depart(1, Nanos::from_millis(2))
+            .build()
+            .unwrap();
+        let mut config = quick_corun(&mix, u64::MAX / 2);
+        config.sim.max_time = Some(Nanos::from_millis(5));
+        let report =
+            CoRunSimulation::with_scenario(config, &scenario, Box::new(FirstTouchPolicy::new()))
+                .unwrap()
+                .run();
+        assert!(report.tenants[1].accesses > 0);
+        assert_eq!(report.tenants[1].final_fast_pages, 0, "fast pages reclaimed");
+        assert!(report.tenants[1].demotions > 0, "reclaim went through demotion");
+        let epochs1: Vec<_> = report.epochs.iter().filter(|e| e.tenant == 1).collect();
+        assert_eq!(epochs1.len(), 1);
+        assert!(epochs1[0].start.is_zero());
+        assert!(epochs1[0].end >= Nanos::from_millis(2));
+        assert!(epochs1[0].end < report.combined.runtime);
+    }
+
+    #[test]
+    fn idle_gap_before_first_arrival_is_fast_forwarded() {
+        use neomem_types::Nanos;
+        // A one-tenant scenario whose tenant only arrives at 2 ms: the
+        // engine idles to the arrival, then runs the access budget.
+        let mix = TenantMix::builder().tenant(WorkloadKind::Gups, 2048, 7).build().unwrap();
+        let scenario = neomem_workloads::Scenario::builder(mix.clone())
+            .arrive(0, Nanos::from_millis(2))
+            .build()
+            .unwrap();
+        let report = CoRunSimulation::with_scenario(
+            quick_corun(&mix, 30_000),
+            &scenario,
+            Box::new(FirstTouchPolicy::new()),
+        )
+        .unwrap()
+        .run();
+        assert_eq!(report.combined.accesses, 30_000);
+        assert!(report.combined.runtime >= Nanos::from_millis(2));
+        assert_eq!(report.epochs.len(), 1);
+        assert!(report.epochs[0].start >= Nanos::from_millis(2));
+    }
+
+    #[test]
+    fn weight_change_reshapes_subsequent_slices() {
+        use neomem_types::Nanos;
+        // Equal weights until 1 ms, then tenant 1 runs at weight 6: it
+        // must end up with well over half of the accesses.
+        let mix = TenantMix::builder()
+            .tenant(WorkloadKind::Gups, 1024, 1)
+            .tenant(WorkloadKind::Gups, 1024, 2)
+            .build()
+            .unwrap();
+        let scenario = neomem_workloads::Scenario::builder(mix.clone())
+            .set_weight(1, Nanos::from_millis(1), 6)
+            .build()
+            .unwrap();
+        let mut config = quick_corun(&mix, u64::MAX / 2);
+        config.sim.max_time = Some(Nanos::from_millis(8));
+        let report =
+            CoRunSimulation::with_scenario(config, &scenario, Box::new(FirstTouchPolicy::new()))
+                .unwrap()
+                .run();
+        let a = report.tenants[0].accesses as f64;
+        let b = report.tenants[1].accesses as f64;
+        assert!(b > 1.8 * a, "re-weighted tenant must dominate ({a} vs {b})");
+        assert_eq!(report.tenants[1].weight, 6, "report carries the final weight");
+    }
+
+    #[test]
+    fn scenario_footprint_mismatch_rejected() {
+        let mix = mix_2();
+        let scenario = neomem_workloads::Scenario::steady(mix.clone());
+        let mut config = quick_corun(&mix, 1_000);
+        config.sim.rss_pages += 1;
+        config.sim.memory = None;
+        assert!(CoRunSimulation::with_scenario(
+            config,
+            &scenario,
+            Box::new(FirstTouchPolicy::new())
+        )
+        .is_err());
     }
 
     #[test]

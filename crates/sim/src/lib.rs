@@ -33,11 +33,13 @@ mod config;
 mod corun;
 mod engine;
 mod report;
+mod sched;
 
 pub use config::{CacheLatencies, SimConfig};
 pub use corun::{
     jain_fairness, CoRunConfig, CoRunContention, CoRunReport, CoRunSimulation, OccupancyPoint,
-    TenantRunReport,
+    TenantEpoch, TenantRunReport,
 };
 pub use engine::Simulation;
 pub use report::{MarkerRecord, RunReport, TimelinePoint};
+pub use sched::{DynamicSchedule, SchedulerOp, SliceScheduler, StaticRoundRobin};

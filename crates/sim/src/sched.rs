@@ -1,0 +1,300 @@
+//! Slice scheduling for the co-run engine.
+//!
+//! A [`SliceScheduler`] decides, at every slice boundary, what the
+//! co-run engine does next: run a tenant's slice, admit or retire a
+//! tenant, change a weight, idle forward to the next timeline event, or
+//! stop. The engine ([`crate::CoRunSimulation`]) owns the machine and
+//! the attribution; the scheduler owns *only* the schedule — a pure
+//! function of the configuration and the virtual clock, never of
+//! `batch_size` or host threading, so every co-run stays bit-identical
+//! at any batch size and `--threads` value.
+//!
+//! Two implementations ship:
+//!
+//! * [`StaticRoundRobin`] — the classic fixed-mix weighted round-robin
+//!   (tenant `i` runs `quantum × weight_i` events per round), extracted
+//!   verbatim from the original engine loop: a static co-run schedules,
+//!   counts rounds/slices, and reports exactly as before the
+//!   extraction.
+//! * [`DynamicSchedule`] — drives a
+//!   [`neomem_workloads::Scenario`] timeline: tenants arrive, depart
+//!   and change weight at virtual-time points, applied at the first
+//!   slice boundary at or after each event's timestamp; between those,
+//!   active tenants round-robin exactly like the static schedule.
+
+use neomem_types::Nanos;
+use neomem_workloads::{Scenario, TenantEvent, TenantEventKind};
+
+/// One scheduling decision, consumed by the engine at a slice boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerOp {
+    /// Run `events` workload events of lane `lane`. `new_round` marks
+    /// the first slice of a scheduling round (the engine's `rounds`
+    /// counter increments on it).
+    Slice {
+        /// Lane (tenant index, mix order) to run.
+        lane: usize,
+        /// Events the slice executes.
+        events: usize,
+        /// Whether this slice opens a new round.
+        new_round: bool,
+    },
+    /// Lane `lane` starts running: the engine opens its tenant-epoch
+    /// and informs the policy
+    /// ([`neomem_policies::TieringPolicy::on_tenant_arrival`]).
+    Admit {
+        /// Arriving lane.
+        lane: usize,
+    },
+    /// Lane `lane` stops running: the engine informs the policy,
+    /// reclaims the lane's fast-tier pages through the normal eviction
+    /// path, and closes its tenant-epoch.
+    Retire {
+        /// Departing lane.
+        lane: usize,
+    },
+    /// Lane `lane`'s interleave weight changes (affects subsequent
+    /// slices of this scheduler; recorded by the engine).
+    SetWeight {
+        /// Affected lane.
+        lane: usize,
+        /// New weight.
+        weight: u32,
+    },
+    /// No lane is runnable but timeline events remain: the engine
+    /// advances the virtual clock to this instant (keeping policy ticks
+    /// and timeline samples alive across the gap).
+    AdvanceTo(Nanos),
+    /// No lane is runnable and no events remain: the run is over.
+    Done,
+}
+
+/// A slice scheduler: the engine calls [`SliceScheduler::next`] at
+/// every slice boundary with the current virtual time and executes the
+/// returned op. Implementations must be deterministic functions of
+/// their configuration and the clock values they are handed.
+pub trait SliceScheduler {
+    /// The next scheduling decision at virtual time `now`.
+    fn next(&mut self, now: Nanos) -> SchedulerOp;
+}
+
+/// The classic fixed-mix weighted round-robin: lane `i` runs
+/// `quantum × weight_i` events per round, every round, forever (the
+/// engine bounds the run by access budget / simulated time).
+#[derive(Debug, Clone)]
+pub struct StaticRoundRobin {
+    weights: Vec<u32>,
+    quantum: usize,
+    pos: usize,
+}
+
+impl StaticRoundRobin {
+    /// Builds the schedule over `weights` at `quantum` events per
+    /// weight unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty weight list — the tenant mix validates
+    /// non-emptiness before any scheduler exists.
+    pub fn new(weights: Vec<u32>, quantum: usize) -> Self {
+        assert!(!weights.is_empty(), "a schedule needs at least one lane");
+        Self { weights, quantum, pos: 0 }
+    }
+}
+
+impl SliceScheduler for StaticRoundRobin {
+    fn next(&mut self, _now: Nanos) -> SchedulerOp {
+        let lane = self.pos;
+        self.pos = (self.pos + 1) % self.weights.len();
+        SchedulerOp::Slice {
+            lane,
+            events: self.quantum * self.weights[lane] as usize,
+            new_round: lane == 0,
+        }
+    }
+}
+
+/// A scenario-driven schedule: applies the timeline's arrivals,
+/// departures and weight changes at slice boundaries, and round-robins
+/// the currently-active lanes in between.
+#[derive(Debug, Clone)]
+pub struct DynamicSchedule {
+    quantum: usize,
+    /// The timeline, sorted by time (scenario build order).
+    events: Vec<TenantEvent>,
+    next_event: usize,
+    active: Vec<bool>,
+    weights: Vec<u32>,
+    cursor: usize,
+    pending_new_round: bool,
+}
+
+impl DynamicSchedule {
+    /// Builds the schedule from a validated scenario at `quantum`
+    /// events per weight unit.
+    pub fn new(scenario: &Scenario, quantum: usize) -> Self {
+        Self {
+            quantum,
+            events: scenario.events().to_vec(),
+            next_event: 0,
+            active: scenario.initially_active(),
+            weights: scenario.mix().tenants().iter().map(|t| t.weight).collect(),
+            cursor: 0,
+            pending_new_round: true,
+        }
+    }
+
+    /// Which lanes are currently admitted.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+}
+
+impl SliceScheduler for DynamicSchedule {
+    fn next(&mut self, now: Nanos) -> SchedulerOp {
+        // Due timeline events first, one per call, in timeline order.
+        if let Some(event) = self.events.get(self.next_event) {
+            if event.at <= now {
+                let event = *event;
+                self.next_event += 1;
+                return match event.kind {
+                    TenantEventKind::Arrive => {
+                        self.active[event.tenant] = true;
+                        SchedulerOp::Admit { lane: event.tenant }
+                    }
+                    TenantEventKind::Depart => {
+                        self.active[event.tenant] = false;
+                        SchedulerOp::Retire { lane: event.tenant }
+                    }
+                    TenantEventKind::SetWeight(weight) => {
+                        self.weights[event.tenant] = weight;
+                        SchedulerOp::SetWeight { lane: event.tenant, weight }
+                    }
+                };
+            }
+        }
+        // Nothing runnable: idle forward to the next event, or stop.
+        if !self.active.iter().any(|&a| a) {
+            return match self.events.get(self.next_event) {
+                Some(event) => SchedulerOp::AdvanceTo(event.at),
+                None => SchedulerOp::Done,
+            };
+        }
+        // Round-robin over the active lanes.
+        loop {
+            if self.cursor == self.active.len() {
+                self.cursor = 0;
+                self.pending_new_round = true;
+            }
+            let lane = self.cursor;
+            self.cursor += 1;
+            if self.active[lane] {
+                return SchedulerOp::Slice {
+                    lane,
+                    events: self.quantum * self.weights[lane] as usize,
+                    new_round: std::mem::take(&mut self.pending_new_round),
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem_workloads::{TenantMix, WorkloadKind};
+
+    fn mix_3() -> TenantMix {
+        TenantMix::builder()
+            .tenant(WorkloadKind::Gups, 256, 1)
+            .weighted_tenant(WorkloadKind::Silo, 256, 2, 2)
+            .tenant(WorkloadKind::Btree, 256, 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn static_round_robin_cycles_with_weighted_slices() {
+        let mut s = StaticRoundRobin::new(vec![1, 2, 3], 10);
+        let expected = [
+            (0, 10, true),
+            (1, 20, false),
+            (2, 30, false),
+            (0, 10, true),
+            (1, 20, false),
+        ];
+        for &(lane, events, new_round) in &expected {
+            assert_eq!(
+                s.next(Nanos::ZERO),
+                SchedulerOp::Slice { lane, events, new_round }
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_without_events_matches_static() {
+        let scenario = Scenario::steady(mix_3());
+        let mut dynamic = DynamicSchedule::new(&scenario, 10);
+        let mut fixed = StaticRoundRobin::new(vec![1, 2, 1], 10);
+        for step in 0..50 {
+            assert_eq!(
+                dynamic.next(Nanos::from_micros(step)),
+                fixed.next(Nanos::from_micros(step)),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_applies_due_events_then_resumes() {
+        let at = Nanos::from_millis(1);
+        let scenario = Scenario::builder(mix_3())
+            .depart(1, at)
+            .set_weight(2, at, 5)
+            .build()
+            .unwrap();
+        let mut s = DynamicSchedule::new(&scenario, 10);
+        // Before the events are due: everyone runs.
+        assert_eq!(
+            s.next(Nanos::ZERO),
+            SchedulerOp::Slice { lane: 0, events: 10, new_round: true }
+        );
+        assert_eq!(
+            s.next(Nanos::ZERO),
+            SchedulerOp::Slice { lane: 1, events: 20, new_round: false }
+        );
+        // Past the timestamp: both events fire, in timeline order.
+        assert_eq!(s.next(at), SchedulerOp::Retire { lane: 1 });
+        assert_eq!(s.next(at), SchedulerOp::SetWeight { lane: 2, weight: 5 });
+        // Lane 1 is now skipped; lane 2 runs at its new weight.
+        assert_eq!(
+            s.next(at),
+            SchedulerOp::Slice { lane: 2, events: 50, new_round: false }
+        );
+        assert_eq!(
+            s.next(at),
+            SchedulerOp::Slice { lane: 0, events: 10, new_round: true }
+        );
+    }
+
+    #[test]
+    fn dynamic_idles_to_arrivals_and_finishes_after_departures() {
+        let mix = TenantMix::builder().tenant(WorkloadKind::Gups, 256, 1).build().unwrap();
+        let arrive_at = Nanos::from_millis(2);
+        let depart_at = Nanos::from_millis(4);
+        let scenario = Scenario::builder(mix)
+            .arrive(0, arrive_at)
+            .depart(0, depart_at)
+            .build()
+            .unwrap();
+        let mut s = DynamicSchedule::new(&scenario, 10);
+        assert_eq!(s.active(), &[false]);
+        // Nobody is active yet: idle forward to the arrival.
+        assert_eq!(s.next(Nanos::ZERO), SchedulerOp::AdvanceTo(arrive_at));
+        assert_eq!(s.next(arrive_at), SchedulerOp::Admit { lane: 0 });
+        assert!(matches!(s.next(arrive_at), SchedulerOp::Slice { lane: 0, .. }));
+        // Past the departure: retire, then nothing remains.
+        assert_eq!(s.next(depart_at), SchedulerOp::Retire { lane: 0 });
+        assert_eq!(s.next(depart_at), SchedulerOp::Done);
+    }
+}

@@ -26,7 +26,11 @@
 //!
 //! Multi-tenant co-runs compose any of these generators through a
 //! [`TenantMix`]: per-tenant footprints, interleave weights and seeds,
-//! each tenant in a private page-id namespace.
+//! each tenant in a private page-id namespace. A [`Scenario`] adds a
+//! dynamic-tenancy timeline on top — tenant arrivals, departures and
+//! weight changes at virtual-time points — and [`PhasedWorkload`]
+//! switches a tenant's generator kind/working-set at deterministic
+//! event-count boundaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +41,7 @@ mod gups;
 mod pagerank;
 mod perm;
 mod redis;
+mod scenario;
 mod silo;
 mod stream_hpc;
 mod tenant;
@@ -49,6 +54,9 @@ pub use deathstar::DeathStar;
 pub use gups::Gups;
 pub use pagerank::PageRank;
 pub use redis::Redis;
+pub use scenario::{
+    PhaseSpec, PhasedWorkload, Scenario, ScenarioBuilder, TenantEvent, TenantEventKind,
+};
 pub use silo::Silo;
 pub use stream_hpc::{StreamingHpc, StreamKind};
 pub use tenant::{TenantMix, TenantMixBuilder, TenantSpec};

@@ -4,8 +4,13 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors this shim via a path dependency. Differences from upstream:
 //!
-//! * **No shrinking.** A failing case reports the generated inputs'
-//!   `Debug` rendering and the case number, but does not minimise them.
+//! * **Naive shrinking.** There is no value tree: after a failure the
+//!   runner retests a few strictly-simpler candidates per step (halved
+//!   integers toward the range minimum, truncated vecs, component-wise
+//!   tuple substitutions, `false` for bools, the first `select`
+//!   choice) and greedily adopts whichever still fails, up to
+//!   `ProptestConfig::max_shrink_iters` retests. Failing cases report
+//!   minimal-ish inputs rather than upstream's true minimum.
 //! * **Deterministic by construction.** Every test function derives its
 //!   RNG seed from its own name, so runs are reproducible without any
 //!   failure-persistence files. `ProptestConfig::failure_persistence`
@@ -40,6 +45,11 @@ pub mod bool {
 
         fn new_value(&self, rng: &mut TestRng) -> bool {
             rng.gen::<bool>()
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            // `false` is the simpler boolean.
+            if *value { vec![false] } else { Vec::new() }
         }
     }
 }
@@ -91,12 +101,42 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn new_value(&self, rng: &mut TestRng) -> Self::Value {
             let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
             (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            // Truncations first (they shed the most), shortest first:
+            // the minimum length, the first half, then one-shorter.
+            let lo = self.size.lo;
+            let mut lengths = vec![lo, lo.max(value.len() / 2)];
+            if value.len() > lo {
+                lengths.push(value.len() - 1);
+            }
+            lengths.dedup();
+            for len in lengths {
+                if len < value.len() {
+                    out.push(value[..len].to_vec());
+                }
+            }
+            // Then element-wise shrinks: each element's *first* (most
+            // aggressive) candidate, substituted in place.
+            for (i, element) in value.iter().enumerate() {
+                if let Some(candidate) = self.element.shrink(element).into_iter().next() {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -128,6 +168,19 @@ pub mod sample {
 
         fn new_value(&self, rng: &mut TestRng) -> T {
             self.choices[rng.gen_range(0..self.choices.len())].clone()
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            // Earlier choices are considered simpler (upstream's
+            // convention); propose the first choice when the failing
+            // value isn't already it. Comparison is by Debug rendering
+            // — `select` does not require `PartialEq`.
+            let first = &self.choices[0];
+            if format!("{first:?}") != format!("{value:?}") {
+                vec![first.clone()]
+            } else {
+                Vec::new()
+            }
         }
     }
 }

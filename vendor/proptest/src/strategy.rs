@@ -6,14 +6,27 @@ use std::ops::{Range, RangeInclusive};
 
 /// A generator of test-case values.
 ///
-/// Unlike upstream proptest there is no value tree / shrinking: a
-/// strategy simply produces one value per draw.
+/// Unlike upstream proptest there is no value tree: a strategy
+/// produces one value per draw, plus a *naive* shrink step —
+/// [`Strategy::shrink`] proposes a few strictly-simpler candidates
+/// (halved integers, truncated vecs, component-wise tuple shrinks) the
+/// runner retests after a failure, so failing properties report
+/// minimal-ish inputs instead of the raw generated case.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing `value`, *simplest
+    /// first*. Candidates must be strictly simpler (so repeated
+    /// shrinking terminates); an empty vec means the value cannot be
+    /// shrunk further. The default cannot shrink.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -42,6 +55,10 @@ impl<T> Strategy for BoxedStrategy<T> {
 
     fn new_value(&self, rng: &mut TestRng) -> T {
         self.0.new_value(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink(value)
     }
 }
 
@@ -108,6 +125,29 @@ impl<T> Strategy for Union<T> {
     }
 }
 
+/// Candidates for a numeric failing value, simplest first: the range
+/// minimum, the midpoint between minimum and value, then value − 1.
+/// Halving converges in O(log n) retests; the decrement lets the walk
+/// finish at the exact failure boundary once halving overshoots.
+fn shrink_toward<T>(lo: T, value: T, half: impl Fn(T, T) -> T, dec: impl Fn(T) -> T) -> Vec<T>
+where
+    T: PartialOrd + Copy,
+{
+    if value <= lo {
+        return Vec::new();
+    }
+    let mut out = vec![lo];
+    let mid = half(lo, value);
+    if mid > lo && mid < value {
+        out.push(mid);
+    }
+    let prev = dec(value);
+    if prev > lo && prev < value && Some(&prev) != out.last() {
+        out.push(prev);
+    }
+    out
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -115,6 +155,15 @@ macro_rules! impl_range_strategy {
 
             fn new_value(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(
+                    self.start,
+                    *value,
+                    |lo, v| lo + (v - lo) / 2 as $t,
+                    |v| v - 1 as $t,
+                )
             }
         }
 
@@ -124,6 +173,15 @@ macro_rules! impl_range_strategy {
             fn new_value(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(
+                    *self.start(),
+                    *value,
+                    |lo, v| lo + (v - lo) / 2 as $t,
+                    |v| v - 1 as $t,
+                )
+            }
         }
     )*};
 }
@@ -131,8 +189,11 @@ macro_rules! impl_range_strategy {
 impl_range_strategy!(u8, u16, u32, u64, usize, f64);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             #[allow(non_snake_case)]
@@ -140,13 +201,26 @@ macro_rules! impl_tuple_strategy {
                 let ($($name,)+) = self;
                 ($($name.new_value(rng),)+)
             }
+
+            // Shrink one component at a time, keeping the others fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!((A, 0));
+impl_tuple_strategy!((A, 0), (B, 1));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));

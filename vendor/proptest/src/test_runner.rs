@@ -23,13 +23,14 @@ pub struct ProptestConfig {
     pub cases: u32,
     /// Ignored: runs are deterministic, nothing needs persisting.
     pub failure_persistence: Option<FailurePersistence>,
-    /// Accepted for compatibility; this shim never shrinks.
+    /// Retest budget for the naive shrink loop after a failure (0
+    /// disables shrinking and reports the raw generated inputs).
     pub max_shrink_iters: u32,
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64, failure_persistence: None, max_shrink_iters: 0 }
+        ProptestConfig { cases: 64, failure_persistence: None, max_shrink_iters: 256 }
     }
 }
 
@@ -85,27 +86,57 @@ impl TestRunner {
         TestRunner { config, seed, name }
     }
 
-    /// Runs the property. Returns the first failure, formatted with the
-    /// generated inputs, or `Ok(())` if every case passes.
+    /// Runs the property. Returns the first failure — after the naive
+    /// shrink loop has minimised it — formatted with the simplest
+    /// failing inputs found, or `Ok(())` if every case passes.
+    ///
+    /// `S::Value: Clone` diverges from upstream (which threads value
+    /// trees instead), but every strategy this workspace uses produces
+    /// `Clone` values; the bound keeps the passing hot path down to
+    /// one clone per case, with shrink candidates materialised only
+    /// after a failure.
     pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
     where
         S: Strategy,
-        S::Value: std::fmt::Debug,
+        S::Value: std::fmt::Debug + Clone,
         F: FnMut(S::Value) -> Result<(), TestCaseError>,
     {
         let mut rng = TestRng::seed_from_u64(self.seed);
         for case in 0..self.config.cases {
             let value = strategy.new_value(&mut rng);
-            let rendering = format!("{value:?}");
-            if let Err(err) = test(value) {
+            let backup = value.clone();
+            if let Err(mut failure) = test(value) {
+                // Naive shrinking: retest progressively simpler
+                // candidates; whenever one still fails, adopt it and
+                // continue from *its* candidates.
+                let mut best = backup;
+                let mut queue = strategy.shrink(&best);
+                let mut retests = 0u32;
+                let mut shrinks = 0u32;
+                while retests < self.config.max_shrink_iters && !queue.is_empty() {
+                    let candidate = queue.remove(0);
+                    retests += 1;
+                    if let Err(simpler) = test(candidate.clone()) {
+                        failure = simpler;
+                        queue = strategy.shrink(&candidate);
+                        best = candidate;
+                        shrinks += 1;
+                    }
+                }
+                let provenance = if shrinks == 0 {
+                    "raw generated inputs".to_string()
+                } else {
+                    format!("inputs after {shrinks} shrinks ({retests} retests)")
+                };
                 return Err(format!(
-                    "proptest `{}` failed at case {}/{} (derived seed {:#x}):\n{}\ninputs: {}",
+                    "proptest `{}` failed at case {}/{} (derived seed {:#x}):\n{}\n{}: {}",
                     self.name,
                     case + 1,
                     self.config.cases,
                     self.seed,
-                    err,
-                    truncate(&rendering, 2048),
+                    failure,
+                    provenance,
+                    truncate(&format!("{best:?}"), 2048),
                 ));
             }
         }

@@ -66,3 +66,83 @@ fn oneof_and_collections_cover_their_domains() {
         .unwrap();
     assert!(evens > 0 && odds > 0, "both oneof branches must be exercised");
 }
+
+#[test]
+fn shrinking_minimises_integer_failures() {
+    use proptest::strategy::Strategy as _;
+    use proptest::test_runner::{ProptestConfig, TestRunner};
+
+    // Property "x < 10" fails for any x >= 10; the halving shrinker
+    // must walk the failing draw down to exactly 10.
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(64), "shrink_int");
+    let err = runner
+        .run(&(0u64..1_000_000,), |(x,)| {
+            if x >= 10 {
+                Err(proptest::test_runner::TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("property must fail");
+    assert!(err.contains("shrinks"), "failure must report shrink provenance: {err}");
+    assert!(err.contains("(10,)"), "minimal failing input must be 10: {err}");
+
+    // Sanity on the strategy-level candidates: simplest first, strictly
+    // smaller, converging toward the range start.
+    let candidates = (5u64..100).shrink(&80);
+    assert_eq!(candidates, vec![5, 42, 79]);
+    assert!((5u64..100).shrink(&5).is_empty(), "the minimum cannot shrink");
+}
+
+#[test]
+fn shrinking_truncates_vec_failures() {
+    use proptest::test_runner::{ProptestConfig, TestRunner};
+
+    // Property "len < 3" — the shrinker must cut a long failing vec
+    // down to exactly 3 elements.
+    let strategy = proptest::collection::vec(0u64..100, 0..40);
+    let mut runner = TestRunner::new(ProptestConfig::with_cases(64), "shrink_vec");
+    let err = runner
+        .run(&(strategy,), |(v,)| {
+            if v.len() >= 3 {
+                Err(proptest::test_runner::TestCaseError::fail("too long"))
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("property must fail");
+    // Three elements, each shrunk toward 0.
+    assert!(err.contains("[0, 0, 0]"), "minimal failing vec must be [0, 0, 0]: {err}");
+}
+
+#[test]
+fn shrinking_disabled_reports_raw_inputs() {
+    use proptest::test_runner::{ProptestConfig, TestRunner};
+
+    let config = ProptestConfig { max_shrink_iters: 0, ..ProptestConfig::default() };
+    let mut runner = TestRunner::new(config, "shrink_off");
+    let err = runner
+        .run(&(0u64..1_000_000,), |(x,)| {
+            if x >= 10 {
+                Err(proptest::test_runner::TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("property must fail");
+    assert!(err.contains("raw generated inputs"), "no shrinking at 0 iters: {err}");
+}
+
+#[test]
+fn tuple_and_bool_shrinks_substitute_componentwise() {
+    use proptest::strategy::Strategy as _;
+
+    let strategy = (0u64..100, proptest::bool::ANY);
+    let candidates = strategy.shrink(&(40, true));
+    // Component 0 candidates keep the bool; the bool candidate keeps
+    // the integer.
+    assert!(candidates.contains(&(0, true)));
+    assert!(candidates.contains(&(20, true)));
+    assert!(candidates.contains(&(40, false)));
+    assert!(strategy.shrink(&(0, false)).is_empty());
+}

@@ -42,6 +42,7 @@ struct Options {
     tolerance: f64,
     baseline: Option<PathBuf>,
     wall_report: Option<PathBuf>,
+    warm_start: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -52,6 +53,7 @@ impl Default for Options {
             tolerance: 0.10,
             baseline: None,
             wall_report: None,
+            warm_start: None,
         }
     }
 }
@@ -59,6 +61,7 @@ impl Default for Options {
 enum Command {
     Run(Vec<&'static Figure>),
     Perf(Vec<&'static Figure>),
+    Snapshot(Vec<&'static Figure>),
     Help,
     List,
     Compare(PathBuf, PathBuf),
@@ -69,12 +72,14 @@ const USAGE: &str = "\
 neomem-bench — regenerate paper figures/tables with machine-readable results
 
 USAGE:
-    neomem-bench <figure>... [--threads N] [--out DIR] [--wall-report FILE]
-    neomem-bench all [--threads N] [--out DIR] [--wall-report FILE]
+    neomem-bench <figure>... [--threads N] [--out DIR] [--wall-report FILE] [--warm-start DIR]
+    neomem-bench all [--threads N] [--out DIR] [--wall-report FILE] [--warm-start DIR]
     neomem-bench perf <figure>...|all [--threads N] [--out DIR] [--wall-report FILE]
+    neomem-bench snapshot <figure>...|all --warm-start DIR [--threads N] [--out DIR]
     neomem-bench list
     neomem-bench compare <baseline.json> <current.json> [--tolerance F]
     neomem-bench gate <figure> --baseline <file> [--tolerance F] [--threads N] [--out DIR]
+                      [--warm-start DIR]
 
 OPTIONS:
     --threads N         worker threads for experiment grids (default: all cores)
@@ -83,6 +88,9 @@ OPTIONS:
     --baseline FILE     checked-in baseline for gate (e.g. BENCH_fig11.json)
     --wall-report FILE  write host wall-clock throughput JSON here
                         (perf default: target/wall-reports/perf.wall.json)
+    --warm-start DIR    per-cell snapshot directory: `snapshot` populates it,
+                        runs/gates restore unchanged cells from it instead of
+                        replaying them (results stay byte-identical)
 
 Result JSON carries simulated (virtual-clock) quantities only; wall-clock
 throughput goes to stderr and the wall-report file, never into results.
@@ -118,11 +126,14 @@ fn parse_args() -> Result<(Command, Options), String> {
             "--wall-report" => {
                 options.wall_report = Some(PathBuf::from(value_for("--wall-report")?))
             }
+            "--warm-start" => {
+                options.warm_start = Some(PathBuf::from(value_for("--warm-start")?))
+            }
             "-h" | "--help" => return Ok((Command::Help, options)),
             // `list` is a command only in first position; anywhere else
             // it stays a positional (e.g. a results file named `list`).
             "list" | "--list" if keyword.is_none() && names.is_empty() => list = true,
-            "compare" | "gate" | "perf" if keyword.is_none() => {
+            "compare" | "gate" | "perf" | "snapshot" if keyword.is_none() => {
                 if list || !names.is_empty() {
                     return Err(format!("{arg} cannot be combined with other commands\n\n{USAGE}"));
                 }
@@ -175,6 +186,18 @@ fn parse_args() -> Result<(Command, Options), String> {
             }
             let figures = resolve_many(&positional)?;
             Ok((Command::Perf(figures), options))
+        }
+        Some("snapshot") => {
+            if positional.is_empty() {
+                return Err(format!(
+                    "snapshot takes at least one figure name (or all)\n\n{USAGE}"
+                ));
+            }
+            if options.warm_start.is_none() {
+                return Err("snapshot requires --warm-start <dir>".to_string());
+            }
+            let figures = resolve_many(&positional)?;
+            Ok((Command::Snapshot(figures), options))
         }
         _ => {
             if names.is_empty() {
@@ -312,6 +335,16 @@ fn run_and_write(
     let started = Instant::now();
     let doc = figures::run_figure(figure, ctx);
     let wall_seconds = started.elapsed().as_secs_f64();
+    // A NaN/∞ would render as `null` and silently vanish from the
+    // result schema (the gate would then misreport it as a missing
+    // metric) — refuse to serialise it, naming the offending path.
+    if let Some(path) = doc.find_non_finite() {
+        return Err(format!(
+            "figure {} produced a non-finite metric at {path}; refusing to write \
+             {}.json (it would serialise as null and break the baseline contract)",
+            figure.name, figure.name
+        ));
+    }
     std::fs::create_dir_all(out_dir)
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
     let path = out_dir.join(format!("{}.json", figure.name));
@@ -385,7 +418,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let ctx = RunContext { scale, threads: options.threads };
+    let ctx = RunContext {
+        scale,
+        threads: options.threads,
+        warm_dir: options.warm_start.clone(),
+        write_snapshots: matches!(command, Command::Snapshot(_)),
+    };
     let gate_config = GateConfig { tolerance: options.tolerance, ..Default::default() };
     let outcome: Result<bool, String> = match command {
         Command::Help => {
@@ -398,7 +436,7 @@ fn main() -> ExitCode {
             }
             Ok(true)
         }
-        Command::Run(figures) => {
+        Command::Run(figures) | Command::Snapshot(figures) => {
             run_figures(&figures, &ctx, &options, options.wall_report.as_deref()).map(|()| true)
         }
         Command::Perf(figures) => {

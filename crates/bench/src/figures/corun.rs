@@ -91,7 +91,7 @@ pub fn run(ctx: &RunContext) -> Json {
     for (label, mix) in &mix_defs {
         grid = grid.corun(*label, mix.clone());
     }
-    let mixes_run = grid.run(ctx.threads).expect("valid corun mixes grid");
+    let mixes_run = grid.run_mode(&ctx.grid_mode()).expect("valid corun mixes grid");
 
     println!(
         "{}",
@@ -156,7 +156,7 @@ pub fn run(ctx: &RunContext) -> Json {
         .overrides_axis(
             caps.iter().map(|(label, cap)| (label.to_string(), fairness_overrides(*cap))),
         )
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid corun fairness grid");
     println!(
         "{}",
@@ -200,7 +200,7 @@ pub fn run(ctx: &RunContext) -> Json {
         let mix = TenantMix::homogeneous(WorkloadKind::Gups, n, 2048, 2024).expect("valid mix");
         scaling = scaling.corun(format!("{n}xGUPS"), mix);
     }
-    let scaling_run = scaling.run(ctx.threads).expect("valid corun scaling grid");
+    let scaling_run = scaling.run_mode(&ctx.grid_mode()).expect("valid corun scaling grid");
     println!(
         "{}",
         row(&["tenants".into(), "runtime".into(), "slow-tier".into(), "x-evictions".into()])

@@ -66,7 +66,7 @@ pub fn run(ctx: &RunContext) -> Json {
         .policies([PolicyKind::PinnedFast, PolicyKind::PinnedSlow])
         .budgets([ctx.scale.accesses(400_000)])
         .configure(both_tiers_hold_footprint)
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid fig03 grid");
     println!("{}", row(&["benchmark".into(), "local".into(), "cxl-only".into(), "slowdown".into()]));
     let mut slowdowns = Vec::new();

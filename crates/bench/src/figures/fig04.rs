@@ -166,7 +166,7 @@ fn part_c(ctx: &RunContext) -> (Json, Json) {
         .policies([PolicyKind::Pebs])
         .overrides_axis(axis)
         .budgets([ctx.scale.accesses(300_000)])
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid fig04 grid");
     let baseline = grid.report_where(|c| c.override_label == "baseline");
     println!("{}", row(&["interval".into(), "runtime".into(), "slowdown".into()]));

@@ -21,7 +21,7 @@ pub fn run(ctx: &RunContext) -> Json {
     let main = paper_grid("fig11/main", ctx.scale)
         .workloads(WorkloadKind::FIG11)
         .policies(policies)
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid fig11 grid");
 
     let mut labels: Vec<String> = vec!["benchmark".into()];
@@ -71,7 +71,7 @@ pub fn run(ctx: &RunContext) -> Json {
         .workloads([WorkloadKind::Gups])
         .policies([PolicyKind::NeoMem])
         .budgets([ctx.scale.accesses(400_000)])
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid overhead grid");
     let profiled = overhead.report_for(WorkloadKind::Gups, PolicyKind::NeoMem);
     let share =

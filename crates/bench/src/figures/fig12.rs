@@ -18,7 +18,7 @@ pub fn run(ctx: &RunContext) -> Json {
         .workloads(WorkloadKind::FIG11)
         .ratios([2, 4, 8])
         .policies([PolicyKind::NeoMem, PolicyKind::Pebs])
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid fig12 grid");
     println!(
         "{}",

@@ -17,7 +17,7 @@ pub fn run(ctx: &RunContext) -> Json {
     let grid = paper_grid("fig13/traffic", ctx.scale)
         .workloads(WorkloadKind::FIG11)
         .policies(PolicyKind::FIG11)
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid fig13 grid");
     println!(
         "{}",

@@ -47,7 +47,7 @@ pub fn run(ctx: &RunContext) -> Json {
         .policies(policies)
         .budgets([ctx.scale.accesses(2_000_000)])
         .configure(dense_sampling)
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid fig14 grid");
     let reports: Vec<(String, &RunReport)> = policies
         .iter()

@@ -24,7 +24,7 @@ fn pagerank_sweep(
         .workloads([WorkloadKind::PageRank])
         .policies([PolicyKind::NeoMem])
         .overrides_axis(axis)
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid fig15 sweep")
 }
 

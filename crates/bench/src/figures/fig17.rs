@@ -19,7 +19,7 @@ pub fn run(ctx: &RunContext) -> Json {
     let grid = paper_grid("fig17/memtis", ctx.scale)
         .workloads(WorkloadKind::FIG11)
         .policies([PolicyKind::NeoMem, PolicyKind::Memtis])
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid fig17 grid");
     println!(
         "{}",

@@ -27,17 +27,25 @@ pub mod scenarios;
 pub mod table01;
 pub mod table06;
 
-use neomem_runner::Json;
+use std::path::PathBuf;
+
+use neomem_runner::{Json, RunMode};
 
 use crate::Scale;
 
 /// Execution context shared by all figures.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Default)]
 pub struct RunContext {
     /// Access-budget scale (`NEOMEM_SCALE`).
     pub scale: Scale,
     /// Worker threads for experiment grids (`0` = all cores).
     pub threads: usize,
+    /// Warm-start snapshot directory (`--warm-start DIR`); `None`
+    /// runs every grid cold.
+    pub warm_dir: Option<PathBuf>,
+    /// When set, grids write fresh cell snapshots into `warm_dir`
+    /// before running (the `neomem-bench snapshot` command).
+    pub write_snapshots: bool,
 }
 
 impl RunContext {
@@ -56,7 +64,17 @@ impl RunContext {
                 panic!("unrecognised NEOMEM_THREADS value {value:?}: expected a number")
             }),
         };
-        Self { scale: Scale::from_env(), threads }
+        Self { scale: Scale::from_env(), threads, ..Self::default() }
+    }
+
+    /// The grid execution mode this context implies — what figures
+    /// hand to [`neomem_runner::ExperimentGrid::run_mode`].
+    pub fn grid_mode(&self) -> RunMode {
+        RunMode {
+            threads: self.threads,
+            warm_dir: self.warm_dir.clone(),
+            write_snapshots: self.write_snapshots,
+        }
     }
 }
 
@@ -182,7 +200,7 @@ mod tests {
             Json::obj([("series", Json::obj([("x", 1u64)]))])
         }
         let figure = Figure { name: "fake", title: "t", run: fake };
-        let ctx = RunContext { scale: Scale::Quick, threads: 1 };
+        let ctx = RunContext { scale: Scale::Quick, threads: 1, ..RunContext::default() };
         let doc = run_figure(&figure, &ctx);
         assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(1));
         assert_eq!(doc.get("name").and_then(Json::as_str), Some("fake"));

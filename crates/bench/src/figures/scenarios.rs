@@ -110,7 +110,7 @@ pub fn run(ctx: &RunContext) -> Json {
     for &n in &cycles {
         churn = churn.scenario(format!("churn{n}"), churn_scenario(n));
     }
-    let churn_run = churn.run(ctx.threads).expect("valid churn grid");
+    let churn_run = churn.run_mode(&ctx.grid_mode()).expect("valid churn grid");
     println!(
         "{}",
         row(&[
@@ -172,7 +172,7 @@ pub fn run(ctx: &RunContext) -> Json {
     for &events in &phase_lengths {
         phases = phases.scenario(format!("phase{events}"), phase_scenario(events));
     }
-    let phases_run = phases.run(ctx.threads).expect("valid phases grid");
+    let phases_run = phases.run_mode(&ctx.grid_mode()).expect("valid phases grid");
     println!(
         "{}",
         row(&[
@@ -218,7 +218,7 @@ pub fn run(ctx: &RunContext) -> Json {
     let duel_run = scenario_grid("scenarios/contention", ctx.scale)
         .scenario("duel", duel_scenario())
         .policies(duel_policies)
-        .run(ctx.threads)
+        .run_mode(&ctx.grid_mode())
         .expect("valid contention grid");
     println!(
         "{}",

@@ -27,9 +27,10 @@ pub mod alloc_probe;
 pub mod figures;
 
 /// Scale knob read from `NEOMEM_SCALE` (`quick` default, `full` = 10×).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Scale {
     /// Minutes-for-everything default.
+    #[default]
     Quick,
     /// ~10× more simulated accesses.
     Full,

@@ -1,5 +1,6 @@
 //! A single set-associative, write-back, write-allocate cache level.
 
+use neomem_types::json::{hex_from_u64s, Json};
 use neomem_types::{CacheLine, Error, Result};
 
 /// Geometry of one cache level.
@@ -257,6 +258,50 @@ impl SetAssocCache {
     /// Number of currently valid lines (diagnostics).
     pub fn resident_lines(&self) -> usize {
         self.sets.iter().filter(|w| w.valid()).count()
+    }
+
+    /// Serialises the tag array (tags + packed metadata words), LRU tick
+    /// and counters for a machine snapshot.
+    pub fn snapshot(&self) -> Json {
+        let tags: Vec<u64> = self.sets.iter().map(|w| w.tag).collect();
+        let metas: Vec<u64> = self.sets.iter().map(|w| w.meta).collect();
+        Json::obj([
+            ("tags", Json::Str(hex_from_u64s(&tags))),
+            ("metas", Json::Str(hex_from_u64s(&metas))),
+            ("tick", Json::U64(self.tick)),
+            ("hits", Json::U64(self.stats.hits)),
+            ("misses", Json::U64(self.stats.misses)),
+            ("writebacks", Json::U64(self.stats.writebacks)),
+        ])
+    }
+
+    /// Restores [`SetAssocCache::snapshot`] state onto a cache with the
+    /// same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields or a tag
+    /// array sized for a different geometry.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let tags = snap.req_u64s("tags")?;
+        let metas = snap.req_u64s("metas")?;
+        if tags.len() != self.sets.len() || metas.len() != self.sets.len() {
+            return Err(Error::snapshot(format!(
+                "cache tag array has {} ways, expected {}",
+                tags.len(),
+                self.sets.len()
+            )));
+        }
+        self.tick = snap.req_u64("tick")?;
+        self.stats = CacheStats {
+            hits: snap.req_u64("hits")?,
+            misses: snap.req_u64("misses")?,
+            writebacks: snap.req_u64("writebacks")?,
+        };
+        for (way, (tag, meta)) in self.sets.iter_mut().zip(tags.into_iter().zip(metas)) {
+            *way = Way { tag, meta };
+        }
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 //! Page migration and PTE poisoning trigger TLB shootdowns, which the
 //! simulator charges time for.
 
+use neomem_types::json::{hex_from_u64s, Json};
 use neomem_types::{Error, Result, VirtPage};
 
 /// TLB geometry.
@@ -184,6 +185,65 @@ impl Tlb {
     /// Returns the geometry.
     pub fn config(&self) -> &TlbConfig {
         &self.config
+    }
+
+    /// Serialises the translation entries, LRU tick and counters for a
+    /// machine snapshot. Validity is packed as a bitmask word array.
+    pub fn snapshot(&self) -> Json {
+        let vpns: Vec<u64> = self.entries.iter().map(|e| e.vpn).collect();
+        let last_uses: Vec<u64> = self.entries.iter().map(|e| e.last_use).collect();
+        let mut valid = vec![0u64; self.entries.len().div_ceil(64)];
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.valid {
+                valid[i / 64] |= 1 << (i % 64);
+            }
+        }
+        Json::obj([
+            ("vpns", Json::Str(hex_from_u64s(&vpns))),
+            ("last_uses", Json::Str(hex_from_u64s(&last_uses))),
+            ("valid", Json::Str(hex_from_u64s(&valid))),
+            ("tick", Json::U64(self.tick)),
+            ("hits", Json::U64(self.stats.hits)),
+            ("misses", Json::U64(self.stats.misses)),
+            ("shootdowns", Json::U64(self.stats.shootdowns)),
+        ])
+    }
+
+    /// Restores [`Tlb::snapshot`] state onto a TLB with the same
+    /// geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields or arrays
+    /// sized for a different geometry.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let vpns = snap.req_u64s("vpns")?;
+        let last_uses = snap.req_u64s("last_uses")?;
+        let valid = snap.req_u64s("valid")?;
+        if vpns.len() != self.entries.len()
+            || last_uses.len() != self.entries.len()
+            || valid.len() != self.entries.len().div_ceil(64)
+        {
+            return Err(Error::snapshot(format!(
+                "tlb snapshot has {} entries, expected {}",
+                vpns.len(),
+                self.entries.len()
+            )));
+        }
+        self.tick = snap.req_u64("tick")?;
+        self.stats = TlbStats {
+            hits: snap.req_u64("hits")?,
+            misses: snap.req_u64("misses")?,
+            shootdowns: snap.req_u64("shootdowns")?,
+        };
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            *e = TlbEntry {
+                vpn: vpns[i],
+                valid: (valid[i / 64] >> (i % 64)) & 1 == 1,
+                last_use: last_uses[i],
+            };
+        }
+        Ok(())
     }
 }
 

@@ -136,12 +136,22 @@ impl Experiment {
     /// Panics only on internal invariant violations (the builder
     /// validates configurations).
     pub fn run(self) -> RunReport {
+        self.into_simulation().run()
+    }
+
+    /// Consumes the experiment into its configured [`Simulation`]
+    /// without running it — the entry point for snapshot/warm-start
+    /// flows ([`Simulation::snapshot_at`], [`Simulation::run_from`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal invariant violations (the builder
+    /// validates configurations).
+    pub fn into_simulation(self) -> Simulation {
         let workload = self.workload.build(self.config.rss_pages, self.seed);
         let policy = build_policy(self.policy, &self.config, self.time_scale, self.overrides)
             .expect("policy construction validated at build time");
-        Simulation::new(self.config, workload, policy)
-            .expect("config validated at build time")
-            .run()
+        Simulation::new(self.config, workload, policy).expect("config validated at build time")
     }
 }
 

@@ -1,0 +1,301 @@
+//! The snapshot contract: snapshot → restore → run is bit-identical to
+//! an uninterrupted run — for every policy, every workload kind, with
+//! cuts landing mid-phase and at co-run slice boundaries — and hostile
+//! snapshot input (corrupt, truncated, mismatched) produces errors,
+//! never panics.
+
+use neomem::prelude::*;
+use neomem::types::json::Json;
+
+const RSS_PAGES: u64 = 1024;
+const ACCESSES: u64 = 24_000;
+const SEED: u64 = 2024;
+
+const ALL_POLICIES: [PolicyKind; 11] = [
+    PolicyKind::NeoMem,
+    PolicyKind::NeoMemFixed(8),
+    PolicyKind::NeoMemContentionAware,
+    PolicyKind::Pebs,
+    PolicyKind::Memtis,
+    PolicyKind::PteScan,
+    PolicyKind::AutoNuma,
+    PolicyKind::Tpp,
+    PolicyKind::FirstTouch,
+    PolicyKind::PinnedFast,
+    PolicyKind::PinnedSlow,
+];
+
+fn experiment(kind: WorkloadKind, policy: PolicyKind) -> Experiment {
+    Experiment::builder()
+        .workload(kind)
+        .policy(policy)
+        .rss_pages(RSS_PAGES)
+        .accesses(ACCESSES)
+        .seed(SEED)
+        .build()
+        .expect("valid experiment")
+}
+
+/// Debug output covers every field of a report, with floats printed in
+/// shortest-round-trip form — equal strings means equal state.
+fn fingerprint(report: &RunReport) -> String {
+    format!("{report:?}")
+}
+
+/// Straight run vs. snapshot-at-`num/den`-of-runtime + resume.
+fn assert_single_round_trip(kind: WorkloadKind, policy: PolicyKind, num: u64, den: u64) {
+    let straight = experiment(kind, policy).into_simulation().run();
+    let cut = Nanos::new(straight.runtime.as_nanos() * num / den);
+    let snap = experiment(kind, policy).into_simulation().snapshot_at(cut);
+    let resumed = experiment(kind, policy)
+        .into_simulation()
+        .run_from(&snap)
+        .expect("restore from own snapshot");
+    assert_eq!(
+        fingerprint(&resumed),
+        fingerprint(&straight),
+        "{kind} / {policy:?}: resumed run diverged from straight run (cut at {num}/{den})"
+    );
+}
+
+#[test]
+fn every_policy_round_trips_bit_identically() {
+    for policy in ALL_POLICIES {
+        assert_single_round_trip(WorkloadKind::Gups, policy, 1, 2);
+    }
+}
+
+#[test]
+fn every_workload_kind_round_trips_bit_identically() {
+    let mut kinds = WorkloadKind::FIG11.to_vec();
+    kinds.push(WorkloadKind::Redis);
+    for kind in kinds {
+        for policy in [PolicyKind::FirstTouch, PolicyKind::NeoMem] {
+            assert_single_round_trip(kind, policy, 1, 2);
+        }
+    }
+}
+
+#[test]
+fn early_and_late_cuts_round_trip() {
+    for (num, den) in [(1, 10), (1, 4), (3, 4), (99, 100)] {
+        assert_single_round_trip(WorkloadKind::PageRank, PolicyKind::NeoMem, num, den);
+    }
+}
+
+#[test]
+fn snapshots_restore_across_batch_sizes() {
+    // Standing invariant (c): results are identical at any batch size —
+    // and so are snapshots. A snapshot cut from a batch-1 run must
+    // resume bit-identically on a batch-256 machine, and vice versa.
+    let with_batch = |batch: usize| {
+        Experiment::builder()
+            .workload(WorkloadKind::Silo)
+            .policy(PolicyKind::NeoMem)
+            .rss_pages(RSS_PAGES)
+            .accesses(ACCESSES)
+            .seed(SEED)
+            .batch_size(batch)
+            .build()
+            .expect("valid experiment")
+    };
+    let straight = with_batch(256).into_simulation().run();
+    let cut = Nanos::new(straight.runtime.as_nanos() / 2);
+    let snap_small = with_batch(1).into_simulation().snapshot_at(cut);
+    let resumed = with_batch(256)
+        .into_simulation()
+        .run_from(&snap_small)
+        .expect("snapshot must restore across batch sizes");
+    assert_eq!(fingerprint(&resumed), fingerprint(&straight));
+    let snap_large = with_batch(256).into_simulation().snapshot_at(cut);
+    assert_eq!(
+        snap_large.render_pretty(),
+        snap_small.render_pretty(),
+        "the snapshot itself must not depend on batch size"
+    );
+}
+
+fn tiny_mix() -> TenantMix {
+    TenantMix::builder()
+        .tenant(WorkloadKind::Gups, 512, SEED)
+        .weighted_tenant(WorkloadKind::Silo, 512, 2, SEED + 1)
+        .build()
+        .expect("valid mix")
+}
+
+fn corun_config() -> CoRunConfig {
+    let mut sim = SimConfig::quick(tiny_mix().total_rss_pages(), 2);
+    sim.max_accesses = ACCESSES;
+    CoRunConfig { sim, interleave_quantum: 64, fast_share_cap: None }
+}
+
+fn corun_policy(kind: PolicyKind, config: &CoRunConfig) -> Box<dyn neomem::policies::TieringPolicy> {
+    build_policy(kind, &config.sim, 1000, PolicyOverrides::default()).expect("valid policy")
+}
+
+fn corun_sim(kind: PolicyKind) -> CoRunSimulation {
+    let config = corun_config();
+    let policy = corun_policy(kind, &config);
+    CoRunSimulation::new(config, &tiny_mix(), policy).expect("valid co-run simulation")
+}
+
+#[test]
+fn corun_round_trips_at_slice_boundaries() {
+    // Co-run snapshots cut at the next slice boundary at or after the
+    // requested time; resuming must continue the exact slice schedule.
+    for policy in [PolicyKind::FirstTouch, PolicyKind::NeoMem] {
+        let straight = corun_sim(policy).run();
+        for (num, den) in [(1, 4), (1, 2), (3, 4)] {
+            let cut = Nanos::new(straight.combined.runtime.as_nanos() * num / den);
+            let snap = corun_sim(policy).snapshot_at(cut);
+            let resumed =
+                corun_sim(policy).run_from(&snap).expect("restore from own co-run snapshot");
+            assert_eq!(
+                format!("{resumed:?}"),
+                format!("{straight:?}"),
+                "{policy:?}: co-run resume diverged (cut at {num}/{den})"
+            );
+        }
+    }
+}
+
+fn phased_scenario() -> Scenario {
+    let mix = TenantMix::builder()
+        .tenant(WorkloadKind::Gups, 1024, SEED)
+        .tenant(WorkloadKind::Silo, 1024, SEED + 1)
+        .build()
+        .expect("valid mix");
+    Scenario::builder(mix)
+        .phased(
+            1,
+            vec![
+                PhaseSpec { kind: WorkloadKind::Gups, rss_pages: 1024, events: 3_000 },
+                PhaseSpec { kind: WorkloadKind::Silo, rss_pages: 512, events: 3_000 },
+            ],
+        )
+        .arrive(1, Nanos::from_micros(100))
+        .build()
+        .expect("valid scenario")
+}
+
+fn scenario_sim(kind: PolicyKind) -> CoRunSimulation {
+    let mut sim = SimConfig::quick(phased_scenario().mix().total_rss_pages(), 2);
+    sim.max_accesses = ACCESSES;
+    let config = CoRunConfig { sim, interleave_quantum: 64, fast_share_cap: None };
+    let policy = corun_policy(kind, &config);
+    CoRunSimulation::with_scenario(config, &phased_scenario(), policy)
+        .expect("valid scenario simulation")
+}
+
+#[test]
+fn scenario_with_phased_workload_round_trips_mid_phase() {
+    // Dynamic tenancy + a phased tenant, snapshotted at several points
+    // so cuts land inside phases, across phase flips, and around
+    // arrival events — including the contention-aware NeoMem variant,
+    // whose per-tenant aggressor state must survive the round trip.
+    for policy in [PolicyKind::NeoMem, PolicyKind::NeoMemContentionAware] {
+        let straight = scenario_sim(policy).run();
+        assert!(
+            straight.combined.markers.iter().any(|m| m.label == "phase-shift"),
+            "scenario must actually flip phases for this test to bite"
+        );
+        for (num, den) in [(1, 8), (1, 2), (7, 8)] {
+            let cut = Nanos::new(straight.combined.runtime.as_nanos() * num / den);
+            let snap = scenario_sim(policy).snapshot_at(cut);
+            let resumed =
+                scenario_sim(policy).run_from(&snap).expect("restore from scenario snapshot");
+            assert_eq!(
+                format!("{resumed:?}"),
+                format!("{straight:?}"),
+                "{policy:?}: scenario resume diverged (cut at {num}/{den})"
+            );
+        }
+    }
+}
+
+// ---- hostile input ------------------------------------------------
+
+fn valid_snapshot() -> Json {
+    let report = experiment(WorkloadKind::Gups, PolicyKind::NeoMem).into_simulation().run();
+    let cut = Nanos::new(report.runtime.as_nanos() / 2);
+    experiment(WorkloadKind::Gups, PolicyKind::NeoMem).into_simulation().snapshot_at(cut)
+}
+
+fn restore(snap: &Json) -> Result<RunReport, neomem::Error> {
+    experiment(WorkloadKind::Gups, PolicyKind::NeoMem).into_simulation().run_from(snap)
+}
+
+fn set_field(snap: &mut Json, key: &str, value: Json) {
+    let Json::Obj(fields) = snap else { panic!("snapshot must be an object") };
+    let slot = fields.iter_mut().find(|(k, _)| k == key).expect("field present");
+    slot.1 = value;
+}
+
+#[test]
+fn hostile_snapshots_error_instead_of_panicking() {
+    let snap = valid_snapshot();
+    restore(&snap).expect("the pristine snapshot must restore");
+
+    // Truncated file: the parser rejects it before restore is reached.
+    let text = snap.render_pretty();
+    assert!(Json::parse(&text[..text.len() / 2]).is_err(), "truncated JSON must not parse");
+
+    // Not an envelope at all.
+    assert!(restore(&Json::Null).is_err());
+    assert!(restore(&Json::obj([("hello", Json::U64(1))])).is_err());
+
+    // Version from the future.
+    let mut version = snap.clone();
+    set_field(&mut version, "version", Json::U64(999));
+    assert!(restore(&version).is_err(), "version mismatch must be rejected");
+
+    // Wrong schema marker.
+    let mut schema = snap.clone();
+    set_field(&mut schema, "schema", Json::Str("not-a-machine-snapshot".to_string()));
+    assert!(restore(&schema).is_err());
+
+    // A co-run snapshot offered to a single-tenant simulation.
+    let mut kind = snap.clone();
+    set_field(&mut kind, "kind", Json::Str("corun".to_string()));
+    assert!(restore(&kind).is_err());
+
+    // Fingerprint of a differently configured machine.
+    let mut fingerprint = snap.clone();
+    set_field(&mut fingerprint, "fingerprint", Json::U64(0xdead_beef));
+    assert!(restore(&fingerprint).is_err());
+
+    // Wrong workload / wrong policy.
+    let mut workload = snap.clone();
+    set_field(&mut workload, "workload", Json::Str("Silo".to_string()));
+    assert!(restore(&workload).is_err());
+    let mut policy = snap.clone();
+    set_field(&mut policy, "policy", Json::Str("PEBS".to_string()));
+    assert!(restore(&policy).is_err());
+
+    // Gutted state payloads.
+    let mut state = snap.clone();
+    set_field(&mut state, "state", Json::Null);
+    assert!(restore(&state).is_err());
+    let mut empty_state = snap.clone();
+    set_field(&mut empty_state, "state", Json::obj([] as [(&str, Json); 0]));
+    assert!(restore(&empty_state).is_err());
+}
+
+#[test]
+fn cross_config_snapshots_are_rejected() {
+    let snap = valid_snapshot();
+    // Same workload and policy, different machine shape.
+    let bigger = Experiment::builder()
+        .workload(WorkloadKind::Gups)
+        .policy(PolicyKind::NeoMem)
+        .rss_pages(RSS_PAGES * 2)
+        .accesses(ACCESSES)
+        .seed(SEED)
+        .build()
+        .expect("valid experiment");
+    let err = bigger.into_simulation().run_from(&snap).expect_err("shape mismatch must error");
+    assert!(
+        err.to_string().contains("fingerprint"),
+        "error should name the fingerprint mismatch, got: {err}"
+    );
+}

@@ -1,6 +1,7 @@
 //! The kernel facade: allocation, translation, promotion and demotion.
 
 use neomem_mem::{TieredMemory, TieredMemoryConfig};
+use neomem_types::json::Json;
 use neomem_types::{Bytes, Error, Nanos, PageNum, Result, Tier, VirtPage, PAGE_SIZE};
 
 use crate::lru2q::Lru2Q;
@@ -387,6 +388,65 @@ impl Kernel {
     /// Kernel event counters.
     pub fn stats(&self) -> KernelStats {
         self.stats
+    }
+
+    /// Serialises the kernel's full mutable state (memory, page table,
+    /// LRU, counters) for a machine snapshot. The rmap is not stored —
+    /// it is the inverse of the page table and is rebuilt on restore.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("memory", self.memory.snapshot()),
+            ("page_table", self.page_table.snapshot()),
+            ("lru", self.lru.snapshot()),
+            ("promotions", Json::U64(self.stats.promotions)),
+            ("demotions", Json::U64(self.stats.demotions)),
+            ("ping_pongs", Json::U64(self.stats.ping_pongs)),
+            ("promoted_bytes", Json::U64(self.stats.promoted_bytes.as_u64())),
+            ("demoted_bytes", Json::U64(self.stats.demoted_bytes.as_u64())),
+            ("failed_promotions", Json::U64(self.stats.failed_promotions)),
+            ("minor_faults", Json::U64(self.stats.minor_faults)),
+            ("hint_faults", Json::U64(self.stats.hint_faults)),
+            ("migration_time", Json::U64(self.stats.migration_time.as_nanos())),
+            ("arbitrary_cursor", Json::U64(self.arbitrary_cursor)),
+        ])
+    }
+
+    /// Restores [`Kernel::snapshot`] state onto a kernel built with the
+    /// same configuration, rebuilding the rmap from the page table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, component
+    /// state sized for a different configuration, a mapped frame outside
+    /// the physical frame space, or two pages mapped to one frame.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        self.memory.restore(snap.req("memory")?)?;
+        self.page_table.restore(snap.req("page_table")?)?;
+        self.lru.restore(snap.req("lru")?)?;
+        self.stats = KernelStats {
+            promotions: snap.req_u64("promotions")?,
+            demotions: snap.req_u64("demotions")?,
+            ping_pongs: snap.req_u64("ping_pongs")?,
+            promoted_bytes: Bytes::new(snap.req_u64("promoted_bytes")?),
+            demoted_bytes: Bytes::new(snap.req_u64("demoted_bytes")?),
+            failed_promotions: snap.req_u64("failed_promotions")?,
+            minor_faults: snap.req_u64("minor_faults")?,
+            hint_faults: snap.req_u64("hint_faults")?,
+            migration_time: Nanos::new(snap.req_u64("migration_time")?),
+        };
+        self.arbitrary_cursor = snap.req_u64("arbitrary_cursor")?;
+        self.rmap.fill(None);
+        for (vpage, pte) in self.page_table.iter() {
+            let idx = pte.frame.index() as usize;
+            let slot = self.rmap.get_mut(idx).ok_or_else(|| {
+                Error::snapshot(format!("pte frame {} outside physical frame space", pte.frame))
+            })?;
+            if slot.is_some() {
+                return Err(Error::snapshot(format!("frame {} backs two virtual pages", pte.frame)));
+            }
+            *slot = Some(vpage);
+        }
+        Ok(())
     }
 }
 

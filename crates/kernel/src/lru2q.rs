@@ -8,7 +8,8 @@
 
 use std::collections::VecDeque;
 
-use neomem_types::VirtPage;
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Error, Result, VirtPage};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Queue {
@@ -166,6 +167,72 @@ impl Lru2Q {
         };
         self.a1in.retain(|&(seq, page)| live(seq, page, Queue::A1in));
         self.am.retain(|&(seq, page)| live(seq, page, Queue::Am));
+    }
+
+    fn live_tickets(&self, queue: &VecDeque<(u64, u64)>, which: Queue) -> Vec<u64> {
+        // Interleaved (seq, page) pairs of live tickets only — expired
+        // lazy-deletion tickets carry no information worth persisting.
+        let mut out = Vec::new();
+        for &(seq, page) in queue {
+            let live = self
+                .entries
+                .get(page as usize)
+                .and_then(Option::as_ref)
+                .is_some_and(|e| e.seq == seq && e.queue == which);
+            if live {
+                out.push(seq);
+                out.push(page);
+            }
+        }
+        out
+    }
+
+    /// Serialises the live queue tickets for a machine snapshot. Expired
+    /// tickets are dropped (equivalent to a [`Lru2Q::compact`]), which
+    /// does not change observable behaviour.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("a1in", Json::Str(hex_from_u64s(&self.live_tickets(&self.a1in, Queue::A1in)))),
+            ("am", Json::Str(hex_from_u64s(&self.live_tickets(&self.am, Queue::Am)))),
+            ("next_seq", Json::U64(self.next_seq)),
+        ])
+    }
+
+    /// Restores [`Lru2Q::snapshot`] state, replacing the current
+    /// contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, odd-length
+    /// ticket arrays, a page appearing twice, or a ticket at or beyond
+    /// `next_seq`.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let next_seq = snap.req_u64("next_seq")?;
+        let mut staged = Self { next_seq, ..Self::default() };
+        for (key, queue) in [("a1in", Queue::A1in), ("am", Queue::Am)] {
+            let tickets = snap.req_u64s(key)?;
+            if tickets.len() % 2 != 0 {
+                return Err(Error::snapshot(format!("odd-length {key} ticket array")));
+            }
+            for pair in tickets.chunks_exact(2) {
+                let (seq, page) = (pair[0], pair[1]);
+                if seq >= next_seq {
+                    return Err(Error::snapshot(format!(
+                        "{key} ticket sequence {seq} is not below next_seq {next_seq}"
+                    )));
+                }
+                if staged.contains(VirtPage::new(page)) {
+                    return Err(Error::snapshot(format!("page {page} has two live lru tickets")));
+                }
+                staged.set(page, Entry { queue, seq });
+                match queue {
+                    Queue::A1in => staged.a1in.push_back((seq, page)),
+                    Queue::Am => staged.am.push_back((seq, page)),
+                }
+            }
+        }
+        *self = staged;
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! The simulated page table.
 
+use neomem_types::json::{hex_from_u64s, Json};
 use neomem_types::{Error, PageNum, Result, VirtPage};
 
 /// One page-table entry.
@@ -158,6 +159,69 @@ impl PageTable {
             }
         }
         cleared
+    }
+
+    /// Serialises the table for a machine snapshot: a mapped bitmask plus
+    /// parallel frame and flag arrays (bit 0 accessed, bit 1 poisoned,
+    /// bit 2 demoted).
+    pub fn snapshot(&self) -> Json {
+        let n = self.entries.len();
+        let mut mapped = vec![0u64; n.div_ceil(64)];
+        let mut frames = vec![0u64; n];
+        let mut flags = vec![0u64; n];
+        for (i, e) in self.entries.iter().enumerate() {
+            if let Some(pte) = e {
+                mapped[i / 64] |= 1 << (i % 64);
+                frames[i] = pte.frame.index();
+                flags[i] = u64::from(pte.accessed)
+                    | u64::from(pte.poisoned) << 1
+                    | u64::from(pte.demoted) << 2;
+            }
+        }
+        Json::obj([
+            ("mapped", Json::Str(hex_from_u64s(&mapped))),
+            ("frames", Json::Str(hex_from_u64s(&frames))),
+            ("flags", Json::Str(hex_from_u64s(&flags))),
+        ])
+    }
+
+    /// Restores [`PageTable::snapshot`] state onto a table with the same
+    /// span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, arrays
+    /// sized for a different span, or out-of-range flag bits.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let n = self.entries.len();
+        let mapped = snap.req_u64s("mapped")?;
+        let frames = snap.req_u64s("frames")?;
+        let flags = snap.req_u64s("flags")?;
+        if mapped.len() != n.div_ceil(64) || frames.len() != n || flags.len() != n {
+            return Err(Error::snapshot(format!(
+                "page table snapshot covers {} pages, expected {n}",
+                frames.len()
+            )));
+        }
+        let mut count = 0;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if (mapped[i / 64] >> (i % 64)) & 1 == 1 {
+                if flags[i] > 0b111 {
+                    return Err(Error::snapshot(format!("unknown pte flag bits {:#x}", flags[i])));
+                }
+                *e = Some(Pte {
+                    frame: PageNum::new(frames[i]),
+                    accessed: flags[i] & 1 != 0,
+                    poisoned: flags[i] & 2 != 0,
+                    demoted: flags[i] & 4 != 0,
+                });
+                count += 1;
+            } else {
+                *e = None;
+            }
+        }
+        self.mapped = count;
+        Ok(())
     }
 }
 

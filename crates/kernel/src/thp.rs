@@ -8,7 +8,8 @@
 
 use std::collections::HashMap;
 
-use neomem_types::VirtPage;
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Error, Result, VirtPage};
 
 /// Base pages per 2 MiB huge page.
 pub const PAGES_PER_HUGE: u64 = 512;
@@ -70,6 +71,38 @@ impl HugePageMap {
     pub fn region_pages(base: VirtPage) -> impl Iterator<Item = VirtPage> {
         let start = huge_base(base).index();
         (start..start + PAGES_PER_HUGE).map(VirtPage::new)
+    }
+
+    /// Serialises the vote table for a machine snapshot, as interleaved
+    /// `(region_base, votes)` pairs sorted by base so the rendering is
+    /// independent of hash-map iteration order.
+    pub fn snapshot(&self) -> Json {
+        let mut pairs: Vec<(u64, u32)> = self.votes.iter().map(|(&b, &v)| (b, v)).collect();
+        pairs.sort_unstable();
+        let flat: Vec<u64> = pairs.iter().flat_map(|&(b, v)| [b, u64::from(v)]).collect();
+        Json::obj([("votes", Json::Str(hex_from_u64s(&flat)))])
+    }
+
+    /// Restores [`HugePageMap::snapshot`] state. The vote threshold is
+    /// construction config and is kept as-is.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, an
+    /// odd-length pair array, or a vote count exceeding `u32`.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let flat = snap.req_u64s("votes")?;
+        if flat.len() % 2 != 0 {
+            return Err(Error::snapshot("odd-length huge-page vote array"));
+        }
+        let mut votes = HashMap::with_capacity(flat.len() / 2);
+        for pair in flat.chunks_exact(2) {
+            let count = u32::try_from(pair[1])
+                .map_err(|_| Error::snapshot(format!("vote count {} exceeds u32", pair[1])))?;
+            votes.insert(pair[0], count);
+        }
+        self.votes = votes;
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! Per-node physical frame allocation.
 
+use neomem_types::json::{hex_from_u64s, Json};
 use neomem_types::{Error, NodeId, PageNum, Result};
 
 /// A free-list frame allocator over a contiguous frame range.
@@ -89,6 +90,51 @@ impl FrameAllocator {
     pub fn free(&mut self, frame: PageNum) {
         debug_assert!(self.owns(frame), "freeing foreign frame {frame}");
         self.free_list.push(frame);
+    }
+
+    /// Serialises the allocator's mutable state (fresh-frame cursor and
+    /// free list, in recycling order) for a machine snapshot.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("next_fresh", Json::U64(self.next_fresh)),
+            (
+                "free_list",
+                Json::Str(hex_from_u64s(
+                    &self.free_list.iter().map(|f| f.index()).collect::<Vec<u64>>(),
+                )),
+            ),
+        ])
+    }
+
+    /// Restores [`FrameAllocator::snapshot`] state onto an allocator with
+    /// the same window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] when the cursor exceeds the capacity
+    /// or a free-list frame is outside this allocator's window.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let next_fresh = snap.req_u64("next_fresh")?;
+        if next_fresh > self.capacity {
+            return Err(Error::snapshot(format!(
+                "allocator cursor {next_fresh} exceeds capacity {}",
+                self.capacity
+            )));
+        }
+        let mut free_list = Vec::new();
+        for raw in snap.req_u64s("free_list")? {
+            let frame = PageNum::new(raw);
+            if !self.owns(frame) || raw >= self.base.index() + next_fresh {
+                return Err(Error::snapshot(format!(
+                    "free frame {raw} is outside the allocated window of {}",
+                    self.node
+                )));
+            }
+            free_list.push(frame);
+        }
+        self.next_fresh = next_fresh;
+        self.free_list = free_list;
+        Ok(())
     }
 }
 

@@ -6,7 +6,8 @@
 //! (§V-A). We meter busy *nanoseconds* instead of cycles — the ratio is
 //! identical.
 
-use neomem_types::{AccessKind, Nanos};
+use neomem_types::json::Json;
+use neomem_types::{AccessKind, Nanos, Result};
 
 /// One completed metering window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -99,6 +100,28 @@ impl BandwidthMeter {
             write_busy: self.write_busy,
             window: now.saturating_sub(self.window_start),
         }
+    }
+
+    /// Serialises the in-progress window for a machine snapshot.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("read_busy", Json::U64(self.read_busy.as_nanos())),
+            ("write_busy", Json::U64(self.write_busy.as_nanos())),
+            ("window_start", Json::U64(self.window_start.as_nanos())),
+        ])
+    }
+
+    /// Restores [`BandwidthMeter::snapshot`] state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`neomem_types::Error::Snapshot`] on missing/malformed
+    /// fields.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        self.read_busy = Nanos::new(snap.req_u64("read_busy")?);
+        self.write_busy = Nanos::new(snap.req_u64("write_busy")?);
+        self.window_start = Nanos::new(snap.req_u64("window_start")?);
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! A single memory node: latency + bandwidth queueing model.
 
+use neomem_types::json::Json;
 use neomem_types::{AccessKind, Bandwidth, Error, Nanos, NodeId, Result, Tier, LINE_SIZE};
 
 use crate::meter::BandwidthMeter;
@@ -176,6 +177,38 @@ impl MemoryNode {
     /// Channel occupancy of a single line transfer.
     pub fn line_occupancy(&self) -> Nanos {
         self.line_occupancy
+    }
+
+    /// Serialises the node's mutable state (channel busy horizon, meter
+    /// window, counters) for a machine snapshot. The configuration and
+    /// derived line occupancy are not included — a snapshot is restored
+    /// onto a node built with the same config.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("busy_until", Json::U64(self.busy_until.as_nanos())),
+            ("meter", self.meter.snapshot()),
+            ("reads", Json::U64(self.stats.reads)),
+            ("writes", Json::U64(self.stats.writes)),
+            ("queueing", Json::U64(self.stats.queueing.as_nanos())),
+        ])
+    }
+
+    /// Restores [`MemoryNode::snapshot`] state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let busy_until = Nanos::new(snap.req_u64("busy_until")?);
+        let stats = NodeStats {
+            reads: snap.req_u64("reads")?,
+            writes: snap.req_u64("writes")?,
+            queueing: Nanos::new(snap.req_u64("queueing")?),
+        };
+        self.meter.restore(snap.req("meter")?)?;
+        self.busy_until = busy_until;
+        self.stats = stats;
+        Ok(())
     }
 }
 

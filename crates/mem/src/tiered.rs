@@ -1,5 +1,6 @@
 //! The two-node tiered memory system.
 
+use neomem_types::json::Json;
 use neomem_types::{AccessKind, Nanos, NodeId, PageNum, Result, Tier};
 
 use crate::allocator::FrameAllocator;
@@ -154,6 +155,31 @@ impl TieredMemory {
     pub fn free(&mut self, frame: PageNum) {
         let tier = self.tier_of(frame);
         self.allocator_mut(tier).free(frame);
+    }
+
+    /// Serialises both nodes and both allocators for a machine snapshot.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("fast", self.fast.snapshot()),
+            ("slow", self.slow.snapshot()),
+            ("fast_alloc", self.fast_alloc.snapshot()),
+            ("slow_alloc", self.slow_alloc.snapshot()),
+        ])
+    }
+
+    /// Restores [`TieredMemory::snapshot`] state onto a memory built with
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`neomem_types::Error::Snapshot`] on missing/malformed
+    /// fields or allocator state inconsistent with the node windows.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        self.fast.restore(snap.req("fast")?)?;
+        self.slow.restore(snap.req("slow")?)?;
+        self.fast_alloc.restore(snap.req("fast_alloc")?)?;
+        self.slow_alloc.restore(snap.req("slow_alloc")?)?;
+        Ok(())
     }
 }
 

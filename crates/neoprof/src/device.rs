@@ -1,6 +1,7 @@
 //! The assembled NeoProf device.
 
 use neomem_sketch::{CounterHistogram, HotPageDetector, SketchParams, HISTOGRAM_BINS};
+use neomem_types::json::Json;
 use neomem_types::{DevicePage, Error, MemRequest, Nanos, PageNum, Result};
 
 use crate::fifo::AsyncFifo;
@@ -202,6 +203,74 @@ impl NeoProf {
         let mut s = self.stats;
         s.fifo_dropped = self.fifo.dropped();
         s
+    }
+
+    /// Serialises the full device state for a machine snapshot. The
+    /// construction config (sketch parameters, FIFO depth, drain rate,
+    /// device base) is not stored — snapshots are restored onto a device
+    /// built with the same config.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("page_monitor", self.page_monitor.snapshot()),
+            ("state_monitor", self.state_monitor.snapshot()),
+            ("fifo", self.fifo.snapshot_with(|p| p.index())),
+            ("detector", self.detector.snapshot()),
+            ("hist", self.hist.as_ref().map_or(Json::Null, CounterHistogram::snapshot)),
+            ("hist_read_idx", Json::U64(self.hist_read_idx as u64)),
+            (
+                "latched",
+                Json::obj([
+                    ("sampled_cycles", Json::U64(self.latched_state.sampled_cycles)),
+                    ("read_cycles", Json::U64(self.latched_state.read_cycles)),
+                    ("write_cycles", Json::U64(self.latched_state.write_cycles)),
+                ]),
+            ),
+            ("snooped", Json::U64(self.stats.snooped)),
+            ("hot_reported", Json::U64(self.stats.hot_reported)),
+            ("mmio_ops", Json::U64(self.stats.mmio_ops)),
+        ])
+    }
+
+    /// Restores [`NeoProf::snapshot`] state onto a same-config device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields or state
+    /// sized for a differently-configured device.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let hist_read_idx = snap.req_u64("hist_read_idx")? as usize;
+        if hist_read_idx > HISTOGRAM_BINS {
+            return Err(Error::snapshot(format!(
+                "histogram read index {hist_read_idx} exceeds {HISTOGRAM_BINS} bins"
+            )));
+        }
+        let hist = match snap.req("hist")? {
+            Json::Null => None,
+            state => {
+                let mut h = CounterHistogram::new();
+                h.restore(state)?;
+                Some(h)
+            }
+        };
+        self.page_monitor.restore(snap.req("page_monitor")?)?;
+        self.state_monitor.restore(snap.req("state_monitor")?)?;
+        self.fifo.restore_with(snap.req("fifo")?, DevicePage::new)?;
+        self.detector.restore(snap.req("detector")?)?;
+        self.hist = hist;
+        self.hist_read_idx = hist_read_idx;
+        let latched = snap.req("latched")?;
+        self.latched_state = StateSnapshot {
+            sampled_cycles: latched.req_u64("sampled_cycles")?,
+            read_cycles: latched.req_u64("read_cycles")?,
+            write_cycles: latched.req_u64("write_cycles")?,
+        };
+        self.stats = NeoProfStats {
+            snooped: snap.req_u64("snooped")?,
+            fifo_dropped: self.fifo.dropped(),
+            hot_reported: snap.req_u64("hot_reported")?,
+            mmio_ops: snap.req_u64("mmio_ops")?,
+        };
+        Ok(())
     }
 }
 

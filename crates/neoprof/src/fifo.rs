@@ -9,6 +9,9 @@
 
 use std::collections::VecDeque;
 
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Error, Result};
+
 /// A bounded FIFO that drops (and counts) pushes while full.
 #[derive(Debug, Clone)]
 pub struct AsyncFifo<T> {
@@ -80,6 +83,43 @@ impl<T> AsyncFifo<T> {
         self.queue.clear();
         self.pushed = 0;
         self.dropped = 0;
+    }
+
+    /// Serialises the FIFO for a machine snapshot; `to_u64` maps each
+    /// queued element to its wire representation. The capacity is
+    /// construction config and is not stored.
+    pub fn snapshot_with(&self, to_u64: impl Fn(&T) -> u64) -> Json {
+        let raw: Vec<u64> = self.queue.iter().map(to_u64).collect();
+        Json::obj([
+            ("queue", Json::Str(hex_from_u64s(&raw))),
+            ("pushed", Json::U64(self.pushed)),
+            ("dropped", Json::U64(self.dropped)),
+        ])
+    }
+
+    /// Restores [`AsyncFifo::snapshot_with`] state; `from_u64` rebuilds
+    /// each element from its wire representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields or a queue
+    /// longer than this FIFO's capacity.
+    pub fn restore_with(&mut self, snap: &Json, from_u64: impl Fn(u64) -> T) -> Result<()> {
+        let raw = snap.req_u64s("queue")?;
+        if raw.len() > self.capacity {
+            return Err(Error::snapshot(format!(
+                "fifo snapshot holds {} entries, capacity is {}",
+                raw.len(),
+                self.capacity
+            )));
+        }
+        let pushed = snap.req_u64("pushed")?;
+        let dropped = snap.req_u64("dropped")?;
+        self.queue.clear();
+        self.queue.extend(raw.into_iter().map(from_u64));
+        self.pushed = pushed;
+        self.dropped = dropped;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! The high-frequency page and state monitors (Fig. 6).
 
-use neomem_types::{AccessKind, DevicePage, MemRequest, Nanos, PageNum};
+use neomem_types::json::Json;
+use neomem_types::{AccessKind, DevicePage, MemRequest, Nanos, PageNum, Result};
 
 use crate::cycles_of;
 
@@ -49,6 +50,24 @@ impl PageMonitor {
     pub fn reset(&mut self) {
         self.observed = 0;
         self.foreign = 0;
+    }
+
+    /// Serialises the counters for a machine snapshot. The device base is
+    /// construction config and is not stored.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([("observed", Json::U64(self.observed)), ("foreign", Json::U64(self.foreign))])
+    }
+
+    /// Restores [`PageMonitor::snapshot`] state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`neomem_types::Error::Snapshot`] on missing/malformed
+    /// fields.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        self.observed = snap.req_u64("observed")?;
+        self.foreign = snap.req_u64("foreign")?;
+        Ok(())
     }
 }
 
@@ -131,6 +150,28 @@ impl StateMonitor {
         self.read_cycles = 0;
         self.write_cycles = 0;
         self.window_start = now;
+    }
+
+    /// Serialises the in-progress window for a machine snapshot.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("read_cycles", Json::U64(self.read_cycles)),
+            ("write_cycles", Json::U64(self.write_cycles)),
+            ("window_start", Json::U64(self.window_start.as_nanos())),
+        ])
+    }
+
+    /// Restores [`StateMonitor::snapshot`] state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`neomem_types::Error::Snapshot`] on missing/malformed
+    /// fields.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        self.read_cycles = snap.req_u64("read_cycles")?;
+        self.write_cycles = snap.req_u64("write_cycles")?;
+        self.window_start = Nanos::new(snap.req_u64("window_start")?);
+        Ok(())
     }
 }
 

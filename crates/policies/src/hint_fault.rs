@@ -9,7 +9,8 @@
 
 use neomem_kernel::Kernel;
 use neomem_profilers::{AccessEvent, HintFaultConfig, HintFaultSampler};
-use neomem_types::{Bandwidth, Bytes, Nanos, VirtPage, PAGE_SIZE};
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Bandwidth, Bytes, Nanos, Result, VirtPage, PAGE_SIZE};
 
 use crate::quota::QuotaMeter;
 use crate::{ensure_fast_headroom, PolicyTelemetry, TieringPolicy};
@@ -227,6 +228,35 @@ impl TieringPolicy for HintFaultPolicy {
             promoted_huge_bytes: neomem_types::Bytes::new(self.promoted_huge_bytes),
             ..Default::default()
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        let pending: Vec<u64> = self.pending_shootdowns.iter().map(|p| p.index()).collect();
+        Json::obj([
+            ("sampler", self.sampler.snapshot()),
+            ("quota", self.quota.snapshot()),
+            ("started", Json::Bool(self.started)),
+            ("next_scan", Json::U64(self.next_scan.as_nanos())),
+            ("next_clear", Json::U64(self.next_clear.as_nanos())),
+            ("pending_shootdowns", Json::Str(hex_from_u64s(&pending))),
+            ("overhead", Json::U64(self.overhead.as_nanos())),
+            ("huge_map", self.huge_map.snapshot()),
+            ("promoted_huge_bytes", Json::U64(self.promoted_huge_bytes)),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        self.sampler.restore(state.req("sampler")?)?;
+        self.quota.restore(state.req("quota")?)?;
+        self.huge_map.restore(state.req("huge_map")?)?;
+        self.pending_shootdowns =
+            state.req_u64s("pending_shootdowns")?.into_iter().map(VirtPage::new).collect();
+        self.started = state.req_bool("started")?;
+        self.next_scan = Nanos::new(state.req_u64("next_scan")?);
+        self.next_clear = Nanos::new(state.req_u64("next_clear")?);
+        self.overhead = Nanos::new(state.req_u64("overhead")?);
+        self.promoted_huge_bytes = state.req_u64("promoted_huge_bytes")?;
+        Ok(())
     }
 }
 

@@ -42,7 +42,8 @@ pub use tenancy::TenantLayout;
 
 use neomem_kernel::Kernel;
 use neomem_profilers::AccessEvent;
-use neomem_types::{Nanos, Tier, VirtPage};
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Error, Nanos, Result, Tier, VirtPage};
 
 /// Telemetry a policy can expose for timeline figures (Fig. 14).
 #[derive(Debug, Clone, Default)]
@@ -65,6 +66,80 @@ pub struct PolicyTelemetry {
     pub profiling_overhead: Nanos,
     /// Bytes promoted through whole-huge-page migrations (Table VI).
     pub promoted_huge_bytes: neomem_types::Bytes,
+}
+
+impl PolicyTelemetry {
+    /// Serialises the telemetry block for a machine snapshot. Floats
+    /// travel as IEEE-754 bit patterns so restore is bit-exact.
+    /// `profiling_overhead` and `promoted_huge_bytes` are derived from
+    /// live policy counters by [`TieringPolicy::telemetry`] and are
+    /// therefore not serialised.
+    pub fn snapshot(&self) -> Json {
+        fn opt(v: Option<u64>) -> Json {
+            v.map_or(Json::Null, Json::U64)
+        }
+        Json::obj([
+            ("threshold", opt(self.threshold.map(u64::from))),
+            ("p_fraction", opt(self.p_fraction.map(f64::to_bits))),
+            ("bandwidth_util", opt(self.bandwidth_util.map(f64::to_bits))),
+            ("read_util", opt(self.read_util.map(f64::to_bits))),
+            ("write_util", opt(self.write_util.map(f64::to_bits))),
+            ("error_bound", opt(self.error_bound.map(u64::from))),
+            (
+                "histogram",
+                self.histogram.as_ref().map_or(Json::Null, |h| Json::Str(hex_from_u64s(h))),
+            ),
+        ])
+    }
+
+    /// Rebuilds [`PolicyTelemetry::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields or a
+    /// histogram that is not exactly 64 bins.
+    pub fn from_snapshot(snap: &Json) -> Result<Self> {
+        fn opt_u64(snap: &Json, key: &str) -> Result<Option<u64>> {
+            match snap.req(key)? {
+                Json::Null => Ok(None),
+                other => other.as_u64().map(Some).ok_or_else(|| {
+                    Error::snapshot(format!(
+                        "field '{key}': expected unsigned integer or null, found {}",
+                        other.type_name()
+                    ))
+                }),
+            }
+        }
+        fn opt_u16(snap: &Json, key: &str) -> Result<Option<u16>> {
+            opt_u64(snap, key)?
+                .map(|v| {
+                    u16::try_from(v)
+                        .map_err(|_| Error::snapshot(format!("field '{key}': {v} exceeds u16")))
+                })
+                .transpose()
+        }
+        let histogram = match snap.req("histogram")? {
+            Json::Null => None,
+            _ => {
+                let bins = snap.req_u64s("histogram")?;
+                let arr: [u64; 64] = bins.as_slice().try_into().map_err(|_| {
+                    Error::snapshot(format!("histogram has {} bins, expected 64", bins.len()))
+                })?;
+                Some(arr)
+            }
+        };
+        Ok(Self {
+            threshold: opt_u16(snap, "threshold")?,
+            p_fraction: opt_u64(snap, "p_fraction")?.map(f64::from_bits),
+            bandwidth_util: opt_u64(snap, "bandwidth_util")?.map(f64::from_bits),
+            read_util: opt_u64(snap, "read_util")?.map(f64::from_bits),
+            write_util: opt_u64(snap, "write_util")?.map(f64::from_bits),
+            error_bound: opt_u16(snap, "error_bound")?,
+            histogram,
+            profiling_overhead: Nanos::ZERO,
+            promoted_huge_bytes: neomem_types::Bytes::ZERO,
+        })
+    }
 }
 
 /// A complete tiering solution.
@@ -140,6 +215,33 @@ pub trait TieringPolicy {
     /// it, keeping every existing policy bit-identical.
     fn note_cross_tenant_evictions(&mut self, aggressor: usize, pages: u64) {
         let _ = (aggressor, pages);
+    }
+
+    /// Serialises the policy's mutable state for a machine snapshot.
+    /// Stateless policies keep the default, [`Json::Null`]. Stateful
+    /// policies must serialise *everything* that influences future
+    /// decisions — snapshot→restore→run must be bit-identical to an
+    /// uninterrupted run.
+    fn snapshot_state(&self) -> Json {
+        Json::Null
+    }
+
+    /// Restores [`TieringPolicy::snapshot_state`] output onto a policy
+    /// built with the same configuration. The default accepts only
+    /// [`Json::Null`]: restoring a stateful snapshot onto a stateless
+    /// policy is a configuration mismatch, not data to ignore.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on state the policy cannot absorb.
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        match state {
+            Json::Null => Ok(()),
+            _ => Err(Error::snapshot(format!(
+                "policy {} carries no restorable state, but the snapshot has some",
+                self.name()
+            ))),
+        }
     }
 }
 

@@ -4,7 +4,8 @@ use neomem_kernel::Kernel;
 use neomem_neoprof::NeoProfConfig;
 use neomem_profilers::{AccessEvent, NeoProfDriver, NeoProfDriverConfig};
 use neomem_sketch::error_bound;
-use neomem_types::{Bandwidth, Bytes, MemRequest, Nanos, Result, Tier};
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Bandwidth, Bytes, Error, MemRequest, Nanos, Result, Tier};
 
 use crate::quota::QuotaMeter;
 use crate::tenancy::TenantLayout;
@@ -529,6 +530,93 @@ impl TieringPolicy for NeoMemPolicy {
                 *a = 0;
             }
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        let tenancy = match &self.tenancy {
+            None => Json::Null,
+            Some(state) => Json::obj([
+                ("fast_counts", Json::Str(hex_from_u64s(&state.fast_counts))),
+                ("aggression", Json::Str(hex_from_u64s(&state.aggression))),
+                ("throttle_counters", Json::Str(hex_from_u64s(&state.throttle_counters))),
+            ]),
+        };
+        Json::obj([
+            ("driver", self.driver.snapshot()),
+            ("quota", self.quota.snapshot()),
+            ("p", Json::U64(self.p.to_bits())),
+            ("theta", Json::U64(u64::from(self.theta))),
+            ("started", Json::Bool(self.started)),
+            ("next_migrate", Json::U64(self.next_migrate.as_nanos())),
+            ("next_thr", Json::U64(self.next_thr.as_nanos())),
+            ("next_clear", Json::U64(self.next_clear.as_nanos())),
+            ("last_promotions", Json::U64(self.last_promotions)),
+            ("last_ping_pongs", Json::U64(self.last_ping_pongs)),
+            ("last_promoted_bytes", Json::U64(self.last_promoted_bytes)),
+            ("telemetry", self.telemetry.snapshot()),
+            ("huge_map", self.huge_map.snapshot()),
+            ("promoted_huge_bytes", Json::U64(self.promoted_huge_bytes)),
+            ("tenancy", tenancy),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        let theta_raw = state.req_u64("theta")?;
+        let theta = u16::try_from(theta_raw)
+            .map_err(|_| Error::snapshot(format!("threshold {theta_raw} exceeds u16")))?;
+        let telemetry = PolicyTelemetry::from_snapshot(state.req("telemetry")?)?;
+        // Tenant layout is configuration, re-established by
+        // `configure_tenants` before restore — the snapshot carries only
+        // the mutable per-tenant counters, which must agree with it.
+        match (&mut self.tenancy, state.req("tenancy")?) {
+            (None, Json::Null) => {}
+            (None, _) => {
+                return Err(Error::snapshot(
+                    "snapshot carries tenant state but the policy has no tenant layout",
+                ));
+            }
+            (Some(_), Json::Null) => {
+                return Err(Error::snapshot(
+                    "policy has a tenant layout but the snapshot carries no tenant state",
+                ));
+            }
+            (Some(tstate), tsnap) => {
+                let n = tstate.layout.tenant_count();
+                let fast_counts = tsnap.req_u64s("fast_counts")?;
+                let aggression = tsnap.req_u64s("aggression")?;
+                let throttle_counters = tsnap.req_u64s("throttle_counters")?;
+                for (what, arr) in [
+                    ("fast_counts", &fast_counts),
+                    ("aggression", &aggression),
+                    ("throttle_counters", &throttle_counters),
+                ] {
+                    if arr.len() != n {
+                        return Err(Error::snapshot(format!(
+                            "tenant {what} array has {} entries, layout has {n} tenants",
+                            arr.len()
+                        )));
+                    }
+                }
+                tstate.fast_counts = fast_counts;
+                tstate.aggression = aggression;
+                tstate.throttle_counters = throttle_counters;
+            }
+        }
+        self.driver.restore(state.req("driver")?)?;
+        self.quota.restore(state.req("quota")?)?;
+        self.huge_map.restore(state.req("huge_map")?)?;
+        self.p = f64::from_bits(state.req_u64("p")?);
+        self.theta = theta;
+        self.started = state.req_bool("started")?;
+        self.next_migrate = Nanos::new(state.req_u64("next_migrate")?);
+        self.next_thr = Nanos::new(state.req_u64("next_thr")?);
+        self.next_clear = Nanos::new(state.req_u64("next_clear")?);
+        self.last_promotions = state.req_u64("last_promotions")?;
+        self.last_ping_pongs = state.req_u64("last_ping_pongs")?;
+        self.last_promoted_bytes = state.req_u64("last_promoted_bytes")?;
+        self.telemetry = telemetry;
+        self.promoted_huge_bytes = state.req_u64("promoted_huge_bytes")?;
+        Ok(())
     }
 
     fn note_cross_tenant_evictions(&mut self, aggressor: usize, pages: u64) {

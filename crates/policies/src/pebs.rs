@@ -2,7 +2,8 @@
 
 use neomem_kernel::Kernel;
 use neomem_profilers::{AccessEvent, PebsConfig, PebsSampler};
-use neomem_types::{Bandwidth, Bytes, Nanos, VirtPage, PAGE_SIZE};
+use neomem_types::json::Json;
+use neomem_types::{Bandwidth, Bytes, Nanos, Result, VirtPage, PAGE_SIZE};
 
 use crate::quota::QuotaMeter;
 use crate::{ensure_fast_headroom, PolicyTelemetry, TieringPolicy};
@@ -144,6 +145,27 @@ impl TieringPolicy for PebsPolicy {
     fn telemetry(&self) -> PolicyTelemetry {
         PolicyTelemetry { profiling_overhead: self.overhead, ..Default::default() }
     }
+
+    fn snapshot_state(&self) -> Json {
+        Json::obj([
+            ("sampler", self.sampler.snapshot()),
+            ("quota", self.quota.snapshot()),
+            ("started", Json::Bool(self.started)),
+            ("next_migrate", Json::U64(self.next_migrate.as_nanos())),
+            ("next_clear", Json::U64(self.next_clear.as_nanos())),
+            ("overhead", Json::U64(self.overhead.as_nanos())),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        self.sampler.restore(state.req("sampler")?)?;
+        self.quota.restore(state.req("quota")?)?;
+        self.started = state.req_bool("started")?;
+        self.next_migrate = Nanos::new(state.req_u64("next_migrate")?);
+        self.next_clear = Nanos::new(state.req_u64("next_clear")?);
+        self.overhead = Nanos::new(state.req_u64("overhead")?);
+        Ok(())
+    }
 }
 
 /// Memtis-style policy (Lee et al., SOSP'23): PEBS samples feed a
@@ -243,6 +265,25 @@ impl TieringPolicy for MemtisPolicy {
 
     fn telemetry(&self) -> PolicyTelemetry {
         PolicyTelemetry { profiling_overhead: self.overhead, ..Default::default() }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        Json::obj([
+            ("sampler", self.sampler.snapshot()),
+            ("quota", self.quota.snapshot()),
+            ("started", Json::Bool(self.started)),
+            ("next_classify", Json::U64(self.next_classify.as_nanos())),
+            ("overhead", Json::U64(self.overhead.as_nanos())),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        self.sampler.restore(state.req("sampler")?)?;
+        self.quota.restore(state.req("quota")?)?;
+        self.started = state.req_bool("started")?;
+        self.next_classify = Nanos::new(state.req_u64("next_classify")?);
+        self.overhead = Nanos::new(state.req_u64("overhead")?);
+        Ok(())
     }
 }
 

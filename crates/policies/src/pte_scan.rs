@@ -4,7 +4,8 @@
 
 use neomem_kernel::Kernel;
 use neomem_profilers::{AccessEvent, PteScanConfig, PteScanner};
-use neomem_types::{Bandwidth, Bytes, Nanos, PAGE_SIZE};
+use neomem_types::json::Json;
+use neomem_types::{Bandwidth, Bytes, Nanos, Result, PAGE_SIZE};
 #[cfg(test)]
 use neomem_types::VirtPage;
 
@@ -123,6 +124,27 @@ impl TieringPolicy for PteScanPolicy {
 
     fn telemetry(&self) -> PolicyTelemetry {
         PolicyTelemetry { profiling_overhead: self.overhead, ..Default::default() }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        Json::obj([
+            ("scanner", self.scanner.snapshot()),
+            ("quota", self.quota.snapshot()),
+            ("started", Json::Bool(self.started)),
+            ("next_scan", Json::U64(self.next_scan.as_nanos())),
+            ("next_clear", Json::U64(self.next_clear.as_nanos())),
+            ("overhead", Json::U64(self.overhead.as_nanos())),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        self.scanner.restore(state.req("scanner")?)?;
+        self.quota.restore(state.req("quota")?)?;
+        self.started = state.req_bool("started")?;
+        self.next_scan = Nanos::new(state.req_u64("next_scan")?);
+        self.next_clear = Nanos::new(state.req_u64("next_clear")?);
+        self.overhead = Nanos::new(state.req_u64("overhead")?);
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! The migration quota meter (`mquota`, Table V: 256 MB/s default).
 
-use neomem_types::{Bandwidth, Bytes, Nanos};
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Bandwidth, Bytes, Error, Nanos, Result};
 
 /// Rate-limits migration volume over one-second windows.
 ///
@@ -151,6 +152,50 @@ impl QuotaMeter {
     /// tenant accounting is disabled or the index is out of range).
     pub fn used_by(&self, tenant: usize) -> Bytes {
         Bytes::new(self.tenant_used.get(tenant).copied().unwrap_or(0))
+    }
+
+    /// Serialises the meter's window state for a machine snapshot. The
+    /// rate and tenant shares are configuration — a restored meter must
+    /// already carry them (via construction and
+    /// [`QuotaMeter::enable_tenant_accounting`]).
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("window_start", Json::U64(self.window_start.as_nanos())),
+            ("used", Json::U64(self.used)),
+            ("tenant_used", Json::Str(hex_from_u64s(&self.tenant_used))),
+            ("active_tenant", Json::U64(self.active_tenant as u64)),
+        ])
+    }
+
+    /// Restores [`QuotaMeter::snapshot`] state onto a same-config meter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, a
+    /// tenant-usage array sized for a different tenant count, or an
+    /// out-of-range active tenant.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let tenant_used = snap.req_u64s("tenant_used")?;
+        if tenant_used.len() != self.tenant_shares.len() {
+            return Err(Error::snapshot(format!(
+                "quota snapshot has {} tenant slots, meter is configured for {}",
+                tenant_used.len(),
+                self.tenant_shares.len()
+            )));
+        }
+        let active = snap.req_u64("active_tenant")? as usize;
+        if active >= self.tenant_shares.len().max(1) {
+            return Err(Error::snapshot(format!(
+                "active tenant {} out of range for {} tenants",
+                active,
+                self.tenant_shares.len()
+            )));
+        }
+        self.window_start = Nanos::new(snap.req_u64("window_start")?);
+        self.used = snap.req_u64("used")?;
+        self.tenant_used = tenant_used;
+        self.active_tenant = active;
+        Ok(())
     }
 }
 

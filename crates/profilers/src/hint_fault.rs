@@ -3,7 +3,8 @@
 //! protection faults.
 
 use neomem_kernel::Kernel;
-use neomem_types::{Nanos, Tier, VirtPage};
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Error, Nanos, Result, Tier, VirtPage};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -122,6 +123,51 @@ impl HintFaultSampler {
     /// The configuration in force.
     pub fn config(&self) -> &HintFaultConfig {
         &self.config
+    }
+
+    /// Serialises the sampler for a machine snapshot: the RNG stream
+    /// position, the fault counter, and the per-page fault table as
+    /// interleaved `(page, faults)` pairs sorted by page so the
+    /// rendering is independent of hash-map iteration order.
+    pub fn snapshot(&self) -> Json {
+        let mut pairs: Vec<(u64, u32)> = self.fault_counts.iter().map(|(&p, &c)| (p, c)).collect();
+        pairs.sort_unstable();
+        let flat: Vec<u64> = pairs.iter().flat_map(|&(p, c)| [p, u64::from(c)]).collect();
+        Json::obj([
+            ("rng", Json::Str(hex_from_u64s(&self.rng.state()))),
+            ("fault_counts", Json::Str(hex_from_u64s(&flat))),
+            ("faults", Json::U64(self.faults)),
+        ])
+    }
+
+    /// Restores [`HintFaultSampler::snapshot`] state, including the RNG
+    /// stream position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, a
+    /// malformed RNG state, an odd-length pair array, or a fault count
+    /// exceeding `u32`.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let rng_words = snap.req_u64s("rng")?;
+        let rng_state: [u64; 4] = rng_words
+            .as_slice()
+            .try_into()
+            .map_err(|_| Error::snapshot(format!("rng state has {} words, expected 4", rng_words.len())))?;
+        let flat = snap.req_u64s("fault_counts")?;
+        if flat.len() % 2 != 0 {
+            return Err(Error::snapshot("odd-length hint-fault pair array"));
+        }
+        let mut counts = HashMap::with_capacity(flat.len() / 2);
+        for pair in flat.chunks_exact(2) {
+            let c = u32::try_from(pair[1])
+                .map_err(|_| Error::snapshot(format!("fault count {} exceeds u32", pair[1])))?;
+            counts.insert(pair[0], c);
+        }
+        self.faults = snap.req_u64("faults")?;
+        self.rng = SmallRng::from_state(rng_state);
+        self.fault_counts = counts;
+        Ok(())
     }
 }
 

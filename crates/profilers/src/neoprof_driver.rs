@@ -7,6 +7,7 @@
 use neomem_kernel::Kernel;
 use neomem_neoprof::{mmio, NeoProf, NeoProfConfig, StateSnapshot};
 use neomem_sketch::{CounterHistogram, HISTOGRAM_BINS};
+use neomem_types::json::Json;
 use neomem_types::{MemRequest, Nanos, Result, VirtPage};
 
 /// Driver cost model.
@@ -152,6 +153,29 @@ impl NeoProfDriver {
     fn charge(&mut self, cost: Nanos) -> Nanos {
         self.mmio_time += cost;
         cost
+    }
+
+    /// Serialises the driver (device state plus accumulated MMIO time)
+    /// for a machine snapshot.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("device", self.device.snapshot()),
+            ("mmio_time", Json::U64(self.mmio_time.as_nanos())),
+        ])
+    }
+
+    /// Restores [`NeoProfDriver::snapshot`] state onto a same-config
+    /// driver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`neomem_types::Error::Snapshot`] on missing/malformed
+    /// fields or device state sized for a different configuration.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let mmio_time = Nanos::new(snap.req_u64("mmio_time")?);
+        self.device.restore(snap.req("device")?)?;
+        self.mmio_time = mmio_time;
+        Ok(())
     }
 }
 

@@ -9,7 +9,8 @@
 
 use std::collections::HashMap;
 
-use neomem_types::{Nanos, Tier, VirtPage};
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Error, Nanos, Result, Tier, VirtPage};
 
 use crate::event::AccessEvent;
 
@@ -124,6 +125,46 @@ impl PebsSampler {
     /// The configuration in force.
     pub fn config(&self) -> &PebsConfig {
         &self.config
+    }
+
+    /// Serialises the sampler for a machine snapshot: counters plus the
+    /// per-page slow-tier sample table as interleaved `(page, samples)`
+    /// pairs sorted by page so the rendering is independent of hash-map
+    /// iteration order.
+    pub fn snapshot(&self) -> Json {
+        let mut pairs: Vec<(u64, u32)> = self.slow_counts.iter().map(|(&p, &c)| (p, c)).collect();
+        pairs.sort_unstable();
+        let flat: Vec<u64> = pairs.iter().flat_map(|&(p, c)| [p, u64::from(c)]).collect();
+        Json::obj([
+            ("miss_counter", Json::U64(self.miss_counter)),
+            ("buffered", Json::U64(self.buffered)),
+            ("slow_counts", Json::Str(hex_from_u64s(&flat))),
+            ("total_samples", Json::U64(self.total_samples)),
+        ])
+    }
+
+    /// Restores [`PebsSampler::snapshot`] state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, an
+    /// odd-length pair array, or a sample count exceeding `u32`.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let flat = snap.req_u64s("slow_counts")?;
+        if flat.len() % 2 != 0 {
+            return Err(Error::snapshot("odd-length pebs sample pair array"));
+        }
+        let mut counts = HashMap::with_capacity(flat.len() / 2);
+        for pair in flat.chunks_exact(2) {
+            let c = u32::try_from(pair[1])
+                .map_err(|_| Error::snapshot(format!("sample count {} exceeds u32", pair[1])))?;
+            counts.insert(pair[0], c);
+        }
+        self.miss_counter = snap.req_u64("miss_counter")?;
+        self.buffered = snap.req_u64("buffered")?;
+        self.total_samples = snap.req_u64("total_samples")?;
+        self.slow_counts = counts;
+        Ok(())
     }
 }
 

@@ -2,7 +2,8 @@
 //! region-sampling variant (Fig. 4a).
 
 use neomem_kernel::Kernel;
-use neomem_types::{Nanos, Tier, VirtPage};
+use neomem_types::json::{hex_from_u16s, Json};
+use neomem_types::{Error, Nanos, Result, Tier, VirtPage};
 
 /// Full-table PTE-scan configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +82,38 @@ impl PteScanner {
     /// Clears epoch counters (per detection period).
     pub fn clear(&mut self) {
         self.epoch_counts.fill(0);
+    }
+
+    /// Serialises the per-page epoch counters for a machine snapshot.
+    pub fn snapshot(&self) -> Json {
+        let wide: Vec<u16> = self.epoch_counts.iter().map(|&c| u16::from(c)).collect();
+        Json::obj([("epoch_counts", Json::Str(hex_from_u16s(&wide)))])
+    }
+
+    /// Restores [`PteScanner::snapshot`] state onto a scanner covering
+    /// the same address-space span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, a counter
+    /// array sized for a different span, or a count exceeding `u8`.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let wide = snap.req_u16s("epoch_counts")?;
+        if wide.len() != self.epoch_counts.len() {
+            return Err(Error::snapshot(format!(
+                "epoch counter array covers {} pages, expected {}",
+                wide.len(),
+                self.epoch_counts.len()
+            )));
+        }
+        let mut counts = Vec::with_capacity(wide.len());
+        for c in wide {
+            let narrow = u8::try_from(c)
+                .map_err(|_| Error::snapshot(format!("epoch count {c} exceeds u8")))?;
+            counts.push(narrow);
+        }
+        self.epoch_counts = counts;
+        Ok(())
     }
 }
 

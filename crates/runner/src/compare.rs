@@ -54,6 +54,11 @@ impl Drift {
 
 impl fmt::Display for Drift {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // A zero baseline has no meaningful relative drift — spell the
+        // situation out instead of printing `(+inf%)`.
+        if self.baseline == 0.0 && self.current != 0.0 {
+            return write!(f, "{}: baseline 0 -> current {} (new)", self.key, self.current);
+        }
         write!(
             f,
             "{}: baseline {} -> current {} ({:+.2}%)",
@@ -176,6 +181,16 @@ pub fn compare(baseline: &Json, current: &Json, config: &GateConfig) -> GateRepo
             report.structural.push(format!("cell {key} missing from current results"));
             continue;
         };
+        // A NaN/∞ metric means the producing code is broken — a drift
+        // comparison against it would silently pass (NaN comparisons
+        // are false), so flag it structurally instead.
+        if !base_value.is_finite() || !cur_value.is_finite() {
+            report.structural.push(format!(
+                "cell {key}: non-finite metric {:?} (baseline {base_value}, current {cur_value})",
+                config.metric
+            ));
+            continue;
+        }
         report.checked += 1;
         let drift = Drift { key: key.clone(), baseline: *base_value, current: *cur_value };
         let off_by = (drift.ratio() - 1.0).abs();
@@ -274,6 +289,55 @@ mod tests {
         assert!(same.passed());
         let grew = compare(&base, &doc(&[("NeoMem", 5)]), &GateConfig::default());
         assert!(!grew.passed());
+    }
+
+    fn doc_with_metric(metric: Json) -> Json {
+        Json::obj([(
+            "grids",
+            Json::Arr(vec![Json::obj([
+                ("name", Json::from("g")),
+                (
+                    "cells",
+                    Json::Arr(vec![Json::obj([
+                        ("workload", Json::from("GUPS")),
+                        ("policy", Json::from("NeoMem")),
+                        ("ratio", Json::U64(2)),
+                        ("label", Json::from("")),
+                        ("accesses", Json::U64(1000)),
+                        ("seed", Json::U64(2024)),
+                        ("metrics", Json::obj([("runtime_ns", metric)])),
+                    ])]),
+                ),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn non_finite_metric_is_a_structural_failure() {
+        let base = doc(&[("NeoMem", 100)]);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let cur = doc_with_metric(Json::F64(bad));
+            let report = compare(&base, &cur, &GateConfig::default());
+            assert!(!report.passed(), "non-finite current ({bad}) must fail the gate");
+            assert!(
+                report.structural.iter().any(|s| s.contains("non-finite")),
+                "expected a non-finite structural issue, got {:?}",
+                report.structural
+            );
+            assert_eq!(report.checked, 0, "a non-finite cell must not count as checked");
+        }
+        // And a poisoned baseline is caught the same way.
+        let report =
+            compare(&doc_with_metric(Json::F64(f64::NAN)), &base, &GateConfig::default());
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn zero_baseline_drift_displays_explicitly() {
+        let grown = Drift { key: "g::c".to_string(), baseline: 0.0, current: 5.0 };
+        assert_eq!(grown.to_string(), "g::c: baseline 0 -> current 5 (new)");
+        let unchanged = Drift { key: "g::c".to_string(), baseline: 0.0, current: 0.0 };
+        assert!(unchanged.to_string().ends_with("(+0.00%)"), "got {unchanged}");
     }
 
     #[test]

@@ -3,9 +3,13 @@
 //! Cells are pulled from a shared atomic cursor and their results are
 //! written back into the slot matching their index, so the output order
 //! — and therefore any serialisation of it — is a pure function of the
-//! input, never of thread scheduling. A panicking cell propagates out
-//! of [`run_indexed`] when the scope joins its workers.
+//! input, never of thread scheduling. A panicking cell is caught at the
+//! call site and re-raised on the main thread with the cell's label and
+//! the original panic payload, so a failure names the cell that caused
+//! it instead of surfacing as an anonymous poisoned slot.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -18,24 +22,73 @@ pub fn effective_threads(requested: usize) -> usize {
     }
 }
 
+/// The outcome of one cell: its value, or the payload it panicked with.
+type CellResult<T> = Result<T, Box<dyn Any + Send>>;
+
+/// Extracts the human-readable text of a panic payload. `panic!` with a
+/// message produces a `&'static str` or `String` payload; anything else
+/// (a `panic_any` value) has no text to recover.
+fn payload_text(payload: &(dyn Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
 /// Maps `f` over `cells` on `threads` workers, returning results in
 /// input order regardless of scheduling.
 ///
 /// `threads == 0` uses all available cores; a single thread (or a
 /// single cell) degrades to a plain sequential map with no pool
-/// overhead.
+/// overhead. A panicking cell re-raises as `cell #<index> panicked:
+/// <payload>`; use [`run_labeled`] to name cells more usefully.
 pub fn run_indexed<C, T, F>(cells: &[C], threads: usize, f: F) -> Vec<T>
 where
     C: Sync,
     T: Send,
     F: Fn(usize, &C) -> T + Sync,
 {
+    run_labeled(cells, threads, |i, _| format!("#{i}"), f)
+}
+
+/// [`run_indexed`] with caller-supplied cell identities: when a cell
+/// panics, the panic is re-raised on the calling thread as
+/// `cell <label> panicked: <original payload>`.
+///
+/// Remaining cells still run to completion first — the pool drains
+/// before the failure propagates, and the *first* panicking cell in
+/// input order (not completion order) is the one reported.
+pub fn run_labeled<C, T, F, L>(cells: &[C], threads: usize, label: L, f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(usize, &C) -> T + Sync,
+    L: Fn(usize, &C) -> String,
+{
+    let finish = |i: usize, result: CellResult<T>| -> T {
+        match result {
+            Ok(value) => value,
+            Err(payload) => panic!(
+                "cell {} panicked: {}",
+                label(i, &cells[i]),
+                payload_text(payload.as_ref())
+            ),
+        }
+    };
     let threads = effective_threads(threads).min(cells.len().max(1));
     if threads <= 1 {
-        return cells.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+        return cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| finish(i, catch_unwind(AssertUnwindSafe(|| f(i, c)))))
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = cells.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<CellResult<T>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -43,17 +96,20 @@ where
                 if i >= cells.len() {
                     break;
                 }
-                let result = f(i, &cells[i]);
+                let result = catch_unwind(AssertUnwindSafe(|| f(i, &cells[i])));
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
+        .enumerate()
+        .map(|(i, slot)| {
+            let result = slot
+                .into_inner()
                 .expect("result slot poisoned")
-                .expect("every cell index was claimed and completed")
+                .expect("every cell index was claimed and completed");
+            finish(i, result)
         })
         .collect()
 }
@@ -98,5 +154,51 @@ mod tests {
     fn effective_threads_resolves_zero_to_cores() {
         assert!(effective_threads(0) >= 1);
         assert_eq!(effective_threads(3), 3);
+    }
+
+    #[test]
+    fn panicking_cell_reports_its_label_and_payload() {
+        for threads in [1, 4] {
+            let cells: Vec<u64> = (0..8).collect();
+            let payload = catch_unwind(AssertUnwindSafe(|| {
+                run_labeled(
+                    &cells,
+                    threads,
+                    |_, c| format!("grid::cell-{c}"),
+                    |_, c| {
+                        if *c == 5 {
+                            panic!("boom at {c}");
+                        }
+                        *c
+                    },
+                )
+            }))
+            .expect_err("a panicking cell must propagate");
+            let msg = payload_text(payload.as_ref());
+            assert!(msg.contains("grid::cell-5"), "label missing from {msg:?}");
+            assert!(msg.contains("boom at 5"), "payload missing from {msg:?}");
+        }
+    }
+
+    #[test]
+    fn first_panicking_cell_in_input_order_wins() {
+        let cells: Vec<u64> = (0..16).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            run_labeled(
+                &cells,
+                4,
+                |i, _| format!("#{i}"),
+                |_, c| {
+                    if *c >= 9 {
+                        panic!("cell {c} failed");
+                    }
+                    *c
+                },
+            )
+        }))
+        .expect_err("must panic");
+        let msg = payload_text(payload.as_ref());
+        assert!(msg.contains("cell #9 panicked"), "got {msg:?}");
+        assert!(msg.contains("cell 9 failed"), "got {msg:?}");
     }
 }

@@ -13,14 +13,20 @@
 //! through [`CoRunSimulation`], and its cells carry per-tenant and
 //! contention sections in addition to the machine-wide metrics.
 
+use std::path::{Path, PathBuf};
+
 use neomem::prelude::*;
-use neomem::sim::{CoRunContention, TenantEpoch, TenantRunReport};
+use neomem::sim::{CoRunContention, CoRunReport, TenantEpoch, TenantRunReport};
 use neomem::workloads::{TenantEvent, TenantEventKind};
 use neomem::Error;
 
 use crate::exec;
 use crate::json::Json;
 use crate::report::metrics_json;
+
+/// One cell's simulation outcome: the machine-wide report plus the
+/// optional co-run / scenario extension sections.
+type CellOutcome = (RunReport, Option<CorunSections>, Option<ScenarioSections>);
 
 /// SplitMix64: a cheap, well-mixed 64-bit hash used to derive seeds.
 pub fn splitmix64(x: u64) -> u64 {
@@ -369,16 +375,9 @@ impl ExperimentGrid {
         )
     }
 
-    /// Runs every cell on `threads` workers (`0` = all cores).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidConfig`] if any cell fails to build —
-    /// validated up front, before any simulation starts.
-    pub fn run(&self, threads: usize) -> Result<GridRun, Error> {
-        let cells = self.cells();
-        // Validate every cell before spending simulation time on any.
-        for cell in &cells {
+    /// Validates every cell before spending simulation time on any.
+    fn validate_cells(&self, cells: &[GridCell]) -> Result<(), Error> {
+        for cell in cells {
             let check = if cell.scenario.is_some() {
                 self.scenario_simulation_for(cell).map(|_| ())
             } else if cell.corun.is_some() {
@@ -396,36 +395,80 @@ impl ExperimentGrid {
                 ))
             })?;
         }
-        let outcomes = exec::run_indexed(&cells, threads, |_, cell| {
-            if cell.corun.is_some() || cell.scenario.is_some() {
-                let outcome = if cell.scenario.is_some() {
-                    self.scenario_simulation_for(cell).expect("cell validated above").run()
-                } else {
-                    self.corun_simulation_for(cell).expect("cell validated above").run()
-                };
-                let occupancy_fairness = outcome.occupancy_fairness();
-                let scenario = cell.scenario.as_ref().map(|spec| ScenarioSections {
-                    events: spec.scenario.events().to_vec(),
-                    epochs: outcome.epochs.clone(),
-                });
-                (
-                    outcome.combined,
-                    Some(CorunSections {
-                        tenants: outcome.tenants,
-                        contention: outcome.contention,
-                        occupancy_fairness,
-                    }),
-                    scenario,
-                )
-            } else {
-                (
-                    self.builder_for(cell).build().expect("cell validated above").run(),
-                    None,
-                    None,
-                )
-            }
+        Ok(())
+    }
+
+    /// Packages a finished [`CoRunReport`] into a cell outcome.
+    fn corun_outcome(cell: &GridCell, outcome: CoRunReport) -> CellOutcome {
+        let occupancy_fairness = outcome.occupancy_fairness();
+        let scenario = cell.scenario.as_ref().map(|spec| ScenarioSections {
+            events: spec.scenario.events().to_vec(),
+            epochs: outcome.epochs.clone(),
         });
-        Ok(GridRun {
+        (
+            outcome.combined,
+            Some(CorunSections {
+                tenants: outcome.tenants,
+                contention: outcome.contention,
+                occupancy_fairness,
+            }),
+            scenario,
+        )
+    }
+
+    /// Runs one (pre-validated) cell from a cold machine.
+    fn run_cell_cold(&self, cell: &GridCell) -> CellOutcome {
+        if cell.corun.is_some() || cell.scenario.is_some() {
+            let outcome = if cell.scenario.is_some() {
+                self.scenario_simulation_for(cell).expect("cell validated above").run()
+            } else {
+                self.corun_simulation_for(cell).expect("cell validated above").run()
+            };
+            Self::corun_outcome(cell, outcome)
+        } else {
+            (
+                self.builder_for(cell).build().expect("cell validated above").run(),
+                None,
+                None,
+            )
+        }
+    }
+
+    /// Runs one (pre-validated) cell, restoring from a warmed snapshot
+    /// in `dir` when one matches the cell's content hash. Any failure
+    /// to load or restore — missing file, corrupt JSON, fingerprint
+    /// mismatch from changed inputs — falls back to a cold run, so the
+    /// result is identical either way. Returns the outcome and whether
+    /// the warm path was taken.
+    fn run_cell_warm(&self, cell: &GridCell, dir: &Path) -> (CellOutcome, bool) {
+        if let Some(snap) = self.load_snapshot(dir, cell) {
+            if cell.corun.is_some() || cell.scenario.is_some() {
+                let sim = if cell.scenario.is_some() {
+                    self.scenario_simulation_for(cell)
+                } else {
+                    self.corun_simulation_for(cell)
+                }
+                .expect("cell validated above");
+                if let Ok(outcome) = sim.run_from(&snap) {
+                    return (Self::corun_outcome(cell, outcome), true);
+                }
+            } else {
+                let sim = self
+                    .builder_for(cell)
+                    .build()
+                    .expect("cell validated above")
+                    .into_simulation();
+                if let Ok(report) = sim.run_from(&snap) {
+                    return ((report, None, None), true);
+                }
+            }
+        }
+        (self.run_cell_cold(cell), false)
+    }
+
+    /// Zips cells and outcomes into a [`GridRun`].
+    fn assemble(&self, cells: Vec<GridCell>, outcomes: Vec<CellOutcome>) -> GridRun {
+        GridRun {
             name: self.name.clone(),
             rss_pages: self.rss_pages,
             time_scale: self.time_scale,
@@ -439,8 +482,207 @@ impl ExperimentGrid {
                     scenario,
                 })
                 .collect(),
-        })
+        }
     }
+
+    /// Content hash of one cell: FNV-1a over the grid's machine shape
+    /// plus the cell's fully resolved parameters (workload/mix/scenario
+    /// identity, policy, ratio, overrides, budget, seeds). Warm-start
+    /// snapshots are keyed by this hash, so any change to a cell's
+    /// inputs changes its key and the cell re-runs cold.
+    pub fn cell_hash(&self, cell: &GridCell) -> u64 {
+        let ident = format!(
+            "{}|rss{}|ts{}|large{}|q{}|{cell:?}",
+            self.name, self.rss_pages, self.time_scale, self.large_machine, self.corun_quantum,
+        );
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in ident.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// The snapshot file a cell maps to under `dir`.
+    fn snapshot_path(&self, dir: &Path, cell: &GridCell) -> PathBuf {
+        dir.join(format!("{:016x}.json", self.cell_hash(cell)))
+    }
+
+    /// Loads and parses a cell's snapshot, if present and readable.
+    fn load_snapshot(&self, dir: &Path, cell: &GridCell) -> Option<Json> {
+        let text = std::fs::read_to_string(self.snapshot_path(dir, cell)).ok()?;
+        Json::parse(&text).ok()
+    }
+
+    /// Runs one (pre-validated) cell to its horizon and returns the
+    /// warmed snapshot envelope.
+    fn snapshot_cell(&self, cell: &GridCell) -> Json {
+        let horizon = Nanos::new(u64::MAX);
+        if cell.scenario.is_some() {
+            self.scenario_simulation_for(cell).expect("cell validated above").snapshot_at(horizon)
+        } else if cell.corun.is_some() {
+            self.corun_simulation_for(cell).expect("cell validated above").snapshot_at(horizon)
+        } else {
+            self.builder_for(cell)
+                .build()
+                .expect("cell validated above")
+                .into_simulation()
+                .snapshot_at(horizon)
+        }
+    }
+
+    /// The panic label of a cell: the gate key it would fail under.
+    fn cell_label(&self, cell: &GridCell) -> String {
+        format!("{}::{}", self.name, cell.key())
+    }
+
+    /// Runs every cell on `threads` workers (`0` = all cores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any cell fails to build —
+    /// validated up front, before any simulation starts.
+    pub fn run(&self, threads: usize) -> Result<GridRun, Error> {
+        let cells = self.cells();
+        self.validate_cells(&cells)?;
+        let outcomes = exec::run_labeled(
+            &cells,
+            threads,
+            |_, cell| self.cell_label(cell),
+            |_, cell| self.run_cell_cold(cell),
+        );
+        Ok(self.assemble(cells, outcomes))
+    }
+
+    /// Runs every cell to completion and writes one warmed snapshot
+    /// per cell into `dir`, named `<content-hash>.json` (see
+    /// [`ExperimentGrid::cell_hash`]). A later [`ExperimentGrid::run_warm`]
+    /// against the same directory restores each unchanged cell instead
+    /// of replaying it. Returns the number of snapshots written.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a cell fails validation or a snapshot file
+    /// cannot be written.
+    pub fn write_snapshots(&self, threads: usize, dir: &Path) -> Result<usize, Error> {
+        let cells = self.cells();
+        self.validate_cells(&cells)?;
+        std::fs::create_dir_all(dir).map_err(|e| {
+            Error::snapshot(format!("cannot create snapshot directory {}: {e}", dir.display()))
+        })?;
+        let snaps = exec::run_labeled(
+            &cells,
+            threads,
+            |_, cell| self.cell_label(cell),
+            |_, cell| self.snapshot_cell(cell).render_pretty(),
+        );
+        for (cell, text) in cells.iter().zip(&snaps) {
+            let path = self.snapshot_path(dir, cell);
+            std::fs::write(&path, text).map_err(|e| {
+                Error::snapshot(format!("cannot write snapshot {}: {e}", path.display()))
+            })?;
+        }
+        Ok(snaps.len())
+    }
+
+    /// [`ExperimentGrid::run`], warm-starting every cell whose content
+    /// hash matches a snapshot in `dir` (written earlier by
+    /// [`ExperimentGrid::write_snapshots`]). Restored cells skip the
+    /// machine simulation entirely — only the workload generator is
+    /// replayed to its cut position — and produce bit-identical
+    /// reports, so the run's JSON is byte-identical to a cold run.
+    /// Cells without a usable snapshot (missing, corrupt, or stale
+    /// after an input change) silently run cold; the split is reported
+    /// in the returned [`WarmStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if any cell fails to build —
+    /// validated up front, before any simulation starts.
+    pub fn run_warm(&self, threads: usize, dir: &Path) -> Result<(GridRun, WarmStats), Error> {
+        let cells = self.cells();
+        self.validate_cells(&cells)?;
+        let outcomes = exec::run_labeled(
+            &cells,
+            threads,
+            |_, cell| self.cell_label(cell),
+            |_, cell| self.run_cell_warm(cell, dir),
+        );
+        let mut stats = WarmStats::default();
+        let outcomes = outcomes
+            .into_iter()
+            .map(|(outcome, warm)| {
+                if warm {
+                    stats.restored += 1;
+                } else {
+                    stats.cold += 1;
+                }
+                outcome
+            })
+            .collect();
+        Ok((self.assemble(cells, outcomes), stats))
+    }
+}
+
+/// How a grid campaign executes: worker count plus optional
+/// warm-start via a snapshot directory. [`ExperimentGrid::run_mode`]
+/// dispatches on it, so figure code can stay agnostic of whether a
+/// campaign is cold, snapshot-producing, or warm-started.
+#[derive(Debug, Clone, Default)]
+pub struct RunMode {
+    /// Worker threads (`0` = all cores).
+    pub threads: usize,
+    /// Snapshot directory for warm-starting; `None` runs cold.
+    pub warm_dir: Option<PathBuf>,
+    /// When set (and `warm_dir` is given), write fresh snapshots for
+    /// every cell before the run, so the run and all later ones
+    /// warm-start from them.
+    pub write_snapshots: bool,
+}
+
+impl ExperimentGrid {
+    /// Runs the grid under `mode`: plain [`ExperimentGrid::run`]
+    /// without a warm directory, otherwise [`ExperimentGrid::write_snapshots`]
+    /// (when requested) followed by [`ExperimentGrid::run_warm`].
+    /// Result JSON is byte-identical in all modes; warm-start
+    /// accounting goes to stderr, never into results.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a cell fails validation or snapshots
+    /// cannot be written.
+    pub fn run_mode(&self, mode: &RunMode) -> Result<GridRun, Error> {
+        let Some(dir) = &mode.warm_dir else {
+            return self.run(mode.threads);
+        };
+        if mode.write_snapshots {
+            let written = self.write_snapshots(mode.threads, dir)?;
+            eprintln!(
+                "[warm-start] {}: wrote {written} cell snapshots -> {}",
+                self.name,
+                dir.display()
+            );
+        }
+        let (run, stats) = self.run_warm(mode.threads, dir)?;
+        eprintln!(
+            "[warm-start] {}: restored {}/{} cells from {}",
+            self.name,
+            stats.restored,
+            stats.restored + stats.cold,
+            dir.display()
+        );
+        Ok(run)
+    }
+}
+
+/// How a warm-started grid run split between restored and cold cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Cells restored from a warmed snapshot.
+    pub restored: usize,
+    /// Cells replayed cold: no snapshot file, or one that failed to
+    /// parse or restore (e.g. stale after an input change).
+    pub cold: usize,
 }
 
 /// The co-run parameters of a grid cell (present when the cell came
@@ -512,6 +754,24 @@ impl GridCell {
             Some(spec) => spec.label.clone(),
             None => self.workload.label().to_string(),
         }
+    }
+
+    /// The cell's identity in the same shape the regression gate
+    /// derives from result JSON:
+    /// `workload/policy/r<ratio>/a<accesses>/s<seed>/<override label>`.
+    /// Worker-pool panics are labelled with this key (prefixed by the
+    /// grid name), so a failing cell can be cross-referenced with gate
+    /// output directly.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/r{}/a{}/s{}/{}",
+            self.workload_label(),
+            policy_name(self.policy),
+            self.ratio,
+            self.accesses,
+            self.seed,
+            self.override_label,
+        )
     }
 }
 
@@ -1023,6 +1283,82 @@ mod tests {
             .expect("grid runs");
         let single = run.report_for(WorkloadKind::Gups, PolicyKind::FirstTouch);
         assert!(!single.workload.starts_with("corun["));
+    }
+
+    fn warm_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("neomem-warm-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_start_reproduces_cold_run_bytes() {
+        // Single-tenant, co-run and scenario cells, two policies each:
+        // the full cell taxonomy goes through snapshot → restore.
+        let grid = ExperimentGrid::new("warm")
+            .workloads([WorkloadKind::Gups])
+            .corun("pair", tiny_mix())
+            .scenario("churn", churn_scenario())
+            .policies([PolicyKind::FirstTouch, PolicyKind::NeoMem])
+            .rss_pages(512)
+            .budgets([6_000]);
+        let dir = warm_dir("roundtrip");
+        let cold = grid.run(2).expect("cold run").to_json().render_pretty();
+        let written = grid.write_snapshots(2, &dir).expect("snapshots written");
+        assert_eq!(written, grid.len());
+        let (warm, stats) = grid.run_warm(2, &dir).expect("warm run");
+        assert_eq!(stats, WarmStats { restored: grid.len(), cold: 0 });
+        assert_eq!(
+            warm.to_json().render_pretty(),
+            cold,
+            "warm-started grid JSON must be byte-identical to a cold run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_snapshots_fall_back_to_cold_runs() {
+        let grid = ExperimentGrid::new("warm-fallback")
+            .workloads([WorkloadKind::Gups])
+            .policies([PolicyKind::FirstTouch, PolicyKind::NeoMem])
+            .rss_pages(512)
+            .budgets([4_000]);
+        let cold = grid.run(1).expect("cold").to_json().render_pretty();
+        // A directory with no snapshots at all: every cell runs cold.
+        let empty = warm_dir("empty");
+        let (run, stats) = grid.run_warm(1, &empty).expect("warm run, empty dir");
+        assert_eq!(stats, WarmStats { restored: 0, cold: 2 });
+        assert_eq!(run.to_json().render_pretty(), cold);
+        // A corrupted snapshot file: that cell falls back, the rest
+        // restore, and the result bytes don't change either way.
+        let dir = warm_dir("corrupt");
+        grid.write_snapshots(1, &dir).expect("snapshots written");
+        let cells = grid.cells();
+        std::fs::write(grid.snapshot_path(&dir, &cells[0]), "{ not json").unwrap();
+        let (run, stats) = grid.run_warm(1, &dir).expect("warm run, corrupt file");
+        assert_eq!(stats, WarmStats { restored: 1, cold: 1 });
+        assert_eq!(run.to_json().render_pretty(), cold);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_hash_is_stable_and_tracks_inputs() {
+        let grid = ExperimentGrid::new("hash").rss_pages(512);
+        let cell = &grid.cells()[0];
+        let hash = grid.cell_hash(cell);
+        assert_eq!(hash, grid.cell_hash(cell), "hash must be stable");
+        let reseeded = ExperimentGrid::new("hash").rss_pages(512).seeds([43]);
+        assert_ne!(hash, reseeded.cell_hash(&reseeded.cells()[0]), "seed must change the key");
+        let renamed = ExperimentGrid::new("hash2").rss_pages(512);
+        assert_ne!(hash, renamed.cell_hash(cell), "grid name must change the key");
+        let resized = ExperimentGrid::new("hash").rss_pages(1024);
+        assert_ne!(hash, resized.cell_hash(cell), "machine shape must change the key");
+    }
+
+    #[test]
+    fn cell_keys_match_gate_identity() {
+        let cells = ExperimentGrid::new("keys").rss_pages(512).cells();
+        assert_eq!(cells[0].key(), "GUPS/NeoMem/r2/a500000/s42/");
     }
 
     #[test]

@@ -39,14 +39,19 @@
 mod compare;
 mod exec;
 mod grid;
-mod json;
 mod report;
 
+/// The JSON value model (re-exported from `neomem_types`, where it
+/// moved so the simulator's snapshot subsystem can serialise through
+/// it without depending on the runner).
+pub use neomem::types::json;
+
 pub use compare::{compare, Drift, GateConfig, GateReport};
-pub use exec::{effective_threads, run_indexed};
+pub use exec::{effective_threads, run_indexed, run_labeled};
 pub use grid::{
     policy_name, replicate_seeds, splitmix64, CellRun, CorunCellSpec, CorunSections,
-    ExperimentGrid, GridCell, GridRun, ScenarioCellSpec, ScenarioSections, SeedMode,
+    ExperimentGrid, GridCell, GridRun, RunMode, ScenarioCellSpec, ScenarioSections, SeedMode,
+    WarmStats,
 };
 pub use json::{Json, JsonError, MAX_PARSE_DEPTH};
 pub use report::{metrics_json, report_json};

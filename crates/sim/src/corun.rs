@@ -46,13 +46,15 @@
 //! number is a lower bound on gross cross-tenant demotions.
 
 use neomem_policies::{TenantLayout, TieringPolicy};
-use neomem_types::{Nanos, Result, Tier, VirtPage};
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Error, Nanos, Result, Tier, VirtPage};
 use neomem_workloads::{Scenario, TenantMix, Workload, WorkloadEvent};
 
 use crate::config::SimConfig;
 use crate::engine::{earliest_deadline, HotCosts, Machine};
-use crate::report::{MarkerRecord, RunReport};
+use crate::report::{MarkerRecord, RunReport, TimelinePoint};
 use crate::sched::{DynamicSchedule, SchedulerOp, SliceScheduler, StaticRoundRobin};
+use crate::snapshot;
 
 /// Configuration of a co-run: the shared machine plus the interleave
 /// and fairness knobs.
@@ -135,6 +137,60 @@ struct Lane {
     evictions_caused: u64,
     /// Sum of fast-tier occupancy over slice-boundary scans.
     occupancy_sum: u64,
+}
+
+impl Lane {
+    /// Workload-generator events this lane has consumed: every event
+    /// is either an access or a marker, and a co-run cut lands only at
+    /// slice boundaries, where every pulled event has been processed.
+    fn events_consumed(&self) -> u64 {
+        self.accesses + self.markers
+    }
+
+    /// The lane's mutable run state — accumulators plus the live
+    /// weight. Placement (`base`, `rss_pages`, `seed`) is rebuilt from
+    /// configuration, and the generator is fast-forwarded, never
+    /// serialized.
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("weight", Json::U64(u64::from(self.weight))),
+            ("accesses", Json::U64(self.accesses)),
+            ("active_time", Json::U64(self.active_time.as_nanos())),
+            ("slow_reads", Json::U64(self.slow_reads)),
+            ("slow_writes", Json::U64(self.slow_writes)),
+            ("fast_reads", Json::U64(self.fast_reads)),
+            ("fast_writes", Json::U64(self.fast_writes)),
+            ("promotions", Json::U64(self.promotions)),
+            ("demotions", Json::U64(self.demotions)),
+            ("ping_pongs", Json::U64(self.ping_pongs)),
+            ("minor_faults", Json::U64(self.minor_faults)),
+            ("markers", Json::U64(self.markers)),
+            ("evicted_by_others", Json::U64(self.evicted_by_others)),
+            ("evictions_caused", Json::U64(self.evictions_caused)),
+            ("occupancy_sum", Json::U64(self.occupancy_sum)),
+        ])
+    }
+
+    fn restore(&mut self, snap: &Json) -> Result<()> {
+        let weight = snap.req_u64("weight")?;
+        self.weight = u32::try_from(weight)
+            .map_err(|_| Error::snapshot(format!("lane weight {weight} exceeds u32")))?;
+        self.accesses = snap.req_u64("accesses")?;
+        self.active_time = Nanos::new(snap.req_u64("active_time")?);
+        self.slow_reads = snap.req_u64("slow_reads")?;
+        self.slow_writes = snap.req_u64("slow_writes")?;
+        self.fast_reads = snap.req_u64("fast_reads")?;
+        self.fast_writes = snap.req_u64("fast_writes")?;
+        self.promotions = snap.req_u64("promotions")?;
+        self.demotions = snap.req_u64("demotions")?;
+        self.ping_pongs = snap.req_u64("ping_pongs")?;
+        self.minor_faults = snap.req_u64("minor_faults")?;
+        self.markers = snap.req_u64("markers")?;
+        self.evicted_by_others = snap.req_u64("evicted_by_others")?;
+        self.evictions_caused = snap.req_u64("evictions_caused")?;
+        self.occupancy_sum = snap.req_u64("occupancy_sum")?;
+        Ok(())
+    }
 }
 
 /// A configured co-run, ready to run.
@@ -314,16 +370,143 @@ impl CoRunSimulation {
     /// Panics if the machine runs out of physical memory — unreachable
     /// for validated configurations, as in [`crate::Simulation::run`].
     pub fn run(mut self) -> CoRunReport {
-        let mut clock = Nanos::ZERO;
-        let mut accesses: u64 = 0;
-        let mut next_tick = Nanos::ZERO;
-        let mut next_sample = self.machine.config.sample_interval;
-        let mut timeline = Vec::new();
-        let mut markers = Vec::new();
-        let mut occupancy_timeline = Vec::new();
-        let mut window_accesses = 0u64;
-        let mut window_start = Nanos::ZERO;
+        let mut state = self.fresh_state();
+        self.run_core(&mut state, None);
+        self.into_report(state)
+    }
 
+    /// Runs until the virtual clock reaches `at` and serializes the
+    /// full co-run state into a versioned snapshot document (see
+    /// [`crate::snapshot`]). The cut lands on the first *slice
+    /// boundary* at or past `at` — slices are never split — so the
+    /// snapshot clock may trail `at` by up to one slice.
+    ///
+    /// Resuming with [`CoRunSimulation::run_from`] on an identically
+    /// configured co-run produces a report bit-identical to an
+    /// uninterrupted [`CoRunSimulation::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine runs out of physical memory, as in
+    /// [`CoRunSimulation::run`].
+    pub fn snapshot_at(mut self, at: Nanos) -> Json {
+        let mut state = self.fresh_state();
+        self.run_core(&mut state, Some(at));
+        let fingerprint = snapshot::corun_fingerprint(&self.config);
+        snapshot::envelope(
+            snapshot::KIND_CORUN,
+            fingerprint,
+            &self.mix_label,
+            self.machine.policy.name(),
+            Json::obj([
+                ("machine", self.machine.snapshot()),
+                ("scheduler", self.scheduler.snapshot_state()),
+                ("lanes", Json::Arr(self.lanes.iter().map(Lane::snapshot).collect())),
+                ("loop", state.snapshot()),
+            ]),
+        )
+    }
+
+    /// Restores a [`CoRunSimulation::snapshot_at`] snapshot onto this
+    /// freshly built co-run and runs it to completion. Lane weights
+    /// and the tenant layout are re-established before the policy's
+    /// state is restored, and every lane's generator is rebuilt from
+    /// configuration and fast-forwarded past the events its
+    /// snapshotted twin consumed.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Snapshot`] when the envelope does not match
+    /// this co-run (schema, version, kind, configuration fingerprint,
+    /// mix label or policy name) or any component rejects its state.
+    /// Corrupt input yields an error, never a panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine runs out of physical memory, as in
+    /// [`CoRunSimulation::run`].
+    pub fn run_from(mut self, snap: &Json) -> Result<CoRunReport> {
+        let fingerprint = snapshot::corun_fingerprint(&self.config);
+        let state_json = snapshot::open_envelope(
+            snap,
+            snapshot::KIND_CORUN,
+            fingerprint,
+            &self.mix_label,
+            self.machine.policy.name(),
+        )?;
+        let lanes = state_json.req_arr("lanes")?;
+        if lanes.len() != self.lanes.len() {
+            return Err(Error::snapshot(format!(
+                "snapshot has {} tenant lanes, mix has {}",
+                lanes.len(),
+                self.lanes.len()
+            )));
+        }
+        for (lane, snap) in self.lanes.iter_mut().zip(lanes) {
+            lane.restore(snap)?;
+        }
+        // Weights may have changed mid-run (SetWeight): re-derive the
+        // layout from the restored weights and re-arbitrate the policy
+        // *before* restoring its state, so per-tenant state lands on
+        // the layout it was snapshotted under.
+        let layout = TenantLayout::new(
+            self.lanes.iter().map(|l| l.base).collect(),
+            self.lanes.iter().map(|l| l.weight as u64).collect(),
+            self.config.fast_share_cap,
+        )?;
+        self.machine.policy.configure_tenants(&layout);
+        self.layout = layout;
+        self.machine.restore(state_json.req("machine")?)?;
+        self.scheduler.restore_state(state_json.req("scheduler")?)?;
+        let mut state = CoRunState::restore(state_json.req("loop")?, self.lanes.len())?;
+        for lane in &mut self.lanes {
+            let consumed = lane.events_consumed();
+            snapshot::fast_forward(lane.workload.as_mut(), consumed);
+        }
+        self.run_core(&mut state, None);
+        Ok(self.into_report(state))
+    }
+
+    /// The run state of a co-run that has not started yet.
+    fn fresh_state(&self) -> CoRunState {
+        let tenant_count = self.lanes.len();
+        let mut occ_before = vec![0u64; tenant_count];
+        Self::scan_occupancy(&self.machine, &self.layout, &mut occ_before);
+        CoRunState {
+            clock: Nanos::ZERO,
+            accesses: 0,
+            next_tick: Nanos::ZERO,
+            next_sample: self.machine.config.sample_interval,
+            timeline: Vec::new(),
+            markers: Vec::new(),
+            occupancy_timeline: Vec::new(),
+            window_accesses: 0,
+            window_start: Nanos::ZERO,
+            occ_before,
+            rounds: 0,
+            slices: 0,
+            cross_tenant_evictions: 0,
+            epochs: Vec::new(),
+            epoch_ordinal: vec![0u32; tenant_count],
+            // Tenant-epoch attribution: one epoch per contiguous
+            // residency interval, opened for initially-active lanes at
+            // time zero and at every admission, closed at departure or
+            // run end.
+            open_epochs: (0..tenant_count)
+                .map(|i| {
+                    self.initially_active[i].then(|| EpochMark::open(Nanos::ZERO, &self.lanes[i]))
+                })
+                .collect(),
+        }
+    }
+
+    /// The co-run loop, shared by [`CoRunSimulation::run`],
+    /// [`CoRunSimulation::snapshot_at`] and
+    /// [`CoRunSimulation::run_from`]. With `cut` set, returns as soon
+    /// as the clock reaches it at a slice boundary — the loop top,
+    /// where no scheduler decision has been taken yet, so a resumed
+    /// run re-enters with bit-identical state.
+    fn run_core(&mut self, state: &mut CoRunState, cut: Option<Nanos>) {
         let limit = self.machine.config.max_time;
         let costs = HotCosts::of(&self.machine.config);
         let batch = self.machine.config.batch_size.max(1);
@@ -331,51 +514,40 @@ impl CoRunSimulation {
         let tick_quantum = self.machine.config.tick_quantum;
         let sample_interval = self.machine.config.sample_interval;
         let tenant_count = self.lanes.len();
-        let fast_capacity =
-            self.machine.kernel.memory().allocator(Tier::Fast).capacity();
 
         let mut shootdowns: Vec<VirtPage> = Vec::new();
-        let mut next_deadline = earliest_deadline(next_tick, next_sample, limit);
+        // At every loop top `next_deadline` equals the earliest of the
+        // current tick/sample/stop deadlines (every update site
+        // re-establishes it), so recomputing it here restores the
+        // mid-run value exactly.
+        let mut next_deadline = earliest_deadline(state.next_tick, state.next_sample, limit);
 
-        // Slice-boundary occupancy scans: `occ_before` holds the state
-        // entering the current slice, `occ_after` is the fresh scan at
-        // its end (and becomes the next slice's `before`).
-        let mut occ_before = vec![0u64; tenant_count];
+        // Slice-boundary occupancy scans: `state.occ_before` holds the
+        // scan entering the current slice, `occ_after` is the fresh
+        // scan at its end (and becomes the next slice's `before`).
         let mut occ_after = vec![0u64; tenant_count];
-        Self::scan_occupancy(&self.machine, &self.layout, &mut occ_before);
-
-        let mut rounds: u64 = 0;
-        let mut slices: u64 = 0;
-        let mut cross_tenant_evictions: u64 = 0;
         let mut stopped = false;
 
-        // Tenant-epoch attribution: one epoch per contiguous residency
-        // interval, opened for initially-active lanes at time zero and
-        // at every admission, closed at departure or run end.
-        let mut epochs: Vec<TenantEpoch> = Vec::new();
-        let mut epoch_ordinal = vec![0u32; tenant_count];
-        let mut open_epochs: Vec<Option<EpochMark>> = (0..tenant_count)
-            .map(|i| {
-                self.initially_active[i].then(|| EpochMark::open(Nanos::ZERO, &self.lanes[i]))
-            })
-            .collect();
-
         'run: loop {
-            if accesses >= max_accesses || limit.is_some_and(|l| clock >= l) {
+            if state.accesses >= max_accesses || limit.is_some_and(|l| state.clock >= l) {
                 break;
             }
-            let (lane_idx, slice_events) = match self.scheduler.next(clock) {
+            if cut.is_some_and(|c| state.clock >= c) {
+                return;
+            }
+            let (lane_idx, slice_events) = match self.scheduler.next(state.clock) {
                 SchedulerOp::Done => break,
                 SchedulerOp::Slice { lane, events, new_round } => {
                     if new_round {
-                        rounds += 1;
+                        state.rounds += 1;
                     }
-                    slices += 1;
+                    state.slices += 1;
                     (lane, events)
                 }
                 SchedulerOp::Admit { lane } => {
                     self.machine.policy.on_tenant_arrival(lane);
-                    open_epochs[lane] = Some(EpochMark::open(clock, &self.lanes[lane]));
+                    state.open_epochs[lane] =
+                        Some(EpochMark::open(state.clock, &self.lanes[lane]));
                     continue;
                 }
                 SchedulerOp::Retire { lane } => {
@@ -388,9 +560,13 @@ impl CoRunSimulation {
                     let fast_before =
                         self.machine.kernel.memory().node(Tier::Fast).stats();
                     let kernel_before = self.machine.kernel.stats();
-                    let reclaim =
-                        Self::reclaim_fast_pages(&mut self.machine, &self.layout, lane, clock);
-                    clock += reclaim;
+                    let reclaim = Self::reclaim_fast_pages(
+                        &mut self.machine,
+                        &self.layout,
+                        lane,
+                        state.clock,
+                    );
+                    state.clock += reclaim;
                     let slow = self.machine.kernel.memory().node(Tier::Slow).stats();
                     let fast = self.machine.kernel.memory().node(Tier::Fast).stats();
                     let kernel = self.machine.kernel.stats();
@@ -409,14 +585,16 @@ impl CoRunSimulation {
                     // The occupancy baseline moved: rescan so the next
                     // slice's cross-tenant accounting cannot blame its
                     // tenant for the departure reclaim.
-                    Self::scan_occupancy(&self.machine, &self.layout, &mut occ_before);
-                    if let Some(mark) = open_epochs[lane].take() {
-                        epochs.push(mark.close(
+                    Self::scan_occupancy(&self.machine, &self.layout, &mut state.occ_before);
+                    if let Some(mark) = state.open_epochs[lane].take() {
+                        epochs_push_closed(
+                            &mut state.epochs,
+                            mark,
                             lane,
-                            &mut epoch_ordinal,
-                            clock,
+                            &mut state.epoch_ordinal,
+                            state.clock,
                             &self.lanes[lane],
-                        ));
+                        );
                     }
                     continue;
                 }
@@ -446,43 +624,46 @@ impl CoRunSimulation {
                     // timeline event): jump the clock in one go, firing
                     // the due policy tick and timeline sample once in
                     // engine order so daemons stay alive across it.
-                    if target > clock {
-                        clock = target;
+                    if target > state.clock {
+                        state.clock = target;
                     }
                     let mut ticked = false;
-                    if clock >= next_tick {
-                        clock += self.machine.policy_tick(clock, &mut shootdowns);
-                        next_tick = clock + tick_quantum;
+                    if state.clock >= state.next_tick {
+                        state.clock += self.machine.policy_tick(state.clock, &mut shootdowns);
+                        state.next_tick = state.clock + tick_quantum;
                         ticked = true;
                     }
-                    if clock >= next_sample {
-                        timeline.push(self.machine.sample(
-                            clock,
-                            accesses,
-                            window_accesses,
-                            window_start,
+                    if state.clock >= state.next_sample {
+                        state.timeline.push(self.machine.sample(
+                            state.clock,
+                            state.accesses,
+                            state.window_accesses,
+                            state.window_start,
                         ));
                         let mut fast_pages = vec![0u64; tenant_count];
                         Self::scan_occupancy(&self.machine, &self.layout, &mut fast_pages);
-                        occupancy_timeline.push(OccupancyPoint { at: clock, fast_pages });
-                        window_accesses = 0;
-                        window_start = clock;
-                        next_sample = clock + sample_interval;
+                        state
+                            .occupancy_timeline
+                            .push(OccupancyPoint { at: state.clock, fast_pages });
+                        state.window_accesses = 0;
+                        state.window_start = state.clock;
+                        state.next_sample = state.clock + sample_interval;
                     }
                     if ticked {
                         // The idle-gap tick may have migrated pages:
                         // rescan the baseline so the next slice's
                         // tenant isn't blamed for occupancy that moved
                         // while nobody ran.
-                        Self::scan_occupancy(&self.machine, &self.layout, &mut occ_before);
+                        Self::scan_occupancy(&self.machine, &self.layout, &mut state.occ_before);
                     }
-                    next_deadline = earliest_deadline(next_tick, next_sample, limit);
+                    next_deadline =
+                        earliest_deadline(state.next_tick, state.next_sample, limit);
                     continue;
                 }
             };
             {
-                let clock_before = clock;
-                let accesses_before = accesses;
+                let clock_before = state.clock;
+                let accesses_before = state.accesses;
                 let slow_before = self.machine.kernel.memory().node(Tier::Slow).stats();
                 let fast_before = self.machine.kernel.memory().node(Tier::Fast).stats();
                 let kernel_before = self.machine.kernel.stats();
@@ -496,12 +677,12 @@ impl CoRunSimulation {
                 // borrow the machine and the lane counters freely.
                 let mut buf = std::mem::take(&mut self.lanes[lane_idx].buf);
                 let base = self.lanes[lane_idx].base;
-                'slice: while produced < slice_events && accesses < max_accesses {
+                'slice: while produced < slice_events && state.accesses < max_accesses {
                     // Events yield at most one access each, so capping
                     // at the remaining access budget never overshoots.
                     let n = (slice_events - produced)
                         .min(batch)
-                        .min((max_accesses - accesses) as usize);
+                        .min((max_accesses - state.accesses) as usize);
                     buf.clear();
                     self.lanes[lane_idx].workload.fill_events(&mut buf, n);
                     produced += n;
@@ -514,49 +695,57 @@ impl CoRunSimulation {
                             }
                             WorkloadEvent::Marker(m) => {
                                 self.lanes[lane_idx].markers += 1;
-                                markers.push(MarkerRecord { at: clock, id: m.id, label: m.label });
+                                state.markers.push(MarkerRecord {
+                                    at: state.clock,
+                                    id: m.id,
+                                    label: m.label,
+                                });
                                 continue;
                             }
                         };
-                        clock += self.machine.step(access, clock, &costs);
-                        accesses += 1;
-                        window_accesses += 1;
+                        state.clock += self.machine.step(access, state.clock, &costs);
+                        state.accesses += 1;
+                        state.window_accesses += 1;
 
-                        if clock < next_deadline {
+                        if state.clock < next_deadline {
                             continue;
                         }
 
                         // Policy tick.
-                        if clock >= next_tick {
-                            clock += self.machine.policy_tick(clock, &mut shootdowns);
-                            next_tick = clock + tick_quantum;
+                        if state.clock >= state.next_tick {
+                            state.clock +=
+                                self.machine.policy_tick(state.clock, &mut shootdowns);
+                            state.next_tick = state.clock + tick_quantum;
                         }
 
                         // Timeline sample, plus the co-run occupancy
                         // snapshot keyed to the same timestamp.
-                        if clock >= next_sample {
-                            timeline.push(self.machine.sample(
-                                clock,
-                                accesses,
-                                window_accesses,
-                                window_start,
+                        if state.clock >= state.next_sample {
+                            state.timeline.push(self.machine.sample(
+                                state.clock,
+                                state.accesses,
+                                state.window_accesses,
+                                state.window_start,
                             ));
                             let mut fast_pages = vec![0u64; tenant_count];
                             Self::scan_occupancy(&self.machine, &self.layout, &mut fast_pages);
-                            occupancy_timeline.push(OccupancyPoint { at: clock, fast_pages });
-                            window_accesses = 0;
-                            window_start = clock;
-                            next_sample = clock + sample_interval;
+                            state
+                                .occupancy_timeline
+                                .push(OccupancyPoint { at: state.clock, fast_pages });
+                            state.window_accesses = 0;
+                            state.window_start = state.clock;
+                            state.next_sample = state.clock + sample_interval;
                         }
 
                         // Simulated-time stop: the slice accounting
                         // below must still run, so leave the slice
                         // loops and stop the round loop afterwards.
-                        if limit.is_some_and(|l| clock >= l) {
+                        if limit.is_some_and(|l| state.clock >= l) {
                             stopped = true;
                             break 'slice;
                         }
-                        next_deadline = earliest_deadline(next_tick, next_sample, limit);
+                        next_deadline =
+                            earliest_deadline(state.next_tick, state.next_sample, limit);
                     }
                 }
                 self.lanes[lane_idx].buf = buf;
@@ -575,12 +764,12 @@ impl CoRunSimulation {
                 if occupancy_moved {
                     Self::scan_occupancy(&self.machine, &self.layout, &mut occ_after);
                 } else {
-                    occ_after.copy_from_slice(&occ_before);
+                    occ_after.copy_from_slice(&state.occ_before);
                 }
                 {
                     let lane = &mut self.lanes[lane_idx];
-                    lane.accesses += accesses - accesses_before;
-                    lane.active_time += clock.saturating_sub(clock_before);
+                    lane.accesses += state.accesses - accesses_before;
+                    lane.active_time += state.clock.saturating_sub(clock_before);
                     lane.slow_reads += slow.reads - slow_before.reads;
                     lane.slow_writes += slow.writes - slow_before.writes;
                     lane.fast_reads += fast.reads - fast_before.reads;
@@ -593,11 +782,11 @@ impl CoRunSimulation {
                 // Cross-tenant evictions: the net fast-tier occupancy
                 // idle tenants lost while this slice ran.
                 let mut lost_total = 0u64;
-                for j in 0..tenant_count {
-                    self.lanes[j].occupancy_sum += occ_after[j];
-                    if j != lane_idx && occ_after[j] < occ_before[j] {
-                        let lost = occ_before[j] - occ_after[j];
-                        cross_tenant_evictions += lost;
+                for (j, &occ) in occ_after.iter().enumerate() {
+                    self.lanes[j].occupancy_sum += occ;
+                    if j != lane_idx && occ < state.occ_before[j] {
+                        let lost = state.occ_before[j] - occ;
+                        state.cross_tenant_evictions += lost;
                         lost_total += lost;
                         self.lanes[j].evicted_by_others += lost;
                         self.lanes[lane_idx].evictions_caused += lost;
@@ -608,25 +797,53 @@ impl CoRunSimulation {
                     // no-op for everything else — the default hook).
                     self.machine.policy.note_cross_tenant_evictions(lane_idx, lost_total);
                 }
-                std::mem::swap(&mut occ_before, &mut occ_after);
+                std::mem::swap(&mut state.occ_before, &mut occ_after);
 
                 if stopped {
                     break 'run;
                 }
             }
         }
+    }
+
+    /// Consumes the co-run and the final loop state into the report.
+    fn into_report(self, state: CoRunState) -> CoRunReport {
+        let CoRunState {
+            clock,
+            accesses,
+            timeline,
+            markers,
+            occupancy_timeline,
+            occ_before,
+            rounds,
+            slices,
+            cross_tenant_evictions,
+            mut epochs,
+            mut epoch_ordinal,
+            mut open_epochs,
+            ..
+        } = state;
+        let fast_capacity = self.machine.kernel.memory().allocator(Tier::Fast).capacity();
 
         // Close the epochs of every still-resident tenant at the final
         // clock, then order the records by (tenant, epoch) for stable
         // serialisation.
         for (lane, open) in open_epochs.iter_mut().enumerate() {
             if let Some(mark) = open.take() {
-                epochs.push(mark.close(lane, &mut epoch_ordinal, clock, &self.lanes[lane]));
+                epochs_push_closed(
+                    &mut epochs,
+                    mark,
+                    lane,
+                    &mut epoch_ordinal,
+                    clock,
+                    &self.lanes[lane],
+                );
             }
         }
         epochs.sort_by_key(|e| (e.tenant, e.epoch));
 
-        // `occ_before` holds the final scan after the swap above.
+        // `occ_before` holds the final scan (the slice loop swaps the
+        // fresh scan into it at every boundary).
         let final_occupancy = occ_before;
         let tenants = self
             .lanes
@@ -684,6 +901,201 @@ impl CoRunSimulation {
     }
 }
 
+/// Closes `mark` into a [`TenantEpoch`] and appends it — the one
+/// shared site [`CoRunSimulation::run_core`] and
+/// [`CoRunSimulation::into_report`] both use.
+fn epochs_push_closed(
+    epochs: &mut Vec<TenantEpoch>,
+    mark: EpochMark,
+    lane: usize,
+    ordinals: &mut [u32],
+    end: Nanos,
+    lane_ref: &Lane,
+) {
+    epochs.push(mark.close(lane, ordinals, end, lane_ref));
+}
+
+/// The mutable loop registers of a co-run — everything
+/// [`CoRunSimulation::run_core`] reads and writes besides the machine,
+/// the scheduler and the lane accumulators. A co-run snapshot is the
+/// machine state, the scheduler state, the lanes, and this.
+struct CoRunState {
+    clock: Nanos,
+    accesses: u64,
+    next_tick: Nanos,
+    next_sample: Nanos,
+    timeline: Vec<TimelinePoint>,
+    markers: Vec<MarkerRecord>,
+    occupancy_timeline: Vec<OccupancyPoint>,
+    window_accesses: u64,
+    window_start: Nanos,
+    /// The occupancy scan entering the current slice (and, at run end,
+    /// the final scan).
+    occ_before: Vec<u64>,
+    rounds: u64,
+    slices: u64,
+    cross_tenant_evictions: u64,
+    epochs: Vec<TenantEpoch>,
+    epoch_ordinal: Vec<u32>,
+    open_epochs: Vec<Option<EpochMark>>,
+}
+
+impl CoRunState {
+    fn snapshot(&self) -> Json {
+        let ordinals: Vec<u64> = self.epoch_ordinal.iter().map(|&x| u64::from(x)).collect();
+        Json::obj([
+            ("clock", Json::U64(self.clock.as_nanos())),
+            ("accesses", Json::U64(self.accesses)),
+            ("next_tick", Json::U64(self.next_tick.as_nanos())),
+            ("next_sample", Json::U64(self.next_sample.as_nanos())),
+            ("window_accesses", Json::U64(self.window_accesses)),
+            ("window_start", Json::U64(self.window_start.as_nanos())),
+            ("timeline", snapshot::timeline_to_json(&self.timeline)),
+            ("markers", snapshot::markers_to_json(&self.markers)),
+            (
+                "occupancy_timeline",
+                Json::Arr(
+                    self.occupancy_timeline
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("at", Json::U64(p.at.as_nanos())),
+                                ("fast_pages", Json::Str(hex_from_u64s(&p.fast_pages))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("occ_before", Json::Str(hex_from_u64s(&self.occ_before))),
+            ("rounds", Json::U64(self.rounds)),
+            ("slices", Json::U64(self.slices)),
+            ("cross_tenant_evictions", Json::U64(self.cross_tenant_evictions)),
+            ("epoch_ordinal", Json::Str(hex_from_u64s(&ordinals))),
+            (
+                "open_epochs",
+                Json::Arr(
+                    self.open_epochs
+                        .iter()
+                        .map(|o| match o {
+                            None => Json::Null,
+                            Some(mark) => mark.snapshot(),
+                        })
+                        .collect(),
+                ),
+            ),
+            ("epochs", Json::Arr(self.epochs.iter().map(epoch_to_json).collect())),
+        ])
+    }
+
+    fn restore(state: &Json, tenant_count: usize) -> Result<Self> {
+        let occ_before = state.req_u64s("occ_before")?;
+        if occ_before.len() != tenant_count {
+            return Err(Error::snapshot(format!(
+                "occupancy scan has {} lanes, mix has {tenant_count}",
+                occ_before.len()
+            )));
+        }
+        let raw_ordinals = state.req_u64s("epoch_ordinal")?;
+        if raw_ordinals.len() != tenant_count {
+            return Err(Error::snapshot(format!(
+                "epoch ordinal array has {} lanes, mix has {tenant_count}",
+                raw_ordinals.len()
+            )));
+        }
+        let epoch_ordinal = raw_ordinals
+            .into_iter()
+            .map(|x| {
+                u32::try_from(x)
+                    .map_err(|_| Error::snapshot(format!("epoch ordinal {x} exceeds u32")))
+            })
+            .collect::<Result<Vec<u32>>>()?;
+        let open_arr = state.req_arr("open_epochs")?;
+        if open_arr.len() != tenant_count {
+            return Err(Error::snapshot(format!(
+                "open-epoch array has {} lanes, mix has {tenant_count}",
+                open_arr.len()
+            )));
+        }
+        let open_epochs = open_arr
+            .iter()
+            .map(|o| match o {
+                Json::Null => Ok(None),
+                mark => EpochMark::from_snapshot(mark).map(Some),
+            })
+            .collect::<Result<Vec<Option<EpochMark>>>>()?;
+        let epochs = state
+            .req_arr("epochs")?
+            .iter()
+            .map(|e| epoch_from_json(e, tenant_count))
+            .collect::<Result<Vec<TenantEpoch>>>()?;
+        let occupancy_timeline = state
+            .req_arr("occupancy_timeline")?
+            .iter()
+            .map(|p| {
+                let fast_pages = p.req_u64s("fast_pages")?;
+                if fast_pages.len() != tenant_count {
+                    return Err(Error::snapshot(format!(
+                        "occupancy point has {} lanes, mix has {tenant_count}",
+                        fast_pages.len()
+                    )));
+                }
+                Ok(OccupancyPoint { at: Nanos::new(p.req_u64("at")?), fast_pages })
+            })
+            .collect::<Result<Vec<OccupancyPoint>>>()?;
+        Ok(Self {
+            clock: Nanos::new(state.req_u64("clock")?),
+            accesses: state.req_u64("accesses")?,
+            next_tick: Nanos::new(state.req_u64("next_tick")?),
+            next_sample: Nanos::new(state.req_u64("next_sample")?),
+            timeline: snapshot::timeline_from_json(state, "timeline")?,
+            markers: snapshot::markers_from_json(state, "markers")?,
+            occupancy_timeline,
+            window_accesses: state.req_u64("window_accesses")?,
+            window_start: Nanos::new(state.req_u64("window_start")?),
+            occ_before,
+            rounds: state.req_u64("rounds")?,
+            slices: state.req_u64("slices")?,
+            cross_tenant_evictions: state.req_u64("cross_tenant_evictions")?,
+            epochs,
+            epoch_ordinal,
+            open_epochs,
+        })
+    }
+}
+
+fn epoch_to_json(e: &TenantEpoch) -> Json {
+    Json::obj([
+        ("tenant", Json::U64(e.tenant as u64)),
+        ("epoch", Json::U64(u64::from(e.epoch))),
+        ("start", Json::U64(e.start.as_nanos())),
+        ("end", Json::U64(e.end.as_nanos())),
+        ("accesses", Json::U64(e.accesses)),
+        ("slow_tier_accesses", Json::U64(e.slow_tier_accesses)),
+        ("evicted_by_others", Json::U64(e.evicted_by_others)),
+    ])
+}
+
+fn epoch_from_json(snap: &Json, tenant_count: usize) -> Result<TenantEpoch> {
+    let tenant = snap.req_u64("tenant")? as usize;
+    if tenant >= tenant_count {
+        return Err(Error::snapshot(format!(
+            "epoch tenant {tenant} out of range for {tenant_count} lanes"
+        )));
+    }
+    let raw_epoch = snap.req_u64("epoch")?;
+    let epoch = u32::try_from(raw_epoch)
+        .map_err(|_| Error::snapshot(format!("epoch ordinal {raw_epoch} exceeds u32")))?;
+    Ok(TenantEpoch {
+        tenant,
+        epoch,
+        start: Nanos::new(snap.req_u64("start")?),
+        end: Nanos::new(snap.req_u64("end")?),
+        accesses: snap.req_u64("accesses")?,
+        slow_tier_accesses: snap.req_u64("slow_tier_accesses")?,
+        evicted_by_others: snap.req_u64("evicted_by_others")?,
+    })
+}
+
 /// Bookkeeping for one open tenant-epoch: the lane-accumulator values
 /// at the instant the epoch opened, so closing it yields exact deltas.
 #[derive(Debug, Clone, Copy)]
@@ -702,6 +1114,24 @@ impl EpochMark {
             slow_tier: lane.slow_reads + lane.slow_writes,
             evicted: lane.evicted_by_others,
         }
+    }
+
+    fn snapshot(&self) -> Json {
+        Json::obj([
+            ("start", Json::U64(self.start.as_nanos())),
+            ("accesses", Json::U64(self.accesses)),
+            ("slow_tier", Json::U64(self.slow_tier)),
+            ("evicted", Json::U64(self.evicted)),
+        ])
+    }
+
+    fn from_snapshot(snap: &Json) -> Result<Self> {
+        Ok(Self {
+            start: Nanos::new(snap.req_u64("start")?),
+            accesses: snap.req_u64("accesses")?,
+            slow_tier: snap.req_u64("slow_tier")?,
+            evicted: snap.req_u64("evicted")?,
+        })
     }
 
     fn close(

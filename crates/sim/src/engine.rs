@@ -4,11 +4,13 @@ use neomem_cache::{CacheHierarchy, HitLevel, Tlb};
 use neomem_kernel::{Kernel, KernelConfig};
 use neomem_policies::TieringPolicy;
 use neomem_profilers::AccessEvent;
-use neomem_types::{Access, CacheLine, Nanos, Result, Tier, VirtPage};
+use neomem_types::json::Json;
+use neomem_types::{Access, CacheLine, Error, Nanos, Result, Tier, VirtPage};
 use neomem_workloads::{Workload, WorkloadEvent};
 
 use crate::config::SimConfig;
 use crate::report::{MarkerRecord, RunReport, TimelinePoint};
+use crate::snapshot;
 
 /// Per-access latencies resolved out of [`SimConfig`] once, before the
 /// run loop, so [`Simulation::step`] reads locals instead of chasing
@@ -43,6 +45,201 @@ pub(crate) fn earliest_deadline(next_tick: Nanos, next_sample: Nanos, limit: Opt
         Some(l) => d.min(l),
         None => d,
     }
+}
+
+/// The deadline the hot loop compares against: the usual tick / sample
+/// / stop deadline, additionally clamped to a snapshot cut point when
+/// one is set. Entering the slow path "early" because of the cut is
+/// state-neutral — every slow-path action is individually guarded by
+/// its own `clock >= ...` check — so folding the cut in here preserves
+/// bit-identity with an uninterrupted run.
+#[inline]
+fn deadline_with_cut(
+    next_tick: Nanos,
+    next_sample: Nanos,
+    limit: Option<Nanos>,
+    cut: Option<Nanos>,
+) -> Nanos {
+    let d = earliest_deadline(next_tick, next_sample, limit);
+    match cut {
+        Some(c) => d.min(c),
+        None => d,
+    }
+}
+
+/// The mutable loop registers of a single-tenant run — everything
+/// [`run_core`] reads and writes besides the machine and the workload
+/// generator. Hoisting them into a struct is what makes a run
+/// interruptible: a snapshot is the machine state plus this.
+pub(crate) struct LoopState {
+    pub(crate) clock: Nanos,
+    pub(crate) accesses: u64,
+    pub(crate) next_tick: Nanos,
+    pub(crate) next_sample: Nanos,
+    pub(crate) window_accesses: u64,
+    pub(crate) window_start: Nanos,
+    pub(crate) timeline: Vec<TimelinePoint>,
+    pub(crate) markers: Vec<MarkerRecord>,
+}
+
+impl LoopState {
+    /// The registers of a run that has not started yet.
+    pub(crate) fn fresh(config: &SimConfig) -> Self {
+        Self {
+            clock: Nanos::ZERO,
+            accesses: 0,
+            next_tick: Nanos::ZERO,
+            next_sample: config.sample_interval,
+            window_accesses: 0,
+            window_start: Nanos::ZERO,
+            timeline: Vec::new(),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Workload-generator events the run has consumed so far: every
+    /// event is either an access or a marker, and a cut never lands
+    /// mid-event, so the sum is exact. Discarded batch tails were
+    /// never counted and regenerate deterministically on resume.
+    pub(crate) fn events_consumed(&self) -> u64 {
+        self.accesses + self.markers.len() as u64
+    }
+
+    pub(crate) fn snapshot(&self) -> Json {
+        Json::obj([
+            ("clock", Json::U64(self.clock.as_nanos())),
+            ("accesses", Json::U64(self.accesses)),
+            ("next_tick", Json::U64(self.next_tick.as_nanos())),
+            ("next_sample", Json::U64(self.next_sample.as_nanos())),
+            ("window_accesses", Json::U64(self.window_accesses)),
+            ("window_start", Json::U64(self.window_start.as_nanos())),
+            ("timeline", snapshot::timeline_to_json(&self.timeline)),
+            ("markers", snapshot::markers_to_json(&self.markers)),
+        ])
+    }
+
+    pub(crate) fn restore(state: &Json) -> Result<Self> {
+        Ok(Self {
+            clock: Nanos::new(state.req_u64("clock")?),
+            accesses: state.req_u64("accesses")?,
+            next_tick: Nanos::new(state.req_u64("next_tick")?),
+            next_sample: Nanos::new(state.req_u64("next_sample")?),
+            window_accesses: state.req_u64("window_accesses")?,
+            window_start: Nanos::new(state.req_u64("window_start")?),
+            timeline: snapshot::timeline_from_json(state, "timeline")?,
+            markers: snapshot::markers_from_json(state, "markers")?,
+        })
+    }
+}
+
+/// Why [`run_core`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StopReason {
+    /// The run completed: access budget exhausted or `max_time` hit.
+    Finished,
+    /// The snapshot cut point was reached; `state` holds a resumable
+    /// mid-run position.
+    Cut,
+}
+
+/// The single-tenant run loop, shared verbatim by [`Simulation::run`],
+/// [`Simulation::snapshot_at`] and [`Simulation::run_from`]: pulls
+/// events in batches, steps the machine, and runs the due tick /
+/// sample / stop checks in seed-engine order. With `cut` set, returns
+/// [`StopReason::Cut`] as soon as `state.clock` reaches it — checked
+/// exactly where the uninterrupted run checks its `max_time` stop, so
+/// the machine and loop state at the cut are bit-identical to the
+/// uninterrupted run's state as it passes the same instant.
+pub(crate) fn run_core(
+    machine: &mut Machine,
+    workload: &mut dyn Workload,
+    state: &mut LoopState,
+    cut: Option<Nanos>,
+) -> StopReason {
+    let limit = machine.config.max_time;
+    let costs = HotCosts::of(&machine.config);
+    let batch = machine.config.batch_size.max(1);
+    let max_accesses = machine.config.max_accesses;
+    let tick_quantum = machine.config.tick_quantum;
+    let sample_interval = machine.config.sample_interval;
+    let mut events: Vec<WorkloadEvent> = Vec::with_capacity(batch);
+    // Reusable shootdown buffer: policies append into it, so the
+    // steady-state tick path performs no heap allocation.
+    let mut shootdowns: Vec<VirtPage> = Vec::new();
+    let mut next_deadline = deadline_with_cut(state.next_tick, state.next_sample, limit, cut);
+
+    'run: while state.accesses < max_accesses {
+        if limit.is_some_and(|l| state.clock >= l) {
+            break;
+        }
+        if cut.is_some_and(|c| state.clock >= c) {
+            return StopReason::Cut;
+        }
+        // A batch of n events yields at most n accesses, so capping
+        // at the remaining budget can never overshoot max_accesses.
+        let n = (max_accesses - state.accesses).min(batch as u64) as usize;
+        events.clear();
+        workload.fill_events(&mut events, n);
+        for &event in &events {
+            let access = match event {
+                WorkloadEvent::Access(access) => access,
+                WorkloadEvent::Marker(m) => {
+                    // Markers skip the deadline checks, exactly like
+                    // the seed engine's `continue`.
+                    state.markers.push(MarkerRecord {
+                        at: state.clock,
+                        id: m.id,
+                        label: m.label,
+                    });
+                    continue;
+                }
+            };
+            state.clock += machine.step(access, state.clock, &costs);
+            state.accesses += 1;
+            state.window_accesses += 1;
+
+            if state.clock < next_deadline {
+                continue;
+            }
+
+            // Policy tick.
+            if state.clock >= state.next_tick {
+                state.clock += machine.policy_tick(state.clock, &mut shootdowns);
+                state.next_tick = state.clock + tick_quantum;
+            }
+
+            // Timeline sample.
+            if state.clock >= state.next_sample {
+                state.timeline.push(machine.sample(
+                    state.clock,
+                    state.accesses,
+                    state.window_accesses,
+                    state.window_start,
+                ));
+                state.window_accesses = 0;
+                state.window_start = state.clock;
+                state.next_sample = state.clock + sample_interval;
+            }
+
+            // Simulated-time stop: checked after the due tick and
+            // sample, matching the seed engine's loop-top check
+            // before the next event. Remaining batched events were
+            // never processed, so discarding them cannot be
+            // observed in the report.
+            if limit.is_some_and(|l| state.clock >= l) {
+                break 'run;
+            }
+            // Snapshot cut: same position and semantics as the stop
+            // above. The discarded batch tail regenerates
+            // deterministically when the resume fast-forwards the
+            // rebuilt generator by `events_consumed()`.
+            if cut.is_some_and(|c| state.clock >= c) {
+                return StopReason::Cut;
+            }
+            next_deadline = deadline_with_cut(state.next_tick, state.next_sample, limit, cut);
+        }
+    }
+    StopReason::Finished
 }
 
 /// The simulated machine shared by the single-tenant [`Simulation`]
@@ -151,6 +348,50 @@ impl Machine {
             timeline,
             markers,
         }
+    }
+
+    /// Serializes the full machine state — kernel, caches, TLB and the
+    /// policy's private state — into one snapshot object. The
+    /// configuration is *not* serialized: a snapshot restores onto a
+    /// freshly built machine of the same configuration, which the
+    /// envelope fingerprint enforces.
+    pub(crate) fn snapshot(&self) -> Json {
+        Json::obj([
+            (
+                "policy",
+                Json::obj([
+                    ("name", Json::Str(self.policy.name().to_string())),
+                    ("state", self.policy.snapshot_state()),
+                ]),
+            ),
+            ("kernel", self.kernel.snapshot()),
+            ("caches", self.caches.snapshot()),
+            ("tlb", self.tlb.snapshot()),
+        ])
+    }
+
+    /// Restores a [`Machine::snapshot`] onto this freshly built
+    /// machine.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Snapshot`] when the snapshot's policy does
+    /// not match the configured one, or any component rejects its
+    /// state. The machine may be partially mutated on error and must
+    /// be discarded — callers abort the whole restore.
+    pub(crate) fn restore(&mut self, snap: &Json) -> Result<()> {
+        let policy = snap.req("policy")?;
+        let name = policy.req_str("name")?;
+        if name != self.policy.name() {
+            return Err(Error::snapshot(format!(
+                "snapshot was taken under policy {name:?}, this machine runs {:?}",
+                self.policy.name()
+            )));
+        }
+        self.kernel.restore(snap.req("kernel")?)?;
+        self.caches.restore(snap.req("caches")?)?;
+        self.tlb.restore(snap.req("tlb")?)?;
+        self.policy.restore_state(policy.req("state")?)
     }
 
     /// Executes one CPU access; returns the time it took. `costs` holds
@@ -284,82 +525,83 @@ impl Simulation {
     /// layouts, so it indicates a config override bug.
     pub fn run(self) -> RunReport {
         let Self { mut machine, mut workload } = self;
-        let mut clock = Nanos::ZERO;
-        let mut accesses: u64 = 0;
-        let mut next_tick = Nanos::ZERO;
-        let mut next_sample = machine.config.sample_interval;
-        let mut timeline = Vec::new();
-        let mut markers = Vec::new();
-        // Window state for throughput sampling.
-        let mut window_accesses = 0u64;
-        let mut window_start = Nanos::ZERO;
+        let mut state = LoopState::fresh(&machine.config);
+        run_core(&mut machine, workload.as_mut(), &mut state, None);
+        machine.into_report(
+            workload.name().to_string(),
+            state.clock,
+            state.accesses,
+            state.timeline,
+            state.markers,
+        )
+    }
 
-        let limit = machine.config.max_time;
-        let costs = HotCosts::of(&machine.config);
-        let batch = machine.config.batch_size.max(1);
-        let max_accesses = machine.config.max_accesses;
-        let tick_quantum = machine.config.tick_quantum;
-        let sample_interval = machine.config.sample_interval;
-        let mut events: Vec<WorkloadEvent> = Vec::with_capacity(batch);
-        // Reusable shootdown buffer: policies append into it, so the
-        // steady-state tick path performs no heap allocation.
-        let mut shootdowns: Vec<VirtPage> = Vec::new();
-        let mut next_deadline = earliest_deadline(next_tick, next_sample, limit);
+    /// Runs until the virtual clock reaches `at` and serializes the
+    /// full run state — machine, loop registers, timeline so far —
+    /// into a versioned snapshot document (see [`crate::snapshot`]).
+    ///
+    /// Resuming the snapshot with [`Simulation::run_from`] on an
+    /// identically configured simulation produces a report
+    /// bit-identical to an uninterrupted [`Simulation::run`]. If the
+    /// run completes before `at`, the snapshot captures the final
+    /// state and a resume finishes immediately with the same report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine runs out of physical memory, as in
+    /// [`Simulation::run`].
+    pub fn snapshot_at(self, at: Nanos) -> Json {
+        let Self { mut machine, mut workload } = self;
+        let mut state = LoopState::fresh(&machine.config);
+        run_core(&mut machine, workload.as_mut(), &mut state, Some(at));
+        let fingerprint = snapshot::sim_fingerprint(&machine.config);
+        snapshot::envelope(
+            snapshot::KIND_SIM,
+            fingerprint,
+            workload.name(),
+            machine.policy.name(),
+            Json::obj([("machine", machine.snapshot()), ("loop", state.snapshot())]),
+        )
+    }
 
-        'run: while accesses < max_accesses {
-            if limit.is_some_and(|l| clock >= l) {
-                break;
-            }
-            // A batch of n events yields at most n accesses, so capping
-            // at the remaining budget can never overshoot max_accesses.
-            let n = (max_accesses - accesses).min(batch as u64) as usize;
-            events.clear();
-            workload.fill_events(&mut events, n);
-            for &event in &events {
-                let access = match event {
-                    WorkloadEvent::Access(access) => access,
-                    WorkloadEvent::Marker(m) => {
-                        // Markers skip the deadline checks, exactly like
-                        // the seed engine's `continue`.
-                        markers.push(MarkerRecord { at: clock, id: m.id, label: m.label });
-                        continue;
-                    }
-                };
-                clock += machine.step(access, clock, &costs);
-                accesses += 1;
-                window_accesses += 1;
-
-                if clock < next_deadline {
-                    continue;
-                }
-
-                // Policy tick.
-                if clock >= next_tick {
-                    clock += machine.policy_tick(clock, &mut shootdowns);
-                    next_tick = clock + tick_quantum;
-                }
-
-                // Timeline sample.
-                if clock >= next_sample {
-                    timeline.push(machine.sample(clock, accesses, window_accesses, window_start));
-                    window_accesses = 0;
-                    window_start = clock;
-                    next_sample = clock + sample_interval;
-                }
-
-                // Simulated-time stop: checked after the due tick and
-                // sample, matching the seed engine's loop-top check
-                // before the next event. Remaining batched events were
-                // never processed, so discarding them cannot be
-                // observed in the report.
-                if limit.is_some_and(|l| clock >= l) {
-                    break 'run;
-                }
-                next_deadline = earliest_deadline(next_tick, next_sample, limit);
-            }
-        }
-
-        machine.into_report(workload.name().to_string(), clock, accesses, timeline, markers)
+    /// Restores a [`Simulation::snapshot_at`] snapshot onto this
+    /// freshly built simulation and runs it to completion. The
+    /// workload generator is rebuilt from configuration and
+    /// fast-forwarded past the events the snapshotted run consumed —
+    /// generator internals are never serialized.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::Snapshot`] when the envelope does not match
+    /// this simulation (schema, version, kind, configuration
+    /// fingerprint, workload or policy name) or any component rejects
+    /// its state. Corrupt input yields an error, never a panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine runs out of physical memory, as in
+    /// [`Simulation::run`].
+    pub fn run_from(self, snap: &Json) -> Result<RunReport> {
+        let Self { mut machine, mut workload } = self;
+        let fingerprint = snapshot::sim_fingerprint(&machine.config);
+        let state_json = snapshot::open_envelope(
+            snap,
+            snapshot::KIND_SIM,
+            fingerprint,
+            workload.name(),
+            machine.policy.name(),
+        )?;
+        machine.restore(state_json.req("machine")?)?;
+        let mut state = LoopState::restore(state_json.req("loop")?)?;
+        snapshot::fast_forward(workload.as_mut(), state.events_consumed());
+        run_core(&mut machine, workload.as_mut(), &mut state, None);
+        Ok(machine.into_report(
+            workload.name().to_string(),
+            state.clock,
+            state.accesses,
+            state.timeline,
+            state.markers,
+        ))
     }
 }
 

@@ -34,6 +34,7 @@ mod corun;
 mod engine;
 mod report;
 mod sched;
+pub mod snapshot;
 
 pub use config::{CacheLatencies, SimConfig};
 pub use corun::{

@@ -22,7 +22,8 @@
 //!   slice boundary at or after each event's timestamp; between those,
 //!   active tenants round-robin exactly like the static schedule.
 
-use neomem_types::Nanos;
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Error, Nanos, Result};
 use neomem_workloads::{Scenario, TenantEvent, TenantEventKind};
 
 /// One scheduling decision, consumed by the engine at a slice boundary.
@@ -76,6 +77,27 @@ pub enum SchedulerOp {
 pub trait SliceScheduler {
     /// The next scheduling decision at virtual time `now`.
     fn next(&mut self, now: Nanos) -> SchedulerOp;
+
+    /// Serialises the scheduler's mutable position for a machine
+    /// snapshot. Stateless schedules keep the default, [`Json::Null`].
+    fn snapshot_state(&self) -> Json {
+        Json::Null
+    }
+
+    /// Restores [`SliceScheduler::snapshot_state`] output onto a
+    /// scheduler built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on state the scheduler cannot absorb.
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        match state {
+            Json::Null => Ok(()),
+            _ => Err(Error::snapshot(
+                "scheduler carries no restorable state, but the snapshot has some",
+            )),
+        }
+    }
 }
 
 /// The classic fixed-mix weighted round-robin: lane `i` runs
@@ -111,6 +133,22 @@ impl SliceScheduler for StaticRoundRobin {
             events: self.quantum * self.weights[lane] as usize,
             new_round: lane == 0,
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        Json::obj([("pos", Json::U64(self.pos as u64))])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        let pos = state.req_u64("pos")? as usize;
+        if pos >= self.weights.len() {
+            return Err(Error::snapshot(format!(
+                "round-robin position {pos} out of range for {} lanes",
+                self.weights.len()
+            )));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 
@@ -196,6 +234,71 @@ impl SliceScheduler for DynamicSchedule {
                 };
             }
         }
+    }
+
+    fn snapshot_state(&self) -> Json {
+        let active: Vec<u64> = self.active.iter().map(|&a| u64::from(a)).collect();
+        let weights: Vec<u64> = self.weights.iter().map(|&w| u64::from(w)).collect();
+        Json::obj([
+            ("next_event", Json::U64(self.next_event as u64)),
+            ("active", Json::Str(hex_from_u64s(&active))),
+            ("weights", Json::Str(hex_from_u64s(&weights))),
+            ("cursor", Json::U64(self.cursor as u64)),
+            ("pending_new_round", Json::Bool(self.pending_new_round)),
+        ])
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<()> {
+        let next_event = state.req_u64("next_event")? as usize;
+        if next_event > self.events.len() {
+            return Err(Error::snapshot(format!(
+                "timeline position {next_event} past the {}-event scenario",
+                self.events.len()
+            )));
+        }
+        let active_raw = state.req_u64s("active")?;
+        if active_raw.len() != self.active.len() {
+            return Err(Error::snapshot(format!(
+                "active-lane array has {} lanes, schedule has {}",
+                active_raw.len(),
+                self.active.len()
+            )));
+        }
+        let mut active = Vec::with_capacity(active_raw.len());
+        for v in active_raw {
+            match v {
+                0 => active.push(false),
+                1 => active.push(true),
+                _ => return Err(Error::snapshot(format!("active-lane flag {v} is not 0 or 1"))),
+            }
+        }
+        let weights_raw = state.req_u64s("weights")?;
+        if weights_raw.len() != self.weights.len() {
+            return Err(Error::snapshot(format!(
+                "weight array has {} lanes, schedule has {}",
+                weights_raw.len(),
+                self.weights.len()
+            )));
+        }
+        let mut weights = Vec::with_capacity(weights_raw.len());
+        for w in weights_raw {
+            let narrow = u32::try_from(w)
+                .map_err(|_| Error::snapshot(format!("lane weight {w} exceeds u32")))?;
+            weights.push(narrow);
+        }
+        let cursor = state.req_u64("cursor")? as usize;
+        if cursor > self.active.len() {
+            return Err(Error::snapshot(format!(
+                "round-robin cursor {cursor} out of range for {} lanes",
+                self.active.len()
+            )));
+        }
+        self.next_event = next_event;
+        self.active = active;
+        self.weights = weights;
+        self.cursor = cursor;
+        self.pending_new_round = state.req_bool("pending_new_round")?;
+        Ok(())
     }
 }
 

@@ -37,6 +37,22 @@ impl BitSet {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Raw backing words, for checkpointing.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Replaces the backing words from a checkpoint. Returns `false`
+    /// (leaving the set untouched) when the word count does not match
+    /// this set's length.
+    pub(crate) fn load_words(&mut self, words: &[u64]) -> bool {
+        if words.len() != self.words.len() {
+            return false;
+        }
+        self.words.copy_from_slice(words);
+        true
+    }
+
     #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn len(&self) -> usize {
         self.len

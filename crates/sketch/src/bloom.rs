@@ -8,7 +8,8 @@
 //! This module provides the strawman so the claim can be measured
 //! (DESIGN.md decision #1; `micro_sketch` benches both).
 
-use neomem_types::DevicePage;
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{DevicePage, Error, Result};
 
 use crate::bitset::BitSet;
 use crate::h3::H3Hash;
@@ -61,6 +62,26 @@ impl BloomFilter {
     /// Bits currently set (diagnostics / load factor).
     pub fn popcount(&self) -> usize {
         self.bits.count_ones()
+    }
+
+    /// Serialises the filter's bit array for a machine snapshot.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([("bits", Json::Str(hex_from_u64s(self.bits.words())))])
+    }
+
+    /// Restores [`BloomFilter::snapshot`] state onto a filter built with
+    /// the same size and hash parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields or a bit
+    /// array sized for a different filter.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let bits = snap.req_u64s("bits")?;
+        if !self.bits.load_words(&bits) {
+            return Err(Error::snapshot("bloom filter bit array size mismatch"));
+        }
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! The Count-Min sketch with hot/valid bits (paper Fig. 7).
 
+use neomem_types::json::{hex_from_u64s, hex_from_u16s, Json};
 use neomem_types::{DevicePage, Error, Result};
 
 use crate::bitset::BitSet;
@@ -255,6 +256,49 @@ impl CmSketch {
     /// Number of sketch entries whose hot bit is set (diagnostics).
     pub fn hot_bits_set(&self) -> usize {
         self.hot.count_ones()
+    }
+
+    /// Serialises the mutable sketch state (counters, hot/valid bits,
+    /// stream length) for a machine snapshot. Construction parameters
+    /// and the derived hash stage are *not* included: a snapshot is
+    /// restored onto a sketch freshly built with the same params.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("counters", Json::Str(hex_from_u16s(&self.counters))),
+            ("hot", Json::Str(hex_from_u64s(self.hot.words()))),
+            ("valid", Json::Str(hex_from_u64s(self.valid.words()))),
+            ("stream_len", Json::U64(self.stream_len)),
+            ("eager_clear", Json::Bool(self.eager_clear)),
+        ])
+    }
+
+    /// Restores the state captured by [`CmSketch::snapshot`] onto this
+    /// sketch, which must have been built with the same parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] when a field is missing, malformed,
+    /// or sized for a different sketch geometry.
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let counters = snap.req_u16s("counters")?;
+        if counters.len() != self.counters.len() {
+            return Err(Error::snapshot(format!(
+                "sketch counter array has {} entries, expected {}",
+                counters.len(),
+                self.counters.len()
+            )));
+        }
+        let hot = snap.req_u64s("hot")?;
+        let valid = snap.req_u64s("valid")?;
+        let stream_len = snap.req_u64("stream_len")?;
+        let eager_clear = snap.req_bool("eager_clear")?;
+        if !self.hot.load_words(&hot) || !self.valid.load_words(&valid) {
+            return Err(Error::snapshot("sketch bitset word count mismatch"));
+        }
+        self.counters = counters;
+        self.stream_len = stream_len;
+        self.eager_clear = eager_clear;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! The hot-page detector pipeline (paper Fig. 7/8).
 
-use neomem_types::{DevicePage, Result};
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{DevicePage, Error, Result};
 
 use crate::bloom::BloomFilter;
 use crate::cm_sketch::{CmSketch, SketchParams};
@@ -177,6 +178,80 @@ impl HotPageDetector {
     /// Returns detector statistics since the last clear.
     pub fn stats(&self) -> DetectorStats {
         self.stats
+    }
+
+    /// Serialises the detector's mutable state (sketch, threshold, output
+    /// buffer, stats, and the optional external Bloom filter) for a
+    /// machine snapshot.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([
+            ("sketch", self.sketch.snapshot()),
+            ("threshold", Json::U64(u64::from(self.threshold))),
+            (
+                "buffer",
+                Json::Str(hex_from_u64s(
+                    &self.buffer.iter().map(|p| p.index()).collect::<Vec<u64>>(),
+                )),
+            ),
+            ("observed", Json::U64(self.stats.observed)),
+            ("detected", Json::U64(self.stats.detected)),
+            ("filtered_duplicates", Json::U64(self.stats.filtered_duplicates)),
+            ("buffer_overflows", Json::U64(self.stats.buffer_overflows)),
+            (
+                "bloom",
+                match &self.bloom {
+                    None => Json::Null,
+                    Some(bloom) => bloom.snapshot(),
+                },
+            ),
+        ])
+    }
+
+    /// Restores [`HotPageDetector::snapshot`] state onto a detector built
+    /// with the same parameters and filter kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, a buffer
+    /// exceeding this detector's capacity, or a filter-kind mismatch
+    /// (snapshot has Bloom state but this detector uses hot bits, or vice
+    /// versa).
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let threshold = snap.req_u64("threshold")?;
+        let threshold = u16::try_from(threshold)
+            .map_err(|_| Error::snapshot(format!("threshold {threshold} exceeds u16")))?;
+        let buffer = snap.req_u64s("buffer")?;
+        if buffer.len() > self.capacity {
+            return Err(Error::snapshot(format!(
+                "hot buffer has {} entries, capacity is {}",
+                buffer.len(),
+                self.capacity
+            )));
+        }
+        match (&mut self.bloom, snap.req("bloom")?) {
+            (None, Json::Null) => {}
+            (Some(bloom), state @ Json::Obj(_)) => bloom.restore(state)?,
+            (None, _) => {
+                return Err(Error::snapshot(
+                    "snapshot carries bloom state but detector uses hot bits",
+                ))
+            }
+            (Some(_), _) => {
+                return Err(Error::snapshot(
+                    "detector uses an external bloom filter but snapshot has none",
+                ))
+            }
+        }
+        self.sketch.restore(snap.req("sketch")?)?;
+        self.threshold = threshold;
+        self.buffer = buffer.into_iter().map(DevicePage::new).collect();
+        self.stats = DetectorStats {
+            observed: snap.req_u64("observed")?,
+            detected: snap.req_u64("detected")?,
+            filtered_duplicates: snap.req_u64("filtered_duplicates")?,
+            buffer_overflows: snap.req_u64("buffer_overflows")?,
+        };
+        Ok(())
     }
 }
 

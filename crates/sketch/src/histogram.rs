@@ -7,6 +7,9 @@
 
 use core::fmt;
 
+use neomem_types::json::{hex_from_u64s, Json};
+use neomem_types::{Error, Result};
+
 /// Number of histogram bins in the hardware unit.
 pub const HISTOGRAM_BINS: usize = 64;
 
@@ -200,6 +203,33 @@ impl CounterHistogram {
             return 0.0;
         }
         1.0 - self.bins[0] as f64 / self.total as f64
+    }
+
+    /// Serialises the bin contents for a machine snapshot. The total is
+    /// not stored — it is always the sum of the bins.
+    pub fn snapshot(&self) -> Json {
+        Json::obj([("bins", Json::Str(hex_from_u64s(&self.bins)))])
+    }
+
+    /// Restores [`CounterHistogram::snapshot`] state. The histogram keeps
+    /// its current bin layout (snapshots are restored onto a histogram
+    /// built the same way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] on missing/malformed fields or a bin
+    /// count other than [`HISTOGRAM_BINS`].
+    pub fn restore(&mut self, snap: &Json) -> Result<()> {
+        let bins = snap.req_u64s("bins")?;
+        if bins.len() != HISTOGRAM_BINS {
+            return Err(Error::snapshot(format!(
+                "histogram has {} bins, expected {HISTOGRAM_BINS}",
+                bins.len()
+            )));
+        }
+        self.bins.copy_from_slice(&bins);
+        self.total = self.bins.iter().sum();
+        Ok(())
     }
 }
 

@@ -43,12 +43,23 @@ pub enum Error {
         /// Human-readable reason.
         reason: String,
     },
+    /// A machine snapshot failed strict validation on load (corrupt,
+    /// truncated, wrong version, or mismatched configuration).
+    Snapshot {
+        /// Human-readable reason.
+        what: String,
+    },
 }
 
 impl Error {
     /// Creates an [`Error::InvalidConfig`] from anything string-like.
     pub fn invalid_config(what: impl Into<String>) -> Self {
         Error::InvalidConfig { what: what.into() }
+    }
+
+    /// Creates an [`Error::Snapshot`] from anything string-like.
+    pub fn snapshot(what: impl Into<String>) -> Self {
+        Error::Snapshot { what: what.into() }
     }
 }
 
@@ -65,6 +76,7 @@ impl fmt::Display for Error {
             }
             Error::UnmappedPage { vpn } => write!(f, "virtual page {vpn} is not mapped"),
             Error::MigrationRejected { reason } => write!(f, "migration rejected: {reason}"),
+            Error::Snapshot { what } => write!(f, "invalid snapshot: {what}"),
         }
     }
 }
@@ -84,6 +96,7 @@ mod tests {
             Error::CommandDirection { offset: 0x100 },
             Error::UnmappedPage { vpn: 7 },
             Error::MigrationRejected { reason: "page already on target".into() },
+            Error::snapshot("version 9 is not supported"),
         ];
         for e in cases {
             let msg = format!("{e}");

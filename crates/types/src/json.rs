@@ -4,9 +4,21 @@
 //! serialised (and checked-in baselines parsed back) through this small
 //! value model. Objects preserve insertion order, which is what makes
 //! rendered reports byte-stable across runs.
+//!
+//! The tree also carries machine snapshots (`neomem_sim` checkpoint /
+//! warm-start files), which is why it lives in `neomem_types`: every
+//! simulated component serialises its state through [`Json`], and the
+//! strict `req_*` accessors give snapshot loaders schema validation
+//! with field-path error messages instead of panics.
 
 use core::fmt;
 use std::fmt::Write as _;
+
+use crate::Error;
+
+/// Shorthand for the strict-accessor result type; kept distinct from
+/// the parser's `Result<_, JsonError>` signatures below.
+type SnapResult<T> = core::result::Result<T, Error>;
 
 /// A JSON value.
 ///
@@ -238,6 +250,212 @@ impl Json {
         }
         Ok(value)
     }
+}
+
+impl Json {
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Strict lookup: the value under `key`, or an
+    /// [`Error::Snapshot`] naming the missing field.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `self` is not an object or lacks `key`.
+    pub fn req(&self, key: &str) -> SnapResult<&Json> {
+        match self {
+            Json::Obj(_) => self
+                .get(key)
+                .ok_or_else(|| Error::snapshot(format!("missing field {key:?}"))),
+            other => Err(Error::snapshot(format!(
+                "expected object with field {key:?}, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Strict `u64` field accessor (see [`Json::req`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is missing or not a non-negative integer.
+    pub fn req_u64(&self, key: &str) -> SnapResult<u64> {
+        self.req(key)?
+            .as_u64()
+            .ok_or_else(|| Error::snapshot(format!("field {key:?} is not a u64")))
+    }
+
+    /// Strict finite-`f64` field accessor (see [`Json::req`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is missing, non-numeric or non-finite
+    /// (`null` — the rendering of NaN/∞ — is rejected here).
+    pub fn req_f64(&self, key: &str) -> SnapResult<f64> {
+        let v = self
+            .req(key)?
+            .as_f64()
+            .ok_or_else(|| Error::snapshot(format!("field {key:?} is not a number")))?;
+        if !v.is_finite() {
+            return Err(Error::snapshot(format!("field {key:?} is not finite")));
+        }
+        Ok(v)
+    }
+
+    /// Strict `bool` field accessor (see [`Json::req`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is missing or not a boolean.
+    pub fn req_bool(&self, key: &str) -> SnapResult<bool> {
+        self.req(key)?
+            .as_bool()
+            .ok_or_else(|| Error::snapshot(format!("field {key:?} is not a bool")))
+    }
+
+    /// Strict string field accessor (see [`Json::req`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is missing or not a string.
+    pub fn req_str(&self, key: &str) -> SnapResult<&str> {
+        self.req(key)?
+            .as_str()
+            .ok_or_else(|| Error::snapshot(format!("field {key:?} is not a string")))
+    }
+
+    /// Strict array field accessor (see [`Json::req`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is missing or not an array.
+    pub fn req_arr(&self, key: &str) -> SnapResult<&[Json]> {
+        self.req(key)?
+            .as_arr()
+            .ok_or_else(|| Error::snapshot(format!("field {key:?} is not an array")))
+    }
+
+    /// Strict hex-packed `u64` vector accessor: the field must be a
+    /// string produced by [`hex_from_u64s`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is missing, not a string, or not a valid
+    /// multiple-of-16 hex digit sequence.
+    pub fn req_u64s(&self, key: &str) -> SnapResult<Vec<u64>> {
+        u64s_from_hex(self.req_str(key)?)
+            .map_err(|e| Error::snapshot(format!("field {key:?}: {e}")))
+    }
+
+    /// Strict hex-packed `u16` vector accessor (see [`hex_from_u16s`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is missing, not a string, or not a valid
+    /// multiple-of-4 hex digit sequence.
+    pub fn req_u16s(&self, key: &str) -> SnapResult<Vec<u16>> {
+        u16s_from_hex(self.req_str(key)?)
+            .map_err(|e| Error::snapshot(format!("field {key:?}: {e}")))
+    }
+
+    /// The variant name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::U64(_) | Json::I64(_) => "integer",
+            Json::F64(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// The path of the first non-finite [`Json::F64`] anywhere in the
+    /// tree, or `None` when every float is finite. Non-finite floats
+    /// render as `null`, silently vanishing from result documents —
+    /// callers that persist figures use this to fail loudly instead.
+    pub fn find_non_finite(&self) -> Option<String> {
+        fn walk(v: &Json, path: &str) -> Option<String> {
+            match v {
+                Json::F64(f) if !f.is_finite() => Some(path.to_string()),
+                Json::Arr(items) => items
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, item)| walk(item, &format!("{path}[{i}]"))),
+                Json::Obj(pairs) => pairs.iter().find_map(|(k, item)| {
+                    let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                    walk(item, &sub)
+                }),
+                _ => None,
+            }
+        }
+        walk(self, "")
+    }
+}
+
+/// Packs `u64` words into a lowercase hex string, 16 digits per word —
+/// the compact encoding snapshots use for bulk state (page tables,
+/// sketch counters, cache tag arrays) where a JSON array per element
+/// would bloat files by an order of magnitude.
+pub fn hex_from_u64s(words: &[u64]) -> String {
+    let mut out = String::with_capacity(words.len() * 16);
+    for w in words {
+        let _ = write!(out, "{w:016x}");
+    }
+    out
+}
+
+/// Unpacks a [`hex_from_u64s`] string.
+///
+/// # Errors
+///
+/// Returns a message when the length is not a multiple of 16 or any
+/// digit is not hex.
+pub fn u64s_from_hex(s: &str) -> core::result::Result<Vec<u64>, String> {
+    if !s.len().is_multiple_of(16) {
+        return Err(format!("hex length {} is not a multiple of 16", s.len()));
+    }
+    s.as_bytes()
+        .chunks(16)
+        .map(|chunk| {
+            let text = core::str::from_utf8(chunk).map_err(|_| "non-ASCII hex".to_string())?;
+            u64::from_str_radix(text, 16).map_err(|_| format!("invalid hex word {text:?}"))
+        })
+        .collect()
+}
+
+/// Packs `u16` values into a lowercase hex string, 4 digits per value.
+pub fn hex_from_u16s(values: &[u16]) -> String {
+    let mut out = String::with_capacity(values.len() * 4);
+    for v in values {
+        let _ = write!(out, "{v:04x}");
+    }
+    out
+}
+
+/// Unpacks a [`hex_from_u16s`] string.
+///
+/// # Errors
+///
+/// Returns a message when the length is not a multiple of 4 or any
+/// digit is not hex.
+pub fn u16s_from_hex(s: &str) -> core::result::Result<Vec<u16>, String> {
+    if !s.len().is_multiple_of(4) {
+        return Err(format!("hex length {} is not a multiple of 4", s.len()));
+    }
+    s.as_bytes()
+        .chunks(4)
+        .map(|chunk| {
+            let text = core::str::from_utf8(chunk).map_err(|_| "non-ASCII hex".to_string())?;
+            u16::from_str_radix(text, 16).map_err(|_| format!("invalid hex word {text:?}"))
+        })
+        .collect()
 }
 
 impl fmt::Display for Json {
@@ -645,5 +863,65 @@ mod tests {
         assert!(pretty.contains("\n  \"a\": ["));
         assert!(pretty.ends_with('\n'));
         assert_eq!(Json::parse(&pretty).unwrap(), doc);
+    }
+
+    #[test]
+    fn strict_accessors_name_the_field() {
+        let doc = Json::obj([
+            ("n", Json::U64(7)),
+            ("f", Json::F64(1.5)),
+            ("s", Json::from("x")),
+            ("b", Json::Bool(true)),
+            ("a", Json::arr([1u64])),
+        ]);
+        assert_eq!(doc.req_u64("n").unwrap(), 7);
+        assert!((doc.req_f64("f").unwrap() - 1.5).abs() < 1e-12);
+        assert!((doc.req_f64("n").unwrap() - 7.0).abs() < 1e-12);
+        assert_eq!(doc.req_str("s").unwrap(), "x");
+        assert!(doc.req_bool("b").unwrap());
+        assert_eq!(doc.req_arr("a").unwrap().len(), 1);
+        let err = doc.req_u64("missing").unwrap_err();
+        assert!(err.to_string().contains("missing"), "{err}");
+        let err = doc.req_u64("s").unwrap_err();
+        assert!(err.to_string().contains("\"s\""), "{err}");
+        // Non-objects fail req with a type name, not a panic.
+        assert!(Json::U64(1).req("k").is_err());
+        // A null (rendered NaN) is rejected by the strict f64 accessor.
+        let nan = Json::obj([("v", Json::Null)]);
+        assert!(nan.req_f64("v").is_err());
+    }
+
+    #[test]
+    fn hex_packing_round_trips() {
+        let words = vec![0u64, 1, u64::MAX, 0xDEAD_BEEF];
+        let hex = hex_from_u64s(&words);
+        assert_eq!(hex.len(), 64);
+        assert_eq!(u64s_from_hex(&hex).unwrap(), words);
+        assert!(u64s_from_hex("123").is_err());
+        assert!(u64s_from_hex("zzzzzzzzzzzzzzzz").is_err());
+
+        let values = vec![0u16, 7, u16::MAX];
+        let hex = hex_from_u16s(&values);
+        assert_eq!(u16s_from_hex(&hex).unwrap(), values);
+        assert!(u16s_from_hex("12345").is_err());
+
+        let doc = Json::obj([
+            ("w", Json::Str(hex_from_u64s(&words))),
+            ("v", Json::Str(hex_from_u16s(&values))),
+        ]);
+        assert_eq!(doc.req_u64s("w").unwrap(), words);
+        assert_eq!(doc.req_u16s("v").unwrap(), values);
+    }
+
+    #[test]
+    fn non_finite_finder_reports_the_path() {
+        let clean = Json::obj([("a", Json::arr([Json::F64(1.0)]))]);
+        assert_eq!(clean.find_non_finite(), None);
+        let dirty = Json::obj([
+            ("ok", Json::F64(2.0)),
+            ("grids", Json::arr([Json::obj([("drift", Json::F64(f64::NAN))])])),
+        ]);
+        assert_eq!(dirty.find_non_finite().as_deref(), Some("grids[0].drift"));
+        assert_eq!(Json::F64(f64::INFINITY).find_non_finite().as_deref(), Some(""));
     }
 }

@@ -31,6 +31,7 @@
 mod access;
 mod addr;
 mod error;
+pub mod json;
 mod tier;
 mod time;
 

@@ -197,6 +197,18 @@ pub mod rngs {
     }
 
     impl SmallRng {
+        /// The raw xoshiro256++ state, for checkpointing. Restoring the
+        /// returned words through [`SmallRng::from_state`] resumes the
+        /// stream exactly where it left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`SmallRng::state`] output.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+
         fn splitmix(state: &mut u64) -> u64 {
             *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = *state;
@@ -263,6 +275,18 @@ mod tests {
             assert!((0.0..=1.0).contains(&f));
             let u: f64 = rng.gen();
             assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = SmallRng::seed_from_u64(99);
+        for _ in 0..17 {
+            let _ = a.gen_range(0u64..1000);
+        }
+        let mut b = SmallRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
         }
     }
 

@@ -1,0 +1,6 @@
+//! Registry: the checked-in `scenarios/` corpus — inventory plus an
+//! end-to-end run of every scenario on its declared machine.
+
+fn main() {
+    neomem_bench::figures::bench_target_main("registry");
+}

@@ -27,9 +27,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use neomem::types::suggest;
 use neomem_bench::figures::{self, Figure, RunContext};
 use neomem_bench::Scale;
-use neomem_runner::{compare, effective_threads, GateConfig, Json};
+use neomem_runner::{compare, effective_threads, GateConfig, Json, Registry};
 
 // Counting global allocator, so `neomem-bench perf micro_engine` can
 // report steady-state allocation counts of the engine loop (see
@@ -43,6 +44,7 @@ struct Options {
     baseline: Option<PathBuf>,
     wall_report: Option<PathBuf>,
     warm_start: Option<PathBuf>,
+    machine: Option<String>,
 }
 
 impl Default for Options {
@@ -54,29 +56,38 @@ impl Default for Options {
             baseline: None,
             wall_report: None,
             warm_start: None,
+            machine: None,
         }
     }
 }
 
 enum Command {
-    Run(Vec<&'static Figure>),
+    /// Figures plus `scenario:<name>` corpus targets, run in order.
+    Run(Vec<&'static Figure>, Vec<String>),
     Perf(Vec<&'static Figure>),
     Snapshot(Vec<&'static Figure>),
     Help,
     List,
     Compare(PathBuf, PathBuf),
     Gate(&'static Figure),
+    ScenarioList,
+    ScenarioCheck,
+    ScenarioRun(Vec<String>),
 }
 
 const USAGE: &str = "\
 neomem-bench — regenerate paper figures/tables with machine-readable results
 
 USAGE:
-    neomem-bench <figure>... [--threads N] [--out DIR] [--wall-report FILE] [--warm-start DIR]
+    neomem-bench <figure|scenario:NAME>... [--threads N] [--out DIR] [--machine NAME]
+                 [--wall-report FILE] [--warm-start DIR]
     neomem-bench all [--threads N] [--out DIR] [--wall-report FILE] [--warm-start DIR]
     neomem-bench perf <figure>...|all [--threads N] [--out DIR] [--wall-report FILE]
     neomem-bench snapshot <figure>...|all --warm-start DIR [--threads N] [--out DIR]
     neomem-bench list
+    neomem-bench scenario list
+    neomem-bench scenario check [--all]
+    neomem-bench scenario run <name>... [--machine NAME] [--threads N] [--out DIR]
     neomem-bench compare <baseline.json> <current.json> [--tolerance F]
     neomem-bench gate <figure> --baseline <file> [--tolerance F] [--threads N] [--out DIR]
                       [--warm-start DIR]
@@ -86,17 +97,25 @@ OPTIONS:
     --out DIR           JSON output directory (default: target/bench-results)
     --tolerance F       allowed relative runtime drift for compare/gate (default: 0.10)
     --baseline FILE     checked-in baseline for gate (e.g. BENCH_fig11.json)
+    --machine NAME      registry machine for scenario runs, overriding the
+                        scenario file's own machine reference
     --wall-report FILE  write host wall-clock throughput JSON here
                         (perf default: target/wall-reports/perf.wall.json)
     --warm-start DIR    per-cell snapshot directory: `snapshot` populates it,
                         runs/gates restore unchanged cells from it instead of
                         replaying them (results stay byte-identical)
 
+The scenario commands read the checked-in corpus: `list` prints every named
+machine and scenario, `check` validates all of it (the CI gate), and `run`
+executes named scenarios (also reachable as `scenario:<name>` run targets,
+optionally pinned to a machine with --machine or a `machine:<name>` target).
+
 Result JSON carries simulated (virtual-clock) quantities only; wall-clock
 throughput goes to stderr and the wall-report file, never into results.
 
 ENVIRONMENT:
-    NEOMEM_SCALE     quick (default) | full — ~10x longer runs
+    NEOMEM_SCALE         quick (default) | full — ~10x longer runs
+    NEOMEM_SCENARIO_DIR  corpus directory (default: nearest scenarios/ upward)
 ";
 
 fn parse_args() -> Result<(Command, Options), String> {
@@ -104,6 +123,7 @@ fn parse_args() -> Result<(Command, Options), String> {
     let mut names: Vec<String> = Vec::new();
     let mut positional: Vec<String> = Vec::new();
     let mut list = false;
+    let mut all_flag = false;
     let mut args = std::env::args().skip(1);
     let mut keyword: Option<String> = None;
     while let Some(arg) = args.next() {
@@ -123,6 +143,8 @@ fn parse_args() -> Result<(Command, Options), String> {
                     v.parse().map_err(|_| format!("invalid --tolerance value {v:?}"))?;
             }
             "--baseline" => options.baseline = Some(PathBuf::from(value_for("--baseline")?)),
+            "--machine" => options.machine = Some(value_for("--machine")?),
+            "--all" => all_flag = true,
             "--wall-report" => {
                 options.wall_report = Some(PathBuf::from(value_for("--wall-report")?))
             }
@@ -133,7 +155,7 @@ fn parse_args() -> Result<(Command, Options), String> {
             // `list` is a command only in first position; anywhere else
             // it stays a positional (e.g. a results file named `list`).
             "list" | "--list" if keyword.is_none() && names.is_empty() => list = true,
-            "compare" | "gate" | "perf" | "snapshot" if keyword.is_none() => {
+            "compare" | "gate" | "perf" | "snapshot" | "scenario" if keyword.is_none() => {
                 if list || !names.is_empty() {
                     return Err(format!("{arg} cannot be combined with other commands\n\n{USAGE}"));
                 }
@@ -157,7 +179,34 @@ fn parse_args() -> Result<(Command, Options), String> {
         }
         return Ok((Command::List, options));
     }
+    if all_flag && keyword.as_deref() != Some("scenario") {
+        return Err(format!("--all only applies to `scenario check`\n\n{USAGE}"));
+    }
     match keyword.as_deref() {
+        Some("scenario") => {
+            let Some((sub, rest)) = positional.split_first() else {
+                return Err(format!("scenario takes a subcommand: list, check or run\n\n{USAGE}"));
+            };
+            match sub.as_str() {
+                "list" | "check" if !rest.is_empty() => {
+                    Err(format!("scenario {sub} takes no further arguments\n\n{USAGE}"))
+                }
+                "list" => Ok((Command::ScenarioList, options)),
+                // `check` always validates the whole corpus; --all is
+                // accepted so the CI invocation reads explicitly.
+                "check" => Ok((Command::ScenarioCheck, options)),
+                "run" if rest.is_empty() => {
+                    Err(format!("scenario run takes at least one scenario name\n\n{USAGE}"))
+                }
+                "run" => Ok((Command::ScenarioRun(rest.to_vec()), options)),
+                other => {
+                    let hint = suggest::closest(other, ["list", "check", "run"])
+                        .map(|s| format!(" (did you mean {s:?}?)"))
+                        .unwrap_or_default();
+                    Err(format!("unknown scenario subcommand {other:?}{hint}\n\n{USAGE}"))
+                }
+            }
+        }
         Some("compare") => {
             if positional.len() != 2 {
                 return Err(format!(
@@ -203,8 +252,26 @@ fn parse_args() -> Result<(Command, Options), String> {
             if names.is_empty() {
                 return Err(USAGE.to_string());
             }
-            let figures = resolve_many(&names)?;
-            Ok((Command::Run(figures), options))
+            // Plain run targets mix figures with corpus entries:
+            // `scenario:<name>` runs a scenario, `machine:<name>` pins
+            // the machine (same as --machine).
+            let mut figure_names: Vec<String> = Vec::new();
+            let mut scenario_names: Vec<String> = Vec::new();
+            for name in names {
+                if let Some(scenario) = name.strip_prefix("scenario:") {
+                    scenario_names.push(scenario.to_string());
+                } else if let Some(machine) = name.strip_prefix("machine:") {
+                    options.machine = Some(machine.to_string());
+                } else {
+                    figure_names.push(name);
+                }
+            }
+            if figure_names.is_empty() && scenario_names.is_empty() {
+                return Err(format!("machine:<name> needs a scenario to run\n\n{USAGE}"));
+            }
+            let figures =
+                if figure_names.is_empty() { Vec::new() } else { resolve_many(&figure_names)? };
+            Ok((Command::Run(figures, scenario_names), options))
         }
     }
 }
@@ -212,7 +279,14 @@ fn parse_args() -> Result<(Command, Options), String> {
 fn resolve(name: &str) -> Result<&'static Figure, String> {
     figures::find(name).ok_or_else(|| {
         let known: Vec<&str> = figures::ALL.iter().map(|f| f.name).collect();
-        format!("unknown figure {name:?}; known figures: {}", known.join(", "))
+        let hint = suggest::closest(name, known.iter().copied())
+            .map(|s| format!(" (did you mean {s:?}?)"))
+            .unwrap_or_default();
+        format!(
+            "unknown figure {name:?}; known figures: {}{hint}\n\
+             (corpus scenarios run as scenario:<name> — see `neomem-bench scenario list`)",
+            known.join(", ")
+        )
     })
 }
 
@@ -387,6 +461,106 @@ fn run_figures(
     Ok(())
 }
 
+/// Loads the corpus registry, mapping the error for CLI display.
+fn load_registry() -> Result<Registry, String> {
+    Registry::discover().map_err(|e| e.to_string())
+}
+
+/// `scenario list`: every named machine and scenario in the corpus.
+fn scenario_list() -> Result<(), String> {
+    let registry = load_registry()?;
+    println!("corpus: {} ({} entries)", registry.dir().display(), registry.len());
+    for name in registry.machine_names() {
+        let machine = registry.machine(name).expect("listed name resolves");
+        let title =
+            machine.title.as_deref().map(|t| format!(" — {t}")).unwrap_or_default();
+        println!("machine   {name:<28}{title}");
+    }
+    for name in registry.scenario_names() {
+        let scenario = registry.scenario(name).expect("listed name resolves");
+        let on = scenario.machine.as_deref().map(|m| format!(" on {m}")).unwrap_or_default();
+        let title =
+            scenario.title.as_deref().map(|t| format!(" — {t}")).unwrap_or_default();
+        println!(
+            "scenario  {name:<28} {} tenant(s){on}{title}",
+            scenario.scenario.mix().len()
+        );
+    }
+    Ok(())
+}
+
+/// `scenario check`: validates the whole corpus — parse errors, schema
+/// violations, stem/name mismatches, duplicate names and dangling
+/// machine references all fail the load with a path-prefixed message.
+fn scenario_check() -> Result<(), String> {
+    let registry = load_registry()?;
+    for name in registry.machine_names() {
+        println!("ok  machine   {name}");
+    }
+    for name in registry.scenario_names() {
+        println!("ok  scenario  {name}");
+    }
+    println!(
+        "[neomem-bench] {} corpus entries validated in {}",
+        registry.len(),
+        registry.dir().display()
+    );
+    Ok(())
+}
+
+/// `scenario run` (and `scenario:<name>` run targets): executes named
+/// corpus scenarios, each on its declared machine unless `--machine`
+/// pins one, and writes `scenario_<name>.json` results.
+fn run_scenarios(names: &[String], ctx: &RunContext, options: &Options) -> Result<(), String> {
+    if names.is_empty() {
+        return Ok(());
+    }
+    let registry = load_registry()?;
+    let pinned = match &options.machine {
+        Some(name) => Some(registry.machine(name).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    for name in names {
+        let config = registry.scenario(name).map_err(|e| e.to_string())?;
+        let machine = match pinned {
+            Some(machine) => Some(machine),
+            None => registry.machine_for(name).map_err(|e| e.to_string())?,
+        };
+        let started = Instant::now();
+        let (metrics, run) = figures::registry::run_scenario(config, machine, ctx)
+            .map_err(|e| format!("scenario {name:?}: {e}"))?;
+        let mut doc = vec![
+            ("schema_version".to_string(), Json::U64(1)),
+            ("kind".to_string(), Json::from("scenario_run")),
+            ("name".to_string(), Json::from(name.as_str())),
+            ("scale".to_string(), Json::from(ctx.scale.name())),
+        ];
+        let Json::Obj(body) = metrics else {
+            unreachable!("run_scenario returns an object payload")
+        };
+        doc.extend(body);
+        doc.push(("grid".to_string(), run.to_json()));
+        let doc = Json::Obj(doc);
+        if let Some(path) = doc.find_non_finite() {
+            return Err(format!(
+                "scenario {name:?} produced a non-finite metric at {path}; refusing to \
+                 write scenario_{name}.json"
+            ));
+        }
+        std::fs::create_dir_all(&options.out_dir)
+            .map_err(|e| format!("cannot create {}: {e}", options.out_dir.display()))?;
+        let path = options.out_dir.join(format!("scenario_{name}.json"));
+        std::fs::write(&path, doc.render_pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "\n[neomem-bench] scenario {name} done in {:.1}s -> {}",
+            started.elapsed().as_secs_f64(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
 /// Reads `NEOMEM_SCALE` without panicking: unlike the bench-wrapper
 /// path ([`Scale::from_env`]), a CLI rejects bad user input with an
 /// actionable message and a failure exit code.
@@ -436,9 +610,17 @@ fn main() -> ExitCode {
             }
             Ok(true)
         }
-        Command::Run(figures) | Command::Snapshot(figures) => {
+        Command::Run(figures, scenarios) => {
+            run_figures(&figures, &ctx, &options, options.wall_report.as_deref())
+                .and_then(|()| run_scenarios(&scenarios, &ctx, &options))
+                .map(|()| true)
+        }
+        Command::Snapshot(figures) => {
             run_figures(&figures, &ctx, &options, options.wall_report.as_deref()).map(|()| true)
         }
+        Command::ScenarioList => scenario_list().map(|()| true),
+        Command::ScenarioCheck => scenario_check().map(|()| true),
+        Command::ScenarioRun(names) => run_scenarios(&names, &ctx, &options).map(|()| true),
         Command::Perf(figures) => {
             let default_path = PathBuf::from("target/wall-reports/perf.wall.json");
             let path = options.wall_report.clone().unwrap_or(default_path);

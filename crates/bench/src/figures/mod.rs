@@ -23,6 +23,7 @@ pub mod fig18;
 pub mod micro_engine;
 pub mod micro_sketch;
 pub mod micro_system;
+pub mod registry;
 pub mod scenarios;
 pub mod table01;
 pub mod table06;
@@ -105,6 +106,7 @@ pub const ALL: &[Figure] = &[
     Figure { name: "table06", title: "Table VI: THP vs base pages on Page-Rank", run: table06::run },
     Figure { name: "corun", title: "Co-run: multi-tenant contention for the fast tier", run: corun::run },
     Figure { name: "scenarios", title: "Scenarios: tenant churn, phased workloads, contention-aware tiering", run: scenarios::run },
+    Figure { name: "registry", title: "Registry: corpus machines & scenarios validated end-to-end", run: registry::run },
     Figure { name: "micro_engine", title: "Engine-loop micro-bench: throughput, batch invariance, allocations", run: micro_engine::run },
     Figure { name: "micro_sketch", title: "Criterion micro-benchmarks: sketch pipeline", run: micro_sketch::run },
     Figure { name: "micro_system", title: "Criterion micro-benchmarks: simulation substrates", run: micro_system::run },
@@ -156,7 +158,7 @@ mod tests {
 
     #[test]
     fn registry_covers_all_bench_targets_uniquely() {
-        assert_eq!(ALL.len(), 17);
+        assert_eq!(ALL.len(), 18);
         let mut names: Vec<&str> = ALL.iter().map(|f| f.name).collect();
         names.sort_unstable();
         let before = names.len();

@@ -7,7 +7,7 @@ use neomem_policies::{
     ThresholdMode, TieringPolicy,
 };
 use neomem_profilers::{NeoProfDriverConfig, PebsConfig};
-use neomem_sim::{RunReport, SimConfig, Simulation};
+use neomem_sim::{MachineDescription, RunReport, SimConfig, Simulation};
 use neomem_sketch::SketchParams;
 use neomem_types::{Bandwidth, Error, Nanos, PageNum, Result, Tier};
 use neomem_workloads::WorkloadKind;
@@ -30,6 +30,54 @@ pub struct PolicyOverrides {
     /// [`neomem_policies::TieringPolicy::configure_tenants`] via the
     /// tenant layout. `None` = no cap.
     pub corun_fast_share_cap: Option<f64>,
+    /// NeoProf monitor→core FIFO depth (Table IV default 4096).
+    pub neoprof_fifo_depth: Option<usize>,
+    /// Pages the NeoProf low-frequency core drains per tick (Table IV
+    /// default 4096).
+    pub neoprof_drain_per_tick: Option<usize>,
+}
+
+impl PolicyOverrides {
+    /// Folds a machine description's `[neoprof]` knobs into this
+    /// override set. Sketch fields start from
+    /// [`SketchParams::paper_default`] (or an already-present sketch
+    /// override) so a file that sets only `sketch_width` keeps the
+    /// paper's depth/seed/buffer. A description with no knobs returns
+    /// the overrides untouched — the byte-identity guarantee for
+    /// registry-built experiments.
+    pub fn with_machine(mut self, machine: &MachineDescription) -> Self {
+        let knobs = &machine.neoprof;
+        if knobs.is_default() {
+            return self;
+        }
+        let sketch_touched = knobs.sketch_width.is_some()
+            || knobs.sketch_depth.is_some()
+            || knobs.sketch_seed.is_some()
+            || knobs.hot_buffer_entries.is_some();
+        if sketch_touched {
+            let mut sketch = self.sketch.unwrap_or_else(SketchParams::paper_default);
+            if let Some(width) = knobs.sketch_width {
+                sketch.width = width;
+            }
+            if let Some(depth) = knobs.sketch_depth {
+                sketch.depth = depth;
+            }
+            if let Some(seed) = knobs.sketch_seed {
+                sketch.seed = seed;
+            }
+            if let Some(entries) = knobs.hot_buffer_entries {
+                sketch.hot_buffer_entries = entries;
+            }
+            self.sketch = Some(sketch);
+        }
+        if knobs.fifo_depth.is_some() {
+            self.neoprof_fifo_depth = knobs.fifo_depth;
+        }
+        if knobs.drain_per_tick.is_some() {
+            self.neoprof_drain_per_tick = knobs.drain_per_tick;
+        }
+        self
+    }
 }
 
 /// Builds [`neomem_policies::TieringPolicy`] instances from a
@@ -67,6 +115,12 @@ pub fn build_policy(
             let mut dev = NeoProfConfig::paper_default(slow_base);
             if let Some(sketch) = overrides.sketch {
                 dev.sketch = sketch;
+            }
+            if let Some(depth) = overrides.neoprof_fifo_depth {
+                dev.fifo_depth = depth;
+            }
+            if let Some(drain) = overrides.neoprof_drain_per_tick {
+                dev.drain_per_tick = drain;
             }
             Box::new(NeoMemPolicy::new(dev, NeoProfDriverConfig::scaled(time_scale), params)?)
         }
@@ -166,6 +220,7 @@ pub struct ExperimentBuilder {
     seed: u64,
     time_scale: u64,
     large_machine: bool,
+    machine: Option<MachineDescription>,
     batch_size: Option<usize>,
     overrides: PolicyOverrides,
     config_hook: Option<fn(&mut SimConfig)>,
@@ -182,6 +237,7 @@ impl Default for ExperimentBuilder {
             seed: 42,
             time_scale: 1000,
             large_machine: false,
+            machine: None,
             batch_size: None,
             overrides: PolicyOverrides::default(),
             config_hook: None,
@@ -240,6 +296,17 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Builds the simulation from a declarative machine description
+    /// (registry/config-file path) instead of the quick/large presets.
+    /// The description's own preset supersedes
+    /// [`ExperimentBuilder::large_machine`], and its `[neoprof]` knobs
+    /// fold into the policy overrides. A description with no overrides
+    /// reproduces the preset path exactly.
+    pub fn machine(mut self, machine: MachineDescription) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
     /// Overrides the engine's event batch size (default: the
     /// [`SimConfig`] preset). A host-side dispatch knob only — any
     /// value yields bit-identical simulated results; 1 recovers the
@@ -269,7 +336,9 @@ impl ExperimentBuilder {
     /// Returns [`Error::InvalidConfig`] for inconsistent machine
     /// configurations or invalid policy parameters.
     pub fn build(self) -> Result<Experiment> {
-        let mut config = if self.large_machine {
+        let mut config = if let Some(machine) = &self.machine {
+            machine.sim_config(self.rss_pages, self.ratio)
+        } else if self.large_machine {
             SimConfig::large(self.rss_pages, self.ratio)
         } else {
             SimConfig::quick(self.rss_pages, self.ratio)
@@ -282,8 +351,12 @@ impl ExperimentBuilder {
             hook(&mut config);
         }
         config.validate()?;
+        let overrides = match &self.machine {
+            Some(machine) => self.overrides.with_machine(machine),
+            None => self.overrides,
+        };
         // Validate policy construction early so `run()` cannot fail.
-        build_policy(self.policy, &config, self.time_scale, self.overrides).map_err(|e| {
+        build_policy(self.policy, &config, self.time_scale, overrides).map_err(|e| {
             Error::invalid_config(format!("policy construction failed: {e}"))
         })?;
         Ok(Experiment {
@@ -292,7 +365,7 @@ impl ExperimentBuilder {
             policy: self.policy,
             seed: self.seed,
             time_scale: self.time_scale,
-            overrides: self.overrides,
+            overrides,
         })
     }
 }
@@ -344,6 +417,32 @@ mod tests {
         build_policy(PolicyKind::NeoMem, &config, 1000, overrides).unwrap();
         build_policy(PolicyKind::Pebs, &config, 1000, overrides).unwrap();
         build_policy(PolicyKind::Memtis, &config, 1000, overrides).unwrap();
+    }
+
+    #[test]
+    fn machine_neoprof_knobs_fold_into_overrides() {
+        let machine = neomem_sim::machine::MachineDescription::parse(
+            "schema = 1\nkind = machine\nname = m\n\
+             [neoprof]\nsketch_width = 1024\nfifo_depth = 512\n",
+        )
+        .unwrap();
+        let overrides = PolicyOverrides::default().with_machine(&machine);
+        let sketch = overrides.sketch.expect("sketch override materialised");
+        assert_eq!(sketch.width, 1024);
+        assert_eq!(sketch.depth, SketchParams::paper_default().depth, "untouched fields keep defaults");
+        assert_eq!(overrides.neoprof_fifo_depth, Some(512));
+        assert_eq!(overrides.neoprof_drain_per_tick, None);
+        build_policy(PolicyKind::NeoMem, &SimConfig::quick(1024, 2), 1000, overrides).unwrap();
+
+        // No knobs → overrides pass through untouched (byte-identity).
+        let plain = neomem_sim::machine::MachineDescription::parse(
+            "schema = 1\nkind = machine\nname = m\n",
+        )
+        .unwrap();
+        let base = PolicyOverrides { pebs_sample_interval: Some(10), ..Default::default() };
+        let folded = base.with_machine(&plain);
+        assert!(folded.sketch.is_none());
+        assert_eq!(folded.pebs_sample_interval, Some(10));
     }
 
     #[test]

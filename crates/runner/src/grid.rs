@@ -82,6 +82,7 @@ pub struct ExperimentGrid {
     rss_pages: u64,
     time_scale: u64,
     large_machine: bool,
+    machine: Option<MachineDescription>,
     corun_quantum: usize,
     configure: Option<fn(&mut SimConfig)>,
 }
@@ -111,6 +112,7 @@ impl ExperimentGrid {
             rss_pages: 4096,
             time_scale: 1000,
             large_machine: false,
+            machine: None,
             corun_quantum: 64,
             configure: None,
         }
@@ -215,6 +217,39 @@ impl ExperimentGrid {
         self
     }
 
+    /// Builds every cell's machine from a declarative description
+    /// (registry/config-file path) instead of the quick/large presets.
+    /// The description's own preset supersedes
+    /// [`ExperimentGrid::large_machine`], and its `[neoprof]` knobs
+    /// fold into each cell's policy overrides. A description with no
+    /// overrides reproduces the preset path exactly, so switching an
+    /// existing campaign to an equivalent machine file does not change
+    /// its result bytes.
+    pub fn machine(mut self, machine: MachineDescription) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// The machine configuration a cell of the given footprint and
+    /// ratio runs on: the declarative description when one is set,
+    /// otherwise the quick/large preset.
+    fn machine_config(&self, rss_pages: u64, ratio: u64) -> SimConfig {
+        match &self.machine {
+            Some(machine) => machine.sim_config(rss_pages, ratio),
+            None if self.large_machine => SimConfig::large(rss_pages, ratio),
+            None => SimConfig::quick(rss_pages, ratio),
+        }
+    }
+
+    /// A cell's effective policy overrides: the cell's own, plus the
+    /// machine description's NeoProf knobs when one is set.
+    fn cell_overrides(&self, cell: &GridCell) -> PolicyOverrides {
+        match &self.machine {
+            Some(machine) => cell.overrides.with_machine(machine),
+            None => cell.overrides,
+        }
+    }
+
     /// Installs a final [`SimConfig`] hook applied to every cell.
     pub fn configure(mut self, hook: fn(&mut SimConfig)) -> Self {
         self.configure = Some(hook);
@@ -314,6 +349,9 @@ impl ExperimentGrid {
             .time_scale(self.time_scale)
             .large_machine(self.large_machine)
             .overrides(cell.overrides);
+        if let Some(machine) = &self.machine {
+            builder = builder.machine(machine.clone());
+        }
         if let Some(hook) = self.configure {
             builder = builder.configure(hook);
         }
@@ -327,20 +365,17 @@ impl ExperimentGrid {
     /// the tenant layout.
     fn corun_simulation_for(&self, cell: &GridCell) -> Result<CoRunSimulation, Error> {
         let spec = cell.corun.as_ref().expect("corun cell");
-        let mut config = if self.large_machine {
-            SimConfig::large(spec.mix.total_rss_pages(), cell.ratio)
-        } else {
-            SimConfig::quick(spec.mix.total_rss_pages(), cell.ratio)
-        };
+        let mut config = self.machine_config(spec.mix.total_rss_pages(), cell.ratio);
         config.max_accesses = cell.accesses;
         if let Some(hook) = self.configure {
             hook(&mut config);
         }
-        let policy = build_policy(cell.policy, &config, self.time_scale, cell.overrides)?;
+        let overrides = self.cell_overrides(cell);
+        let policy = build_policy(cell.policy, &config, self.time_scale, overrides)?;
         let corun_config = CoRunConfig {
             sim: config,
             interleave_quantum: spec.interleave_quantum,
-            fast_share_cap: cell.overrides.corun_fast_share_cap,
+            fast_share_cap: overrides.corun_fast_share_cap,
         };
         // The seed axis drives tenant seeds (tenant i gets seed + i),
         // so seed sweeps produce genuinely different co-runs.
@@ -353,20 +388,17 @@ impl ExperimentGrid {
     fn scenario_simulation_for(&self, cell: &GridCell) -> Result<CoRunSimulation, Error> {
         let spec = cell.scenario.as_ref().expect("scenario cell");
         let total_rss = spec.scenario.mix().total_rss_pages();
-        let mut config = if self.large_machine {
-            SimConfig::large(total_rss, cell.ratio)
-        } else {
-            SimConfig::quick(total_rss, cell.ratio)
-        };
+        let mut config = self.machine_config(total_rss, cell.ratio);
         config.max_accesses = cell.accesses;
         if let Some(hook) = self.configure {
             hook(&mut config);
         }
-        let policy = build_policy(cell.policy, &config, self.time_scale, cell.overrides)?;
+        let overrides = self.cell_overrides(cell);
+        let policy = build_policy(cell.policy, &config, self.time_scale, overrides)?;
         let corun_config = CoRunConfig {
             sim: config,
             interleave_quantum: spec.interleave_quantum,
-            fast_share_cap: cell.overrides.corun_fast_share_cap,
+            fast_share_cap: overrides.corun_fast_share_cap,
         };
         CoRunSimulation::with_scenario(
             corun_config,
@@ -491,10 +523,15 @@ impl ExperimentGrid {
     /// snapshots are keyed by this hash, so any change to a cell's
     /// inputs changes its key and the cell re-runs cold.
     pub fn cell_hash(&self, cell: &GridCell) -> u64 {
-        let ident = format!(
+        let mut ident = format!(
             "{}|rss{}|ts{}|large{}|q{}|{cell:?}",
             self.name, self.rss_pages, self.time_scale, self.large_machine, self.corun_quantum,
         );
+        // Grids without a machine description keep the legacy key, so
+        // existing snapshot corpora stay warm.
+        if let Some(machine) = &self.machine {
+            ident.push_str(&format!("|machine{machine:?}"));
+        }
         let mut hash = 0xcbf2_9ce4_8422_2325u64;
         for byte in ident.as_bytes() {
             hash ^= u64::from(*byte);
@@ -1283,6 +1320,44 @@ mod tests {
             .expect("grid runs");
         let single = run.report_for(WorkloadKind::Gups, PolicyKind::FirstTouch);
         assert!(!single.workload.starts_with("corun["));
+    }
+
+    #[test]
+    fn no_override_machine_description_reproduces_preset_grids() {
+        // A machine file with no overrides must leave every cell type —
+        // single-tenant, co-run, scenario — byte-identical to the
+        // preset-built path. This is the registry's reproducibility
+        // contract.
+        let base = ExperimentGrid::new("machine-id")
+            .workloads([WorkloadKind::Gups])
+            .corun("pair", tiny_mix())
+            .scenario("churn", churn_scenario())
+            .policies([PolicyKind::FirstTouch, PolicyKind::NeoMem])
+            .rss_pages(512)
+            .budgets([4_000]);
+        let plain = base.clone().run(2).expect("preset grid").to_json().render_pretty();
+        let desc =
+            MachineDescription::parse("schema = 1\nkind = machine\nname = default\n").unwrap();
+        let with_machine =
+            base.machine(desc).run(2).expect("machine grid").to_json().render_pretty();
+        assert_eq!(plain, with_machine, "no-override machine must not change result bytes");
+    }
+
+    #[test]
+    fn machine_description_overrides_change_results() {
+        let base = ExperimentGrid::new("machine-diff")
+            .workloads([WorkloadKind::Gups])
+            .policies([PolicyKind::FirstTouch])
+            .rss_pages(512)
+            .budgets([4_000]);
+        let plain = base.clone().run(1).expect("preset grid").to_json().render_pretty();
+        let desc = MachineDescription::parse(
+            "schema = 1\nkind = machine\nname = far\n\
+             [memory]\nslow_read_latency = 900ns\n",
+        )
+        .unwrap();
+        let slower = base.machine(desc).run(1).expect("machine grid").to_json().render_pretty();
+        assert_ne!(plain, slower, "a slower far tier must show up in the results");
     }
 
     fn warm_dir(tag: &str) -> PathBuf {

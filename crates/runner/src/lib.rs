@@ -39,6 +39,7 @@
 mod compare;
 mod exec;
 mod grid;
+pub mod registry;
 mod report;
 
 /// The JSON value model (re-exported from `neomem_types`, where it
@@ -54,4 +55,5 @@ pub use grid::{
     WarmStats,
 };
 pub use json::{Json, JsonError, MAX_PARSE_DEPTH};
+pub use registry::Registry;
 pub use report::{metrics_json, report_json};

@@ -1,0 +1,359 @@
+//! The named machine & scenario registry.
+//!
+//! A registry is a directory of text-config files — by convention the
+//! repository's `scenarios/` — each declaring one machine
+//! ([`neomem::sim::MachineDescription`]) or one scenario
+//! ([`neomem::workloads::ScenarioConfig`]). Loading the directory
+//! parses and validates every file, enforces that each file's stem
+//! matches its declared `name` (so `run scenario:<name>` always maps
+//! to `scenarios/<name>.cfg`), and resolves cross-file references
+//! (a scenario's `machine = <name>`). Lookups are by declared name,
+//! with near-miss suggestions on typos.
+//!
+//! ```no_run
+//! use neomem_runner::registry::Registry;
+//!
+//! let registry = Registry::discover()?;
+//! let scenario = registry.scenario("diurnal-web")?;
+//! let machine = registry.machine("cxl-prototype")?;
+//! # Ok::<(), neomem::Error>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use neomem::prelude::*;
+use neomem::types::config::ConfigDoc;
+use neomem::types::suggest;
+use neomem::workloads::ScenarioConfig;
+use neomem::Error;
+
+/// File extension of registry entries (`<name>.cfg`).
+pub const CONFIG_EXT: &str = "cfg";
+
+/// Default corpus directory name, searched upward from the working
+/// directory by [`Registry::discover`].
+pub const DEFAULT_DIR: &str = "scenarios";
+
+/// Environment variable overriding the corpus directory.
+pub const DIR_ENV: &str = "NEOMEM_SCENARIO_DIR";
+
+/// A loaded, fully validated corpus of named machines and scenarios.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    dir: PathBuf,
+    machines: BTreeMap<String, MachineDescription>,
+    scenarios: BTreeMap<String, ScenarioConfig>,
+}
+
+impl Registry {
+    /// Loads every `*.cfg` file under `dir` (non-recursive, sorted by
+    /// file name so diagnostics are deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] — prefixed with the offending
+    /// file's path — on the first unreadable, unparsable, or invalid
+    /// file; on a file whose stem differs from its declared `name`; on
+    /// duplicate names; and on a scenario referencing an unknown
+    /// machine. An empty or missing directory is an error: a registry
+    /// with nothing in it means the corpus wasn't found.
+    pub fn load(dir: impl Into<PathBuf>) -> Result<Self, Error> {
+        let dir = dir.into();
+        let entries = std::fs::read_dir(&dir).map_err(|e| {
+            Error::invalid_config(format!(
+                "cannot read scenario directory {}: {e}",
+                dir.display()
+            ))
+        })?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(CONFIG_EXT))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(Error::invalid_config(format!(
+                "scenario directory {} contains no .{CONFIG_EXT} files",
+                dir.display()
+            )));
+        }
+        let mut registry = Registry {
+            dir,
+            machines: BTreeMap::new(),
+            scenarios: BTreeMap::new(),
+        };
+        for path in &paths {
+            registry.load_file(path)?;
+        }
+        registry.check_cross_refs()?;
+        Ok(registry)
+    }
+
+    /// Locates and loads the corpus: `$NEOMEM_SCENARIO_DIR` when set,
+    /// otherwise the nearest `scenarios/` directory walking up from
+    /// the current working directory (so the registry resolves from a
+    /// crate subdirectory as well as the repository root).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Registry::load`], plus a not-found error when no
+    /// corpus directory exists on the walk up.
+    pub fn discover() -> Result<Self, Error> {
+        if let Ok(dir) = std::env::var(DIR_ENV) {
+            return Self::load(dir);
+        }
+        let start = std::env::current_dir().map_err(|e| {
+            Error::invalid_config(format!("cannot determine working directory: {e}"))
+        })?;
+        let mut cursor = Some(start.as_path());
+        while let Some(dir) = cursor {
+            let candidate = dir.join(DEFAULT_DIR);
+            if candidate.is_dir() {
+                return Self::load(candidate);
+            }
+            cursor = dir.parent();
+        }
+        Err(Error::invalid_config(format!(
+            "no {DEFAULT_DIR}/ directory found from {} upward (set {DIR_ENV} to override)",
+            start.display()
+        )))
+    }
+
+    /// Parses one file and files it under its declared name.
+    fn load_file(&mut self, path: &Path) -> Result<(), Error> {
+        let fail = |msg: String| Error::invalid_config(format!("{}: {msg}", path.display()));
+        let text = std::fs::read_to_string(path).map_err(|e| fail(e.to_string()))?;
+        let doc = ConfigDoc::parse(&text).map_err(|e| fail(e.to_string()))?;
+        let kind =
+            neomem::workloads::config::doc_kind(&doc).map_err(|e| fail(e.to_string()))?;
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or_default();
+        let check_stem = |name: &str| {
+            if name == stem {
+                Ok(())
+            } else {
+                Err(fail(format!(
+                    "file stem {stem:?} does not match declared name {name:?} \
+                     (rename the file or the config)"
+                )))
+            }
+        };
+        match kind.as_str() {
+            "machine" => {
+                let machine =
+                    MachineDescription::from_doc(&doc).map_err(|e| fail(e.to_string()))?;
+                check_stem(&machine.name)?;
+                if self.machines.insert(machine.name.clone(), machine).is_some() {
+                    return Err(fail(format!("duplicate machine name {stem:?}")));
+                }
+            }
+            _ => {
+                let scenario = ScenarioConfig::from_doc(&doc).map_err(|e| fail(e.to_string()))?;
+                check_stem(&scenario.name)?;
+                if self.scenarios.insert(scenario.name.clone(), scenario).is_some() {
+                    return Err(fail(format!("duplicate scenario name {stem:?}")));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every scenario's `machine = <name>` must resolve inside this
+    /// registry.
+    fn check_cross_refs(&self) -> Result<(), Error> {
+        for scenario in self.scenarios.values() {
+            if let Some(machine) = &scenario.machine {
+                if !self.machines.contains_key(machine) {
+                    let hint = suggest::closest(machine, self.machine_names())
+                        .map(|s| format!(" (did you mean {s:?}?)"))
+                        .unwrap_or_default();
+                    return Err(Error::invalid_config(format!(
+                        "{}: scenario {:?} references unknown machine {machine:?}{hint}",
+                        self.path_of(&scenario.name).display(),
+                        scenario.name,
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The directory the corpus was loaded from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file a named entry lives in (by the stem-equals-name rule).
+    pub fn path_of(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{CONFIG_EXT}"))
+    }
+
+    /// Scenario names, sorted.
+    pub fn scenario_names(&self) -> impl Iterator<Item = &str> {
+        self.scenarios.keys().map(String::as_str)
+    }
+
+    /// Machine names, sorted.
+    pub fn machine_names(&self) -> impl Iterator<Item = &str> {
+        self.machines.keys().map(String::as_str)
+    }
+
+    /// Number of entries (machines + scenarios).
+    pub fn len(&self) -> usize {
+        self.machines.len() + self.scenarios.len()
+    }
+
+    /// `true` when the registry holds no entries (never the case for a
+    /// successfully loaded corpus).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a scenario by declared name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] listing the available names —
+    /// and the closest near-miss, if any — when the name is unknown.
+    pub fn scenario(&self, name: &str) -> Result<&ScenarioConfig, Error> {
+        self.scenarios
+            .get(name)
+            .ok_or_else(|| self.unknown("scenario", name, self.scenario_names().collect()))
+    }
+
+    /// Looks up a machine by declared name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] listing the available names —
+    /// and the closest near-miss, if any — when the name is unknown.
+    pub fn machine(&self, name: &str) -> Result<&MachineDescription, Error> {
+        self.machines
+            .get(name)
+            .ok_or_else(|| self.unknown("machine", name, self.machine_names().collect()))
+    }
+
+    /// The machine a scenario runs on: its `machine = <name>` entry
+    /// resolved, or `None` for the default machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the scenario name is
+    /// unknown (the machine reference itself was validated at load).
+    pub fn machine_for(&self, scenario: &str) -> Result<Option<&MachineDescription>, Error> {
+        let config = self.scenario(scenario)?;
+        Ok(match &config.machine {
+            Some(name) => Some(self.machine(name)?),
+            None => None,
+        })
+    }
+
+    fn unknown(&self, what: &str, name: &str, available: Vec<&str>) -> Error {
+        let hint = suggest::closest(name, available.iter().copied())
+            .map(|s| format!(" (did you mean {s:?}?)"))
+            .unwrap_or_default();
+        let menu = if available.is_empty() {
+            "none loaded".to_string()
+        } else {
+            available.join(", ")
+        };
+        Error::invalid_config(format!(
+            "unknown {what} {name:?} in {}; available: {menu}{hint}",
+            self.dir.display()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neomem::sim::TierSizing;
+
+    fn corpus(tag: &str, files: &[(&str, &str)]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("neomem-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, text) in files {
+            std::fs::write(dir.join(format!("{name}.{CONFIG_EXT}")), text).unwrap();
+        }
+        dir
+    }
+
+    const MACHINE: &str = "schema = 1\nkind = machine\nname = base\n[memory]\nratio = 4\n";
+    const SCENARIO: &str = "\
+schema = 1
+kind = scenario
+name = pair
+machine = base
+
+[tenant]
+workload = gups
+rss_pages = 512
+seed = 1
+
+[tenant]
+workload = silo
+rss_pages = 512
+seed = 2
+";
+
+    #[test]
+    fn loads_and_resolves_by_name() {
+        let dir = corpus("ok", &[("base", MACHINE), ("pair", SCENARIO)]);
+        let registry = Registry::load(&dir).unwrap();
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.machine("base").unwrap().sizing, TierSizing::Ratio(4));
+        assert_eq!(registry.scenario("pair").unwrap().scenario.mix().len(), 2);
+        let machine = registry.machine_for("pair").unwrap().expect("machine ref resolves");
+        assert_eq!(machine.name, "base");
+        assert_eq!(registry.path_of("pair"), dir.join("pair.cfg"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_names_suggest_near_misses() {
+        let dir = corpus("nearmiss", &[("base", MACHINE), ("pair", SCENARIO)]);
+        let registry = Registry::load(&dir).unwrap();
+        let err = registry.scenario("pari").unwrap_err().to_string();
+        assert!(err.contains("available: pair"), "{err}");
+        assert!(err.contains("did you mean \"pair\"?"), "{err}");
+        let err = registry.machine("bse").unwrap_err().to_string();
+        assert!(err.contains("did you mean \"base\"?"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stem_must_match_declared_name() {
+        let dir = corpus("stem", &[("renamed", MACHINE)]);
+        let err = Registry::load(&dir).unwrap_err().to_string();
+        assert!(
+            err.contains("file stem \"renamed\" does not match declared name \"base\""),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dangling_machine_refs_fail_at_load() {
+        let scenario = SCENARIO.replace("machine = base", "machine = bigbox");
+        let dir = corpus("dangling", &[("base", MACHINE), ("pair", &scenario)]);
+        let err = Registry::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("references unknown machine \"bigbox\""), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_errors_carry_the_file_path() {
+        let dir = corpus("bad", &[("broken", "schema = 1\nkind = machine\nname = broken\n[memory]\nratio = zero\n")]);
+        let err = Registry::load(&dir).unwrap_err().to_string();
+        assert!(err.contains("broken.cfg"), "{err}");
+        assert!(err.contains("line 5"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_directories_are_an_error() {
+        let dir = corpus("empty", &[]);
+        assert!(Registry::load(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -32,11 +32,13 @@
 mod config;
 mod corun;
 mod engine;
+pub mod machine;
 mod report;
 mod sched;
 pub mod snapshot;
 
 pub use config::{CacheLatencies, SimConfig};
+pub use machine::{MachineDescription, MachinePreset, NeoProfKnobs, TierSizing};
 pub use corun::{
     jain_fairness, CoRunConfig, CoRunContention, CoRunReport, CoRunSimulation, OccupancyPoint,
     TenantEpoch, TenantRunReport,

@@ -1,0 +1,74 @@
+//! Property-based tests for the machine-file reader: no input ever
+//! panics [`MachineDescription::parse`], and every description that
+//! does parse can build a `SimConfig` without panicking.
+
+use neomem_sim::MachineDescription;
+use proptest::prelude::*;
+
+/// One machine-file-shaped line: the real section headers and keys
+/// with values from plausible to absurd.
+fn line() -> impl Strategy<Value = String> {
+    let keys = prop::sample::select(vec![
+        "schema", "kind", "name", "title", "preset", "ratio", "fast_pages", "slow_pages",
+        "total_pages", "fast_read_latency", "slow_read_latency", "fast_bandwidth",
+        "slow_bandwidth", "l1", "l2", "llc", "l1_ways", "entries", "ways", "walk",
+        "cpu_per_access", "tick_quantum", "sample_interval", "sketch_width", "sketch_depth",
+        "sketch_seed", "hot_buffer_entries", "fifo_depth", "drain_per_tick",
+    ]);
+    let values = prop_oneof![
+        (0u64..u64::MAX).prop_map(|n| n.to_string()),
+        (0u64..100_000).prop_map(|n| format!("{n}ns")),
+        (0u64..4096).prop_map(|n| format!("{n}KiB")),
+        (0u64..100).prop_map(|n| format!("{n}GiB/s")),
+        prop::sample::select(vec![
+            "machine", "quick", "large", "small", "default", "true", "-3", "0.5", "zero",
+        ])
+        .prop_map(str::to_string),
+    ];
+    prop_oneof![
+        prop::sample::select(vec!["[memory]", "[caches]", "[tlb]", "[engine]", "[neoprof]"])
+            .prop_map(str::to_string),
+        (keys, values).prop_map(|(k, v)| format!("{k} = {v}")),
+        Just(String::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// Arbitrary printable text never panics the machine reader.
+    #[test]
+    fn arbitrary_text_never_panics(
+        chars in prop::collection::vec(
+            prop::sample::select(
+                (b' '..=b'~').map(char::from).chain(['\n', '\t']).collect::<Vec<_>>(),
+            ),
+            0..400,
+        ),
+    ) {
+        let input: String = chars.into_iter().collect();
+        let _ = MachineDescription::parse(&input);
+    }
+
+    /// Machine-shaped documents never panic, and any accepted
+    /// description builds a `SimConfig` — validation at parse time
+    /// must be strong enough that construction cannot fail later.
+    #[test]
+    fn accepted_machines_always_build_configs(
+        lines in prop::collection::vec(line(), 0..25),
+    ) {
+        let mut text = String::from("schema = 1\nkind = machine\nname = fuzz\n");
+        for l in &lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        if let Ok(machine) = MachineDescription::parse(&text) {
+            let config = machine.sim_config(4096, 4);
+            prop_assert!(config.memory_config().fast.capacity_frames > 0);
+        }
+    }
+}

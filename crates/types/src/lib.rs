@@ -30,8 +30,10 @@
 
 mod access;
 mod addr;
+pub mod config;
 mod error;
 pub mod json;
+pub mod suggest;
 mod tier;
 mod time;
 

@@ -1,0 +1,92 @@
+//! Near-miss suggestions for user-facing name lookups.
+//!
+//! Shared by the config [`crate::config::FieldReader`] (unknown keys),
+//! the scenario/machine registry (unknown names) and the `neomem-bench`
+//! CLI (unknown figures), so every "did you mean ...?" in the project
+//! uses the same distance and threshold.
+
+/// Case-insensitive edit distance with adjacent transpositions
+/// counted as one edit (optimal string alignment), capped at
+/// `limit + 1` (the exact value above `limit` is not computed).
+/// Transposed letters (`wieght`) are the most common typo, so plain
+/// Levenshtein would price them out of the suggestion budget.
+fn edit_distance(a: &str, b: &str, limit: usize) -> usize {
+    let a: Vec<char> = a.chars().map(|c| c.to_ascii_lowercase()).collect();
+    let b: Vec<char> = b.chars().map(|c| c.to_ascii_lowercase()).collect();
+    if a.len().abs_diff(b.len()) > limit {
+        return limit + 1;
+    }
+    // Three rolling rows: i-2, i-1, i — the transposition case reaches
+    // back two rows.
+    let mut prev2 = vec![0usize; b.len() + 1];
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        let mut row_min = curr[0];
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            let mut d = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+            if i > 0 && j > 0 && ca == b[j - 1] && a[i - 1] == cb {
+                d = d.min(prev2[j - 1] + 1);
+            }
+            curr[j + 1] = d;
+            row_min = row_min.min(d);
+        }
+        if row_min > limit {
+            return limit + 1;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `input` within an edit-distance budget
+/// that scales with the input length (1 for short names, up to 3 for
+/// long ones). Returns `None` when nothing is plausibly close; exact
+/// matches are skipped (the caller already knows `input` missed).
+pub fn closest<'a>(input: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    let limit = (input.chars().count() / 4).clamp(1, 3);
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        let d = edit_distance(input, cand, limit);
+        if d == 0 || d > limit {
+            continue;
+        }
+        // Strictly-better keeps the first of equally-close candidates,
+        // so suggestions are deterministic in iteration order.
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, cand));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggests_single_edit_typos() {
+        assert_eq!(closest("wieght", ["workload", "weight", "seed"]), Some("weight"));
+        assert_eq!(closest("fig1", ["fig11", "fig12", "corun"]), Some("fig11"));
+        assert_eq!(closest("scenaros", ["scenarios", "corun"]), Some("scenarios"));
+    }
+
+    #[test]
+    fn rejects_distant_and_exact_names() {
+        assert_eq!(closest("zzz", ["workload", "weight"]), None);
+        // Exact matches are not suggestions.
+        assert_eq!(closest("weight", ["weight"]), None);
+        // Short names only tolerate one edit.
+        assert_eq!(closest("fg", ["fig11"]), None);
+    }
+
+    #[test]
+    fn is_case_insensitive_and_deterministic() {
+        assert_eq!(closest("Weight", ["weights"]), Some("weights"));
+        // First of equally-distant candidates wins.
+        assert_eq!(closest("fig19", ["fig11", "fig12"]), Some("fig11"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the text-config parser: arbitrary input
+//! never panics, and valid documents survive a parse → render → parse
+//! round trip unchanged.
+
+use neomem_types::config::{ConfigDoc, ConfigEntry, ConfigSection, ConfigValue};
+use proptest::prelude::*;
+
+/// An identifier the grammar accepts for keys and section names:
+/// leading letter, then letters/digits/underscores/dashes. `true` /
+/// `false` are excluded (the grammar types them as booleans).
+fn ident() -> impl Strategy<Value = String> {
+    let head = prop::sample::select("abcdefghijklmnopqrstuvwxyz".chars().collect::<Vec<_>>());
+    let tail = prop::collection::vec(
+        prop::sample::select("abcdefghijklmnopqrstuvwxyz0123456789_-".chars().collect::<Vec<_>>()),
+        0..10,
+    );
+    (head, tail).prop_map(|(h, t)| {
+        let mut s = String::new();
+        s.push(h);
+        s.extend(t);
+        if s == "true" || s == "false" {
+            s.push('x');
+        }
+        s
+    })
+}
+
+/// Any printable-ASCII string (exercises the quoted form, including
+/// embedded quotes, backslashes, `#` and commas).
+fn printable() -> impl Strategy<Value = String> {
+    let chars: Vec<char> = (b' '..=b'~').map(char::from).collect();
+    prop::collection::vec(prop::sample::select(chars), 0..16)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// A generated scalar value of every type the grammar supports.
+fn scalar() -> impl Strategy<Value = ConfigValue> {
+    prop_oneof![
+        (0u64..u64::MAX).prop_map(ConfigValue::Int),
+        // Finite floats only: the grammar rejects nan/inf at parse time.
+        (-1e12f64..1e12).prop_map(ConfigValue::Float),
+        prop::bool::ANY.prop_map(ConfigValue::Bool),
+        ident().prop_map(ConfigValue::Str),
+        printable().prop_map(ConfigValue::Str),
+        (0u64..u64::MAX / 1_000_000_000).prop_map(ConfigValue::Duration),
+        (0u64..u64::MAX >> 30).prop_map(ConfigValue::Size),
+        (0.0f64..1e15).prop_map(ConfigValue::Rate),
+    ]
+}
+
+/// A value: scalar, or a list of 2..5 scalars.
+fn value() -> impl Strategy<Value = ConfigValue> {
+    prop_oneof![
+        scalar(),
+        scalar(),
+        scalar(),
+        prop::collection::vec(scalar(), 2..5).prop_map(ConfigValue::List),
+    ]
+}
+
+/// A section body with duplicate keys removed (the grammar rejects
+/// duplicates within one section).
+fn entries() -> impl Strategy<Value = Vec<(String, ConfigValue)>> {
+    prop::collection::vec((ident(), value()), 0..6).prop_map(|pairs| {
+        let mut seen = std::collections::BTreeSet::new();
+        pairs.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect()
+    })
+}
+
+/// Builds a `ConfigDoc` from generated parts (section names may
+/// repeat, mirroring `[tenant]`/`[event]` blocks) and renders it —
+/// the canonical text form the round-trip property starts from.
+fn build_doc(
+    root: Vec<(String, ConfigValue)>,
+    sections: Vec<(String, Vec<(String, ConfigValue)>)>,
+) -> ConfigDoc {
+    fn section(name: String, body: Vec<(String, ConfigValue)>) -> ConfigSection {
+        ConfigSection {
+            name,
+            line: 0,
+            entries: body
+                .into_iter()
+                .map(|(key, value)| ConfigEntry { key, value, line: 0 })
+                .collect(),
+        }
+    }
+    ConfigDoc {
+        root: section(String::new(), root),
+        sections: sections.into_iter().map(|(n, b)| section(n, b)).collect(),
+    }
+}
+
+proptest! {
+    // Fixed case count and no failure-persistence files: runs are
+    // deterministic and CI-reproducible.
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// Arbitrary printable text (plus newlines) never panics the
+    /// parser — every outcome is `Ok` or a `ConfigError`.
+    #[test]
+    fn arbitrary_text_never_panics(
+        chars in prop::collection::vec(
+            prop::sample::select(
+                (b' '..=b'~').map(char::from).chain(['\n', '\t']).collect::<Vec<_>>(),
+            ),
+            0..300,
+        ),
+    ) {
+        let input: String = chars.into_iter().collect();
+        let _ = ConfigDoc::parse(&input);
+    }
+
+    /// Token-shaped junk lines (random keys, operators, unit soup)
+    /// never panic either.
+    #[test]
+    fn token_soup_never_panics(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                prop::sample::select(vec![
+                    "=", "[", "]", "\"", ",", "#", "\\", "ns", "us", "ms", "s", "B",
+                    "KiB", "MiB", "GiB", "GiB/s", "true", "false", "1e999", "_",
+                ]).prop_map(str::to_string),
+                ident(),
+                (0u64..u64::MAX).prop_map(|n| n.to_string()),
+            ],
+            0..40,
+        ),
+        seps in prop::collection::vec(prop::sample::select(vec![" ", "", "\n"]), 0..40),
+    ) {
+        let mut text = String::new();
+        for (i, t) in tokens.iter().enumerate() {
+            text.push_str(t);
+            text.push_str(seps.get(i).copied().unwrap_or(" "));
+        }
+        let _ = ConfigDoc::parse(&text);
+    }
+
+    /// A structurally valid document survives parse → render → parse
+    /// with structural equality, and render is a fixed point.
+    #[test]
+    fn valid_documents_round_trip(
+        (root, sections) in (
+            entries(),
+            prop::collection::vec((ident(), entries()), 0..5),
+        ),
+    ) {
+        let text = build_doc(root, sections).render();
+        let doc = ConfigDoc::parse(&text)
+            .unwrap_or_else(|e| panic!("generated doc must parse: {e}\n{text}"));
+        let rendered = doc.render();
+        let reparsed = ConfigDoc::parse(&rendered)
+            .unwrap_or_else(|e| panic!("rendered doc must parse: {e}\n{rendered}"));
+        prop_assert!(doc.structural_eq(&reparsed), "round trip changed:\n{}", rendered);
+        prop_assert_eq!(reparsed.render(), rendered, "render not a fixed point");
+    }
+}

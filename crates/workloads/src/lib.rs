@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod btree;
+pub mod config;
 mod deathstar;
 mod gups;
 mod pagerank;
@@ -50,6 +51,7 @@ mod xsbench;
 mod zipf;
 
 pub use btree::Btree;
+pub use config::{parse_workload_kind, ScenarioConfig};
 pub use deathstar::DeathStar;
 pub use gups::Gups;
 pub use pagerank::PageRank;

@@ -1,0 +1,82 @@
+//! Property-based tests for the scenario-file reader: no input — junk
+//! or scenario-shaped — ever panics [`ScenarioConfig::parse`]; every
+//! outcome is a parsed scenario or a `ConfigError`.
+
+use neomem_workloads::config::ScenarioConfig;
+use proptest::prelude::*;
+
+/// A plausible identifier for names/values.
+fn ident() -> impl Strategy<Value = String> {
+    let chars: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789_-".chars().collect();
+    prop::collection::vec(prop::sample::select(chars), 1..12)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// One scenario-file-shaped line: section headers, plausible keys with
+/// plausible-to-absurd values, comments, or junk.
+fn line() -> impl Strategy<Value = String> {
+    let keys = prop::sample::select(vec![
+        "schema", "kind", "name", "title", "machine", "quantum", "workload", "rss_pages",
+        "seed", "weight", "at", "tenant", "action", "events", "ratio",
+    ]);
+    let values = prop_oneof![
+        ident(),
+        (0u64..u64::MAX).prop_map(|n| n.to_string()),
+        (0u64..10_000).prop_map(|n| format!("{n}ms")),
+        prop::sample::select(vec![
+            "scenario", "machine", "gups", "silo", "redis", "arrive", "depart", "set-weight",
+            "true", "\"quoted text\"", "1, 2, 3", "30GiB/s", "512KiB", "-1", "1e999",
+        ])
+        .prop_map(str::to_string),
+    ];
+    prop_oneof![
+        prop::sample::select(vec!["[tenant]", "[event]", "[phase]", "[memory]", "[junk]"])
+            .prop_map(str::to_string),
+        (keys, values).prop_map(|(k, v)| format!("{k} = {v}")),
+        (ident(), ident()).prop_map(|(k, v)| format!("{k} = {v}")),
+        ident().prop_map(|c| format!("# {c}")),
+        Just(String::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        failure_persistence: None,
+        ..ProptestConfig::default()
+    })]
+
+    /// Arbitrary printable text never panics the scenario reader.
+    #[test]
+    fn arbitrary_text_never_panics(
+        chars in prop::collection::vec(
+            prop::sample::select(
+                (b' '..=b'~').map(char::from).chain(['\n', '\t']).collect::<Vec<_>>(),
+            ),
+            0..400,
+        ),
+    ) {
+        let input: String = chars.into_iter().collect();
+        let _ = ScenarioConfig::parse(&input);
+    }
+
+    /// Scenario-shaped documents — valid headers, shuffled sections,
+    /// plausible and absurd values — never panic either. This drives
+    /// the reader much deeper than raw character soup: most inputs get
+    /// past the grammar into schema and semantic validation.
+    #[test]
+    fn scenario_shaped_documents_never_panic(
+        lines in prop::collection::vec(line(), 0..30),
+        header in prop::bool::ANY,
+    ) {
+        let mut text = String::new();
+        if header {
+            text.push_str("schema = 1\nkind = scenario\nname = fuzz\n");
+        }
+        for l in &lines {
+            text.push_str(l);
+            text.push('\n');
+        }
+        let _ = ScenarioConfig::parse(&text);
+    }
+}

@@ -1,0 +1,6 @@
+//! Faults: graceful degradation under injected device outages, CXL
+//! link brownouts and fast-tier capacity loss.
+
+fn main() {
+    neomem_bench::figures::bench_target_main("faults");
+}

@@ -1,0 +1,259 @@
+//! Faults — graceful degradation under injected hardware misbehaviour.
+//!
+//! Not a paper figure: the paper evaluates NeoMem on healthy hardware,
+//! while production CXL deployments see device resets, link brownouts
+//! and hot-removed capacity. This figure drives the deterministic
+//! fault-injection layer ([`neomem::types::FaultPlan`]) across four
+//! policies — NeoMem, NeoMem-CA, PEBS-style sampling and first-touch —
+//! on the same two-tenant machine:
+//!
+//! 1. **NeoProf outage sweep**: the profiler device goes dark for a
+//!    short or long window (and a rapid flap). NeoMem falls back to
+//!    PTE-scan profiling and must re-sync after recovery; policies that
+//!    never used the device ride through unchanged.
+//! 2. **Link brownout**: slow-tier latency ×4 and bandwidth ÷2 for a
+//!    window — how much of the hit does each policy's placement absorb?
+//! 3. **Fast-tier hot-remove**: a block of fast frames vanishes
+//!    mid-run, forcing attributed demotions through the normal
+//!    migration path, and returns later.
+//!
+//! Every fault edge fires on the virtual clock, so the payload is
+//! byte-identical at any `--threads` value and at any
+//! `SimConfig::batch_size`, like every other figure. A healthy
+//! (no-fault) row runs alongside as the control.
+
+use neomem::prelude::*;
+use neomem_runner::{ExperimentGrid, Json};
+
+use super::RunContext;
+use crate::{header, row, Scale};
+
+/// The resident + companion mix shared by every fault scenario.
+fn fault_mix() -> TenantMix {
+    TenantMix::builder()
+        .tenant(WorkloadKind::Gups, 2048, 2024)
+        .tenant(WorkloadKind::Silo, 2048, 2025)
+        .build()
+        .expect("valid mix")
+}
+
+/// Wraps a fault plan in a steady two-tenant scenario.
+fn faulted_scenario(plan: FaultPlan) -> Scenario {
+    Scenario::builder(fault_mix()).faults(plan).build().expect("valid fault scenario")
+}
+
+/// The fault timelines under test, labelled. Windows sit well inside
+/// the quick-scale run (~50 ms of virtual time at the 600 k access
+/// budget) so every fault recovers in-run and time-to-recover is
+/// finite.
+fn fault_timelines() -> Vec<(&'static str, FaultPlan)> {
+    let at = Nanos::from_millis(10);
+    vec![
+        ("healthy", FaultPlan::empty()),
+        (
+            "outage-short",
+            FaultPlan::builder()
+                .outage(at, Nanos::from_millis(4))
+                .build()
+                .expect("valid plan"),
+        ),
+        (
+            "outage-long",
+            FaultPlan::builder()
+                .outage(at, Nanos::from_millis(12))
+                .build()
+                .expect("valid plan"),
+        ),
+        (
+            "outage-flap",
+            // Three short windows with gaps: the device flaps and the
+            // policy re-syncs three times.
+            FaultPlan::builder()
+                .outage(at, Nanos::from_millis(2))
+                .outage(Nanos::from_millis(14), Nanos::from_millis(2))
+                .outage(Nanos::from_millis(18), Nanos::from_millis(2))
+                .build()
+                .expect("valid plan"),
+        ),
+        (
+            "link-brownout",
+            FaultPlan::builder()
+                .link_degraded(at, Nanos::from_millis(8), 4, 2)
+                .build()
+                .expect("valid plan"),
+        ),
+        (
+            "capacity-loss",
+            FaultPlan::builder()
+                .capacity_loss(at, Nanos::from_millis(8), 256)
+                .build()
+                .expect("valid plan"),
+        ),
+    ]
+}
+
+/// The policy axis: the device-dependent pair plus two baselines that
+/// never touch NeoProf (their outage rows are the control for the
+/// fallback cost).
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::NeoMem,
+    PolicyKind::NeoMemContentionAware,
+    PolicyKind::Pebs,
+    PolicyKind::FirstTouch,
+];
+
+/// The shared grid shell: paper seed/cadence conventions at the co-run
+/// budget.
+fn fault_grid(scale: Scale) -> ExperimentGrid {
+    let mut grid = ExperimentGrid::new("faults/sweep")
+        .workloads([])
+        .ratios([2])
+        .seeds([2024])
+        .budgets([scale.accesses(600_000)])
+        .time_scale(1000)
+        .policies(POLICIES);
+    for (label, plan) in fault_timelines() {
+        grid = grid.scenario(label, faulted_scenario(plan));
+    }
+    grid
+}
+
+/// Runs the figure.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "Faults: device outages, link degradation, capacity loss",
+        "no paper figure — graceful degradation of the paper's policies under injected faults",
+    );
+    let grid_run = fault_grid(ctx.scale).run_mode(&ctx.grid_mode()).expect("valid fault grid");
+    println!(
+        "{}",
+        row(&[
+            "scenario".into(),
+            "policy".into(),
+            "runtime".into(),
+            "faults".into(),
+            "degraded".into(),
+            "recover".into(),
+            "forced-dem".into(),
+            "slowdown".into(),
+        ])
+    );
+    let mut series = Vec::new();
+    for (label, _) in fault_timelines() {
+        let mut by_policy = Vec::new();
+        for policy in POLICIES {
+            let cell = grid_run.scenario_for(label, policy, "");
+            let d = cell.report.degradation;
+            let (events, degraded, recover, forced, slowdown) = match d {
+                Some(d) => (
+                    d.fault_events,
+                    d.degraded_time.as_nanos(),
+                    d.time_to_recover.map(|t| t.as_nanos()),
+                    d.fault_forced_demotions,
+                    d.degraded_slowdown_milli,
+                ),
+                None => (0, 0, None, 0, 0),
+            };
+            println!(
+                "{}",
+                row(&[
+                    label.to_string(),
+                    policy.label().to_string(),
+                    format!("{}", cell.report.runtime),
+                    format!("{events}"),
+                    format!("{}", Nanos::new(degraded)),
+                    recover.map(|t| format!("{}", Nanos::new(t))).unwrap_or_else(|| "-".into()),
+                    format!("{forced}"),
+                    format!("{:.3}x", slowdown as f64 / 1000.0),
+                ])
+            );
+            let mut fields = vec![
+                ("runtime_ns".to_string(), Json::U64(cell.report.runtime.as_nanos())),
+                ("fault_events".to_string(), Json::U64(events)),
+                ("degraded_time_ns".to_string(), Json::U64(degraded)),
+                ("fault_forced_demotions".to_string(), Json::U64(forced)),
+                ("degraded_slowdown_milli".to_string(), Json::U64(slowdown)),
+                (
+                    "slow_tier_accesses".to_string(),
+                    Json::U64(cell.report.slow_tier_accesses()),
+                ),
+            ];
+            if let Some(t) = recover {
+                fields.push(("time_to_recover_ns".to_string(), Json::U64(t)));
+            }
+            by_policy.push((policy.label().to_string(), Json::Obj(fields)));
+        }
+        series.push((label.to_string(), Json::Obj(by_policy)));
+    }
+    Json::obj([
+        ("grids", Json::Arr(vec![grid_run.to_json()])),
+        ("series", Json::obj([("fault_sweep", Json::Obj(series))])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timelines_are_valid_and_cover_all_three_classes() {
+        let timelines = fault_timelines();
+        assert_eq!(timelines[0].1, FaultPlan::empty());
+        let classes: Vec<&str> = timelines
+            .iter()
+            .flat_map(|(_, p)| p.events().iter().map(|e| e.kind.label()))
+            .collect();
+        for class in ["neoprof-outage", "link-degraded", "capacity-loss"] {
+            assert!(classes.contains(&class), "no timeline covers {class}");
+        }
+        // The flap schedules three distinct outage windows.
+        let flap = &timelines.iter().find(|(l, _)| *l == "outage-flap").unwrap().1;
+        assert_eq!(flap.len(), 3);
+    }
+
+    /// The figure grid at a test-sized budget, through the exact
+    /// figure path.
+    fn tiny_fault_run(threads: usize) -> neomem_runner::GridRun {
+        let mut grid = ExperimentGrid::new("faults/tiny")
+            .workloads([])
+            .ratios([2])
+            .seeds([2024])
+            .budgets([120_000])
+            .time_scale(1000)
+            .policies([PolicyKind::NeoMem, PolicyKind::FirstTouch]);
+        for (label, plan) in fault_timelines() {
+            grid = grid.scenario(label, faulted_scenario(plan));
+        }
+        grid.run(threads).expect("valid tiny fault grid")
+    }
+
+    #[test]
+    fn fault_grid_json_is_thread_invariant_through_the_figure_path() {
+        let one = tiny_fault_run(1).to_json().render_pretty();
+        let four = tiny_fault_run(4).to_json().render_pretty();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn outage_degrades_gracefully_and_recovers() {
+        let run = tiny_fault_run(2);
+        // The healthy control carries no degradation section at all —
+        // its JSON is the same bytes as before faults existed.
+        let healthy = run.scenario_for("healthy", PolicyKind::NeoMem, "");
+        assert!(healthy.report.degradation.is_none());
+        // The outage rows degrade and recover in-run: finite
+        // time-to-recover, non-zero degraded window, and the run still
+        // completes its full access budget.
+        for label in ["outage-short", "outage-long", "outage-flap"] {
+            let cell = run.scenario_for(label, PolicyKind::NeoMem, "");
+            let d = cell.report.degradation.expect("fault plan must produce metrics");
+            assert!(d.time_to_recover.is_some(), "{label} must recover");
+            assert!(d.degraded_time > Nanos::ZERO, "{label}");
+            assert_eq!(cell.report.accesses, healthy.report.accesses, "{label}");
+        }
+        // Capacity loss forces demotions through the migration path.
+        let capacity = run.scenario_for("capacity-loss", PolicyKind::NeoMem, "");
+        let d = capacity.report.degradation.expect("metrics");
+        assert!(d.fault_forced_demotions > 0, "hot-remove must demote resident pages");
+    }
+}

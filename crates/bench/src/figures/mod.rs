@@ -10,6 +10,7 @@
 //! figure's JSON is byte-identical at any `--threads` value.
 
 pub mod corun;
+pub mod faults;
 pub mod fig03;
 pub mod fig04;
 pub mod fig11;
@@ -106,6 +107,7 @@ pub const ALL: &[Figure] = &[
     Figure { name: "table06", title: "Table VI: THP vs base pages on Page-Rank", run: table06::run },
     Figure { name: "corun", title: "Co-run: multi-tenant contention for the fast tier", run: corun::run },
     Figure { name: "scenarios", title: "Scenarios: tenant churn, phased workloads, contention-aware tiering", run: scenarios::run },
+    Figure { name: "faults", title: "Faults: graceful degradation under device outages, link brownouts, capacity loss", run: faults::run },
     Figure { name: "registry", title: "Registry: corpus machines & scenarios validated end-to-end", run: registry::run },
     Figure { name: "micro_engine", title: "Engine-loop micro-bench: throughput, batch invariance, allocations", run: micro_engine::run },
     Figure { name: "micro_sketch", title: "Criterion micro-benchmarks: sketch pipeline", run: micro_sketch::run },
@@ -158,7 +160,7 @@ mod tests {
 
     #[test]
     fn registry_covers_all_bench_targets_uniquely() {
-        assert_eq!(ALL.len(), 18);
+        assert_eq!(ALL.len(), 19);
         let mut names: Vec<&str> = ALL.iter().map(|f| f.name).collect();
         names.sort_unstable();
         let before = names.len();

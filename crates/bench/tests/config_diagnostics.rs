@@ -82,10 +82,39 @@ fn scenario_diagnostics_are_pinned() {
             "schema = 9\nkind = scenario\nname = x\n".to_string(),
             "line 1: unsupported schema version 9 (this build reads 1)",
         ),
+        (
+            format!(
+                "{base}[tenant]\nworkload = gups\nrss_pages = 64\nseed = 1\n\
+                 [fault]\nkind = link-degarded\nat = 1ms\nduration = 1ms\n"
+            ),
+            "line 9: unknown fault kind \"link-degarded\"; available: neoprof-outage, \
+             link-degraded, capacity-loss (did you mean \"link-degraded\"?)",
+        ),
+        (
+            format!(
+                "{base}[tenant]\nworkload = gups\nrss_pages = 64\nseed = 1\n\
+                 [falut]\nkind = neoprof-outage\nat = 1ms\nduration = 1ms\n"
+            ),
+            "line 8: unknown section [falut] in a scenario file (did you mean [fault]?)",
+        ),
     ];
     for (text, want) in cases {
         assert_eq!(err(&text), want, "input:\n{text}");
     }
+}
+
+/// Exact diagnostic text at the JSON layer: duplicate object keys in
+/// hand-edited baselines/snapshots are rejected by name, never
+/// last-wins merged.
+#[test]
+fn json_duplicate_keys_are_pinned() {
+    use neomem::types::json::Json;
+    let err = Json::parse(r#"{"runtime_ns":1,"runtime_ns":2}"#)
+        .expect_err("duplicate keys must be rejected");
+    assert_eq!(
+        err.to_string(),
+        "JSON parse error at byte 30: duplicate object key \"runtime_ns\""
+    );
 }
 
 /// Exact diagnostic text for invalid machine files, end to end through

@@ -103,7 +103,7 @@ pub mod prelude {
         CoRunConfig, CoRunReport, CoRunSimulation, MachineDescription, RunReport, SimConfig,
         Simulation, TimelinePoint,
     };
-    pub use neomem_types::{Bandwidth, Bytes, Nanos, Tier};
+    pub use neomem_types::{Bandwidth, Bytes, FaultKind, FaultPlan, Nanos, Tier};
     pub use neomem_workloads::{PhaseSpec, Scenario, TenantMix, WorkloadKind};
 }
 

@@ -213,6 +213,90 @@ fn scenario_with_phased_workload_round_trips_mid_phase() {
     }
 }
 
+// ---- mid-fault cuts -----------------------------------------------
+
+/// A plan covering all three fault classes, with windows early enough
+/// that every edge fires inside the test budget.
+fn fault_plan() -> FaultPlan {
+    FaultPlan::builder()
+        .outage(Nanos::from_micros(200), Nanos::from_micros(300))
+        .link_degraded(Nanos::from_micros(700), Nanos::from_micros(200), 4, 2)
+        .capacity_loss(Nanos::from_micros(1000), Nanos::from_micros(200), 32)
+        .build()
+        .expect("valid plan")
+}
+
+fn faulted_sim(policy: PolicyKind) -> Simulation {
+    let mut config = SimConfig::quick(RSS_PAGES, 2);
+    config.max_accesses = ACCESSES;
+    config.faults = fault_plan();
+    let policy = build_policy(policy, &config, 1000, PolicyOverrides::default())
+        .expect("valid policy");
+    let workload = WorkloadKind::Gups.build(RSS_PAGES, SEED);
+    Simulation::new(config, workload, policy).expect("valid simulation")
+}
+
+#[test]
+fn mid_fault_cuts_round_trip_bit_identically() {
+    // Snapshot cuts landing *inside* each fault window — during the
+    // NeoProf outage (NeoMem is on its PTE-scan fallback), during the
+    // link throttle, and during the capacity loss (blocked frames +
+    // possibly a pending evacuation retry) — must restore and resume
+    // to the exact bytes of an uninterrupted run.
+    for policy in [PolicyKind::NeoMem, PolicyKind::FirstTouch] {
+        let straight = faulted_sim(policy).run();
+        let d = straight.degradation.expect("fault plan must produce metrics");
+        assert_eq!(d.fault_events, 3, "{policy:?}");
+        assert!(
+            straight.runtime > Nanos::from_micros(1200),
+            "{policy:?}: all windows must close in-run for this test to bite"
+        );
+        for cut_us in [350u64, 800, 1100] {
+            let snap = faulted_sim(policy).snapshot_at(Nanos::from_micros(cut_us));
+            let resumed = faulted_sim(policy)
+                .run_from(&snap)
+                .expect("restore from a mid-fault snapshot");
+            assert_eq!(
+                fingerprint(&resumed),
+                fingerprint(&straight),
+                "{policy:?}: mid-fault resume diverged (cut at {cut_us}us)"
+            );
+        }
+    }
+}
+
+fn faulted_scenario_sim(policy: PolicyKind) -> CoRunSimulation {
+    let mut sim = SimConfig::quick(phased_scenario().mix().total_rss_pages(), 2);
+    sim.max_accesses = ACCESSES;
+    sim.faults = fault_plan();
+    let config = CoRunConfig { sim, interleave_quantum: 64, fast_share_cap: None };
+    let policy = corun_policy(policy, &config);
+    CoRunSimulation::with_scenario(config, &phased_scenario(), policy)
+        .expect("valid faulted scenario simulation")
+}
+
+#[test]
+fn scenario_with_faults_round_trips_mid_fault() {
+    // The co-run engine fires the same fault edges at slice
+    // granularity; cuts inside the outage and the throttle window must
+    // round-trip there too.
+    for policy in [PolicyKind::NeoMem, PolicyKind::NeoMemContentionAware] {
+        let straight = faulted_scenario_sim(policy).run();
+        straight.combined.degradation.expect("fault plan must produce metrics");
+        for cut_us in [350u64, 800] {
+            let snap = faulted_scenario_sim(policy).snapshot_at(Nanos::from_micros(cut_us));
+            let resumed = faulted_scenario_sim(policy)
+                .run_from(&snap)
+                .expect("restore from a mid-fault scenario snapshot");
+            assert_eq!(
+                format!("{resumed:?}"),
+                format!("{straight:?}"),
+                "{policy:?}: mid-fault scenario resume diverged (cut at {cut_us}us)"
+            );
+        }
+    }
+}
+
 // ---- hostile input ------------------------------------------------
 
 fn valid_snapshot() -> Json {

@@ -104,6 +104,12 @@ pub struct MemoryNode {
     line_occupancy: Nanos,
     meter: BandwidthMeter,
     stats: NodeStats,
+    /// Link-degradation latency multiplier (1 = healthy). Set by the
+    /// fault layer for brownout windows.
+    latency_x: u64,
+    /// Link-degradation bandwidth divisor (1 = healthy): every channel
+    /// occupancy is multiplied by it, throttling effective bandwidth.
+    bandwidth_div: u64,
 }
 
 impl MemoryNode {
@@ -122,7 +128,40 @@ impl MemoryNode {
             line_occupancy,
             meter: BandwidthMeter::new(),
             stats: NodeStats::default(),
+            latency_x: 1,
+            bandwidth_div: 1,
         }
+    }
+
+    /// Applies a link-degradation window: latency is multiplied by
+    /// `latency_x` and every channel occupancy by `bandwidth_div`
+    /// until [`MemoryNode::clear_degradation`]. Healthy values (1, 1)
+    /// leave service times bit-identical.
+    pub fn set_degradation(&mut self, latency_x: u64, bandwidth_div: u64) {
+        self.latency_x = latency_x.max(1);
+        self.bandwidth_div = bandwidth_div.max(1);
+    }
+
+    /// Ends a link-degradation window.
+    pub fn clear_degradation(&mut self) {
+        self.latency_x = 1;
+        self.bandwidth_div = 1;
+    }
+
+    /// Current latency multiplier (1 = healthy).
+    pub fn latency_multiplier(&self) -> u64 {
+        self.latency_x
+    }
+
+    /// Current bandwidth divisor (1 = healthy).
+    pub fn bandwidth_divisor(&self) -> u64 {
+        self.bandwidth_div
+    }
+
+    /// The occupancy one line transfer charges under the current
+    /// degradation state.
+    fn effective_line_occupancy(&self) -> Nanos {
+        Nanos::new(self.line_occupancy.as_nanos().saturating_mul(self.bandwidth_div))
     }
 
     /// Returns the node configuration.
@@ -133,10 +172,11 @@ impl MemoryNode {
     /// Services one 64-byte request arriving at `now`; returns the total
     /// service time (queueing + latency) experienced by the requester.
     pub fn service(&mut self, kind: AccessKind, now: Nanos) -> Nanos {
+        let occupancy = self.effective_line_occupancy();
         let wait = self.busy_until.saturating_sub(now);
         let start = now + wait;
-        self.busy_until = start + self.line_occupancy;
-        self.meter.record(kind, self.line_occupancy);
+        self.busy_until = start + occupancy;
+        self.meter.record(kind, occupancy);
         match kind {
             AccessKind::Read => self.stats.reads += 1,
             AccessKind::Write => self.stats.writes += 1,
@@ -146,14 +186,15 @@ impl MemoryNode {
             AccessKind::Read => self.config.read_latency,
             AccessKind::Write => self.config.write_latency,
         };
-        wait + latency
+        wait + Nanos::new(latency.as_nanos().saturating_mul(self.latency_x))
     }
 
     /// Charges a bulk transfer (page migration) of `bytes` starting at
     /// `now`; returns its completion time contribution.
     pub fn bulk_transfer(&mut self, bytes: neomem_types::Bytes, now: Nanos) -> Nanos {
         let wait = self.busy_until.saturating_sub(now);
-        let occupy = self.config.bandwidth.transfer_time(bytes);
+        let base = self.config.bandwidth.transfer_time(bytes);
+        let occupy = Nanos::new(base.as_nanos().saturating_mul(self.bandwidth_div));
         self.busy_until = now + wait + occupy;
         self.meter.record(AccessKind::Write, occupy);
         wait + occupy
@@ -190,6 +231,8 @@ impl MemoryNode {
             ("reads", Json::U64(self.stats.reads)),
             ("writes", Json::U64(self.stats.writes)),
             ("queueing", Json::U64(self.stats.queueing.as_nanos())),
+            ("latency_x", Json::U64(self.latency_x)),
+            ("bandwidth_div", Json::U64(self.bandwidth_div)),
         ])
     }
 
@@ -208,6 +251,8 @@ impl MemoryNode {
         self.meter.restore(snap.req("meter")?)?;
         self.busy_until = busy_until;
         self.stats = stats;
+        self.latency_x = snap.req_u64("latency_x")?.max(1);
+        self.bandwidth_div = snap.req_u64("bandwidth_div")?.max(1);
         Ok(())
     }
 }
@@ -273,6 +318,33 @@ mod tests {
         // A line access right after the bulk transfer should queue.
         let access = n.service(AccessKind::Read, Nanos::ZERO);
         assert!(access > Nanos::new(118));
+    }
+
+    #[test]
+    fn degradation_multiplies_latency_and_throttles_bandwidth() {
+        let mut n = MemoryNode::new(NodeConfig::cxl_prototype(10));
+        let healthy = n.service(AccessKind::Read, Nanos::from_millis(1));
+        n.set_degradation(3, 4);
+        let degraded = n.service(AccessKind::Read, Nanos::from_millis(2));
+        assert_eq!(degraded.as_nanos(), healthy.as_nanos() * 3, "latency multiplier");
+        // Back-to-back under a bandwidth divisor queues 4x as long.
+        let queued = n.service(AccessKind::Read, Nanos::from_millis(2));
+        assert_eq!(
+            queued.as_nanos(),
+            n.line_occupancy().as_nanos() * 4 + healthy.as_nanos() * 3,
+            "occupancy is divided bandwidth"
+        );
+        n.clear_degradation();
+        let recovered = n.service(AccessKind::Read, Nanos::from_millis(9));
+        assert_eq!(recovered, healthy, "recovery restores healthy service");
+        // Degradation state survives a snapshot round trip.
+        n.set_degradation(2, 2);
+        let snap = n.snapshot();
+        let mut other = MemoryNode::new(NodeConfig::cxl_prototype(10));
+        other.restore(&snap).unwrap();
+        let a = n.service(AccessKind::Read, Nanos::from_millis(20));
+        let b = other.service(AccessKind::Read, Nanos::from_millis(20));
+        assert_eq!(a, b);
     }
 
     #[test]

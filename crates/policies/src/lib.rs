@@ -217,6 +217,28 @@ pub trait TieringPolicy {
         let _ = (aggressor, pages);
     }
 
+    /// Informs the policy that a fault window just opened on the
+    /// machine (the injector fires this at the event's virtual-clock
+    /// deadline, before the affected hardware state changes take
+    /// effect for the next access). Policies that depend on the faulted
+    /// component switch to a degraded mode here — e.g. NeoMem falls
+    /// back to PTE-scan profiling during a NeoProf outage. Returns the
+    /// CPU time charged for the switch. Default: no-op, so runs without
+    /// a fault plan are bit-identical to the pre-fault-layer engine.
+    fn on_fault(&mut self, fault: &neomem_types::FaultKind, kernel: &mut Kernel, now: Nanos) -> Nanos {
+        let _ = (fault, kernel, now);
+        Nanos::ZERO
+    }
+
+    /// Informs the policy that a fault window just closed. Policies
+    /// re-sync with the recovered component here — e.g. NeoMem resets
+    /// the NeoProf device and re-arms its threshold. Returns the CPU
+    /// time charged for the resync. Default: no-op.
+    fn on_recovery(&mut self, fault: &neomem_types::FaultKind, kernel: &mut Kernel, now: Nanos) -> Nanos {
+        let _ = (fault, kernel, now);
+        Nanos::ZERO
+    }
+
     /// Serialises the policy's mutable state for a machine snapshot.
     /// Stateless policies keep the default, [`Json::Null`]. Stateful
     /// policies must serialise *everything* that influences future
@@ -271,7 +293,10 @@ pub(crate) fn ensure_fast_headroom_with(
     strategy: DemotionStrategy,
 ) -> Nanos {
     let alloc = kernel.memory().allocator(Tier::Fast);
-    let want = ((alloc.capacity() as f64 * frac) as u64).max(1);
+    // Headroom targets the *usable* window so a capacity-loss fault
+    // shrinks the goal instead of demoting the whole tier chasing
+    // frames that no longer exist. Identical to capacity() when healthy.
+    let want = ((alloc.usable_capacity() as f64 * frac) as u64).max(1);
     let free = alloc.free_frames();
     if free >= want {
         return Nanos::ZERO;

@@ -2,10 +2,10 @@
 
 use neomem_kernel::Kernel;
 use neomem_neoprof::NeoProfConfig;
-use neomem_profilers::{AccessEvent, NeoProfDriver, NeoProfDriverConfig};
+use neomem_profilers::{AccessEvent, NeoProfDriver, NeoProfDriverConfig, PteScanConfig, PteScanner};
 use neomem_sketch::error_bound;
 use neomem_types::json::{hex_from_u64s, Json};
-use neomem_types::{Bandwidth, Bytes, Error, MemRequest, Nanos, Result, Tier};
+use neomem_types::{Bandwidth, Bytes, Error, FaultKind, MemRequest, Nanos, Result, Tier};
 
 use crate::quota::QuotaMeter;
 use crate::tenancy::TenantLayout;
@@ -132,6 +132,12 @@ pub struct NeoMemPolicy {
     /// Multi-tenant arbitration state; `None` (single-tenant machines)
     /// leaves every decision path exactly as it always was.
     tenancy: Option<TenancyState>,
+    /// Degraded-mode profiler, armed while the NeoProf device is out:
+    /// a PTE scanner stands in for the hot-page readout at the normal
+    /// migration cadence. `None` on a healthy machine.
+    fallback: Option<PteScanner>,
+    /// Cumulative CPU time burned in fallback PTE scans.
+    fallback_overhead: Nanos,
 }
 
 /// Per-tenant arbitration state, active only on co-run machines.
@@ -230,6 +236,8 @@ impl NeoMemPolicy {
             huge_map: neomem_kernel::HugePageMap::new(params.thp_votes.max(1)),
             promoted_huge_bytes: 0,
             tenancy: None,
+            fallback: None,
+            fallback_overhead: Nanos::ZERO,
         })
     }
 
@@ -345,8 +353,23 @@ impl NeoMemPolicy {
     fn migrate(&mut self, kernel: &mut Kernel, now: Nanos) -> Nanos {
         let mut cost =
             ensure_fast_headroom_with(kernel, self.params.headroom_frac, now, self.params.demotion);
-        let (pages, mmio) = self.driver.read_hot_pages(kernel, now);
-        cost += mmio;
+        let (pages, prof) = if self.driver.outage() {
+            match &mut self.fallback {
+                // Degraded profiling: one PTE-scan epoch stands in for
+                // the hot-page readout while the device is offline.
+                Some(scanner) => {
+                    let outcome = scanner.scan_epoch(kernel);
+                    self.fallback_overhead += outcome.overhead;
+                    (outcome.hot_pages, outcome.overhead)
+                }
+                // Fallback never armed (hook not wired): pay the MMIO
+                // timeout for an empty readout.
+                None => self.driver.read_hot_pages(kernel, now),
+            }
+        } else {
+            self.driver.read_hot_pages(kernel, now)
+        };
+        cost += prof;
         if let Some(state) = &mut self.tenancy {
             state.refresh(kernel);
         }
@@ -489,12 +512,19 @@ impl TieringPolicy for NeoMemPolicy {
             self.next_migrate = now + self.params.migration_interval;
         }
         if now >= self.next_thr {
-            cost += self.update_threshold(kernel, now);
+            // Algorithm 1 needs device histograms; while the device is
+            // out, θ stays frozen at its last value (the deadline still
+            // advances so recovery re-enters the normal cadence).
+            if !self.driver.outage() {
+                cost += self.update_threshold(kernel, now);
+            }
             self.next_thr = now + self.params.thr_update_interval;
         }
         if now >= self.next_clear {
-            cost += self.driver.reset(now);
-            cost += self.driver.set_threshold(self.theta, now);
+            if !self.driver.outage() {
+                cost += self.driver.reset(now);
+                cost += self.driver.set_threshold(self.theta, now);
+            }
             // THP vote counts restart with the detection period so a
             // partially-promoted region can re-trigger once its remaining
             // slow pages heat up again.
@@ -504,10 +534,40 @@ impl TieringPolicy for NeoMemPolicy {
         cost
     }
 
+    fn on_fault(&mut self, fault: &FaultKind, kernel: &mut Kernel, now: Nanos) -> Nanos {
+        let _ = now;
+        if !matches!(fault, FaultKind::NeoProfOutage) {
+            return Nanos::ZERO;
+        }
+        // Device gone: stop trusting it and arm the PTE-scan fallback
+        // covering the whole address space. Arming is a mode flip in
+        // the daemon — the scans themselves are charged per epoch.
+        self.driver.set_outage(true);
+        self.fallback = Some(PteScanner::new(PteScanConfig::default(), kernel.page_table().span()));
+        Nanos::ZERO
+    }
+
+    fn on_recovery(&mut self, fault: &FaultKind, kernel: &mut Kernel, now: Nanos) -> Nanos {
+        let _ = kernel;
+        if !matches!(fault, FaultKind::NeoProfOutage) {
+            return Nanos::ZERO;
+        }
+        self.driver.set_outage(false);
+        self.fallback = None;
+        if !self.started {
+            return Nanos::ZERO;
+        }
+        // Re-sync: whatever the sketch held when the link dropped is
+        // stale; reset the device and re-arm the last threshold.
+        let mut cost = self.driver.reset(now);
+        cost += self.driver.set_threshold(self.theta, now);
+        cost
+    }
+
     fn telemetry(&self) -> PolicyTelemetry {
         let mut t = self.telemetry.clone();
         t.promoted_huge_bytes = neomem_types::Bytes::new(self.promoted_huge_bytes);
-        t.profiling_overhead = self.driver.mmio_time();
+        t.profiling_overhead = self.driver.mmio_time() + self.fallback_overhead;
         t
     }
 
@@ -557,6 +617,8 @@ impl TieringPolicy for NeoMemPolicy {
             ("huge_map", self.huge_map.snapshot()),
             ("promoted_huge_bytes", Json::U64(self.promoted_huge_bytes)),
             ("tenancy", tenancy),
+            ("fallback", self.fallback.as_ref().map_or(Json::Null, PteScanner::snapshot)),
+            ("fallback_overhead", Json::U64(self.fallback_overhead.as_nanos())),
         ])
     }
 
@@ -616,6 +678,17 @@ impl TieringPolicy for NeoMemPolicy {
         self.last_promoted_bytes = state.req_u64("last_promoted_bytes")?;
         self.telemetry = telemetry;
         self.promoted_huge_bytes = state.req_u64("promoted_huge_bytes")?;
+        self.fallback = match state.req("fallback")? {
+            Json::Null => None,
+            fsnap => {
+                // The counter array length carries the scanner's span.
+                let span = fsnap.req_u16s("epoch_counts")?.len() as u64;
+                let mut scanner = PteScanner::new(PteScanConfig::default(), span);
+                scanner.restore(fsnap)?;
+                Some(scanner)
+            }
+        };
+        self.fallback_overhead = Nanos::new(state.req_u64("fallback_overhead")?);
         Ok(())
     }
 
@@ -771,6 +844,82 @@ mod tests {
             let frac = policy.p_fraction();
             assert!(frac >= params.pmin - 1e-12 && frac <= params.pmax + 1e-12, "p = {frac}");
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::TieringPolicy;
+    use neomem_kernel::KernelConfig;
+    use neomem_types::VirtPage;
+
+    fn setup() -> (Kernel, NeoMemPolicy) {
+        let mut kernel = Kernel::new(KernelConfig::with_frames(8, 32));
+        for p in 0..24 {
+            kernel.touch_alloc(VirtPage::new(p), Nanos::ZERO).unwrap();
+        }
+        let mut params = NeoMemParams::scaled(1000);
+        params.threshold_mode = ThresholdMode::Fixed(3);
+        let dev = NeoProfConfig::small(kernel.memory().slow_base());
+        let policy =
+            NeoMemPolicy::new(dev, NeoProfDriverConfig::default(), params).unwrap();
+        (kernel, policy)
+    }
+
+    #[test]
+    fn outage_falls_back_to_pte_scans_and_recovers() {
+        let (mut kernel, mut policy) = setup();
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        policy.on_fault(&FaultKind::NeoProfOutage, &mut kernel, Nanos::from_micros(10));
+        assert!(policy.driver().outage());
+        // Page 20 is slow-tier hot; only the page walker sees it now.
+        assert!(kernel.tier_of(VirtPage::new(20)).unwrap().is_slow());
+        let mut now = Nanos::from_micros(200);
+        // PteScanConfig::default() needs 2 accessed epochs; give it 3
+        // migration ticks with the bit re-set each time.
+        for _ in 0..3 {
+            kernel.page_table_mut().mark_accessed(VirtPage::new(20)).unwrap();
+            policy.maybe_tick(&mut kernel, now);
+            now += Nanos::from_millis(1);
+        }
+        assert!(
+            kernel.tier_of(VirtPage::new(20)).unwrap().is_fast(),
+            "degraded mode must still promote via PTE scans"
+        );
+        assert!(policy.telemetry().profiling_overhead > Nanos::ZERO);
+        // Recovery drops the fallback and re-arms the device.
+        let mmio_before = policy.driver().mmio_time();
+        let cost = policy.on_recovery(&FaultKind::NeoProfOutage, &mut kernel, now);
+        assert!(!policy.driver().outage());
+        assert!(cost > Nanos::ZERO, "resync costs MMIO round trips");
+        assert!(policy.driver().mmio_time() > mmio_before);
+        assert!(policy.fallback.is_none());
+    }
+
+    #[test]
+    fn non_outage_faults_are_ignored() {
+        let (mut kernel, mut policy) = setup();
+        let link = FaultKind::LinkDegraded { latency_x: 3, bandwidth_div: 2 };
+        assert_eq!(policy.on_fault(&link, &mut kernel, Nanos::ZERO), Nanos::ZERO);
+        assert!(!policy.driver().outage());
+        assert!(policy.fallback.is_none());
+    }
+
+    #[test]
+    fn mid_outage_state_round_trips_through_snapshot() {
+        let (mut kernel, mut policy) = setup();
+        policy.maybe_tick(&mut kernel, Nanos::ZERO);
+        policy.on_fault(&FaultKind::NeoProfOutage, &mut kernel, Nanos::from_micros(5));
+        kernel.page_table_mut().mark_accessed(VirtPage::new(20)).unwrap();
+        policy.maybe_tick(&mut kernel, Nanos::from_millis(1));
+        let snap = policy.snapshot_state();
+        let (_, mut restored) = setup();
+        restored.restore_state(&snap).unwrap();
+        assert!(restored.driver().outage());
+        let restored_fb = restored.fallback.as_ref().expect("fallback restored");
+        assert_eq!(restored_fb.snapshot().render(), policy.fallback.as_ref().unwrap().snapshot().render());
+        assert_eq!(restored.fallback_overhead, policy.fallback_overhead);
     }
 }
 

@@ -47,6 +47,10 @@ impl NeoProfDriverConfig {
     }
 }
 
+/// MMIO round trips charged when a command times out against an
+/// offline device (the host retries until the protocol deadline).
+const MMIO_TIMEOUT_X: u64 = 4;
+
 /// The kernel driver for one NeoProf device.
 #[derive(Debug, Clone)]
 pub struct NeoProfDriver {
@@ -54,6 +58,9 @@ pub struct NeoProfDriver {
     config: NeoProfDriverConfig,
     device_base: neomem_types::PageNum,
     mmio_time: Nanos,
+    /// Device outage (fault injection): snoops are dropped and MMIO
+    /// commands time out instead of reaching the device.
+    outage: bool,
 }
 
 impl NeoProfDriver {
@@ -68,18 +75,44 @@ impl NeoProfDriver {
             device: NeoProf::new(dev_config)?,
             config,
             mmio_time: Nanos::ZERO,
+            outage: false,
         })
+    }
+
+    /// Marks the device offline (`true`) or back online (`false`).
+    ///
+    /// While offline the device is invisible to the memory system:
+    /// snoops are dropped on the floor (sampling dropout) and every
+    /// MMIO command burns a timeout multiple of round trips before failing
+    /// back to the caller with an empty result. Device state is frozen,
+    /// not cleared — whatever the sketch held when the link dropped is
+    /// still there on recovery, which is why callers are expected to
+    /// [`NeoProfDriver::reset`] and re-arm the threshold when the
+    /// device returns.
+    pub fn set_outage(&mut self, outage: bool) {
+        self.outage = outage;
+    }
+
+    /// Whether the device is currently offline.
+    pub fn outage(&self) -> bool {
+        self.outage
     }
 
     /// Hardware path: the device snoops one slow-tier memory request.
     /// Costs zero CPU time.
     pub fn snoop(&mut self, req: MemRequest) {
+        if self.outage {
+            return;
+        }
         self.device.snoop(req, self.config.snoop_occupancy);
         self.device.tick();
     }
 
     /// Sets the hot-page threshold θ; returns the MMIO cost.
     pub fn set_threshold(&mut self, theta: u16, now: Nanos) -> Nanos {
+        if self.outage {
+            return self.charge(self.config.mmio_write_cost * MMIO_TIMEOUT_X);
+        }
         self.device
             .mmio_write(mmio::SET_THRESHOLD, theta as u64, now)
             .expect("SetThreshold is a valid write");
@@ -88,6 +121,9 @@ impl NeoProfDriver {
 
     /// Resets the device (the periodic `clear_interval` reset).
     pub fn reset(&mut self, now: Nanos) -> Nanos {
+        if self.outage {
+            return self.charge(self.config.mmio_write_cost * MMIO_TIMEOUT_X);
+        }
         self.device.mmio_write(mmio::RESET, 1, now).expect("Reset is a valid write");
         self.charge(self.config.mmio_write_cost)
     }
@@ -95,6 +131,9 @@ impl NeoProfDriver {
     /// Reads out all pending hot pages and resolves them to virtual
     /// pages via the kernel rmap. Returns `(pages, mmio_cost)`.
     pub fn read_hot_pages(&mut self, kernel: &Kernel, now: Nanos) -> (Vec<VirtPage>, Nanos) {
+        if self.outage {
+            return (Vec::new(), self.charge(self.config.mmio_read_cost * MMIO_TIMEOUT_X));
+        }
         let mut cost = self.config.mmio_read_cost;
         let n = self
             .device
@@ -117,6 +156,10 @@ impl NeoProfDriver {
 
     /// Reads the state monitor (bandwidth window): three MMIO reads.
     pub fn read_state(&mut self, now: Nanos) -> (StateSnapshot, Nanos) {
+        if self.outage {
+            let empty = StateSnapshot { sampled_cycles: 0, read_cycles: 0, write_cycles: 0 };
+            return (empty, self.charge(self.config.mmio_read_cost * MMIO_TIMEOUT_X));
+        }
         let sampled = self.device.mmio_read(mmio::GET_NR_SAMPLE, now).expect("GetNrSample");
         let read_cycles = self.device.mmio_read(mmio::GET_RD_CNT, now).expect("GetRdCnt");
         let write_cycles = self.device.mmio_read(mmio::GET_WR_CNT, now).expect("GetWrCnt");
@@ -126,6 +169,10 @@ impl NeoProfDriver {
 
     /// Triggers the histogram sweep and streams out the 64 bins.
     pub fn read_histogram(&mut self, now: Nanos) -> (CounterHistogram, Nanos) {
+        if self.outage {
+            let empty = CounterHistogram::from_bins([0; HISTOGRAM_BINS]);
+            return (empty, self.charge(self.config.mmio_write_cost * MMIO_TIMEOUT_X));
+        }
         self.device.mmio_write(mmio::SET_HIST_EN, 1, now).expect("SetHistEn");
         let mut bins = [0u64; HISTOGRAM_BINS];
         for bin in bins.iter_mut() {
@@ -161,6 +208,7 @@ impl NeoProfDriver {
         Json::obj([
             ("device", self.device.snapshot()),
             ("mmio_time", Json::U64(self.mmio_time.as_nanos())),
+            ("outage", Json::Bool(self.outage)),
         ])
     }
 
@@ -173,8 +221,10 @@ impl NeoProfDriver {
     /// fields or device state sized for a different configuration.
     pub fn restore(&mut self, snap: &Json) -> Result<()> {
         let mmio_time = Nanos::new(snap.req_u64("mmio_time")?);
+        let outage = snap.req_bool("outage")?;
         self.device.restore(snap.req("device")?)?;
         self.mmio_time = mmio_time;
+        self.outage = outage;
         Ok(())
     }
 }
@@ -242,6 +292,41 @@ mod tests {
         driver.read_hot_pages(&kernel, Nanos::ZERO);
         driver.reset(Nanos::ZERO);
         assert!(driver.mmio_time() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn outage_drops_snoops_and_times_out_mmio() {
+        let (kernel, mut driver) = setup();
+        driver.set_threshold(1, Nanos::ZERO);
+        let frame = kernel.translate(VirtPage::new(7)).unwrap();
+        driver.set_outage(true);
+        assert!(driver.outage());
+        // Snoops during the outage are dropped — the device never sees them.
+        for _ in 0..5 {
+            driver.snoop(MemRequest::new(frame, 0, AccessKind::Read));
+        }
+        // MMIO commands time out: empty results, inflated cost.
+        let before = driver.mmio_time();
+        let (pages, cost) = driver.read_hot_pages(&kernel, Nanos::ZERO);
+        assert!(pages.is_empty());
+        assert_eq!(cost, NeoProfDriverConfig::default().mmio_read_cost * MMIO_TIMEOUT_X);
+        let (state, _) = driver.read_state(Nanos::ZERO);
+        assert_eq!(state.sampled_cycles, 0);
+        assert!(driver.mmio_time() > before, "timeouts still burn CPU time");
+        // Recovery: the dropped snoops stay lost, new ones register.
+        driver.set_outage(false);
+        for _ in 0..5 {
+            driver.snoop(MemRequest::new(frame, 0, AccessKind::Read));
+        }
+        let (pages, _) = driver.read_hot_pages(&kernel, Nanos::ZERO);
+        assert_eq!(pages, vec![VirtPage::new(7)]);
+        // Outage state round-trips through the snapshot.
+        driver.set_outage(true);
+        let snap = driver.snapshot();
+        let dev_cfg = NeoProfConfig::small(kernel.memory().slow_base());
+        let mut fresh = NeoProfDriver::new(dev_cfg, NeoProfDriverConfig::default()).unwrap();
+        fresh.restore(&snap).unwrap();
+        assert!(fresh.outage());
     }
 
     #[test]

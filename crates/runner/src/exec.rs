@@ -12,6 +12,7 @@ use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Resolves a requested thread count: `0` means "all available cores".
 pub fn effective_threads(requested: usize) -> usize {
@@ -19,6 +20,76 @@ pub fn effective_threads(requested: usize) -> usize {
         requested
     } else {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Environment variable configuring the slow-cell watchdog: a cell
+/// whose wall-clock time exceeds this multiple of the median completed
+/// cell gets a stderr warning naming it. `0` disables the watchdog;
+/// unset uses [`WATCHDOG_DEFAULT_MULT`].
+pub const WATCHDOG_ENV: &str = "NEOMEM_WATCHDOG_MULT";
+
+/// Default watchdog multiple over the median completed-cell time.
+pub const WATCHDOG_DEFAULT_MULT: u32 = 8;
+
+/// Completed cells required before the watchdog trusts its median.
+const WATCHDOG_MIN_SAMPLES: usize = 4;
+
+/// Flags cells that run far longer than their siblings — a stuck
+/// workload, a pathological parameter point, a machine under memory
+/// pressure. Purely observational: it writes to stderr only and never
+/// into results, so result JSON stays byte-identical with or without
+/// it.
+struct Watchdog {
+    mult: u32,
+    durations: Mutex<Vec<Duration>>,
+}
+
+impl Watchdog {
+    fn new(mult: u32) -> Option<Self> {
+        (mult > 0).then(|| Watchdog { mult, durations: Mutex::new(Vec::new()) })
+    }
+
+    /// Reads [`WATCHDOG_ENV`]: `0` disables, unparsable values keep
+    /// the default (a broken knob shouldn't kill the observability it
+    /// configures).
+    fn from_env() -> Option<Self> {
+        let mult = std::env::var(WATCHDOG_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(WATCHDOG_DEFAULT_MULT);
+        Self::new(mult)
+    }
+
+    /// Records one completed cell and returns the warning it earned,
+    /// if any. The median is taken over cells completed *before* this
+    /// one, so early long-running cells can't vote themselves normal.
+    fn observe(&self, label: &str, elapsed: Duration) -> Option<String> {
+        let mut durations = self.durations.lock().expect("watchdog lock poisoned");
+        let warning = if durations.len() >= WATCHDOG_MIN_SAMPLES {
+            let mut sorted = durations.clone();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2];
+            (!median.is_zero() && elapsed > median * self.mult).then(|| {
+                format!(
+                    "[watchdog] cell {label} took {elapsed:.1?}, more than {}x the \
+                     {median:.1?} median of {} completed cells",
+                    self.mult,
+                    durations.len()
+                )
+            })
+        } else {
+            None
+        };
+        durations.push(elapsed);
+        warning
+    }
+
+    /// [`Watchdog::observe`], reporting straight to stderr.
+    fn report(&self, label: &str, elapsed: Duration) {
+        if let Some(warning) = self.observe(label, elapsed) {
+            eprintln!("{warning}");
+        }
     }
 }
 
@@ -66,7 +137,7 @@ where
     C: Sync,
     T: Send,
     F: Fn(usize, &C) -> T + Sync,
-    L: Fn(usize, &C) -> String,
+    L: Fn(usize, &C) -> String + Sync,
 {
     let finish = |i: usize, result: CellResult<T>| -> T {
         match result {
@@ -78,12 +149,20 @@ where
             ),
         }
     };
+    let watchdog = Watchdog::from_env();
     let threads = effective_threads(threads).min(cells.len().max(1));
     if threads <= 1 {
         return cells
             .iter()
             .enumerate()
-            .map(|(i, c)| finish(i, catch_unwind(AssertUnwindSafe(|| f(i, c)))))
+            .map(|(i, c)| {
+                let start = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| f(i, c)));
+                if let Some(watchdog) = &watchdog {
+                    watchdog.report(&label(i, c), start.elapsed());
+                }
+                finish(i, result)
+            })
             .collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -96,7 +175,11 @@ where
                 if i >= cells.len() {
                     break;
                 }
+                let start = Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| f(i, &cells[i])));
+                if let Some(watchdog) = &watchdog {
+                    watchdog.report(&label(i, &cells[i]), start.elapsed());
+                }
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -178,6 +261,28 @@ mod tests {
             assert!(msg.contains("grid::cell-5"), "label missing from {msg:?}");
             assert!(msg.contains("boom at 5"), "payload missing from {msg:?}");
         }
+    }
+
+    #[test]
+    fn watchdog_flags_outliers_against_the_median() {
+        let watchdog = Watchdog::new(8).expect("multiple 8 enables the watchdog");
+        let ms = Duration::from_millis;
+        // Too few samples: even a huge cell passes silently.
+        assert_eq!(watchdog.observe("grid::warmup", ms(10_000)), None);
+        for _ in 0..4 {
+            assert_eq!(watchdog.observe("grid::fast", ms(10)), None);
+        }
+        // Median is 10ms (the warmup outlier sits above it); 50ms is
+        // within 8x, 100ms is over and gets named.
+        assert_eq!(watchdog.observe("grid::slowish", ms(50)), None);
+        let warning = watchdog.observe("grid::stuck/r4/s7", ms(100)).expect("must warn");
+        assert!(warning.contains("grid::stuck/r4/s7"), "{warning}");
+        assert!(warning.contains("8x"), "{warning}");
+    }
+
+    #[test]
+    fn watchdog_multiple_zero_disables() {
+        assert!(Watchdog::new(0).is_none());
     }
 
     #[test]

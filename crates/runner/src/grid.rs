@@ -390,6 +390,9 @@ impl ExperimentGrid {
         let total_rss = spec.scenario.mix().total_rss_pages();
         let mut config = self.machine_config(total_rss, cell.ratio);
         config.max_accesses = cell.accesses;
+        // The scenario's fault timeline rides into the machine config —
+        // an empty plan (the common case) leaves the config untouched.
+        config.faults = spec.scenario.faults().clone();
         if let Some(hook) = self.configure {
             hook(&mut config);
         }

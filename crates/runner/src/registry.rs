@@ -97,9 +97,23 @@ impl Registry {
     /// # Errors
     ///
     /// As for [`Registry::load`], plus a not-found error when no
-    /// corpus directory exists on the walk up.
+    /// corpus directory exists on the walk up. A set but unusable
+    /// `$NEOMEM_SCENARIO_DIR` — missing, unreadable, or empty of
+    /// `.cfg` files — is an error naming that path: an explicit
+    /// override never falls through to walk-up discovery (that would
+    /// silently load a different corpus than the one asked for).
     pub fn discover() -> Result<Self, Error> {
-        if let Ok(dir) = std::env::var(DIR_ENV) {
+        // `var_os`, not `var`: a non-UTF-8 value must still be honored
+        // as a path override, not skipped as if the variable were unset.
+        if let Some(dir) = std::env::var_os(DIR_ENV) {
+            let dir = PathBuf::from(dir);
+            if !dir.is_dir() {
+                return Err(Error::invalid_config(format!(
+                    "{DIR_ENV} points at {}, which is not a readable directory \
+                     (unset it to use walk-up discovery)",
+                    dir.display()
+                )));
+            }
             return Self::load(dir);
         }
         let start = std::env::current_dir().map_err(|e| {
@@ -354,6 +368,25 @@ seed = 2
     fn empty_directories_are_an_error() {
         let dir = corpus("empty", &[]);
         assert!(Registry::load(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn env_override_pointing_nowhere_errors_with_the_path() {
+        // The env override is process-global, so this test covers both
+        // the unusable and usable cases in one body (no other test in
+        // this crate calls `discover`).
+        let missing = std::env::temp_dir().join("neomem-no-such-corpus");
+        let _ = std::fs::remove_dir_all(&missing);
+        std::env::set_var(DIR_ENV, &missing);
+        let err = Registry::discover().unwrap_err().to_string();
+        assert!(err.contains(DIR_ENV), "{err}");
+        assert!(err.contains(&missing.display().to_string()), "{err}");
+        // A usable override still loads normally.
+        let dir = corpus("env", &[("base", MACHINE)]);
+        std::env::set_var(DIR_ENV, &dir);
+        assert_eq!(Registry::discover().unwrap().len(), 1);
+        std::env::remove_var(DIR_ENV);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -3,7 +3,7 @@
 use neomem_cache::{HierarchyConfig, TlbConfig};
 use neomem_kernel::MigrationCosts;
 use neomem_mem::TieredMemoryConfig;
-use neomem_types::{Error, Nanos, Result};
+use neomem_types::{Error, FaultPlan, Nanos, Result};
 
 /// Load-to-use latencies per cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +58,10 @@ pub struct SimConfig {
     /// contract), so this never needs sweeping — 1 recovers the
     /// event-at-a-time seed path for debugging.
     pub batch_size: usize,
+    /// Deterministic fault timeline the engine executes on the virtual
+    /// clock. The default empty plan models a healthy machine and is
+    /// guaranteed bit-identical to the pre-fault-layer engine.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -82,6 +86,7 @@ impl SimConfig {
             tick_quantum: Nanos::from_micros(100),
             sample_interval: Nanos::from_millis(1),
             batch_size: 256,
+            faults: FaultPlan::empty(),
         }
     }
 

@@ -520,7 +520,8 @@ impl CoRunSimulation {
         // current tick/sample/stop deadlines (every update site
         // re-establishes it), so recomputing it here restores the
         // mid-run value exactly.
-        let mut next_deadline = earliest_deadline(state.next_tick, state.next_sample, limit);
+        let mut next_deadline = earliest_deadline(state.next_tick, state.next_sample, limit)
+            .min(self.machine.faults.deadline());
 
         // Slice-boundary occupancy scans: `state.occ_before` holds the
         // scan entering the current slice, `occ_after` is the fresh
@@ -628,6 +629,14 @@ impl CoRunSimulation {
                         state.clock = target;
                     }
                     let mut ticked = false;
+                    // Fault edges fire first, exactly as in the slice
+                    // slow path; a capacity-loss edge migrates pages,
+                    // so it forces the same baseline rescan a tick
+                    // does.
+                    if state.clock >= self.machine.faults.deadline() {
+                        state.clock += self.machine.fault_tick(state.clock, state.accesses);
+                        ticked = true;
+                    }
                     if state.clock >= state.next_tick {
                         state.clock += self.machine.policy_tick(state.clock, &mut shootdowns);
                         state.next_tick = state.clock + tick_quantum;
@@ -656,8 +665,8 @@ impl CoRunSimulation {
                         // while nobody ran.
                         Self::scan_occupancy(&self.machine, &self.layout, &mut state.occ_before);
                     }
-                    next_deadline =
-                        earliest_deadline(state.next_tick, state.next_sample, limit);
+                    next_deadline = earliest_deadline(state.next_tick, state.next_sample, limit)
+                        .min(self.machine.faults.deadline());
                     continue;
                 }
             };
@@ -711,6 +720,14 @@ impl CoRunSimulation {
                             continue;
                         }
 
+                        // Fault edges fire first: the hardware event
+                        // precedes the daemon's reaction at the same
+                        // instant. Empty plans never pass this guard.
+                        if state.clock >= self.machine.faults.deadline() {
+                            state.clock +=
+                                self.machine.fault_tick(state.clock, state.accesses);
+                        }
+
                         // Policy tick.
                         if state.clock >= state.next_tick {
                             state.clock +=
@@ -745,7 +762,8 @@ impl CoRunSimulation {
                             break 'slice;
                         }
                         next_deadline =
-                            earliest_deadline(state.next_tick, state.next_sample, limit);
+                            earliest_deadline(state.next_tick, state.next_sample, limit)
+                                .min(self.machine.faults.deadline());
                     }
                 }
                 self.lanes[lane_idx].buf = buf;

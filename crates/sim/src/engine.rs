@@ -9,6 +9,7 @@ use neomem_types::{Access, CacheLine, Error, Nanos, Result, Tier, VirtPage};
 use neomem_workloads::{Workload, WorkloadEvent};
 
 use crate::config::SimConfig;
+use crate::fault::FaultInjector;
 use crate::report::{MarkerRecord, RunReport, TimelinePoint};
 use crate::snapshot;
 
@@ -166,7 +167,8 @@ pub(crate) fn run_core(
     // Reusable shootdown buffer: policies append into it, so the
     // steady-state tick path performs no heap allocation.
     let mut shootdowns: Vec<VirtPage> = Vec::new();
-    let mut next_deadline = deadline_with_cut(state.next_tick, state.next_sample, limit, cut);
+    let mut next_deadline = deadline_with_cut(state.next_tick, state.next_sample, limit, cut)
+        .min(machine.faults.deadline());
 
     'run: while state.accesses < max_accesses {
         if limit.is_some_and(|l| state.clock >= l) {
@@ -200,6 +202,14 @@ pub(crate) fn run_core(
 
             if state.clock < next_deadline {
                 continue;
+            }
+
+            // Fault edges fire first: the hardware event precedes the
+            // daemon's reaction to it at the same instant. An empty
+            // plan's deadline is `u64::MAX`, so this guard never
+            // passes and the healthy path stays bit-identical.
+            if state.clock >= machine.faults.deadline() {
+                state.clock += machine.fault_tick(state.clock, state.accesses);
             }
 
             // Policy tick.
@@ -236,7 +246,8 @@ pub(crate) fn run_core(
             if cut.is_some_and(|c| state.clock >= c) {
                 return StopReason::Cut;
             }
-            next_deadline = deadline_with_cut(state.next_tick, state.next_sample, limit, cut);
+            next_deadline = deadline_with_cut(state.next_tick, state.next_sample, limit, cut)
+                .min(machine.faults.deadline());
         }
     }
     StopReason::Finished
@@ -255,6 +266,7 @@ pub(crate) struct Machine {
     pub(crate) kernel: Kernel,
     pub(crate) caches: CacheHierarchy,
     pub(crate) tlb: Tlb,
+    pub(crate) faults: FaultInjector,
 }
 
 impl Machine {
@@ -268,7 +280,14 @@ impl Machine {
         });
         let caches = CacheHierarchy::new(config.caches);
         let tlb = Tlb::new(config.tlb);
-        Ok(Self { config, policy, kernel, caches, tlb })
+        let faults = FaultInjector::new(&config.faults);
+        Ok(Self { config, policy, kernel, caches, tlb, faults })
+    }
+
+    /// Fires every due fault edge at `now` (see
+    /// [`FaultInjector::tick`]); returns the virtual time charged.
+    pub(crate) fn fault_tick(&mut self, now: Nanos, accesses: u64) -> Nanos {
+        self.faults.tick(&mut self.kernel, self.policy.as_mut(), now, accesses)
     }
 
     /// Offers the policy a tick at `now` and applies any TLB shootdowns
@@ -330,6 +349,7 @@ impl Machine {
         let fast = self.kernel.memory().node(Tier::Fast).stats();
         let cache = self.caches.stats();
         let telemetry = self.policy.telemetry();
+        let degradation = self.faults.into_metrics(runtime, accesses);
         RunReport {
             workload,
             policy: self.policy.name().to_string(),
@@ -345,6 +365,7 @@ impl Machine {
             cache,
             profiling_overhead: telemetry.profiling_overhead,
             promoted_huge_bytes: telemetry.promoted_huge_bytes,
+            degradation,
             timeline,
             markers,
         }
@@ -367,6 +388,7 @@ impl Machine {
             ("kernel", self.kernel.snapshot()),
             ("caches", self.caches.snapshot()),
             ("tlb", self.tlb.snapshot()),
+            ("faults", self.faults.snapshot()),
         ])
     }
 
@@ -391,6 +413,7 @@ impl Machine {
         self.kernel.restore(snap.req("kernel")?)?;
         self.caches.restore(snap.req("caches")?)?;
         self.tlb.restore(snap.req("tlb")?)?;
+        self.faults.restore(snap.req("faults")?)?;
         self.policy.restore_state(policy.req("state")?)
     }
 

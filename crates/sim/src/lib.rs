@@ -32,6 +32,7 @@
 mod config;
 mod corun;
 mod engine;
+mod fault;
 pub mod machine;
 mod report;
 mod sched;
@@ -44,5 +45,5 @@ pub use corun::{
     TenantEpoch, TenantRunReport,
 };
 pub use engine::Simulation;
-pub use report::{MarkerRecord, RunReport, TimelinePoint};
+pub use report::{DegradationMetrics, MarkerRecord, RunReport, TimelinePoint};
 pub use sched::{DynamicSchedule, SchedulerOp, SliceScheduler, StaticRoundRobin};

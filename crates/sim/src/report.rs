@@ -42,6 +42,31 @@ pub struct MarkerRecord {
     pub label: &'static str,
 }
 
+/// Graceful-degradation accounting for a run that executed a
+/// non-empty [`neomem_types::FaultPlan`]. All quantities are
+/// virtual-clock state, so they are byte-identical at any thread count
+/// or batch size. Absent (`None` on [`RunReport::degradation`]) for
+/// fault-free runs, which keeps their serialized reports unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationMetrics {
+    /// Fault windows that started during the run.
+    pub fault_events: u64,
+    /// Total virtual time at least one fault window was open.
+    pub degraded_time: Nanos,
+    /// Time from the first fault's onset to the instant the machine
+    /// last returned to fully healthy; `None` while still degraded at
+    /// end of run (recovery never completed).
+    pub time_to_recover: Option<Nanos>,
+    /// Demotions forced by capacity-loss evacuation (these flow
+    /// through the normal migration path and are also counted in
+    /// `kernel.demotions`).
+    pub fault_forced_demotions: u64,
+    /// Healthy-window access rate over degraded-window access rate, in
+    /// milli-units (1000 = no slowdown); 0 when either window has no
+    /// samples.
+    pub degraded_slowdown_milli: u64,
+}
+
 /// The outcome of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -74,6 +99,9 @@ pub struct RunReport {
     /// Bytes promoted as whole huge pages (Table VI; zero unless the
     /// policy runs in THP mode).
     pub promoted_huge_bytes: neomem_types::Bytes,
+    /// Graceful-degradation metrics; `Some` iff the run executed a
+    /// non-empty fault plan.
+    pub degradation: Option<DegradationMetrics>,
     /// Periodic samples.
     pub timeline: Vec<TimelinePoint>,
     /// Phase markers.
@@ -129,7 +157,7 @@ impl RunReport {
     /// deterministic for a given configuration and seed. Names are part
     /// of the `BENCH_*.json` schema; extend rather than rename.
     pub fn scalar_metrics(&self) -> Vec<(&'static str, u64)> {
-        vec![
+        let mut metrics = vec![
             ("runtime_ns", self.runtime.as_nanos()),
             ("accesses", self.accesses),
             ("llc_misses", self.llc_misses),
@@ -162,7 +190,19 @@ impl RunReport {
             ("promoted_huge_bytes", self.promoted_huge_bytes.as_u64()),
             ("timeline_samples", self.timeline.len() as u64),
             ("markers", self.markers.len() as u64),
-        ]
+        ];
+        // Degradation metrics extend the schema only for fault-bearing
+        // runs; fault-free result JSON is unchanged byte for byte.
+        if let Some(d) = &self.degradation {
+            metrics.push(("fault_events", d.fault_events));
+            metrics.push(("degraded_time_ns", d.degraded_time.as_nanos()));
+            metrics.push(("fault_forced_demotions", d.fault_forced_demotions));
+            metrics.push(("degraded_slowdown_milli", d.degraded_slowdown_milli));
+            if let Some(ttr) = d.time_to_recover {
+                metrics.push(("time_to_recover_ns", ttr.as_nanos()));
+            }
+        }
+        metrics
     }
 
     /// One-line human-readable summary of the run.
@@ -214,6 +254,7 @@ mod tests {
             cache: HierarchyStats::default(),
             profiling_overhead: Nanos::ZERO,
             promoted_huge_bytes: neomem_types::Bytes::ZERO,
+            degradation: None,
             timeline: Vec::new(),
             markers: vec![
                 MarkerRecord { at: Nanos::from_millis(100), id: 0, label: "graph-built" },

@@ -130,6 +130,49 @@ fn neomem_batched_runs_match_seed_path() {
 }
 
 #[test]
+fn fault_plan_runs_are_batch_invariant() {
+    // Fault edges fire on the virtual clock, so a run that suffers an
+    // outage, a link brownout and a capacity loss must still be
+    // byte-identical at any batch size — including the degradation
+    // metrics themselves (covered by `scalar_metrics`).
+    use neomem_types::{FaultPlan, Nanos};
+    let plan = FaultPlan::builder()
+        .outage(Nanos::from_micros(400), Nanos::from_micros(300))
+        .link_degraded(Nanos::from_micros(900), Nanos::from_micros(200), 4, 2)
+        .capacity_loss(Nanos::from_micros(1300), Nanos::from_micros(200), 32)
+        .build()
+        .expect("valid plan");
+    let run_faulted = |policy: Policy, batch_size: usize, unbatched: bool| {
+        let config = SimConfig {
+            max_accesses: ACCESSES,
+            batch_size,
+            faults: plan.clone(),
+            ..SimConfig::quick(RSS_PAGES, 2)
+        };
+        let workload = WorkloadKind::Gups.build(RSS_PAGES, SEED);
+        let workload: Box<dyn Workload> =
+            if unbatched { Box::new(Unbatched(workload)) } else { workload };
+        let policy = build_policy(policy, &config);
+        Simulation::new(config, workload, policy).expect("valid simulation").run()
+    };
+    for policy in [Policy::FirstTouch, Policy::NeoMem] {
+        let reference = run_faulted(policy, 1, true);
+        let d = reference.degradation.expect("fault plan must produce metrics");
+        assert_eq!(d.fault_events, 3, "{policy:?}");
+        assert!(d.time_to_recover.is_some(), "{policy:?} must recover in-run");
+        assert!(d.degraded_time > Nanos::ZERO, "{policy:?}");
+        let reference_fp = fingerprint(&reference);
+        for batch_size in [1usize, 7, 256, 1024] {
+            assert_eq!(
+                fingerprint(&run_faulted(policy, batch_size, false)),
+                reference_fp,
+                "{policy:?}: batch={batch_size} diverged under faults"
+            );
+        }
+    }
+}
+
+#[test]
 fn max_time_stop_is_batch_invariant() {
     // The simulated-time stop lives on the hoisted deadline path; a
     // batched run must cut off at exactly the same access.

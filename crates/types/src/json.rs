@@ -612,6 +612,14 @@ impl Parser<'_> {
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
+            // Last-wins would silently drop data from hand-edited
+            // baselines and snapshots; refuse duplicates by name.
+            if pairs.iter().any(|(existing, _)| *existing == key) {
+                return Err(JsonError {
+                    pos: self.pos,
+                    msg: format!("duplicate object key \"{key}\""),
+                });
+            }
             pairs.push((key, value));
             self.skip_ws();
             match self.peek() {
@@ -822,6 +830,15 @@ mod tests {
         for bad in ["", "{", "[1,]", "{\"a\"}", "tru", "1 2", "\"abc", "{\"a\":}", "[1 2]"] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected_by_name() {
+        let err = Json::parse(r#"{"a":1,"b":2,"a":3}"#).expect_err("must reject duplicate");
+        assert!(err.msg.contains("duplicate object key \"a\""), "{err}");
+        // Nested objects are checked too, and distinct keys still parse.
+        assert!(Json::parse(r#"{"o":{"x":1,"x":2}}"#).is_err());
+        assert!(Json::parse(r#"{"a":1,"b":{"a":2}}"#).is_ok());
     }
 
     #[test]

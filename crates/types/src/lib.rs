@@ -32,6 +32,7 @@ mod access;
 mod addr;
 pub mod config;
 mod error;
+pub mod fault;
 pub mod json;
 pub mod suggest;
 mod tier;
@@ -40,5 +41,6 @@ mod time;
 pub use access::{Access, AccessKind, MemRequest};
 pub use addr::{CacheLine, DevicePage, PageNum, PhysAddr, VirtPage, LINE_SHIFT, LINE_SIZE, LINES_PER_PAGE, PAGE_SHIFT, PAGE_SIZE};
 pub use error::{Error, Result};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultPlanBuilder};
 pub use tier::{NodeId, Tier};
 pub use time::{Bandwidth, Bytes, Nanos};

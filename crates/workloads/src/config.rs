@@ -38,7 +38,7 @@
 
 use neomem_types::config::{ConfigDoc, ConfigError, ConfigSection, ConfigValue, FieldReader};
 use neomem_types::suggest;
-use neomem_types::Nanos;
+use neomem_types::{FaultPlan, Nanos};
 
 use crate::{PhaseSpec, Scenario, TenantMix, WorkloadKind};
 
@@ -132,8 +132,8 @@ impl ScenarioConfig {
         root.finish()?;
 
         for section in &doc.sections {
-            if !matches!(section.name.as_str(), "tenant" | "event" | "phase") {
-                let hint = suggest::closest(&section.name, ["tenant", "event", "phase"])
+            if !matches!(section.name.as_str(), "tenant" | "event" | "phase" | "fault") {
+                let hint = suggest::closest(&section.name, ["tenant", "event", "phase", "fault"])
                     .map(|s| format!(" (did you mean [{s}]?)"))
                     .unwrap_or_default();
                 return Err(ConfigError::at(
@@ -227,6 +227,55 @@ impl ScenarioConfig {
                     ));
                 }
             };
+        }
+
+        // Fault windows, in section order (the shared plan builder
+        // re-sorts and validates same-class overlap, exactly as for
+        // code-built plans).
+        let mut fault_builder = FaultPlan::builder();
+        let mut first_fault_line = 0;
+        for section in doc.sections_named("fault") {
+            if first_fault_line == 0 {
+                first_fault_line = section.line;
+            }
+            let mut r = FieldReader::new(section);
+            let at = Nanos::new(r.req_duration_ns("at")?);
+            let duration = Nanos::new(r.req_duration_ns("duration")?);
+            let kind = r.req_str("kind")?;
+            let kind_line = r.line_of("kind");
+            fault_builder = match kind.as_str() {
+                "neoprof-outage" => {
+                    r.finish()?;
+                    fault_builder.outage(at, duration)
+                }
+                "link-degraded" => {
+                    let latency_x = r.take_u64_range("latency_x", 1, 1 << 20)?.unwrap_or(1);
+                    let bandwidth_div = r.take_u64_range("bandwidth_div", 1, 1 << 20)?.unwrap_or(1);
+                    r.finish()?;
+                    fault_builder.link_degraded(at, duration, latency_x, bandwidth_div)
+                }
+                "capacity-loss" => {
+                    let frames = r.req_u64_range("frames", 1, u64::MAX)?;
+                    r.finish()?;
+                    fault_builder.capacity_loss(at, duration, frames)
+                }
+                other => {
+                    let menu = ["neoprof-outage", "link-degraded", "capacity-loss"];
+                    let hint = suggest::closest(other, menu)
+                        .map(|s| format!(" (did you mean {s:?}?)"))
+                        .unwrap_or_default();
+                    return Err(ConfigError::at(
+                        kind_line,
+                        format!("unknown fault kind {other:?}; available: {}{hint}", menu.join(", ")),
+                    ));
+                }
+            };
+        }
+        if first_fault_line != 0 {
+            let plan = fault_builder
+                .build()
+                .map_err(|e| ConfigError::at(first_fault_line, e.to_string()))?;
+            builder = builder.faults(plan);
         }
 
         // Semantic validation goes through the shared builder; its
@@ -488,6 +537,78 @@ events = 50
         assert!(doc_kind(&doc).unwrap_err().to_string().contains("did you mean \"scenario\"?"));
         let doc = ConfigDoc::parse("schema = 1\nkind = machine\nname = x\n").unwrap();
         assert_eq!(doc_kind(&doc).unwrap(), "machine");
+    }
+
+    #[test]
+    fn fault_sections_lower_into_the_plan() {
+        use neomem_types::FaultKind;
+        let text = "\
+schema = 1
+kind = scenario
+name = faulty
+[tenant]
+workload = gups
+rss_pages = 1024
+seed = 1
+[fault]
+kind = link-degraded
+at = 3ms
+duration = 1ms
+latency_x = 4
+bandwidth_div = 2
+[fault]
+kind = neoprof-outage
+at = 1ms
+duration = 500us
+[fault]
+kind = capacity-loss
+at = 5ms
+duration = 2ms
+frames = 128
+";
+        let cfg = ScenarioConfig::parse(text).unwrap();
+        let plan = cfg.scenario.faults();
+        assert_eq!(plan.len(), 3);
+        // The builder re-sorts by start time.
+        assert_eq!(plan.events()[0].kind, FaultKind::NeoProfOutage);
+        assert_eq!(plan.events()[0].at, Nanos::from_millis(1));
+        assert_eq!(plan.events()[0].duration, Nanos::from_micros(500));
+        assert_eq!(
+            plan.events()[1].kind,
+            FaultKind::LinkDegraded { latency_x: 4, bandwidth_div: 2 }
+        );
+        assert_eq!(plan.events()[2].kind, FaultKind::CapacityLoss { frames: 128 });
+        assert!(cfg.scenario.label().ends_with("+3flt"), "{}", cfg.scenario.label());
+    }
+
+    #[test]
+    fn fault_diagnostics_are_precise() {
+        let base = "schema = 1\nkind = scenario\nname = x\n\
+                    [tenant]\nworkload = gups\nrss_pages = 64\nseed = 1\n";
+        let err = |body: &str| {
+            ScenarioConfig::parse(&format!("{base}{body}")).unwrap_err().to_string()
+        };
+        // A mistyped kind gets the near-miss suggestion.
+        assert_eq!(
+            err("[fault]\nkind = neoprof-outge\nat = 1ms\nduration = 1ms\n"),
+            "line 9: unknown fault kind \"neoprof-outge\"; available: neoprof-outage, \
+             link-degraded, capacity-loss (did you mean \"neoprof-outage\"?)"
+        );
+        // A mistyped section name suggests [fault].
+        assert_eq!(
+            err("[falt]\nkind = neoprof-outage\nat = 1ms\nduration = 1ms\n"),
+            "line 8: unknown section [falt] in a scenario file (did you mean [fault]?)"
+        );
+        // Kind-specific keys are rejected on the wrong kind.
+        assert!(err("[fault]\nkind = neoprof-outage\nat = 1ms\nduration = 1ms\nframes = 4\n")
+            .contains("unknown key \"frames\""));
+        // Builder-level validation is pinned to the first [fault] line.
+        assert!(err("[fault]\nkind = capacity-loss\nat = 1ms\nduration = 1ms\nframes = 0\n")
+            .contains("at least 1"));
+        let overlap = err("[fault]\nkind = neoprof-outage\nat = 1ms\nduration = 2ms\n\
+                           [fault]\nkind = neoprof-outage\nat = 2ms\nduration = 1ms\n");
+        assert!(overlap.starts_with("line 8:"), "{overlap}");
+        assert!(overlap.contains("overlaps"), "{overlap}");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! phases is exactly the static mix — the scheduler-equivalence suite
 //! holds that bit-for-bit.
 
-use neomem_types::Nanos;
+use neomem_types::{FaultPlan, Nanos};
 
 use crate::{Marker, TenantMix, Workload, WorkloadEvent, WorkloadKind};
 
@@ -246,13 +246,22 @@ pub struct Scenario {
     events: Vec<TenantEvent>,
     /// Per-tenant phase schedule; `None` = the mix's plain generator.
     phases: Vec<Option<Vec<PhaseSpec>>>,
+    /// Machine faults injected during the run; empty = healthy machine
+    /// (bit-identical to a scenario without fault support).
+    faults: FaultPlan,
 }
 
 impl Scenario {
     /// Starts a scenario over `mix` with no events and no phases.
     pub fn builder(mix: TenantMix) -> ScenarioBuilder {
         let tenants = mix.len();
-        ScenarioBuilder { mix, events: Vec::new(), phases: vec![None; tenants], error: None }
+        ScenarioBuilder {
+            mix,
+            events: Vec::new(),
+            phases: vec![None; tenants],
+            faults: FaultPlan::empty(),
+            error: None,
+        }
     }
 
     /// A scenario with no events and no phases — scheduling-equivalent
@@ -274,6 +283,12 @@ impl Scenario {
     /// The per-tenant phase schedules, in mix order.
     pub fn phases(&self) -> &[Option<Vec<PhaseSpec>>] {
         &self.phases
+    }
+
+    /// The machine-fault timeline injected during the run (empty for a
+    /// healthy machine).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Which tenants run from time zero: everyone except tenants whose
@@ -334,17 +349,22 @@ impl Scenario {
             mix: self.mix.reseeded(base_seed),
             events: self.events.clone(),
             phases: self.phases.clone(),
+            faults: self.faults.clone(),
         }
     }
 
     /// A compact label: the mix label plus the event count, e.g.
     /// `GUPS+Silo@3ev`.
     pub fn label(&self) -> String {
-        if self.events.is_empty() {
+        let mut label = if self.events.is_empty() {
             self.mix.label()
         } else {
             format!("{}@{}ev", self.mix.label(), self.events.len())
+        };
+        if !self.faults.is_empty() {
+            label.push_str(&format!("+{}flt", self.faults.len()));
         }
+        label
     }
 }
 
@@ -354,6 +374,7 @@ pub struct ScenarioBuilder {
     mix: TenantMix,
     events: Vec<TenantEvent>,
     phases: Vec<Option<Vec<PhaseSpec>>>,
+    faults: FaultPlan,
     /// First violation hit by an infallible builder method; reported
     /// by [`ScenarioBuilder::build`].
     error: Option<String>,
@@ -380,6 +401,15 @@ impl ScenarioBuilder {
     /// Adds a fully specified event.
     pub fn event(mut self, event: TenantEvent) -> Self {
         self.events.push(event);
+        self
+    }
+
+    /// Injects a machine-fault timeline (see
+    /// [`neomem_types::FaultPlan`]) into the run. Replaces any plan set
+    /// earlier. The plan is validated by its own builder; scenarios
+    /// accept it as-is.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -480,7 +510,12 @@ impl ScenarioBuilder {
                     .map_err(|e| format!("tenant {i} phase schedule: {e}"))?;
             }
         }
-        Ok(Scenario { mix: self.mix, events: self.events, phases: self.phases })
+        Ok(Scenario {
+            mix: self.mix,
+            events: self.events,
+            phases: self.phases,
+            faults: self.faults,
+        })
     }
 }
 
@@ -574,6 +609,26 @@ mod tests {
         assert_eq!(s.mix().tenants()[1].seed, 101);
         assert_eq!(s.events().len(), 1);
         assert!(s.phases()[0].is_some());
+    }
+
+    #[test]
+    fn fault_plan_rides_along_and_marks_the_label() {
+        let plan = FaultPlan::builder()
+            .outage(Nanos::from_millis(1), Nanos::from_millis(2))
+            .link_degraded(Nanos::from_millis(5), Nanos::from_millis(1), 4, 2)
+            .build()
+            .unwrap();
+        let s = Scenario::builder(mix_2())
+            .depart(1, Nanos::from_millis(9))
+            .faults(plan.clone())
+            .build()
+            .unwrap();
+        assert_eq!(s.faults(), &plan);
+        assert_eq!(s.label(), "GUPS+Silo@1ev+2flt");
+        // Reseeding keeps the plan.
+        assert_eq!(s.reseeded(7).faults(), &plan);
+        // Healthy scenarios keep the pre-fault label.
+        assert_eq!(Scenario::steady(mix_2()).label(), "GUPS+Silo");
     }
 
     #[test]

@@ -17,7 +17,8 @@ fn ident() -> impl Strategy<Value = String> {
 fn line() -> impl Strategy<Value = String> {
     let keys = prop::sample::select(vec![
         "schema", "kind", "name", "title", "machine", "quantum", "workload", "rss_pages",
-        "seed", "weight", "at", "tenant", "action", "events", "ratio",
+        "seed", "weight", "at", "tenant", "action", "events", "ratio", "duration",
+        "latency_x", "bandwidth_div", "frames",
     ]);
     let values = prop_oneof![
         ident(),
@@ -26,12 +27,15 @@ fn line() -> impl Strategy<Value = String> {
         prop::sample::select(vec![
             "scenario", "machine", "gups", "silo", "redis", "arrive", "depart", "set-weight",
             "true", "\"quoted text\"", "1, 2, 3", "30GiB/s", "512KiB", "-1", "1e999",
+            "neoprof-outage", "link-degraded", "capacity-loss", "neoprof-outge",
         ])
         .prop_map(str::to_string),
     ];
     prop_oneof![
-        prop::sample::select(vec!["[tenant]", "[event]", "[phase]", "[memory]", "[junk]"])
-            .prop_map(str::to_string),
+        prop::sample::select(vec![
+            "[tenant]", "[event]", "[phase]", "[fault]", "[memory]", "[junk]",
+        ])
+        .prop_map(str::to_string),
         (keys, values).prop_map(|(k, v)| format!("{k} = {v}")),
         (ident(), ident()).prop_map(|(k, v)| format!("{k} = {v}")),
         ident().prop_map(|c| format!("# {c}")),
@@ -76,6 +80,50 @@ proptest! {
         for l in &lines {
             text.push_str(l);
             text.push('\n');
+        }
+        let _ = ScenarioConfig::parse(&text);
+    }
+
+    /// Hostile `[fault]` sections — shuffled kinds, mismatched keys,
+    /// absurd times and counts — never panic; the reader either builds
+    /// a valid plan or reports a `ConfigError`.
+    #[test]
+    fn junk_fault_sections_never_panic(
+        sections in prop::collection::vec(
+            (
+                prop::sample::select(vec![
+                    "neoprof-outage", "link-degraded", "capacity-loss", "meteor-strike", "",
+                ]),
+                prop::collection::vec(
+                    (
+                        prop::sample::select(vec![
+                            "kind", "at", "duration", "latency_x", "bandwidth_div", "frames",
+                            "tenant", "junk",
+                        ]),
+                        prop_oneof![
+                            (0u64..u64::MAX).prop_map(|n| n.to_string()),
+                            (0u64..10_000).prop_map(|n| format!("{n}us")),
+                            ident(),
+                        ],
+                    ),
+                    0..6,
+                ),
+            ),
+            1..5,
+        ),
+    ) {
+        let mut text = String::from(
+            "schema = 1\nkind = scenario\nname = fuzz\n\
+             [tenant]\nworkload = gups\nrss_pages = 64\nseed = 1\n",
+        );
+        for (kind, keys) in &sections {
+            text.push_str("[fault]\n");
+            if !kind.is_empty() {
+                text.push_str(&format!("kind = {kind}\n"));
+            }
+            for (k, v) in keys {
+                text.push_str(&format!("{k} = {v}\n"));
+            }
         }
         let _ = ScenarioConfig::parse(&text);
     }

@@ -1,0 +1,6 @@
+//! `cargo bench --bench differential` — staged-vs-serial equivalence
+//! over the full (workload × policy × shape) corpus.
+
+fn main() {
+    neomem_bench::figures::bench_target_main("differential");
+}

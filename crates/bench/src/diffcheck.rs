@@ -1,0 +1,300 @@
+//! Differential checking: the Staged batch pipeline against the
+//! Serial reference path.
+//!
+//! The engine's data-oriented core runs each event batch stage by
+//! stage (`PipelineMode::Staged`); the event-at-a-time
+//! path (`PipelineMode::Serial`) is kept as the
+//! reference semantics. The two must be *bit-identical* — not merely
+//! statistically close — because every `BENCH_*.json` baseline was
+//! recorded against the serial semantics. This module runs the same
+//! experiment under both modes and compares the full `Debug` rendering
+//! of the report: every scalar, timeline point, marker, degradation
+//! metric and per-tenant section, floats included.
+//!
+//! Used from two places: the `differential` figure (release-mode CI
+//! gate, `neomem-bench differential --threads N`) and the engine
+//! crate's own `differential` integration test (debug-mode, runs on
+//! every `cargo test`).
+
+use std::fmt::Debug;
+
+use neomem::prelude::*;
+use neomem::sketch::SketchParams;
+
+/// Cadence divisor matching the figure-harness convention: Table V's
+/// minute-scale daemon intervals shrink so millisecond runs still
+/// exercise many policy decisions.
+const TIME_SCALE: u64 = 1000;
+
+/// Per-tenant footprint in pages. Small on purpose: the harness is a
+/// breadth check over the whole (workload × policy × shape) corpus,
+/// not a convergence study.
+const RSS_PAGES: u64 = 1024;
+
+const SEED: u64 = 2024;
+
+/// The run shapes the corpus crosses every workload and policy with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffShape {
+    /// One tenant, healthy machine — the plain `Simulation` path.
+    SingleTenant,
+    /// Two tenants contending for the fast tier (`CoRunSimulation`).
+    CoRun,
+    /// One tenant with a fault plan whose edges land mid-run: an
+    /// outage, a link brownout and a capacity loss.
+    MidFault,
+    /// Two tenants where one switches generator kind and working set
+    /// mid-run (a [`PhaseSpec`] schedule).
+    MidPhase,
+}
+
+impl DiffShape {
+    /// Every shape, in corpus order.
+    pub const ALL: [DiffShape; 4] =
+        [DiffShape::SingleTenant, DiffShape::CoRun, DiffShape::MidFault, DiffShape::MidPhase];
+
+    /// Short label for case names and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffShape::SingleTenant => "single",
+            DiffShape::CoRun => "corun",
+            DiffShape::MidFault => "mid-fault",
+            DiffShape::MidPhase => "mid-phase",
+        }
+    }
+}
+
+/// The policies the corpus exercises: one per [`PolicyBox`] dispatch
+/// class, so every engine fast path *and* the serial fallback for
+/// hint-fault policies gets differential coverage.
+///
+/// [`PolicyBox`]: neomem::policies::PolicyBox
+pub fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::NeoMem,
+        PolicyKind::Pebs,
+        PolicyKind::Memtis,
+        PolicyKind::PteScan,
+        PolicyKind::AutoNuma,
+        PolicyKind::Tpp,
+        PolicyKind::FirstTouch,
+    ]
+}
+
+/// One differential case: the serial and staged `Debug` renderings of
+/// the same experiment.
+#[derive(Debug, Clone)]
+pub struct Differential {
+    /// `workload/policy/shape` case name.
+    pub label: String,
+    /// Report rendering under [`PipelineMode::Serial`].
+    pub serial: String,
+    /// Report rendering under [`PipelineMode::Staged`].
+    pub staged: String,
+}
+
+impl Differential {
+    /// Whether the two pipelines produced byte-identical reports.
+    pub fn is_identical(&self) -> bool {
+        self.serial == self.staged
+    }
+
+    /// Panics with the first divergent region when the renderings
+    /// differ. Whole reports run to tens of kilobytes, so the message
+    /// excerpts around the first mismatching byte instead of dumping
+    /// both sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the staged pipeline diverged from the serial
+    /// reference.
+    pub fn assert_identical(&self) {
+        if self.is_identical() {
+            return;
+        }
+        let at = self
+            .serial
+            .bytes()
+            .zip(self.staged.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| self.serial.len().min(self.staged.len()));
+        fn boundary(s: &str, mut i: usize) -> usize {
+            i = i.min(s.len());
+            while !s.is_char_boundary(i) {
+                i -= 1;
+            }
+            i
+        }
+        let window = |s: &str| {
+            let view = &s[boundary(s, at.saturating_sub(120))..];
+            view[..boundary(view, 280)].to_string()
+        };
+        panic!(
+            "{}: staged pipeline diverged from the serial reference at byte {at}\n\
+             serial: …{}…\nstaged: …{}…",
+            self.label,
+            window(&self.serial),
+            window(&self.staged),
+        );
+    }
+}
+
+/// The full corpus: every workload kind (Fig. 11 set plus Redis) ×
+/// every dispatch-class policy × every run shape.
+pub fn corpus() -> Vec<(WorkloadKind, PolicyKind, DiffShape)> {
+    let mut kinds = WorkloadKind::FIG11.to_vec();
+    kinds.push(WorkloadKind::Redis);
+    let mut cases = Vec::new();
+    for &kind in &kinds {
+        for &policy in &policies() {
+            for shape in DiffShape::ALL {
+                cases.push((kind, policy, shape));
+            }
+        }
+    }
+    cases
+}
+
+/// Runs one corpus case under both pipeline modes.
+///
+/// `budget` is the access count of a single-tenant run; co-run shapes
+/// double it so each tenant still gets the full budget.
+///
+/// # Panics
+///
+/// Panics when the case itself cannot be built — a corpus bug, not a
+/// differential finding.
+pub fn diff_case(
+    kind: WorkloadKind,
+    policy: PolicyKind,
+    shape: DiffShape,
+    budget: u64,
+) -> Differential {
+    let label = format!("{}/{}/{}", kind.label(), policy.label(), shape.label());
+    let run = |pipeline| match shape {
+        DiffShape::SingleTenant => run_single(kind, policy, pipeline, budget, None),
+        DiffShape::MidFault => run_single(kind, policy, pipeline, budget, Some(mid_run_faults())),
+        DiffShape::CoRun => run_corun(kind, policy, pipeline, budget, false),
+        DiffShape::MidPhase => run_corun(kind, policy, pipeline, budget, true),
+    };
+    Differential { label, serial: run(PipelineMode::Serial), staged: run(PipelineMode::Staged) }
+}
+
+/// Runs the whole corpus on the deterministic worker pool and returns
+/// the per-case differentials in corpus order.
+pub fn run_corpus(threads: usize, budget: u64) -> Vec<Differential> {
+    let cases = corpus();
+    neomem_runner::run_labeled(
+        &cases,
+        threads,
+        |_, &(kind, policy, shape)| {
+            format!("diff/{}/{}/{}", kind.label(), policy.label(), shape.label())
+        },
+        |_, &(kind, policy, shape)| diff_case(kind, policy, shape, budget),
+    )
+}
+
+/// Policy construction shared by all shapes. The sketch override keeps
+/// NeoMem's NeoProf device at test scale — differential equality only
+/// needs both pipelines to see the same device, not the paper-sized
+/// one.
+fn case_policy(policy: PolicyKind, config: &SimConfig) -> neomem::policies::PolicyBox {
+    let overrides = PolicyOverrides { sketch: Some(SketchParams::small()), ..Default::default() };
+    build_policy(policy, config, TIME_SCALE, overrides).expect("corpus policy builds")
+}
+
+/// A fault plan whose edges all land inside even the smallest corpus
+/// run (a `budget`-access run covers ≳400 µs of virtual time).
+fn mid_run_faults() -> FaultPlan {
+    FaultPlan::builder()
+        .outage(Nanos::from_micros(100), Nanos::from_micros(80))
+        .link_degraded(Nanos::from_micros(220), Nanos::from_micros(60), 4, 2)
+        .capacity_loss(Nanos::from_micros(320), Nanos::from_micros(60), 32)
+        .build()
+        .expect("valid mid-run plan")
+}
+
+fn run_single(
+    kind: WorkloadKind,
+    policy: PolicyKind,
+    pipeline: PipelineMode,
+    budget: u64,
+    faults: Option<FaultPlan>,
+) -> String {
+    let mut config =
+        SimConfig { max_accesses: budget, pipeline, ..SimConfig::quick(RSS_PAGES, 2) };
+    if let Some(plan) = faults {
+        config.faults = plan;
+    }
+    let policy = case_policy(policy, &config);
+    let workload = kind.build(RSS_PAGES, SEED);
+    let report = Simulation::new(config, workload, policy).expect("corpus case builds").run();
+    format!("{report:?}")
+}
+
+fn run_corun(
+    kind: WorkloadKind,
+    policy: PolicyKind,
+    pipeline: PipelineMode,
+    budget: u64,
+    phased: bool,
+) -> String {
+    let mix = TenantMix::builder()
+        .tenant(WorkloadKind::Gups, RSS_PAGES, SEED)
+        .weighted_tenant(kind, RSS_PAGES, 2, SEED + 1)
+        .build()
+        .expect("corpus mix builds");
+    let mut config = CoRunConfig::quick(&mix, 2);
+    config.sim.max_accesses = budget * 2;
+    config.sim.pipeline = pipeline;
+    let policy = case_policy(policy, &config.sim);
+    let report = if phased {
+        // Tenant 1 halves its working set under `kind`, then goes full
+        // footprint under GUPS — both a generator and an RSS change.
+        let phases = vec![
+            PhaseSpec { kind, rss_pages: RSS_PAGES / 2, events: budget / 4 },
+            PhaseSpec { kind: WorkloadKind::Gups, rss_pages: RSS_PAGES, events: budget / 4 },
+        ];
+        let scenario =
+            Scenario::builder(mix).phased(1, phases).build().expect("corpus scenario builds");
+        CoRunSimulation::with_scenario(config, &scenario, policy)
+            .expect("corpus case builds")
+            .run()
+    } else {
+        CoRunSimulation::new(config, &mix, policy).expect("corpus case builds").run()
+    };
+    format!("{report:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_crosses_every_axis() {
+        let cases = corpus();
+        assert_eq!(cases.len(), 9 * policies().len() * DiffShape::ALL.len());
+        assert!(cases.iter().any(|&(k, _, _)| k == WorkloadKind::Redis));
+    }
+
+    #[test]
+    fn assert_identical_names_the_divergence() {
+        let d = Differential {
+            label: "gups/NeoMem/single".into(),
+            serial: "RunReport { accesses: 100 }".into(),
+            staged: "RunReport { accesses: 101 }".into(),
+        };
+        assert!(!d.is_identical());
+        let err = std::panic::catch_unwind(|| d.assert_identical())
+            .expect_err("divergent case must panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("gups/NeoMem/single"), "{msg}");
+        assert!(msg.contains("diverged"), "{msg}");
+    }
+
+    #[test]
+    fn one_case_runs_identically() {
+        diff_case(WorkloadKind::Gups, PolicyKind::FirstTouch, DiffShape::SingleTenant, 4_000)
+            .assert_identical();
+    }
+}

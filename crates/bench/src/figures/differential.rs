@@ -1,0 +1,82 @@
+//! `differential` — the staged-vs-serial pipeline equivalence gate.
+//!
+//! Runs the full [`crate::diffcheck`] corpus — every workload kind ×
+//! every dispatch-class policy × {single-tenant, co-run, mid-fault,
+//! mid-phase} — under both [`neomem::prelude::PipelineMode`]s and
+//! requires byte-identical `Debug` reports. This is the release-mode
+//! CI face of the engine crate's `differential` integration test: same
+//! helper, bigger budget, worker-pool parallelism.
+//!
+//! The payload carries only case labels and counts (all simulated-side
+//! quantities), so the JSON is byte-identical at any `--threads` value
+//! — which CI exploits by running the step at `--threads 1` and `4`.
+
+use neomem_runner::Json;
+
+use super::RunContext;
+use crate::{diffcheck, header, row};
+
+/// Runs the figure.
+///
+/// # Panics
+///
+/// Panics — failing the CI step — when any case's staged run diverges
+/// from its serial reference.
+pub fn run(ctx: &RunContext) -> Json {
+    header(
+        "differential: staged pipeline vs serial reference, full corpus",
+        "no paper figure; the equivalence gate for the data-oriented engine core",
+    );
+    let budget = ctx.scale.accesses(12_000);
+    let results = diffcheck::run_corpus(ctx.threads, budget);
+
+    println!("{}", row(&["shape".into(), "cases".into(), "identical".into()]));
+    let mut shapes = Vec::new();
+    for shape in diffcheck::DiffShape::ALL {
+        let of_shape: Vec<_> = results
+            .iter()
+            .filter(|d| d.label.ends_with(shape.label()))
+            .collect();
+        let identical = of_shape.iter().filter(|d| d.is_identical()).count();
+        println!(
+            "{}",
+            row(&[shape.label().into(), of_shape.len().to_string(), identical.to_string()])
+        );
+        shapes.push((
+            shape.label().to_string(),
+            Json::obj([
+                ("cases", Json::U64(of_shape.len() as u64)),
+                ("identical", Json::U64(identical as u64)),
+            ]),
+        ));
+    }
+
+    for d in &results {
+        d.assert_identical();
+    }
+    println!("\nall {} cases byte-identical across pipelines ✓", results.len());
+
+    Json::obj([
+        ("series", Json::Obj(shapes)),
+        ("cases", Json::U64(results.len() as u64)),
+        ("budget_accesses", Json::U64(budget)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_labels_partition_the_corpus() {
+        // The figure groups cases by `ends_with(shape.label())`; that
+        // only works if no shape label is a suffix of another.
+        let labels: Vec<_> =
+            diffcheck::DiffShape::ALL.iter().map(|s| s.label()).collect();
+        for a in &labels {
+            for b in &labels {
+                assert!(a == b || !a.ends_with(b), "{a:?} would match {b:?} rows");
+            }
+        }
+    }
+}

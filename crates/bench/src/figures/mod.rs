@@ -10,6 +10,7 @@
 //! figure's JSON is byte-identical at any `--threads` value.
 
 pub mod corun;
+pub mod differential;
 pub mod faults;
 pub mod fig03;
 pub mod fig04;
@@ -109,6 +110,7 @@ pub const ALL: &[Figure] = &[
     Figure { name: "scenarios", title: "Scenarios: tenant churn, phased workloads, contention-aware tiering", run: scenarios::run },
     Figure { name: "faults", title: "Faults: graceful degradation under device outages, link brownouts, capacity loss", run: faults::run },
     Figure { name: "registry", title: "Registry: corpus machines & scenarios validated end-to-end", run: registry::run },
+    Figure { name: "differential", title: "Differential: staged pipeline vs serial reference over the full corpus", run: differential::run },
     Figure { name: "micro_engine", title: "Engine-loop micro-bench: throughput, batch invariance, allocations", run: micro_engine::run },
     Figure { name: "micro_sketch", title: "Criterion micro-benchmarks: sketch pipeline", run: micro_sketch::run },
     Figure { name: "micro_system", title: "Criterion micro-benchmarks: simulation substrates", run: micro_system::run },
@@ -160,7 +162,7 @@ mod tests {
 
     #[test]
     fn registry_covers_all_bench_targets_uniquely() {
-        assert_eq!(ALL.len(), 19);
+        assert_eq!(ALL.len(), 20);
         let mut names: Vec<&str> = ALL.iter().map(|f| f.name).collect();
         names.sort_unstable();
         let before = names.len();

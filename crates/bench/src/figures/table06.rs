@@ -10,7 +10,7 @@
 //! pool directly rather than through a grid.
 
 use neomem::policies::{
-    HintFaultPolicy, HintFaultPolicyConfig, NeoMemParams, NeoMemPolicy, TieringPolicy,
+    HintFaultPolicy, HintFaultPolicyConfig, NeoMemParams, NeoMemPolicy,
 };
 use neomem::prelude::*;
 use neomem::profilers::NeoProfDriverConfig;
@@ -46,13 +46,13 @@ fn run_config(policy_kind: &str, thp: bool, scale: Scale) -> Outcome {
                 params,
             )
             .expect("valid device");
-            run_with(config, workload, Box::new(policy))
+            run_with(config, workload, policy)
         }
         "TPP" => {
             let mut cfg = HintFaultPolicyConfig::tpp().scaled(1000);
             cfg.thp = thp;
             let policy = HintFaultPolicy::new(cfg, mquota);
-            run_with(config, workload, Box::new(policy))
+            run_with(config, workload, policy)
         }
         other => panic!("unknown policy {other}"),
     }
@@ -61,7 +61,7 @@ fn run_config(policy_kind: &str, thp: bool, scale: Scale) -> Outcome {
 fn run_with(
     config: SimConfig,
     workload: Box<dyn neomem::workloads::Workload>,
-    policy: Box<dyn TieringPolicy>,
+    policy: impl Into<neomem::policies::PolicyBox>,
 ) -> Outcome {
     let report = Simulation::new(config, workload, policy).expect("valid sim").run();
     let huge = report.promoted_huge_bytes;

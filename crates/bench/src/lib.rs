@@ -24,6 +24,7 @@ use neomem::prelude::*;
 use neomem_runner::ExperimentGrid;
 
 pub mod alloc_probe;
+pub mod diffcheck;
 pub mod figures;
 
 /// Scale knob read from `NEOMEM_SCALE` (`quick` default, `full` = 10×).

@@ -68,42 +68,17 @@ impl CacheStats {
     }
 }
 
-/// One way: the tag plus a packed metadata word holding the valid and
-/// dirty flags in the top bits and the LRU timestamp in the low 62 —
-/// 16 bytes instead of 24, so a set scan (the hottest loop in the
-/// simulator) touches a third less memory. 62 tick bits overflow after
-/// ~4.6e18 probes, far beyond any simulated run.
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    tag: u64,
-    meta: u64,
-}
-
-impl Way {
-    const VALID: u64 = 1 << 63;
-    const DIRTY: u64 = 1 << 62;
-    const TICK_MASK: u64 = Self::DIRTY - 1;
-
-    #[inline]
-    fn new(tag: u64, dirty: bool, tick: u64) -> Self {
-        Self { tag, meta: Self::VALID | if dirty { Self::DIRTY } else { 0 } | tick }
-    }
-
-    #[inline]
-    fn valid(self) -> bool {
-        self.meta & Self::VALID != 0
-    }
-
-    #[inline]
-    fn dirty(self) -> bool {
-        self.meta & Self::DIRTY != 0
-    }
-
-    #[inline]
-    fn last_use(self) -> u64 {
-        self.meta & Self::TICK_MASK
-    }
-}
+/// Validity flag of a key-lane word. The payload below it is the line
+/// tag, so tag matching (validity + tag) is one `u64` compare and the
+/// miss path of a set scan touches only the key lane. Tags have
+/// `64 - set_bits` significant bits and real line indices sit far below
+/// 2^63; [`SetAssocCache::restore`] rejects anything wider.
+const KEY_VALID: u64 = 1 << 63;
+/// Dirty flag of a meta-lane word.
+const META_DIRTY: u64 = 1 << 62;
+/// Low bits of a meta-lane word: the LRU timestamp. 62 tick bits
+/// overflow after ~4.6e18 probes, far beyond any simulated run.
+const META_TICK_MASK: u64 = META_DIRTY - 1;
 
 /// One set-associative cache level with true-LRU replacement.
 ///
@@ -111,10 +86,20 @@ impl Way {
 /// and models write-back/write-allocate: a store marks the line dirty;
 /// evicting a dirty line surfaces a writeback the caller must forward to
 /// the next level (or to memory, for the LLC).
+///
+/// Ways are structure-of-arrays: a key lane (`valid | tag` in one word)
+/// the probe loop scans contiguously, and a meta lane (dirty flag + LRU
+/// timestamp) touched only on hits and fills. A probe miss — the common
+/// case in every level below a thrashing working set — therefore reads
+/// half the bytes the old interleaved `{tag, meta}` pairs did.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Way>,
+    /// `KEY_VALID | tag` per way; a word without the valid bit never
+    /// matches a probe.
+    keys: Vec<u64>,
+    /// `dirty | tick` per way, parallel to `keys`.
+    metas: Vec<u64>,
     set_mask: u64,
     /// Bits of the set index — cached at construction so the hot
     /// probe/fill/writeback paths never recount mask bits.
@@ -146,7 +131,8 @@ impl SetAssocCache {
         let sets = config.sets() as usize;
         Self {
             config,
-            sets: vec![Way::default(); sets * config.ways],
+            keys: vec![0; sets * config.ways],
+            metas: vec![0; sets * config.ways],
             set_mask: sets as u64 - 1,
             set_bits: (sets as u64).trailing_zeros(),
             set_shift_ways: config.ways,
@@ -174,14 +160,17 @@ impl SetAssocCache {
 
     /// Probes for `line`; on hit, refreshes LRU and applies `dirty`.
     /// Does **not** allocate on miss — pair with [`fill`](Self::fill).
+    #[inline]
     pub fn probe(&mut self, line: CacheLine, dirty: bool) -> bool {
         self.tick += 1;
         let (base, tag) = self.set_range(line);
-        let dirty_bit = if dirty { Way::DIRTY } else { 0 };
-        for way in &mut self.sets[base..base + self.config.ways] {
-            if way.valid() && way.tag == tag {
+        let key = KEY_VALID | tag;
+        let dirty_bit = if dirty { META_DIRTY } else { 0 };
+        for (i, k) in self.keys[base..base + self.config.ways].iter().enumerate() {
+            if *k == key {
                 // Refresh the timestamp, keep (or set) the dirty bit.
-                way.meta = Way::VALID | (way.meta & Way::DIRTY) | dirty_bit | self.tick;
+                let meta = &mut self.metas[base + i];
+                *meta = (*meta & META_DIRTY) | dirty_bit | self.tick;
                 self.stats.hits += 1;
                 return true;
             }
@@ -202,26 +191,26 @@ impl SetAssocCache {
         // Prefer an invalid way; otherwise evict true-LRU.
         let mut victim = base;
         let mut best = u64::MAX;
-        for (i, way) in self.sets[base..base + ways].iter().enumerate() {
-            if !way.valid() {
-                victim = base + i;
+        for i in base..base + ways {
+            if self.keys[i] & KEY_VALID == 0 {
+                victim = i;
                 break;
             }
-            if way.last_use() < best {
-                best = way.last_use();
-                victim = base + i;
+            let last_use = self.metas[i] & META_TICK_MASK;
+            if last_use < best {
+                best = last_use;
+                victim = i;
             }
         }
-        let evicted = {
-            let way = self.sets[victim];
-            if way.valid() && way.dirty() {
-                self.stats.writebacks += 1;
-                Some(CacheLine::new((way.tag << set_bits) | set_index))
-            } else {
-                None
-            }
+        let evicted = if self.keys[victim] & KEY_VALID != 0 && self.metas[victim] & META_DIRTY != 0
+        {
+            self.stats.writebacks += 1;
+            Some(CacheLine::new(((self.keys[victim] & !KEY_VALID) << set_bits) | set_index))
+        } else {
+            None
         };
-        self.sets[victim] = Way::new(tag, dirty, self.tick);
+        self.keys[victim] = KEY_VALID | tag;
+        self.metas[victim] = if dirty { META_DIRTY } else { 0 } | self.tick;
         evicted
     }
 
@@ -238,10 +227,12 @@ impl SetAssocCache {
     /// Invalidates `line` if present; returns `true` if it was dirty.
     pub fn invalidate(&mut self, line: CacheLine) -> bool {
         let (base, tag) = self.set_range(line);
-        for way in &mut self.sets[base..base + self.config.ways] {
-            if way.valid() && way.tag == tag {
-                let was_dirty = way.dirty();
-                *way = Way::default();
+        let key = KEY_VALID | tag;
+        for i in base..base + self.config.ways {
+            if self.keys[i] == key {
+                let was_dirty = self.metas[i] & META_DIRTY != 0;
+                self.keys[i] = 0;
+                self.metas[i] = 0;
                 return was_dirty;
             }
         }
@@ -250,21 +241,29 @@ impl SetAssocCache {
 
     /// Drops all contents and statistics.
     pub fn reset(&mut self) {
-        self.sets.fill(Way::default());
+        self.keys.fill(0);
+        self.metas.fill(0);
         self.tick = 0;
         self.stats = CacheStats::default();
     }
 
     /// Number of currently valid lines (diagnostics).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().filter(|w| w.valid()).count()
+        self.keys.iter().filter(|k| **k & KEY_VALID != 0).count()
     }
 
     /// Serialises the tag array (tags + packed metadata words), LRU tick
     /// and counters for a machine snapshot.
     pub fn snapshot(&self) -> Json {
-        let tags: Vec<u64> = self.sets.iter().map(|w| w.tag).collect();
-        let metas: Vec<u64> = self.sets.iter().map(|w| w.meta).collect();
+        let tags: Vec<u64> = self.keys.iter().map(|k| k & !KEY_VALID).collect();
+        // The wire format predates the split lanes: one packed word per
+        // way with valid (bit 63) | dirty (bit 62) | tick.
+        let metas: Vec<u64> = self
+            .keys
+            .iter()
+            .zip(&self.metas)
+            .map(|(k, m)| (k & KEY_VALID) | m)
+            .collect();
         Json::obj([
             ("tags", Json::Str(hex_from_u64s(&tags))),
             ("metas", Json::Str(hex_from_u64s(&metas))),
@@ -280,17 +279,21 @@ impl SetAssocCache {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Snapshot`] on missing/malformed fields or a tag
-    /// array sized for a different geometry.
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, a tag
+    /// array sized for a different geometry, or a tag wide enough to
+    /// collide with the key lane's valid bit.
     pub fn restore(&mut self, snap: &Json) -> Result<()> {
         let tags = snap.req_u64s("tags")?;
         let metas = snap.req_u64s("metas")?;
-        if tags.len() != self.sets.len() || metas.len() != self.sets.len() {
+        if tags.len() != self.keys.len() || metas.len() != self.keys.len() {
             return Err(Error::snapshot(format!(
                 "cache tag array has {} ways, expected {}",
                 tags.len(),
-                self.sets.len()
+                self.keys.len()
             )));
+        }
+        if let Some(tag) = tags.iter().find(|t| **t & KEY_VALID != 0) {
+            return Err(Error::snapshot(format!("cache tag {tag:#x} exceeds the key lane")));
         }
         self.tick = snap.req_u64("tick")?;
         self.stats = CacheStats {
@@ -298,8 +301,9 @@ impl SetAssocCache {
             misses: snap.req_u64("misses")?,
             writebacks: snap.req_u64("writebacks")?,
         };
-        for (way, (tag, meta)) in self.sets.iter_mut().zip(tags.into_iter().zip(metas)) {
-            *way = Way { tag, meta };
+        for i in 0..self.keys.len() {
+            self.keys[i] = tags[i] | (metas[i] & KEY_VALID);
+            self.metas[i] = metas[i] & (META_DIRTY | META_TICK_MASK);
         }
         Ok(())
     }
@@ -404,6 +408,17 @@ mod tests {
         c.access(CacheLine::new(0b0101), false);
         let out = c.access(CacheLine::new(0b1001), false);
         assert_eq!(out.writeback, Some(line), "victim address must round-trip");
+    }
+
+    #[test]
+    fn tag_zero_is_a_real_line() {
+        let mut c = tiny();
+        // Line 0 has tag 0: its key must still be distinguishable from
+        // an empty way.
+        assert!(!c.access(CacheLine::new(0), false).hit);
+        assert!(c.access(CacheLine::new(0), false).hit);
+        assert!(!c.invalidate(CacheLine::new(0)), "clean line");
+        assert!(!c.access(CacheLine::new(0), false).hit, "gone after invalidate");
     }
 
     #[test]

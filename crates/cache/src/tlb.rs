@@ -75,14 +75,17 @@ impl TlbStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct TlbEntry {
-    vpn: u64,
-    valid: bool,
-    last_use: u64,
-}
+/// Top bit of a key-lane word: the entry holds a live translation. The
+/// payload below it is the VPN, so a whole match (validity + VPN) is one
+/// `u64` compare. VPNs are bounded far below 2^63 by the dense workload
+/// ranges; [`Tlb::restore`] rejects anything wider.
+const KEY_VALID: u64 = 1 << 63;
 
 /// A set-associative, LRU TLB over virtual pages.
+///
+/// Entries are structure-of-arrays: a key lane (`valid | vpn` fused into
+/// one word, so the hot lookup scan compares one contiguous `u64` per
+/// way) and a last-use lane read only on the miss/fill path.
 ///
 /// ```
 /// use neomem_cache::{Tlb, TlbConfig};
@@ -95,7 +98,11 @@ struct TlbEntry {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    entries: Vec<TlbEntry>,
+    /// `KEY_VALID | vpn` per entry; `0` (or any word without the valid
+    /// bit) never matches a lookup key.
+    keys: Vec<u64>,
+    /// LRU timestamps, parallel to `keys`.
+    last_uses: Vec<u64>,
     set_mask: u64,
     tick: u64,
     stats: TlbStats,
@@ -113,7 +120,8 @@ impl Tlb {
         let sets = config.entries / config.ways;
         Self {
             config,
-            entries: vec![TlbEntry::default(); config.entries],
+            keys: vec![0; config.entries],
+            last_uses: vec![0; config.entries],
             set_mask: sets as u64 - 1,
             tick: 0,
             stats: TlbStats::default(),
@@ -121,15 +129,17 @@ impl Tlb {
     }
 
     /// Looks up `vpage`, filling the entry on miss. Returns `true` on hit.
+    #[inline]
     pub fn access(&mut self, vpage: VirtPage) -> bool {
         self.tick += 1;
+        let key = KEY_VALID | vpage.index();
         let set = (vpage.index() & self.set_mask) as usize;
         let base = set * self.config.ways;
         let ways = self.config.ways;
 
-        for e in &mut self.entries[base..base + ways] {
-            if e.valid && e.vpn == vpage.index() {
-                e.last_use = self.tick;
+        for (i, k) in self.keys[base..base + ways].iter().enumerate() {
+            if *k == key {
+                self.last_uses[base + i] = self.tick;
                 self.stats.hits += 1;
                 return true;
             }
@@ -138,28 +148,31 @@ impl Tlb {
         // Fill: prefer invalid, else LRU.
         let mut victim = base;
         let mut best = u64::MAX;
-        for (i, e) in self.entries[base..base + ways].iter().enumerate() {
-            if !e.valid {
-                victim = base + i;
+        for i in base..base + ways {
+            if self.keys[i] & KEY_VALID == 0 {
+                victim = i;
                 break;
             }
-            if e.last_use < best {
-                best = e.last_use;
-                victim = base + i;
+            if self.last_uses[i] < best {
+                best = self.last_uses[i];
+                victim = i;
             }
         }
-        self.entries[victim] = TlbEntry { vpn: vpage.index(), valid: true, last_use: self.tick };
+        self.keys[victim] = key;
+        self.last_uses[victim] = self.tick;
         false
     }
 
     /// Invalidates `vpage` (one shootdown), returning whether it was
     /// present.
     pub fn shootdown(&mut self, vpage: VirtPage) -> bool {
+        let key = KEY_VALID | vpage.index();
         let set = (vpage.index() & self.set_mask) as usize;
         let base = set * self.config.ways;
-        for e in &mut self.entries[base..base + self.config.ways] {
-            if e.valid && e.vpn == vpage.index() {
-                *e = TlbEntry::default();
+        for i in base..base + self.config.ways {
+            if self.keys[i] == key {
+                self.keys[i] = 0;
+                self.last_uses[i] = 0;
                 self.stats.shootdowns += 1;
                 return true;
             }
@@ -169,10 +182,11 @@ impl Tlb {
 
     /// Flushes the whole TLB (counted as one shootdown per valid entry).
     pub fn flush(&mut self) {
-        for e in &mut self.entries {
-            if e.valid {
+        for (k, last_use) in self.keys.iter_mut().zip(&mut self.last_uses) {
+            if *k & KEY_VALID != 0 {
                 self.stats.shootdowns += 1;
-                *e = TlbEntry::default();
+                *k = 0;
+                *last_use = 0;
             }
         }
     }
@@ -190,17 +204,16 @@ impl Tlb {
     /// Serialises the translation entries, LRU tick and counters for a
     /// machine snapshot. Validity is packed as a bitmask word array.
     pub fn snapshot(&self) -> Json {
-        let vpns: Vec<u64> = self.entries.iter().map(|e| e.vpn).collect();
-        let last_uses: Vec<u64> = self.entries.iter().map(|e| e.last_use).collect();
-        let mut valid = vec![0u64; self.entries.len().div_ceil(64)];
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.valid {
+        let vpns: Vec<u64> = self.keys.iter().map(|k| k & !KEY_VALID).collect();
+        let mut valid = vec![0u64; self.keys.len().div_ceil(64)];
+        for (i, k) in self.keys.iter().enumerate() {
+            if k & KEY_VALID != 0 {
                 valid[i / 64] |= 1 << (i % 64);
             }
         }
         Json::obj([
             ("vpns", Json::Str(hex_from_u64s(&vpns))),
-            ("last_uses", Json::Str(hex_from_u64s(&last_uses))),
+            ("last_uses", Json::Str(hex_from_u64s(&self.last_uses))),
             ("valid", Json::Str(hex_from_u64s(&valid))),
             ("tick", Json::U64(self.tick)),
             ("hits", Json::U64(self.stats.hits)),
@@ -214,21 +227,25 @@ impl Tlb {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Snapshot`] on missing/malformed fields or arrays
-    /// sized for a different geometry.
+    /// Returns [`Error::Snapshot`] on missing/malformed fields, arrays
+    /// sized for a different geometry, or a VPN wide enough to collide
+    /// with the key lane's valid bit.
     pub fn restore(&mut self, snap: &Json) -> Result<()> {
         let vpns = snap.req_u64s("vpns")?;
         let last_uses = snap.req_u64s("last_uses")?;
         let valid = snap.req_u64s("valid")?;
-        if vpns.len() != self.entries.len()
-            || last_uses.len() != self.entries.len()
-            || valid.len() != self.entries.len().div_ceil(64)
+        if vpns.len() != self.keys.len()
+            || last_uses.len() != self.keys.len()
+            || valid.len() != self.keys.len().div_ceil(64)
         {
             return Err(Error::snapshot(format!(
                 "tlb snapshot has {} entries, expected {}",
                 vpns.len(),
-                self.entries.len()
+                self.keys.len()
             )));
+        }
+        if let Some(vpn) = vpns.iter().find(|v| **v & KEY_VALID != 0) {
+            return Err(Error::snapshot(format!("tlb vpn {vpn:#x} exceeds the key lane")));
         }
         self.tick = snap.req_u64("tick")?;
         self.stats = TlbStats {
@@ -236,12 +253,10 @@ impl Tlb {
             misses: snap.req_u64("misses")?,
             shootdowns: snap.req_u64("shootdowns")?,
         };
-        for (i, e) in self.entries.iter_mut().enumerate() {
-            *e = TlbEntry {
-                vpn: vpns[i],
-                valid: (valid[i / 64] >> (i % 64)) & 1 == 1,
-                last_use: last_uses[i],
-            };
+        for i in 0..self.keys.len() {
+            let is_valid = (valid[i / 64] >> (i % 64)) & 1 == 1;
+            self.keys[i] = vpns[i] | if is_valid { KEY_VALID } else { 0 };
+            self.last_uses[i] = last_uses[i];
         }
         Ok(())
     }
@@ -302,6 +317,15 @@ mod tests {
             assert!(!tlb.access(VirtPage::new(i)), "page {i} must miss after flush");
         }
         assert!(tlb.stats().shootdowns >= 8);
+    }
+
+    #[test]
+    fn page_zero_translates_like_any_other() {
+        let mut tlb = Tlb::new(TlbConfig::tiny());
+        assert!(!tlb.access(VirtPage::new(0)), "cold miss");
+        assert!(tlb.access(VirtPage::new(0)), "page 0 is a real entry, not an empty slot");
+        assert!(tlb.shootdown(VirtPage::new(0)));
+        assert!(!tlb.access(VirtPage::new(0)));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use neomem_neoprof::NeoProfConfig;
 use neomem_policies::{
     FirstTouchPolicy, HintFaultPolicy, HintFaultPolicyConfig, MemtisPolicy, NeoMemParams,
-    NeoMemPolicy, PebsPolicy, PebsPolicyConfig, PolicyKind, PteScanPolicy, PteScanPolicyConfig,
-    ThresholdMode, TieringPolicy,
+    NeoMemPolicy, PebsPolicy, PebsPolicyConfig, PolicyBox, PolicyKind, PteScanPolicy,
+    PteScanPolicyConfig, ThresholdMode,
 };
 use neomem_profilers::{NeoProfDriverConfig, PebsConfig};
 use neomem_sim::{MachineDescription, RunReport, SimConfig, Simulation};
@@ -95,11 +95,11 @@ pub fn build_policy(
     config: &SimConfig,
     time_scale: u64,
     overrides: PolicyOverrides,
-) -> Result<Box<dyn TieringPolicy>> {
+) -> Result<PolicyBox> {
     let mem = config.memory_config();
     let slow_base = PageNum::new(mem.fast.capacity_frames);
     let mquota = overrides.mquota.unwrap_or(Bandwidth::from_mib_per_sec(256));
-    let policy: Box<dyn TieringPolicy> = match kind {
+    let policy: PolicyBox = match kind {
         PolicyKind::NeoMem | PolicyKind::NeoMemFixed(_) | PolicyKind::NeoMemContentionAware => {
             let mut params = NeoMemParams::scaled(time_scale);
             params.mquota = mquota;
@@ -122,14 +122,14 @@ pub fn build_policy(
             if let Some(drain) = overrides.neoprof_drain_per_tick {
                 dev.drain_per_tick = drain;
             }
-            Box::new(NeoMemPolicy::new(dev, NeoProfDriverConfig::scaled(time_scale), params)?)
+            NeoMemPolicy::new(dev, NeoProfDriverConfig::scaled(time_scale), params)?.into()
         }
         PolicyKind::Pebs => {
             let mut cfg = PebsPolicyConfig::scaled(time_scale);
             if let Some(interval) = overrides.pebs_sample_interval {
                 cfg.pebs = PebsConfig { sample_interval: interval, ..cfg.pebs };
             }
-            Box::new(PebsPolicy::new(cfg, mquota))
+            PebsPolicy::new(cfg, mquota).into()
         }
         PolicyKind::Memtis => {
             let mut policy = MemtisPolicy::scaled(time_scale, mquota);
@@ -140,23 +140,25 @@ pub fn build_policy(
                     (Nanos::from_secs(1) / time_scale).max(Nanos::from_millis(2)),
                 );
             }
-            Box::new(policy)
+            policy.into()
         }
-        PolicyKind::PteScan => Box::new(PteScanPolicy::new(
+        PolicyKind::PteScan => PteScanPolicy::new(
             PteScanPolicyConfig::scaled(time_scale),
             config.rss_pages,
             mquota,
-        )),
+        )
+        .into(),
         PolicyKind::Tpp => {
-            Box::new(HintFaultPolicy::new(HintFaultPolicyConfig::tpp().scaled(time_scale), mquota))
+            HintFaultPolicy::new(HintFaultPolicyConfig::tpp().scaled(time_scale), mquota).into()
         }
-        PolicyKind::AutoNuma => Box::new(HintFaultPolicy::new(
+        PolicyKind::AutoNuma => HintFaultPolicy::new(
             HintFaultPolicyConfig::autonuma().scaled(time_scale),
             mquota,
-        )),
-        PolicyKind::FirstTouch => Box::new(FirstTouchPolicy::new()),
-        PolicyKind::PinnedFast => Box::new(FirstTouchPolicy::pinned(Tier::Fast)),
-        PolicyKind::PinnedSlow => Box::new(FirstTouchPolicy::pinned(Tier::Slow)),
+        )
+        .into(),
+        PolicyKind::FirstTouch => FirstTouchPolicy::new().into(),
+        PolicyKind::PinnedFast => FirstTouchPolicy::pinned(Tier::Fast).into(),
+        PolicyKind::PinnedSlow => FirstTouchPolicy::pinned(Tier::Slow).into(),
     };
     Ok(policy)
 }
@@ -373,6 +375,7 @@ impl ExperimentBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use neomem_policies::TieringPolicy;
 
     #[test]
     fn builder_defaults_build() {

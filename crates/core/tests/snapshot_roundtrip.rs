@@ -129,7 +129,7 @@ fn corun_config() -> CoRunConfig {
     CoRunConfig { sim, interleave_quantum: 64, fast_share_cap: None }
 }
 
-fn corun_policy(kind: PolicyKind, config: &CoRunConfig) -> Box<dyn neomem::policies::TieringPolicy> {
+fn corun_policy(kind: PolicyKind, config: &CoRunConfig) -> neomem::policies::PolicyBox {
     build_policy(kind, &config.sim, 1000, PolicyOverrides::default()).expect("valid policy")
 }
 

@@ -17,24 +17,38 @@ enum Queue {
     Am,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    queue: Queue,
-    seq: u64,
+/// Dense side-table state byte: the page is not tracked.
+const STATE_NONE: u8 = 0;
+/// Dense side-table state byte: the live ticket sits in `A1in`.
+const STATE_A1IN: u8 = 1;
+/// Dense side-table state byte: the live ticket sits in `Am`.
+const STATE_AM: u8 = 2;
+
+impl Queue {
+    fn state(self) -> u8 {
+        match self {
+            Queue::A1in => STATE_A1IN,
+            Queue::Am => STATE_AM,
+        }
+    }
 }
 
 /// A 2Q structure over the fast tier's resident pages.
 ///
 /// Uses lazy deletion: queues store `(seq, page)` tickets and a dense
 /// side table records each page's live ticket, so `on_access` is O(1)
-/// amortised. The side table is a flat `Vec` indexed by page number —
-/// the kernel's pages are dense in `0..rss_pages`, so this replaces a
-/// hash per touch (this is the `record_fast_access` hot path) with an
-/// array index, with identical observable behaviour: the table is only
-/// ever keyed, never iterated.
+/// amortised. The side table is structure-of-arrays — a `u64` sequence
+/// lane and a one-byte queue-state lane, both indexed by page number —
+/// so the `record_fast_access` hot path touches one byte to test
+/// membership instead of a 16-byte `Option<Entry>`. Pages are dense in
+/// `0..rss_pages` and the table is only ever keyed, never iterated.
 #[derive(Debug, Clone, Default)]
 pub struct Lru2Q {
-    entries: Vec<Option<Entry>>,
+    /// Sequence of each page's live ticket; meaningful only where the
+    /// matching `states` byte is not [`STATE_NONE`].
+    seqs: Vec<u64>,
+    /// Which queue (if any) holds each page's live ticket.
+    states: Vec<u8>,
     live: usize,
     a1in: VecDeque<(u64, u64)>,
     am: VecDeque<(u64, u64)>,
@@ -58,30 +72,34 @@ impl Lru2Q {
     }
 
     /// Whether `page` is tracked.
+    #[inline]
     pub fn contains(&self, page: VirtPage) -> bool {
-        self.slot(page.index()).is_some()
+        matches!(self.states.get(page.index() as usize), Some(s) if *s != STATE_NONE)
     }
 
     #[inline]
-    fn slot(&self, page: u64) -> Option<&Entry> {
-        self.entries.get(page as usize).and_then(Option::as_ref)
+    fn live_at(&self, page: u64, seq: u64, which: Queue) -> bool {
+        let idx = page as usize;
+        matches!(self.states.get(idx), Some(s) if *s == which.state()) && self.seqs[idx] == seq
     }
 
-    fn set(&mut self, page: u64, entry: Entry) {
+    fn set(&mut self, page: u64, queue: Queue, seq: u64) {
         let idx = page as usize;
-        if idx >= self.entries.len() {
-            self.entries.resize(idx + 1, None);
+        if idx >= self.states.len() {
+            self.states.resize(idx + 1, STATE_NONE);
+            self.seqs.resize(idx + 1, 0);
         }
-        if self.entries[idx].is_none() {
+        if self.states[idx] == STATE_NONE {
             self.live += 1;
         }
-        self.entries[idx] = Some(entry);
+        self.states[idx] = queue.state();
+        self.seqs[idx] = seq;
     }
 
     fn push(&mut self, page: u64, queue: Queue) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.set(page, Entry { queue, seq });
+        self.set(page, queue, seq);
         match queue {
             Queue::A1in => self.a1in.push_back((seq, page)),
             Queue::Am => self.am.push_back((seq, page)),
@@ -89,8 +107,9 @@ impl Lru2Q {
     }
 
     fn clear_slot(&mut self, page: u64) {
-        if let Some(slot) = self.entries.get_mut(page as usize) {
-            if slot.take().is_some() {
+        if let Some(state) = self.states.get_mut(page as usize) {
+            if *state != STATE_NONE {
+                *state = STATE_NONE;
                 self.live -= 1;
             }
         }
@@ -105,9 +124,10 @@ impl Lru2Q {
 
     /// Records an access to a resident page: probationary pages graduate
     /// to `Am`; `Am` pages refresh to most-recently-used.
+    #[inline]
     pub fn on_access(&mut self, page: VirtPage) {
         let key = page.index();
-        if self.slot(key).is_some() {
+        if self.contains(page) {
             // Both transitions re-enqueue at the hot end of Am.
             self.push(key, Queue::Am);
         }
@@ -121,15 +141,15 @@ impl Lru2Q {
 
     fn pop_live(
         queue: &mut VecDeque<(u64, u64)>,
-        entries: &[Option<Entry>],
+        states: &[u8],
+        seqs: &[u64],
         which: Queue,
     ) -> Option<u64> {
         while let Some(&(seq, page)) = queue.front() {
             queue.pop_front();
-            if let Some(e) = entries.get(page as usize).and_then(Option::as_ref) {
-                if e.seq == seq && e.queue == which {
-                    return Some(page);
-                }
+            let idx = page as usize;
+            if matches!(states.get(idx), Some(s) if *s == which.state()) && seqs[idx] == seq {
+                return Some(page);
             }
         }
         None
@@ -138,12 +158,14 @@ impl Lru2Q {
     /// Pops up to `n` cold victims: probationary-FIFO first, then LRU.
     /// Popped pages are removed from tracking.
     pub fn pop_coldest(&mut self, n: usize) -> Vec<VirtPage> {
-        let mut victims = Vec::with_capacity(n);
+        // `n` is a demand, not a size: callers may pass usize::MAX to
+        // drain, so cap the allocation hint at what can actually pop.
+        let mut victims = Vec::with_capacity(n.min(self.live));
         while victims.len() < n {
-            let from_a1 = Self::pop_live(&mut self.a1in, &self.entries, Queue::A1in);
+            let from_a1 = Self::pop_live(&mut self.a1in, &self.states, &self.seqs, Queue::A1in);
             let page = match from_a1 {
                 Some(p) => Some(p),
-                None => Self::pop_live(&mut self.am, &self.entries, Queue::Am),
+                None => Self::pop_live(&mut self.am, &self.states, &self.seqs, Queue::Am),
             };
             match page {
                 Some(p) => {
@@ -158,12 +180,10 @@ impl Lru2Q {
 
     /// Compacts the lazy queues (call occasionally in long runs).
     pub fn compact(&mut self) {
-        let entries = &self.entries;
+        let (states, seqs) = (&self.states, &self.seqs);
         let live = |seq: u64, page: u64, which: Queue| {
-            entries
-                .get(page as usize)
-                .and_then(Option::as_ref)
-                .is_some_and(|e| e.seq == seq && e.queue == which)
+            let idx = page as usize;
+            matches!(states.get(idx), Some(s) if *s == which.state()) && seqs[idx] == seq
         };
         self.a1in.retain(|&(seq, page)| live(seq, page, Queue::A1in));
         self.am.retain(|&(seq, page)| live(seq, page, Queue::Am));
@@ -174,12 +194,7 @@ impl Lru2Q {
         // lazy-deletion tickets carry no information worth persisting.
         let mut out = Vec::new();
         for &(seq, page) in queue {
-            let live = self
-                .entries
-                .get(page as usize)
-                .and_then(Option::as_ref)
-                .is_some_and(|e| e.seq == seq && e.queue == which);
-            if live {
+            if self.live_at(page, seq, which) {
                 out.push(seq);
                 out.push(page);
             }
@@ -224,7 +239,7 @@ impl Lru2Q {
                 if staged.contains(VirtPage::new(page)) {
                     return Err(Error::snapshot(format!("page {page} has two live lru tickets")));
                 }
-                staged.set(page, Entry { queue, seq });
+                staged.set(page, queue, seq);
                 match queue {
                     Queue::A1in => staged.a1in.push_back((seq, page)),
                     Queue::Am => staged.am.push_back((seq, page)),

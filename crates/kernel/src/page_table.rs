@@ -19,21 +19,32 @@ pub struct Pte {
     pub demoted: bool,
 }
 
-impl Pte {
-    fn new(frame: PageNum) -> Self {
-        Self { frame, accessed: false, poisoned: false, demoted: false }
-    }
-}
+/// Flag bit: the `Accessed` bit (also snapshot bit 0).
+const FLAG_ACCESSED: u8 = 1;
+/// Flag bit: hint-fault poison (also snapshot bit 1).
+const FLAG_POISONED: u8 = 1 << 1;
+/// Flag bit: `PG_demoted` (also snapshot bit 2).
+const FLAG_DEMOTED: u8 = 1 << 2;
+/// Flag bit: the slot is mapped at all. Internal only — snapshots encode
+/// mapped-ness as a separate bitmask, so this bit never serialises.
+const FLAG_MAPPED: u8 = 1 << 7;
 
 /// A dense page table over virtual pages `0..rss_pages`.
 ///
-/// Workload generators emit virtual pages from a contiguous range, so a
-/// flat `Vec<Option<Pte>>` is both faithful (4-level walks are charged in
-/// time, not structure) and fast.
+/// Virtual pages from the contiguous workload range index two parallel
+/// arrays — a `u32` frame number and a `u8` flag byte per page — instead
+/// of a `Vec<Option<Pte>>` of 16-byte entries. The translate fast path
+/// touches only the 4-byte frame lane; the flag lane carries
+/// mapped/accessed/poisoned/demoted bits. Faithfulness is unchanged:
+/// 4-level walks are charged in time, not structure.
 #[derive(Debug, Clone)]
 pub struct PageTable {
-    entries: Vec<Option<Pte>>,
-    /// Running count of `Some` entries, maintained by the mapping paths
+    /// Backing frame per virtual page; only meaningful where the
+    /// matching `flags` byte has [`FLAG_MAPPED`] set.
+    frames: Vec<u32>,
+    /// Packed per-page flags; `0` means unmapped.
+    flags: Vec<u8>,
+    /// Running count of mapped entries, maintained by the mapping paths
     /// so [`mapped_count`](Self::mapped_count) is O(1) instead of a
     /// full-span scan.
     mapped: usize,
@@ -42,34 +53,49 @@ pub struct PageTable {
 impl PageTable {
     /// Creates an empty table covering `rss_pages` virtual pages.
     pub fn new(rss_pages: u64) -> Self {
-        Self { entries: vec![None; rss_pages as usize], mapped: 0 }
+        let n = rss_pages as usize;
+        Self { frames: vec![0; n], flags: vec![0; n], mapped: 0 }
     }
 
     /// Number of virtual pages covered (mapped or not).
     pub fn span(&self) -> u64 {
-        self.entries.len() as u64
+        self.flags.len() as u64
     }
 
     /// Number of currently mapped pages.
     pub fn mapped_count(&self) -> usize {
         debug_assert_eq!(
             self.mapped,
-            self.entries.iter().filter(|e| e.is_some()).count(),
+            self.flags.iter().filter(|f| **f & FLAG_MAPPED != 0).count(),
             "running mapped counter out of sync with the table"
         );
         self.mapped
     }
 
     #[inline]
-    fn slot(&self, vpage: VirtPage) -> Result<&Option<Pte>> {
-        self.entries.get(vpage.index() as usize).ok_or(Error::UnmappedPage { vpn: vpage.index() })
+    fn index(&self, vpage: VirtPage) -> Result<usize> {
+        let i = vpage.index() as usize;
+        if i < self.flags.len() {
+            Ok(i)
+        } else {
+            Err(Error::UnmappedPage { vpn: vpage.index() })
+        }
     }
 
     #[inline]
-    fn slot_mut(&mut self, vpage: VirtPage) -> Result<&mut Option<Pte>> {
-        self.entries
-            .get_mut(vpage.index() as usize)
-            .ok_or(Error::UnmappedPage { vpn: vpage.index() })
+    fn pte_at(&self, i: usize) -> Pte {
+        let flags = self.flags[i];
+        Pte {
+            frame: PageNum::new(u64::from(self.frames[i])),
+            accessed: flags & FLAG_ACCESSED != 0,
+            poisoned: flags & FLAG_POISONED != 0,
+            demoted: flags & FLAG_DEMOTED != 0,
+        }
+    }
+
+    #[inline]
+    fn frame_bits(frame: PageNum) -> u32 {
+        u32::try_from(frame.index()).expect("physical frame number exceeds the u32 frame lane")
     }
 
     /// Maps `vpage` to `frame`, replacing any existing mapping.
@@ -78,9 +104,11 @@ impl PageTable {
     ///
     /// [`Error::UnmappedPage`] when `vpage` is outside the table span.
     pub fn map(&mut self, vpage: VirtPage, frame: PageNum) -> Result<Option<PageNum>> {
-        let slot = self.slot_mut(vpage)?;
-        let old = slot.map(|p| p.frame);
-        *slot = Some(Pte::new(frame));
+        let i = self.index(vpage)?;
+        let old = (self.flags[i] & FLAG_MAPPED != 0)
+            .then(|| PageNum::new(u64::from(self.frames[i])));
+        self.frames[i] = Self::frame_bits(frame);
+        self.flags[i] = FLAG_MAPPED;
         if old.is_none() {
             self.mapped += 1;
         }
@@ -93,12 +121,15 @@ impl PageTable {
     ///
     /// [`Error::UnmappedPage`] when `vpage` is outside the table span.
     pub fn unmap(&mut self, vpage: VirtPage) -> Result<Option<Pte>> {
-        let slot = self.slot_mut(vpage)?;
-        let old = slot.take();
-        if old.is_some() {
-            self.mapped -= 1;
+        let i = self.index(vpage)?;
+        if self.flags[i] & FLAG_MAPPED == 0 {
+            return Ok(None);
         }
-        Ok(old)
+        let old = self.pte_at(i);
+        self.frames[i] = 0;
+        self.flags[i] = 0;
+        self.mapped -= 1;
+        Ok(Some(old))
     }
 
     /// Returns the PTE of `vpage`.
@@ -107,12 +138,27 @@ impl PageTable {
     ///
     /// [`Error::UnmappedPage`] when unmapped or out of span.
     pub fn get(&self, vpage: VirtPage) -> Result<Pte> {
-        self.slot(vpage)?.ok_or(Error::UnmappedPage { vpn: vpage.index() })
+        let i = self.index(vpage)?;
+        if self.flags[i] & FLAG_MAPPED != 0 {
+            Ok(self.pte_at(i))
+        } else {
+            Err(Error::UnmappedPage { vpn: vpage.index() })
+        }
     }
 
     /// Whether `vpage` is mapped.
+    #[inline]
     pub fn is_mapped(&self, vpage: VirtPage) -> bool {
-        matches!(self.entries.get(vpage.index() as usize), Some(Some(_)))
+        matches!(self.flags.get(vpage.index() as usize), Some(f) if f & FLAG_MAPPED != 0)
+    }
+
+    /// The backing frame of `vpage`, if mapped — the translate fast path,
+    /// touching only the dense frame/flag lanes.
+    #[inline]
+    pub fn frame_of(&self, vpage: VirtPage) -> Option<PageNum> {
+        let i = vpage.index() as usize;
+        (matches!(self.flags.get(i), Some(f) if f & FLAG_MAPPED != 0))
+            .then(|| PageNum::new(u64::from(self.frames[i])))
     }
 
     /// Mutates the PTE of `vpage` through `f`.
@@ -121,13 +167,18 @@ impl PageTable {
     ///
     /// [`Error::UnmappedPage`] when unmapped or out of span.
     pub fn update<F: FnOnce(&mut Pte)>(&mut self, vpage: VirtPage, f: F) -> Result<()> {
-        match self.slot_mut(vpage)? {
-            Some(pte) => {
-                f(pte);
-                Ok(())
-            }
-            None => Err(Error::UnmappedPage { vpn: vpage.index() }),
+        let i = self.index(vpage)?;
+        if self.flags[i] & FLAG_MAPPED == 0 {
+            return Err(Error::UnmappedPage { vpn: vpage.index() });
         }
+        let mut pte = self.pte_at(i);
+        f(&mut pte);
+        self.frames[i] = Self::frame_bits(pte.frame);
+        self.flags[i] = FLAG_MAPPED
+            | if pte.accessed { FLAG_ACCESSED } else { 0 }
+            | if pte.poisoned { FLAG_POISONED } else { 0 }
+            | if pte.demoted { FLAG_DEMOTED } else { 0 };
+        Ok(())
     }
 
     /// Sets the `Accessed` bit (page-walker behaviour on TLB fill).
@@ -135,16 +186,23 @@ impl PageTable {
     /// # Errors
     ///
     /// [`Error::UnmappedPage`] when unmapped.
+    #[inline]
     pub fn mark_accessed(&mut self, vpage: VirtPage) -> Result<()> {
-        self.update(vpage, |pte| pte.accessed = true)
+        let i = self.index(vpage)?;
+        if self.flags[i] & FLAG_MAPPED == 0 {
+            return Err(Error::UnmappedPage { vpn: vpage.index() });
+        }
+        self.flags[i] |= FLAG_ACCESSED;
+        Ok(())
     }
 
     /// Iterates `(vpage, pte)` over all mapped pages.
     pub fn iter(&self) -> impl Iterator<Item = (VirtPage, Pte)> + '_ {
-        self.entries
+        self.flags
             .iter()
             .enumerate()
-            .filter_map(|(i, e)| e.map(|pte| (VirtPage::new(i as u64), pte)))
+            .filter(|(_, f)| *f & FLAG_MAPPED != 0)
+            .map(|(i, _)| (VirtPage::new(i as u64), self.pte_at(i)))
     }
 
     /// Clears every `Accessed` bit and returns how many were set — one
@@ -152,10 +210,10 @@ impl PageTable {
     /// entry.
     pub fn clear_accessed_bits(&mut self) -> u64 {
         let mut cleared = 0;
-        for e in self.entries.iter_mut().flatten() {
-            if e.accessed {
+        for f in self.flags.iter_mut() {
+            if *f & FLAG_ACCESSED != 0 {
                 cleared += 1;
-                e.accessed = false;
+                *f &= !FLAG_ACCESSED;
             }
         }
         cleared
@@ -165,17 +223,15 @@ impl PageTable {
     /// parallel frame and flag arrays (bit 0 accessed, bit 1 poisoned,
     /// bit 2 demoted).
     pub fn snapshot(&self) -> Json {
-        let n = self.entries.len();
+        let n = self.flags.len();
         let mut mapped = vec![0u64; n.div_ceil(64)];
         let mut frames = vec![0u64; n];
         let mut flags = vec![0u64; n];
-        for (i, e) in self.entries.iter().enumerate() {
-            if let Some(pte) = e {
+        for (i, f) in self.flags.iter().enumerate() {
+            if f & FLAG_MAPPED != 0 {
                 mapped[i / 64] |= 1 << (i % 64);
-                frames[i] = pte.frame.index();
-                flags[i] = u64::from(pte.accessed)
-                    | u64::from(pte.poisoned) << 1
-                    | u64::from(pte.demoted) << 2;
+                frames[i] = u64::from(self.frames[i]);
+                flags[i] = u64::from(f & (FLAG_ACCESSED | FLAG_POISONED | FLAG_DEMOTED));
             }
         }
         Json::obj([
@@ -193,7 +249,7 @@ impl PageTable {
     /// Returns [`Error::Snapshot`] on missing/malformed fields, arrays
     /// sized for a different span, or out-of-range flag bits.
     pub fn restore(&mut self, snap: &Json) -> Result<()> {
-        let n = self.entries.len();
+        let n = self.flags.len();
         let mapped = snap.req_u64s("mapped")?;
         let frames = snap.req_u64s("frames")?;
         let flags = snap.req_u64s("flags")?;
@@ -204,20 +260,20 @@ impl PageTable {
             )));
         }
         let mut count = 0;
-        for (i, e) in self.entries.iter_mut().enumerate() {
+        for i in 0..n {
             if (mapped[i / 64] >> (i % 64)) & 1 == 1 {
                 if flags[i] > 0b111 {
                     return Err(Error::snapshot(format!("unknown pte flag bits {:#x}", flags[i])));
                 }
-                *e = Some(Pte {
-                    frame: PageNum::new(frames[i]),
-                    accessed: flags[i] & 1 != 0,
-                    poisoned: flags[i] & 2 != 0,
-                    demoted: flags[i] & 4 != 0,
-                });
+                let frame = u32::try_from(frames[i]).map_err(|_| {
+                    Error::snapshot(format!("frame {:#x} exceeds the u32 frame lane", frames[i]))
+                })?;
+                self.frames[i] = frame;
+                self.flags[i] = FLAG_MAPPED | flags[i] as u8;
                 count += 1;
             } else {
-                *e = None;
+                self.frames[i] = 0;
+                self.flags[i] = 0;
             }
         }
         self.mapped = count;
@@ -236,6 +292,9 @@ mod tests {
         let pte = pt.get(VirtPage::new(2)).unwrap();
         assert_eq!(pte.frame, PageNum::new(99));
         assert!(!pte.accessed && !pte.poisoned && !pte.demoted);
+        assert_eq!(pt.frame_of(VirtPage::new(2)), Some(PageNum::new(99)));
+        assert_eq!(pt.frame_of(VirtPage::new(1)), None);
+        assert_eq!(pt.frame_of(VirtPage::new(9)), None);
     }
 
     #[test]
@@ -252,6 +311,20 @@ mod tests {
         let mut pt = PageTable::new(2);
         assert_eq!(pt.map(VirtPage::new(0), PageNum::new(1)).unwrap(), None);
         assert_eq!(pt.map(VirtPage::new(0), PageNum::new(2)).unwrap(), Some(PageNum::new(1)));
+    }
+
+    #[test]
+    fn remap_clears_old_flags() {
+        let mut pt = PageTable::new(1);
+        pt.map(VirtPage::new(0), PageNum::new(1)).unwrap();
+        pt.update(VirtPage::new(0), |pte| {
+            pte.accessed = true;
+            pte.demoted = true;
+        })
+        .unwrap();
+        pt.map(VirtPage::new(0), PageNum::new(2)).unwrap();
+        let pte = pt.get(VirtPage::new(0)).unwrap();
+        assert!(!pte.accessed && !pte.poisoned && !pte.demoted, "fresh mapping, fresh flags");
     }
 
     #[test]

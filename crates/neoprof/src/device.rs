@@ -140,7 +140,7 @@ impl NeoProf {
             }
             mmio::SET_HIST_EN => {
                 // The histogram unit sweeps sketch lane 0 (Fig. 9).
-                self.hist = Some(CounterHistogram::from_counters(self.detector.sketch().lane_counters(0)));
+                self.hist = Some(self.detector.sketch().lane_histogram(0));
                 self.hist_read_idx = 0;
                 Ok(())
             }

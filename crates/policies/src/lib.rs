@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dispatch;
 mod first_touch;
 mod hint_fault;
 mod neomem;
@@ -30,6 +31,7 @@ mod pte_scan;
 mod quota;
 mod tenancy;
 
+pub use dispatch::PolicyBox;
 pub use first_touch::FirstTouchPolicy;
 pub use hint_fault::{HintFaultPolicy, HintFaultPolicyConfig, HintFaultStyle};
 pub use neomem::{NeoMemParams, NeoMemPolicy, ThresholdMode};

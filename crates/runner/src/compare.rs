@@ -341,6 +341,30 @@ mod tests {
     }
 
     #[test]
+    fn zero_to_zero_drift_is_unchanged_not_new() {
+        // A metric that is zero in both baseline and current (e.g.
+        // cross-tenant evictions under first-touch) is *unchanged* —
+        // reporting it as "(new)" would flag every quiet counter on
+        // every gate run.
+        let unchanged = Drift { key: "g::c".to_string(), baseline: 0.0, current: 0.0 };
+        assert_eq!(unchanged.ratio(), 1.0, "0 -> 0 is a perfect match");
+        assert!(!unchanged.to_string().contains("(new)"), "got {unchanged}");
+        // And the gate agrees: identical all-zero documents pass.
+        let report = compare(&doc(&[("NeoMem", 0)]), &doc(&[("NeoMem", 0)]), &Default::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.checked, 1);
+    }
+
+    #[test]
+    fn drift_ratio_covers_the_zero_baseline_edges() {
+        let ratio = |baseline, current| Drift { key: String::new(), baseline, current }.ratio();
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(0.0, 3.0), f64::INFINITY, "growth from zero is unbounded drift");
+        assert_eq!(ratio(50.0, 75.0), 1.5);
+        assert_eq!(ratio(4.0, 0.0), 0.0, "collapse to zero is a finite ratio");
+    }
+
+    #[test]
     fn custom_tolerance_widens_the_band() {
         let base = doc(&[("NeoMem", 100)]);
         let cur = doc(&[("NeoMem", 125)]);

@@ -54,11 +54,8 @@ impl Watchdog {
     /// the default (a broken knob shouldn't kill the observability it
     /// configures).
     fn from_env() -> Option<Self> {
-        let mult = std::env::var(WATCHDOG_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(WATCHDOG_DEFAULT_MULT);
-        Self::new(mult)
+        let value = std::env::var(WATCHDOG_ENV).ok();
+        Self::new(effective_mult(value.as_deref()))
     }
 
     /// Records one completed cell and returns the warning it earned,
@@ -91,6 +88,14 @@ impl Watchdog {
             eprintln!("{warning}");
         }
     }
+}
+
+/// Maps a raw [`WATCHDOG_ENV`] value to the effective multiple: unset
+/// or unparsable (garbage, negatives, floats) keeps the default, `0`
+/// disables. Split from the env read so the mapping is testable
+/// without process-global state.
+fn effective_mult(value: Option<&str>) -> u32 {
+    value.and_then(|v| v.trim().parse().ok()).unwrap_or(WATCHDOG_DEFAULT_MULT)
 }
 
 /// The outcome of one cell: its value, or the payload it panicked with.
@@ -283,6 +288,67 @@ mod tests {
     #[test]
     fn watchdog_multiple_zero_disables() {
         assert!(Watchdog::new(0).is_none());
+    }
+
+    #[test]
+    fn watchdog_env_parsing_covers_garbage() {
+        // Unset and every flavour of garbage keep the default: a broken
+        // knob must not silently disable (or hyper-sensitise) the
+        // watchdog it configures.
+        for broken in [None, Some(""), Some("  "), Some("banana"), Some("-3"), Some("2.5")] {
+            assert_eq!(effective_mult(broken), WATCHDOG_DEFAULT_MULT, "{broken:?}");
+        }
+        assert_eq!(effective_mult(Some("16")), 16);
+        assert_eq!(effective_mult(Some(" 12 ")), 12, "whitespace-padded values parse");
+        // `0` is the one deliberate off-switch.
+        assert_eq!(effective_mult(Some("0")), 0);
+        assert!(Watchdog::new(effective_mult(Some("0"))).is_none());
+    }
+
+    #[test]
+    fn watchdog_needs_exactly_min_samples_before_judging() {
+        // The clock is injected (observe takes the elapsed time), so
+        // the boundary is exact: calls 1..=MIN_SAMPLES are recorded
+        // but never judged, call MIN_SAMPLES + 1 is the first one
+        // compared against a median — even when the early samples are
+        // wildly slow.
+        let watchdog = Watchdog::new(2).expect("multiple 2 enables the watchdog");
+        let ms = Duration::from_millis;
+        for i in 0..WATCHDOG_MIN_SAMPLES {
+            let slow = ms(1_000 * (i as u64 + 1));
+            assert_eq!(watchdog.observe(&format!("cell-{i}"), slow), None, "sample {i}");
+        }
+        // Median of 1s..4s is 3s; at mult 2 a 60s cell is named.
+        let warning = watchdog.observe("grid::outlier", ms(60_000)).expect("must warn now");
+        assert!(warning.contains("grid::outlier"), "{warning}");
+    }
+
+    #[test]
+    fn watchdog_warnings_stay_on_stderr_and_out_of_results() {
+        // The stderr-only guarantee: with the most trigger-happy
+        // watchdog possible, pool results are still a pure function of
+        // the cells — warnings go to stderr, never into the output.
+        let saved = std::env::var(WATCHDOG_ENV).ok();
+        std::env::set_var(WATCHDOG_ENV, "1");
+        let cells: Vec<u64> = (0..12).collect();
+        let got = run_labeled(
+            &cells,
+            4,
+            |i, _| format!("stderr-only-{i}"),
+            |_, c| {
+                if *c == 9 {
+                    // One cell far over any median its siblings set.
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                c * 7
+            },
+        );
+        match saved {
+            Some(value) => std::env::set_var(WATCHDOG_ENV, value),
+            None => std::env::remove_var(WATCHDOG_ENV),
+        }
+        let expected: Vec<u64> = cells.iter().map(|c| c * 7).collect();
+        assert_eq!(got, expected, "watchdog must never alter results");
     }
 
     #[test]

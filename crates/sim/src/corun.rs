@@ -45,7 +45,7 @@
 //! tenant's pages and promotes two of them back counts one; the
 //! number is a lower bound on gross cross-tenant demotions.
 
-use neomem_policies::{TenantLayout, TieringPolicy};
+use neomem_policies::{PolicyBox, TenantLayout, TieringPolicy};
 use neomem_types::json::{hex_from_u64s, Json};
 use neomem_types::{Error, Nanos, Result, Tier, VirtPage};
 use neomem_workloads::{Scenario, TenantMix, Workload, WorkloadEvent};
@@ -221,7 +221,7 @@ impl CoRunSimulation {
     pub fn new(
         config: CoRunConfig,
         mix: &TenantMix,
-        policy: Box<dyn TieringPolicy>,
+        policy: impl Into<PolicyBox>,
     ) -> Result<Self> {
         let scheduler = Box::new(StaticRoundRobin::new(
             mix.tenants().iter().map(|t| t.weight).collect(),
@@ -231,7 +231,7 @@ impl CoRunSimulation {
         let build = |spec: &neomem_workloads::TenantSpec, _i: usize| {
             spec.kind.build(spec.rss_pages, spec.seed)
         };
-        Self::build(config, mix, mix.label(), policy, scheduler, active, build)
+        Self::build(config, mix, mix.label(), policy.into(), scheduler, active, build)
     }
 
     /// Builds a scenario-driven co-run: the [`DynamicSchedule`] admits
@@ -250,14 +250,14 @@ impl CoRunSimulation {
     pub fn with_scenario(
         config: CoRunConfig,
         scenario: &Scenario,
-        policy: Box<dyn TieringPolicy>,
+        policy: impl Into<PolicyBox>,
     ) -> Result<Self> {
         let scheduler = Box::new(DynamicSchedule::new(scenario, config.interleave_quantum));
         let active = scenario.initially_active();
         let label = scenario.label();
         let build =
             |_spec: &neomem_workloads::TenantSpec, i: usize| scenario.build_workload(i);
-        Self::build(config, scenario.mix(), label, policy, scheduler, active, build)
+        Self::build(config, scenario.mix(), label, policy.into(), scheduler, active, build)
     }
 
     /// Builds a co-run around an explicit scheduler and admission mask.
@@ -265,7 +265,7 @@ impl CoRunSimulation {
         config: CoRunConfig,
         mix: &TenantMix,
         label: String,
-        mut policy: Box<dyn TieringPolicy>,
+        mut policy: PolicyBox,
         scheduler: Box<dyn SliceScheduler>,
         active: Vec<bool>,
         build_workload: impl Fn(&neomem_workloads::TenantSpec, usize) -> Box<dyn Workload>,
@@ -516,6 +516,14 @@ impl CoRunSimulation {
         let tenant_count = self.lanes.len();
 
         let mut shootdowns: Vec<VirtPage> = Vec::new();
+        // Staged pipeline admission, as in the single-tenant engine:
+        // `Some(bound)` when the mode allows it and the policy's
+        // access hook is stageable.
+        let staged_charge = match self.machine.config.pipeline {
+            crate::config::PipelineMode::Staged => self.machine.policy.max_access_charge(),
+            crate::config::PipelineMode::Serial => None,
+        };
+        let mut scratch = crate::engine::ChunkScratch::new();
         // At every loop top `next_deadline` equals the earliest of the
         // current tick/sample/stop deadlines (every update site
         // re-establishes it), so recomputing it here restores the
@@ -695,8 +703,11 @@ impl CoRunSimulation {
                     buf.clear();
                     self.lanes[lane_idx].workload.fill_events(&mut buf, n);
                     produced += n;
-                    for &event in &buf {
-                        let access = match event {
+                    let mut i = 0;
+                    // Consecutive accesses at `i`; 0 = not yet scanned.
+                    let mut run_len = 0usize;
+                    while i < buf.len() {
+                        let access = match buf[i] {
                             WorkloadEvent::Access(mut access) => {
                                 // Relocate into the tenant's namespace.
                                 access.vpage = VirtPage::new(base + access.vpage.index());
@@ -709,12 +720,55 @@ impl CoRunSimulation {
                                     id: m.id,
                                     label: m.label,
                                 });
+                                i += 1;
+                                run_len = 0;
                                 continue;
                             }
                         };
+                        if let Some(charge_max) = staged_charge {
+                            if run_len == 0 {
+                                run_len = 1;
+                                while i + run_len < buf.len()
+                                    && matches!(buf[i + run_len], WorkloadEvent::Access(_))
+                                {
+                                    run_len += 1;
+                                }
+                            }
+                            let take = self.machine.chunk_capacity(
+                                run_len,
+                                state.clock,
+                                next_deadline,
+                                charge_max,
+                                &costs,
+                            );
+                            if take >= 2 {
+                                scratch.begin();
+                                for event in &buf[i..i + take] {
+                                    if let WorkloadEvent::Access(access) = event {
+                                        let mut access = *access;
+                                        access.vpage =
+                                            VirtPage::new(base + access.vpage.index());
+                                        scratch.accesses.push(access);
+                                    }
+                                }
+                                state.clock +=
+                                    self.machine.step_chunk(state.clock, &costs, &mut scratch);
+                                state.accesses += take as u64;
+                                state.window_accesses += take as u64;
+                                debug_assert!(
+                                    state.clock < next_deadline,
+                                    "chunk bound violated"
+                                );
+                                i += take;
+                                run_len -= take;
+                                continue;
+                            }
+                        }
                         state.clock += self.machine.step(access, state.clock, &costs);
                         state.accesses += 1;
                         state.window_accesses += 1;
+                        i += 1;
+                        run_len = run_len.saturating_sub(1);
 
                         if state.clock < next_deadline {
                             continue;

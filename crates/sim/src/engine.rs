@@ -2,7 +2,7 @@
 
 use neomem_cache::{CacheHierarchy, HitLevel, Tlb};
 use neomem_kernel::{Kernel, KernelConfig};
-use neomem_policies::TieringPolicy;
+use neomem_policies::{PolicyBox, TieringPolicy};
 use neomem_profilers::AccessEvent;
 use neomem_types::json::Json;
 use neomem_types::{Access, CacheLine, Error, Nanos, Result, Tier, VirtPage};
@@ -167,6 +167,13 @@ pub(crate) fn run_core(
     // Reusable shootdown buffer: policies append into it, so the
     // steady-state tick path performs no heap allocation.
     let mut shootdowns: Vec<VirtPage> = Vec::new();
+    // Staged pipeline admission: `Some(bound)` when the configured
+    // mode allows it and the policy's access hook is stageable.
+    let staged_charge = match machine.config.pipeline {
+        crate::config::PipelineMode::Staged => machine.policy.max_access_charge(),
+        crate::config::PipelineMode::Serial => None,
+    };
+    let mut scratch = ChunkScratch::new();
     let mut next_deadline = deadline_with_cut(state.next_tick, state.next_sample, limit, cut)
         .min(machine.faults.deadline());
 
@@ -182,8 +189,11 @@ pub(crate) fn run_core(
         let n = (max_accesses - state.accesses).min(batch as u64) as usize;
         events.clear();
         workload.fill_events(&mut events, n);
-        for &event in &events {
-            let access = match event {
+        let mut i = 0;
+        // Consecutive accesses starting at `i`; 0 = not yet scanned.
+        let mut run_len = 0usize;
+        while i < events.len() {
+            let access = match events[i] {
                 WorkloadEvent::Access(access) => access,
                 WorkloadEvent::Marker(m) => {
                     // Markers skip the deadline checks, exactly like
@@ -193,12 +203,43 @@ pub(crate) fn run_core(
                         id: m.id,
                         label: m.label,
                     });
+                    i += 1;
+                    run_len = 0;
                     continue;
                 }
             };
+            if let Some(charge_max) = staged_charge {
+                if run_len == 0 {
+                    run_len = 1;
+                    while i + run_len < events.len()
+                        && matches!(events[i + run_len], WorkloadEvent::Access(_))
+                    {
+                        run_len += 1;
+                    }
+                }
+                let take =
+                    machine.chunk_capacity(run_len, state.clock, next_deadline, charge_max, &costs);
+                if take >= 2 {
+                    scratch.begin();
+                    for event in &events[i..i + take] {
+                        if let WorkloadEvent::Access(access) = event {
+                            scratch.accesses.push(*access);
+                        }
+                    }
+                    state.clock += machine.step_chunk(state.clock, &costs, &mut scratch);
+                    state.accesses += take as u64;
+                    state.window_accesses += take as u64;
+                    debug_assert!(state.clock < next_deadline, "chunk bound violated");
+                    i += take;
+                    run_len -= take;
+                    continue;
+                }
+            }
             state.clock += machine.step(access, state.clock, &costs);
             state.accesses += 1;
             state.window_accesses += 1;
+            i += 1;
+            run_len = run_len.saturating_sub(1);
 
             if state.clock < next_deadline {
                 continue;
@@ -253,6 +294,62 @@ pub(crate) fn run_core(
     StopReason::Finished
 }
 
+/// Reused structure-of-arrays scratch for the staged batch pipeline:
+/// one lane per per-event fact that a later pass needs. Allocated once
+/// per run and cleared per chunk, so the steady state allocates
+/// nothing.
+pub(crate) struct ChunkScratch {
+    /// The chunk's accesses, in workload order (co-run lanes push them
+    /// already relocated into the tenant namespace).
+    pub(crate) accesses: Vec<Access>,
+    /// Pass A: did the TLB hit?
+    tlb_hits: Vec<bool>,
+    /// Pass A: resolved physical frame.
+    frames: Vec<neomem_types::PageNum>,
+    /// Pass A+B: clock-independent time — CPU, walk, minor fault and
+    /// cache hit latency. Pass C adds the clock-dependent rest.
+    fixed: Vec<Nanos>,
+    /// Pass B: did the access miss the LLC?
+    llc_misses: Vec<bool>,
+    /// Pass B: does a demand fill hit memory?
+    fills: Vec<bool>,
+    /// Pass B: dirty victim line to write back, if any.
+    writebacks: Vec<Option<CacheLine>>,
+    /// Pass A: pages first mapped by this chunk, with the index of the
+    /// event that mapped them. Pass C consults this to keep writeback
+    /// victim resolution order-faithful: a stale dirty line of a page
+    /// the chunk maps at index `k` must still miss translation for
+    /// events before `k`, exactly as in the serial path.
+    first_touches: Vec<(VirtPage, usize)>,
+}
+
+impl ChunkScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            accesses: Vec::new(),
+            tlb_hits: Vec::new(),
+            frames: Vec::new(),
+            fixed: Vec::new(),
+            llc_misses: Vec::new(),
+            fills: Vec::new(),
+            writebacks: Vec::new(),
+            first_touches: Vec::new(),
+        }
+    }
+
+    /// Empties every lane for the next chunk; capacity is retained.
+    pub(crate) fn begin(&mut self) {
+        self.accesses.clear();
+        self.tlb_hits.clear();
+        self.frames.clear();
+        self.fixed.clear();
+        self.llc_misses.clear();
+        self.fills.clear();
+        self.writebacks.clear();
+        self.first_touches.clear();
+    }
+}
+
 /// The simulated machine shared by the single-tenant [`Simulation`]
 /// and the multi-tenant [`crate::CoRunSimulation`]: configuration,
 /// kernel, cache hierarchy, TLB, and the active tiering policy.
@@ -262,7 +359,7 @@ pub(crate) fn run_core(
 /// single-workload run.
 pub(crate) struct Machine {
     pub(crate) config: SimConfig,
-    pub(crate) policy: Box<dyn TieringPolicy>,
+    pub(crate) policy: PolicyBox,
     pub(crate) kernel: Kernel,
     pub(crate) caches: CacheHierarchy,
     pub(crate) tlb: Tlb,
@@ -271,7 +368,7 @@ pub(crate) struct Machine {
 
 impl Machine {
     /// Validates `config` and builds the machine around `policy`.
-    pub(crate) fn new(config: SimConfig, policy: Box<dyn TieringPolicy>) -> Result<Self> {
+    pub(crate) fn new(config: SimConfig, policy: PolicyBox) -> Result<Self> {
         config.validate()?;
         let kernel = Kernel::new(KernelConfig {
             memory: config.memory_config(),
@@ -287,7 +384,7 @@ impl Machine {
     /// Fires every due fault edge at `now` (see
     /// [`FaultInjector::tick`]); returns the virtual time charged.
     pub(crate) fn fault_tick(&mut self, now: Nanos, accesses: u64) -> Nanos {
-        self.faults.tick(&mut self.kernel, self.policy.as_mut(), now, accesses)
+        self.faults.tick(&mut self.kernel, &mut self.policy, now, accesses)
     }
 
     /// Offers the policy a tick at `now` and applies any TLB shootdowns
@@ -497,6 +594,187 @@ impl Machine {
         elapsed += self.policy.on_access(&event, &mut self.kernel);
         elapsed
     }
+
+    /// How many of the next `run` consecutive accesses the staged
+    /// pipeline may execute as one chunk without any deadline check,
+    /// given the hot loop's current `next_deadline`.
+    ///
+    /// The bound is a worst case over everything one access can charge:
+    /// CPU, page walk, minor fault, the deepest cache hit, a demand
+    /// fill at the slower node's degraded latency, two channel
+    /// occupancies (fill + writeback) and two policy charges (demand +
+    /// writeback events, bounded by `charge_max`). Queueing waits are
+    /// covered by a potential argument — the busy horizons grow by at
+    /// most one occupancy per service call, so total chunk wait is
+    /// bounded by the start-of-chunk backlog (added once) plus the
+    /// per-event occupancy terms. A chunk of `n` events therefore
+    /// finishes strictly before `next_deadline`, meaning the serial
+    /// path would have taken its fast `continue` on every one of them:
+    /// skipping the checks is unobservable.
+    pub(crate) fn chunk_capacity(
+        &self,
+        run: usize,
+        clock: Nanos,
+        next_deadline: Nanos,
+        charge_max: Nanos,
+        costs: &HotCosts,
+    ) -> usize {
+        let mem = self.kernel.memory();
+        let fast = mem.node(Tier::Fast);
+        let slow = mem.node(Tier::Slow);
+        let occ_max = fast.service_occupancy().max(slow.service_occupancy());
+        let fill_lat = |n: &neomem_mem::MemoryNode| {
+            n.config().read_latency.as_nanos().saturating_mul(n.latency_multiplier())
+        };
+        let fill_max = fill_lat(fast).max(fill_lat(slow));
+        let cache_max = costs.l1.max(costs.l2).max(costs.llc);
+        let per_event = costs
+            .cpu_per_access
+            .as_nanos()
+            .saturating_add(costs.tlb_walk.as_nanos())
+            .saturating_add(self.kernel.minor_fault_cost().as_nanos())
+            .saturating_add(cache_max.as_nanos())
+            .saturating_add(fill_max)
+            .saturating_add(occ_max.as_nanos().saturating_mul(2))
+            .saturating_add(charge_max.as_nanos().saturating_mul(2));
+        let backlog = fast.backlog(clock).as_nanos().saturating_add(slow.backlog(clock).as_nanos());
+        let headroom =
+            next_deadline.as_nanos().saturating_sub(clock.as_nanos()).saturating_sub(backlog);
+        if headroom == 0 {
+            return 0;
+        }
+        if per_event == 0 {
+            return run;
+        }
+        (((headroom - 1) / per_event) as usize).min(run)
+    }
+
+    /// Executes the chunk in `scratch.accesses` stage by stage and
+    /// returns the total elapsed time: one pass doing all TLB and
+    /// page-table work, one pass driving the cache hierarchy, and one
+    /// fused timing pass charging memory traffic and the policy hook on
+    /// the chained per-event clock. Produces machine state and elapsed
+    /// time bit-identical to calling [`Machine::step`] per access.
+    ///
+    /// Sound only for chunks admitted by [`Machine::chunk_capacity`]
+    /// under a policy with a [`PolicyBox::max_access_charge`] bound:
+    /// such policies never move mappings from their access hook, so the
+    /// early passes see exactly the page table the serial interleaving
+    /// would have produced (modulo the first-touch ordering that
+    /// `scratch.first_touches` restores for writeback victims).
+    pub(crate) fn step_chunk(
+        &mut self,
+        start: Nanos,
+        costs: &HotCosts,
+        scratch: &mut ChunkScratch,
+    ) -> Nanos {
+        // Pass A: address translation. TLB state and the page table
+        // evolve in event order, untouched by anything the later
+        // passes do, so running all of it first is order-faithful.
+        let preference = self.policy.alloc_preference();
+        for (j, a) in scratch.accesses.iter().enumerate() {
+            let vpage = a.vpage;
+            let tlb_hit = self.tlb.access(vpage);
+            let mut fixed = costs.cpu_per_access;
+            if !tlb_hit {
+                fixed += costs.tlb_walk;
+                let was_mapped = self.kernel.page_table().is_mapped(vpage);
+                self.kernel
+                    .touch_alloc_preferring(vpage, preference, start)
+                    .expect("simulated machine out of physical memory");
+                if !was_mapped {
+                    fixed += self.kernel.minor_fault_cost();
+                    scratch.first_touches.push((vpage, j));
+                }
+                let _ = self.kernel.page_table_mut().mark_accessed(vpage);
+            }
+            scratch.frames.push(self.kernel.translate(vpage).expect("page mapped above"));
+            scratch.tlb_hits.push(tlb_hit);
+            scratch.fixed.push(fixed);
+        }
+
+        // Pass B: the cache hierarchy. Virtually indexed, so it
+        // depends only on the access sequence, which is unchanged.
+        for (j, a) in scratch.accesses.iter().enumerate() {
+            let line = CacheLine::of_page(
+                neomem_types::PageNum::new(a.vpage.index()),
+                a.line_in_page as u64,
+            );
+            let outcome = self.caches.access(line, a.kind);
+            scratch.fixed[j] += match outcome.level {
+                HitLevel::L1 => costs.l1,
+                HitLevel::L2 => costs.l2,
+                HitLevel::Llc => costs.llc,
+                HitLevel::Memory => Nanos::ZERO,
+            };
+            scratch.llc_misses.push(outcome.level.is_llc_miss());
+            scratch.fills.push(outcome.traffic.fill.is_some());
+            scratch.writebacks.push(outcome.traffic.writeback);
+        }
+
+        // Pass C: fused timing. Memory service and the policy hook see
+        // the same per-event clock as the serial path — each event's
+        // start is the chunk start plus everything earlier events took.
+        let noop = self.policy.access_is_noop();
+        let Machine { policy, kernel, .. } = self;
+        let mut now = start;
+        let mut total = Nanos::ZERO;
+        for (j, a) in scratch.accesses.iter().enumerate() {
+            let mut elapsed = scratch.fixed[j];
+            let frame = scratch.frames[j];
+            let tier = kernel.memory().tier_of(frame);
+            if scratch.fills[j] {
+                elapsed +=
+                    kernel.memory_mut().service(frame, neomem_types::AccessKind::Read, now);
+            }
+            if let Some(victim) = scratch.writebacks[j] {
+                let victim_vpage = VirtPage::new(victim.page().index());
+                // Serial order: a victim page this chunk first-touched
+                // *after* event `j` was unmapped when `j` ran.
+                let mapped_later = scratch
+                    .first_touches
+                    .iter()
+                    .any(|&(page, k)| page == victim_vpage && k > j);
+                if !mapped_later {
+                    if let Ok(victim_frame) = kernel.translate(victim_vpage) {
+                        let _ = kernel.memory_mut().service(
+                            victim_frame,
+                            neomem_types::AccessKind::Write,
+                            now,
+                        );
+                        if !noop {
+                            let wb_tier = kernel.memory().tier_of(victim_frame);
+                            let wb_event = AccessEvent {
+                                vpage: victim_vpage,
+                                frame: victim_frame,
+                                tier: wb_tier,
+                                kind: neomem_types::AccessKind::Write,
+                                tlb_hit: true,
+                                llc_miss: true,
+                                now,
+                            };
+                            elapsed += policy.on_access(&wb_event, kernel);
+                        }
+                    }
+                }
+            }
+            if !noop {
+                let event = AccessEvent {
+                    vpage: a.vpage,
+                    frame,
+                    tier,
+                    kind: a.kind,
+                    tlb_hit: scratch.tlb_hits[j],
+                    llc_miss: scratch.llc_misses[j],
+                    now,
+                };
+                elapsed += policy.on_access(&event, kernel);
+            }
+            now += elapsed;
+            total += elapsed;
+        }
+        total
+    }
 }
 
 /// A configured simulation, ready to run.
@@ -515,7 +793,7 @@ impl Simulation {
     pub fn new(
         config: SimConfig,
         workload: Box<dyn Workload>,
-        policy: Box<dyn TieringPolicy>,
+        policy: impl Into<PolicyBox>,
     ) -> Result<Self> {
         config.validate()?;
         if workload.rss_pages() != config.rss_pages {
@@ -525,7 +803,7 @@ impl Simulation {
                 config.rss_pages
             )));
         }
-        Ok(Self { machine: Machine::new(config, policy)?, workload })
+        Ok(Self { machine: Machine::new(config, policy.into())?, workload })
     }
 
     /// Runs to completion and produces the report.
@@ -638,13 +916,12 @@ mod tests {
     use neomem_types::Bandwidth;
     use neomem_workloads::WorkloadKind;
 
-    fn neomem_policy(config: &SimConfig) -> Box<dyn TieringPolicy> {
+    fn neomem_policy(config: &SimConfig) -> PolicyBox {
         let mem = config.memory_config();
         let dev = neomem_neoprof_config(mem.fast.capacity_frames);
-        Box::new(
-            NeoMemPolicy::new(dev, NeoProfDriverConfig::default(), NeoMemParams::scaled(1000))
-                .unwrap(),
-        )
+        NeoMemPolicy::new(dev, NeoProfDriverConfig::default(), NeoMemParams::scaled(1000))
+            .unwrap()
+            .into()
     }
 
     fn neomem_neoprof_config(slow_base: u64) -> neomem_neoprof::NeoProfConfig {
@@ -674,11 +951,11 @@ mod tests {
     #[test]
     fn neomem_promotes_and_beats_first_touch_on_gups() {
         let config = SimConfig { max_accesses: 400_000, ..SimConfig::quick(4096, 4) };
-        let run = |policy: Box<dyn TieringPolicy>| {
+        let run = |policy: PolicyBox| {
             let w = WorkloadKind::Gups.build(4096, 7);
             Simulation::new(config.clone(), w, policy).unwrap().run()
         };
-        let ft = run(Box::new(FirstTouchPolicy::new()));
+        let ft = run(FirstTouchPolicy::new().into());
         let nm = run(neomem_policy(&config));
         assert!(nm.kernel.promotions > 0, "NeoMem must migrate hot pages");
         assert!(

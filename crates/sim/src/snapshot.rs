@@ -31,16 +31,21 @@ use neomem_types::json::{hex_from_u64s, Json};
 use neomem_types::{Error, Nanos, Result};
 use neomem_workloads::Workload;
 
-use crate::config::SimConfig;
+use crate::config::{PipelineMode, SimConfig};
 use crate::corun::CoRunConfig;
 use crate::report::{MarkerRecord, TimelinePoint};
 
 /// The `schema` tag every snapshot document carries.
 pub const SNAPSHOT_SCHEMA: &str = "neomem-machine-snapshot";
 
-/// The schema version this build writes and reads. Bump on any layout
-/// change; loading rejects other versions outright.
-pub const SNAPSHOT_VERSION: u64 = 1;
+/// The schema version this build writes. Bump on any layout change.
+pub const SNAPSHOT_VERSION: u64 = 2;
+
+/// The oldest schema version this build still reads. Version 1
+/// documents carry the same component layout (the structure-of-arrays
+/// engine core serialises to the version-1 wire format), so they
+/// restore unchanged.
+pub const SNAPSHOT_MIN_VERSION: u64 = 1;
 
 /// The `kind` tag of single-tenant snapshots.
 pub(crate) const KIND_SIM: &str = "sim";
@@ -68,7 +73,8 @@ pub(crate) fn fingerprint_str(s: &str) -> u64 {
 pub(crate) fn sim_fingerprint(config: &SimConfig) -> u64 {
     let mut c = config.clone();
     c.batch_size = 0;
-    fingerprint_str(&format!("{c:?}"))
+    c.pipeline = PipelineMode::default();
+    fingerprint_str(&strip_pipeline(&format!("{c:?}")))
 }
 
 /// The co-run counterpart of [`sim_fingerprint`]: additionally covers
@@ -76,7 +82,16 @@ pub(crate) fn sim_fingerprint(config: &SimConfig) -> u64 {
 pub(crate) fn corun_fingerprint(config: &CoRunConfig) -> u64 {
     let mut c = config.clone();
     c.sim.batch_size = 0;
-    fingerprint_str(&format!("{c:?}"))
+    c.sim.pipeline = PipelineMode::default();
+    fingerprint_str(&strip_pipeline(&format!("{c:?}")))
+}
+
+/// Removes the (normalised) pipeline-mode field from a hashed config
+/// Debug string. The mode is host-side execution strategy, not machine
+/// shape — both modes produce bit-identical results — and stripping it
+/// keeps version-1 fingerprints, which predate the field, restorable.
+fn strip_pipeline(debug: &str) -> String {
+    debug.replace(", pipeline: Staged", "")
 }
 
 /// Wraps `state` in the versioned snapshot envelope.
@@ -116,9 +131,10 @@ pub(crate) fn open_envelope<'a>(
         )));
     }
     let version = snap.req_u64("version")?;
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(Error::snapshot(format!(
-            "snapshot schema version {version}, this build reads version {SNAPSHOT_VERSION}"
+            "snapshot schema version {version}, this build reads versions \
+             {SNAPSHOT_MIN_VERSION}..={SNAPSHOT_VERSION}"
         )));
     }
     let got_kind = snap.req_str("kind")?;

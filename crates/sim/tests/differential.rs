@@ -1,0 +1,80 @@
+//! Differential testing of the staged engine core.
+//!
+//! The engine's hot loop runs each event batch stage by stage
+//! ([`neomem_sim::PipelineMode::Staged`], the default); the
+//! event-at-a-time path ([`neomem_sim::PipelineMode::Serial`]) is the
+//! reference semantics every `BENCH_*.json` baseline was recorded
+//! against. These tests run the [`neomem_bench::diffcheck`] corpus —
+//! every workload kind × every dispatch-class policy × {single-tenant,
+//! co-run, mid-fault, mid-phase} — under both modes and require the
+//! full `Debug` rendering of the reports to match byte for byte.
+//!
+//! Debug builds are ~an order of magnitude slower than the release CI
+//! gate (`neomem-bench differential`), so the per-case budget here is
+//! small; the corpus breadth is identical.
+
+use neomem_bench::diffcheck::{self, DiffShape};
+use neomem_policies::PolicyKind;
+use neomem_workloads::WorkloadKind;
+
+/// Per-case access budget. The mid-fault plan's last edge clears by
+/// ~400 µs of virtual time, well inside a run of this size.
+const BUDGET: u64 = 6_000;
+
+fn assert_shape(shape: DiffShape) {
+    let mut kinds = WorkloadKind::FIG11.to_vec();
+    kinds.push(WorkloadKind::Redis);
+    for kind in kinds {
+        for policy in diffcheck::policies() {
+            diffcheck::diff_case(kind, policy, shape, BUDGET).assert_identical();
+        }
+    }
+}
+
+#[test]
+fn single_tenant_runs_are_pipeline_invariant() {
+    assert_shape(DiffShape::SingleTenant);
+}
+
+#[test]
+fn corun_runs_are_pipeline_invariant() {
+    assert_shape(DiffShape::CoRun);
+}
+
+#[test]
+fn mid_fault_runs_are_pipeline_invariant() {
+    assert_shape(DiffShape::MidFault);
+}
+
+#[test]
+fn mid_phase_runs_are_pipeline_invariant() {
+    assert_shape(DiffShape::MidPhase);
+}
+
+#[test]
+fn staged_is_the_default_and_serial_is_reachable() {
+    // The guarantee the rest of the suite rests on: the corpus really
+    // does flip the mode, and the default config runs staged.
+    use neomem_sim::{PipelineMode, SimConfig};
+    assert_eq!(SimConfig::quick(64, 2).pipeline, PipelineMode::Staged);
+    assert_ne!(PipelineMode::Staged, PipelineMode::Serial);
+}
+
+#[test]
+fn a_divergent_pair_is_actually_caught() {
+    // Confidence in the oracle itself: two *different* experiments must
+    // not compare equal under the Debug fingerprint.
+    let a = diffcheck::diff_case(
+        WorkloadKind::Gups,
+        PolicyKind::FirstTouch,
+        DiffShape::SingleTenant,
+        BUDGET,
+    );
+    let b = diffcheck::diff_case(
+        WorkloadKind::Btree,
+        PolicyKind::FirstTouch,
+        DiffShape::SingleTenant,
+        BUDGET,
+    );
+    assert_ne!(a.serial, b.serial, "distinct workloads must fingerprint differently");
+}

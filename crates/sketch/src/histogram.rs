@@ -80,6 +80,21 @@ impl Default for HistogramSpec {
     }
 }
 
+/// Per-value bin lookup for the default layout, built once per process:
+/// the `SetHistEn` sweep bins hundreds of thousands of counters per
+/// tick, and a table load replaces a binary search over the edges.
+pub(crate) fn default_bin_lut() -> &'static [u8; 1 << 16] {
+    static LUT: std::sync::OnceLock<Box<[u8; 1 << 16]>> = std::sync::OnceLock::new();
+    LUT.get_or_init(|| {
+        let spec = HistogramSpec::log2_default();
+        let mut lut = Box::new([0u8; 1 << 16]);
+        for (v, bin) in lut.iter_mut().enumerate() {
+            *bin = spec.bin_of(v as u16) as u8;
+        }
+        lut
+    })
+}
+
 /// A populated 64-bin histogram of sketch-counter values.
 ///
 /// ```

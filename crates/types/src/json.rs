@@ -941,4 +941,29 @@ mod tests {
         assert_eq!(dirty.find_non_finite().as_deref(), Some("grids[0].drift"));
         assert_eq!(Json::F64(f64::INFINITY).find_non_finite().as_deref(), Some(""));
     }
+
+    #[test]
+    fn non_finite_finder_descends_nested_arrays() {
+        // Array-of-array payloads (figure series of rows) must be
+        // walked all the way down — a NaN in an inner array renders as
+        // `null` just as silently as a top-level one.
+        let doc = Json::obj([(
+            "series",
+            Json::arr([
+                Json::arr([Json::F64(1.0), Json::F64(2.0)]),
+                Json::arr([Json::F64(3.0), Json::F64(f64::NAN)]),
+            ]),
+        )]);
+        assert_eq!(doc.find_non_finite().as_deref(), Some("series[1][1]"));
+        // Negative infinity hides as deep as NaN does, and the path
+        // stays index-accurate through bare (un-keyed) nesting.
+        let neg = Json::arr([Json::arr([Json::arr([
+            Json::Null,
+            Json::F64(f64::NEG_INFINITY),
+        ])])]);
+        assert_eq!(neg.find_non_finite().as_deref(), Some("[0][0][1]"));
+        // Finite floats beside integers and strings stay clean.
+        let clean = Json::arr([Json::arr([Json::F64(0.5), Json::U64(7), Json::from("x")])]);
+        assert_eq!(clean.find_non_finite(), None);
+    }
 }

@@ -81,7 +81,7 @@ fn main() -> Result<(), neomem_repro::Error> {
     let custom = Simulation::new(
         config.clone(),
         workload,
-        Box::new(RandomPromoter::new(Nanos::from_micros(100))),
+        Box::new(RandomPromoter::new(Nanos::from_micros(100))) as Box<dyn TieringPolicy>,
     )?
     .run();
 

@@ -170,12 +170,32 @@ pub fn diff_case(
     shape: DiffShape,
     budget: u64,
 ) -> Differential {
-    let label = format!("{}/{}/{}", kind.label(), policy.label(), shape.label());
+    diff_case_batched(kind, policy, shape, budget, None)
+}
+
+/// [`diff_case`] with an explicit workload batch size. Chunks never
+/// cross a batch boundary, so adversarial sizes (1, 2, and the default
+/// cap ± 1) steer the staged pipeline into degenerate and off-by-one
+/// chunk tails — exactly where SWAR tail handling and admission
+/// arithmetic would slip. `None` keeps the config's default.
+pub fn diff_case_batched(
+    kind: WorkloadKind,
+    policy: PolicyKind,
+    shape: DiffShape,
+    budget: u64,
+    batch_size: Option<usize>,
+) -> Differential {
+    let label = match batch_size {
+        Some(b) => format!("{}/{}/{}/batch{}", kind.label(), policy.label(), shape.label(), b),
+        None => format!("{}/{}/{}", kind.label(), policy.label(), shape.label()),
+    };
     let run = |pipeline| match shape {
-        DiffShape::SingleTenant => run_single(kind, policy, pipeline, budget, None),
-        DiffShape::MidFault => run_single(kind, policy, pipeline, budget, Some(mid_run_faults())),
-        DiffShape::CoRun => run_corun(kind, policy, pipeline, budget, false),
-        DiffShape::MidPhase => run_corun(kind, policy, pipeline, budget, true),
+        DiffShape::SingleTenant => run_single(kind, policy, pipeline, budget, None, batch_size),
+        DiffShape::MidFault => {
+            run_single(kind, policy, pipeline, budget, Some(mid_run_faults()), batch_size)
+        }
+        DiffShape::CoRun => run_corun(kind, policy, pipeline, budget, false, batch_size),
+        DiffShape::MidPhase => run_corun(kind, policy, pipeline, budget, true, batch_size),
     };
     Differential { label, serial: run(PipelineMode::Serial), staged: run(PipelineMode::Staged) }
 }
@@ -220,9 +240,13 @@ fn run_single(
     pipeline: PipelineMode,
     budget: u64,
     faults: Option<FaultPlan>,
+    batch_size: Option<usize>,
 ) -> String {
     let mut config =
         SimConfig { max_accesses: budget, pipeline, ..SimConfig::quick(RSS_PAGES, 2) };
+    if let Some(batch) = batch_size {
+        config.batch_size = batch;
+    }
     if let Some(plan) = faults {
         config.faults = plan;
     }
@@ -238,6 +262,7 @@ fn run_corun(
     pipeline: PipelineMode,
     budget: u64,
     phased: bool,
+    batch_size: Option<usize>,
 ) -> String {
     let mix = TenantMix::builder()
         .tenant(WorkloadKind::Gups, RSS_PAGES, SEED)
@@ -247,6 +272,9 @@ fn run_corun(
     let mut config = CoRunConfig::quick(&mix, 2);
     config.sim.max_accesses = budget * 2;
     config.sim.pipeline = pipeline;
+    if let Some(batch) = batch_size {
+        config.sim.batch_size = batch;
+    }
     let policy = case_policy(policy, &config.sim);
     let report = if phased {
         // Tenant 1 halves its working set under `kind`, then goes full

@@ -1,0 +1,155 @@
+//! Wall-report comparison: per-figure throughput ratios between two
+//! `--wall-report` JSON documents.
+//!
+//! Wall-clock numbers are host-side and nondeterministic, so they are
+//! never gated — this module exists purely so before/after perf claims
+//! are one `neomem-bench perf ... --compare OLD.json` invocation
+//! instead of hand-diffed JSON. The rendering is a plain text table:
+//! one row per figure present in the *new* report (figures only in the
+//! old report are listed as retired), plus the totals row.
+
+use neomem::types::json::Json;
+
+/// One figure's before/after throughput, in accesses per wall second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallRatio {
+    /// Figure name (or `"total"` for the aggregate row).
+    pub figure: String,
+    /// Throughput in the old report; `None` when the figure is new.
+    pub old: Option<f64>,
+    /// Throughput in the new report.
+    pub new: f64,
+}
+
+impl WallRatio {
+    /// `new / old`, when the figure exists in both reports with a
+    /// positive old throughput.
+    pub fn ratio(&self) -> Option<f64> {
+        match self.old {
+            Some(old) if old > 0.0 => Some(self.new / old),
+            _ => None,
+        }
+    }
+}
+
+/// Extracts `figure -> accesses_per_wall_second` pairs from a wall
+/// report, `entries` first and the `total` aggregate last.
+fn throughputs(report: &Json) -> Result<Vec<(String, f64)>, String> {
+    let entries = report
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("wall report has no entries array — is this a --wall-report file?")?;
+    let mut out = Vec::with_capacity(entries.len() + 1);
+    for entry in entries {
+        let figure = entry
+            .get("figure")
+            .and_then(Json::as_str)
+            .ok_or("wall report entry without a figure name")?;
+        let aps = entry
+            .get("accesses_per_wall_second")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("entry {figure} lacks accesses_per_wall_second"))?;
+        out.push((figure.to_string(), aps));
+    }
+    if let Some(total) =
+        report.get("total").and_then(|t| t.get("accesses_per_wall_second")).and_then(Json::as_f64)
+    {
+        out.push(("total".to_string(), total));
+    }
+    Ok(out)
+}
+
+/// Compares two wall reports figure by figure.
+///
+/// # Errors
+///
+/// Returns a message when either document is not a wall report.
+pub fn compare_wall_reports(old: &Json, new: &Json) -> Result<Vec<WallRatio>, String> {
+    let old_rows = throughputs(old)?;
+    let new_rows = throughputs(new)?;
+    let lookup = |name: &str| old_rows.iter().find(|(f, _)| f == name).map(|&(_, aps)| aps);
+    Ok(new_rows
+        .into_iter()
+        .map(|(figure, aps)| WallRatio { old: lookup(&figure), new: aps, figure })
+        .collect())
+}
+
+/// Renders the comparison as the table `perf --compare` prints: one
+/// row per figure with old/new M accesses/s and the ratio.
+pub fn render(ratios: &[WallRatio]) -> String {
+    let mut out = String::from(
+        "figure            old M acc/s    new M acc/s    new/old\n",
+    );
+    for row in ratios {
+        let old = row
+            .old
+            .map(|aps| format!("{:>11.2}", aps / 1e6))
+            .unwrap_or_else(|| format!("{:>11}", "-"));
+        let ratio = row
+            .ratio()
+            .map(|r| format!("{r:>9.2}x"))
+            .unwrap_or_else(|| format!("{:>10}", "new"));
+        out.push_str(&format!(
+            "{:<16}  {old}    {:>11.2}    {ratio}\n",
+            row.figure,
+            row.new / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, f64)], total: f64) -> Json {
+        Json::obj([
+            (
+                "entries",
+                Json::Arr(
+                    entries
+                        .iter()
+                        .map(|&(figure, aps)| {
+                            Json::obj([
+                                ("figure", Json::from(figure)),
+                                ("accesses_per_wall_second", Json::F64(aps)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total", Json::obj([("accesses_per_wall_second", Json::F64(total))])),
+        ])
+    }
+
+    #[test]
+    fn ratios_follow_matching_figures() {
+        let old = report(&[("corun", 10e6), ("micro_engine", 5e6)], 7.5e6);
+        let new = report(&[("corun", 20e6), ("fresh", 3e6)], 9e6);
+        let rows = compare_wall_reports(&old, &new).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].figure, "corun");
+        assert!((rows[0].ratio().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(rows[1].figure, "fresh");
+        assert_eq!(rows[1].ratio(), None, "figure absent from the old report");
+        assert_eq!(rows[2].figure, "total");
+        assert!((rows[2].ratio().unwrap() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_lists_every_row() {
+        let old = report(&[("corun", 10e6)], 10e6);
+        let new = report(&[("corun", 12e6)], 12e6);
+        let rows = compare_wall_reports(&old, &new).unwrap();
+        let table = render(&rows);
+        assert!(table.contains("corun"), "{table}");
+        assert!(table.contains("1.20x"), "{table}");
+        assert!(table.lines().count() >= 3, "{table}");
+    }
+
+    #[test]
+    fn non_wall_reports_are_rejected() {
+        let bogus = Json::obj([("kind", Json::from("results"))]);
+        assert!(compare_wall_reports(&bogus, &bogus).is_err());
+    }
+}

@@ -35,6 +35,7 @@
 
 mod hierarchy;
 mod set_assoc;
+mod swar;
 mod tlb;
 
 pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyStats, HitLevel, MemoryTraffic};

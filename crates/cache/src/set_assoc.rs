@@ -3,6 +3,8 @@
 use neomem_types::json::{hex_from_u64s, Json};
 use neomem_types::{CacheLine, Error, Result};
 
+use crate::swar;
+
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -160,20 +162,54 @@ impl SetAssocCache {
 
     /// Probes for `line`; on hit, refreshes LRU and applies `dirty`.
     /// Does **not** allocate on miss — pair with [`fill`](Self::fill).
+    ///
+    /// Dispatches once on the way count so the common geometries run a
+    /// fully monomorphic body: fixed-width lane arrays, unrolled scans,
+    /// no per-kernel width re-dispatch.
     #[inline]
     pub fn probe(&mut self, line: CacheLine, dirty: bool) -> bool {
+        match self.config.ways {
+            2 => self.probe_w::<2>(line, dirty),
+            4 => self.probe_w::<4>(line, dirty),
+            8 => self.probe_w::<8>(line, dirty),
+            16 => self.probe_w::<16>(line, dirty),
+            _ => self.probe_any(line, dirty),
+        }
+    }
+
+    #[inline(always)]
+    fn probe_w<const N: usize>(&mut self, line: CacheLine, dirty: bool) -> bool {
+        self.tick += 1;
+        let set = (line.index() & self.set_mask) as usize;
+        let tag = line.index() >> self.set_bits;
+        let base = set * N;
+        let key = KEY_VALID | tag;
+        // Branch-free whole-set scan; at most one way can match. The
+        // slice length is the const width, so the kernel's width
+        // dispatch folds away.
+        if let Some(i) = swar::scan_hit(&self.keys[base..base + N], key) {
+            // Refresh the timestamp, keep (or set) the dirty bit.
+            let meta = &mut self.metas[base + i];
+            *meta = (*meta & META_DIRTY) | (if dirty { META_DIRTY } else { 0 }) | self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Width-generic probe for uncommon geometries; scan-equivalent to
+    /// the monomorphic bodies.
+    fn probe_any(&mut self, line: CacheLine, dirty: bool) -> bool {
         self.tick += 1;
         let (base, tag) = self.set_range(line);
         let key = KEY_VALID | tag;
-        let dirty_bit = if dirty { META_DIRTY } else { 0 };
-        for (i, k) in self.keys[base..base + self.config.ways].iter().enumerate() {
-            if *k == key {
-                // Refresh the timestamp, keep (or set) the dirty bit.
-                let meta = &mut self.metas[base + i];
-                *meta = (*meta & META_DIRTY) | dirty_bit | self.tick;
-                self.stats.hits += 1;
-                return true;
-            }
+        let ways = self.config.ways;
+        if let Some(i) = self.keys[base..base + ways].iter().position(|k| *k == key) {
+            let meta = &mut self.metas[base + i];
+            *meta = (*meta & META_DIRTY) | (if dirty { META_DIRTY } else { 0 }) | self.tick;
+            self.stats.hits += 1;
+            return true;
         }
         self.stats.misses += 1;
         false
@@ -181,31 +217,56 @@ impl SetAssocCache {
 
     /// Inserts `line` (after a miss), evicting the LRU way of its set.
     /// Returns the dirty victim, if any.
+    #[inline]
     pub fn fill(&mut self, line: CacheLine, dirty: bool) -> Option<CacheLine> {
+        match self.config.ways {
+            2 => self.fill_w::<2>(line, dirty),
+            4 => self.fill_w::<4>(line, dirty),
+            8 => self.fill_w::<8>(line, dirty),
+            16 => self.fill_w::<16>(line, dirty),
+            _ => self.fill_any(line, dirty),
+        }
+    }
+
+    #[inline(always)]
+    fn fill_w<const N: usize>(&mut self, line: CacheLine, dirty: bool) -> Option<CacheLine> {
+        self.tick += 1;
+        let set_index = line.index() & self.set_mask;
+        let tag = line.index() >> self.set_bits;
+        let base = set_index as usize * N;
+        // Prefer an invalid way; otherwise evict true-LRU.
+        let victim = base
+            + swar::select_victim(
+                &self.keys[base..base + N],
+                &self.metas[base..base + N],
+                META_TICK_MASK,
+            );
+        self.replace(victim, tag, set_index, dirty)
+    }
+
+    /// Width-generic fill for uncommon geometries.
+    fn fill_any(&mut self, line: CacheLine, dirty: bool) -> Option<CacheLine> {
         self.tick += 1;
         let (base, tag) = self.set_range(line);
         let ways = self.config.ways;
-        let set_bits = self.set_bits;
         let set_index = line.index() & self.set_mask;
+        let victim = base
+            + swar::select_victim(
+                &self.keys[base..base + ways],
+                &self.metas[base..base + ways],
+                META_TICK_MASK,
+            );
+        self.replace(victim, tag, set_index, dirty)
+    }
 
-        // Prefer an invalid way; otherwise evict true-LRU.
-        let mut victim = base;
-        let mut best = u64::MAX;
-        for i in base..base + ways {
-            if self.keys[i] & KEY_VALID == 0 {
-                victim = i;
-                break;
-            }
-            let last_use = self.metas[i] & META_TICK_MASK;
-            if last_use < best {
-                best = last_use;
-                victim = i;
-            }
-        }
+    /// Shared fill tail: evicts `victim` (counting a dirty writeback and
+    /// reconstructing its line address) and installs the new tag.
+    #[inline(always)]
+    fn replace(&mut self, victim: usize, tag: u64, set_index: u64, dirty: bool) -> Option<CacheLine> {
         let evicted = if self.keys[victim] & KEY_VALID != 0 && self.metas[victim] & META_DIRTY != 0
         {
             self.stats.writebacks += 1;
-            Some(CacheLine::new(((self.keys[victim] & !KEY_VALID) << set_bits) | set_index))
+            Some(CacheLine::new(((self.keys[victim] & !KEY_VALID) << self.set_bits) | set_index))
         } else {
             None
         };
@@ -214,14 +275,54 @@ impl SetAssocCache {
         evicted
     }
 
-    /// Convenience probe-then-fill.
+    /// Fused probe-or-fill: bit-identical to `probe` followed (on miss)
+    /// by `fill` — same stats, same double tick bump, same victim — but
+    /// the key lane is swept once, yielding the hit way and the
+    /// invalid-way mask together, so the miss path goes straight to LRU
+    /// selection over the meta lane.
+    #[inline]
     pub fn access(&mut self, line: CacheLine, dirty: bool) -> LevelOutcome {
-        if self.probe(line, dirty) {
-            LevelOutcome { hit: true, writeback: None }
-        } else {
-            let writeback = self.fill(line, dirty);
-            LevelOutcome { hit: false, writeback }
+        match self.config.ways {
+            2 => self.access_w::<2>(line, dirty),
+            4 => self.access_w::<4>(line, dirty),
+            8 => self.access_w::<8>(line, dirty),
+            16 => self.access_w::<16>(line, dirty),
+            _ => {
+                if self.probe_any(line, dirty) {
+                    LevelOutcome { hit: true, writeback: None }
+                } else {
+                    let writeback = self.fill_any(line, dirty);
+                    LevelOutcome { hit: false, writeback }
+                }
+            }
         }
+    }
+
+    #[inline(always)]
+    fn access_w<const N: usize>(&mut self, line: CacheLine, dirty: bool) -> LevelOutcome {
+        self.tick += 1;
+        let set_index = line.index() & self.set_mask;
+        let tag = line.index() >> self.set_bits;
+        let base = set_index as usize * N;
+        let key = KEY_VALID | tag;
+        let (hit, invalid) = swar::scan_set(&self.keys[base..base + N], key);
+        if let Some(i) = hit {
+            let meta = &mut self.metas[base + i];
+            *meta = (*meta & META_DIRTY) | (if dirty { META_DIRTY } else { 0 }) | self.tick;
+            self.stats.hits += 1;
+            return LevelOutcome { hit: true, writeback: None };
+        }
+        self.stats.misses += 1;
+        // Fill half, with its own tick bump exactly as `fill` takes.
+        self.tick += 1;
+        let victim = base
+            + if invalid != 0 {
+                invalid.trailing_zeros() as usize
+            } else {
+                swar::lru_way(&self.metas[base..base + N], META_TICK_MASK)
+            };
+        let writeback = self.replace(victim, tag, set_index, dirty);
+        LevelOutcome { hit: false, writeback }
     }
 
     /// Invalidates `line` if present; returns `true` if it was dirty.

@@ -1,0 +1,310 @@
+//! Branchless word-level (SWAR) way-set scans shared by the cache and
+//! TLB models.
+//!
+//! Both structures fuse validity and payload into one key word per way
+//! (`1 << 63 | tag`), stored contiguously per set, so a whole-way match
+//! is one `u64` compare. The scans here turn the per-way early-exit
+//! loops into fixed-width branch-free kernels: every way of the set is
+//! compared unconditionally (broadcast key XOR + zero-word detection,
+//! the word-wide form of the classic SWAR `haszero` trick) and the
+//! result folds into a bitmask reduced with `trailing_zeros`. With the
+//! way count known at monomorphisation time the compiler unrolls the
+//! loop fully and autovectorises it — no external SIMD crates, no
+//! `unsafe`.
+//!
+//! Invariants the callers guarantee (documented in
+//! ARCHITECTURE.md § SWAR kernels):
+//!
+//! - bit 63 of a key word is the validity flag; payloads never reach it,
+//!   so an invalid way can never equal a probe key;
+//! - at most one way of a set matches a given key (fills never duplicate
+//!   a resident tag), so "first match" and "any match" coincide;
+//! - way counts are fixed per structure; common geometries (2/4/8/16
+//!   ways) get dedicated monomorphic kernels, anything else takes the
+//!   variable-width fallback, which is scan-equivalent.
+
+/// Validity flag of a key word (bit 63), shared with the callers'
+/// key-lane layout.
+pub(crate) const KEY_VALID: u64 = 1 << 63;
+
+/// `1` when `x != 0`, `0` when `x == 0`, without a branch: for any
+/// non-zero `x`, `x | -x` has the top bit set (two's complement).
+#[inline(always)]
+fn nonzero(x: u64) -> u32 {
+    ((x | x.wrapping_neg()) >> 63) as u32
+}
+
+/// Fixed-width match scan: bit `i` of the result is set iff
+/// `keys[i] == key`.
+#[inline(always)]
+fn eq_mask<const N: usize>(keys: &[u64; N], key: u64) -> u32 {
+    let mut mask = 0u32;
+    for (i, k) in keys.iter().enumerate() {
+        mask |= (nonzero(k ^ key) ^ 1) << i;
+    }
+    mask
+}
+
+/// Fixed-width validity scan: bit `i` set iff way `i` is *invalid*.
+#[inline(always)]
+fn invalid_mask<const N: usize>(keys: &[u64; N]) -> u32 {
+    let mut mask = 0u32;
+    for (i, k) in keys.iter().enumerate() {
+        mask |= (((k >> 63) as u32) ^ 1) << i;
+    }
+    mask
+}
+
+#[inline(always)]
+fn hit_n<const N: usize>(keys: &[u64], key: u64) -> Option<usize> {
+    let keys: &[u64; N] = keys.try_into().expect("way-set slice width");
+    let mask = eq_mask(keys, key);
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as usize)
+    }
+}
+
+/// Scans one way-set's key lane for `key`; returns the matching way.
+///
+/// `keys` must be exactly the set's `ways` words. Equivalent to
+/// `keys.iter().position(|k| *k == key)` — the monomorphic widths just
+/// run it branch-free over the whole set.
+#[inline(always)]
+pub(crate) fn scan_hit(keys: &[u64], key: u64) -> Option<usize> {
+    match keys.len() {
+        2 => hit_n::<2>(keys, key),
+        4 => hit_n::<4>(keys, key),
+        8 => hit_n::<8>(keys, key),
+        16 => hit_n::<16>(keys, key),
+        _ => keys.iter().position(|k| *k == key),
+    }
+}
+
+#[inline(always)]
+fn scan_set_n<const N: usize>(keys: &[u64], key: u64) -> (Option<usize>, u32) {
+    let keys: &[u64; N] = keys.try_into().expect("way-set slice width");
+    let mut hit = 0u32;
+    let mut invalid = 0u32;
+    for (i, k) in keys.iter().enumerate() {
+        hit |= (nonzero(k ^ key) ^ 1) << i;
+        invalid |= (((k >> 63) as u32) ^ 1) << i;
+    }
+    let way = if hit == 0 { None } else { Some(hit.trailing_zeros() as usize) };
+    (way, invalid)
+}
+
+/// One pass over a way-set's key lane producing both probe results a
+/// fused probe-or-fill needs: the matching way (if any) and the
+/// invalid-way bitmask for victim selection. Equivalent to running
+/// [`scan_hit`] and collecting `!(keys[i] >> 63)` bits separately, in a
+/// single sweep of the lane.
+#[inline(always)]
+pub(crate) fn scan_set(keys: &[u64], key: u64) -> (Option<usize>, u32) {
+    match keys.len() {
+        2 => scan_set_n::<2>(keys, key),
+        4 => scan_set_n::<4>(keys, key),
+        8 => scan_set_n::<8>(keys, key),
+        16 => scan_set_n::<16>(keys, key),
+        _ => {
+            let mut invalid = 0u32;
+            let mut way = None;
+            for (i, k) in keys.iter().enumerate() {
+                if *k == key && way.is_none() {
+                    way = Some(i);
+                }
+                if k & KEY_VALID == 0 {
+                    invalid |= 1 << i;
+                }
+            }
+            (way, invalid)
+        }
+    }
+}
+
+#[inline(always)]
+fn lru_n<const N: usize>(stamps: &[u64], stamp_mask: u64) -> usize {
+    let stamps: &[u64; N] = stamps.try_into().expect("way-set slice width");
+    let mut victim = 0usize;
+    let mut best = stamps[0] & stamp_mask;
+    for (i, s) in stamps.iter().enumerate().skip(1) {
+        let s = s & stamp_mask;
+        let take = s < best;
+        victim = if take { i } else { victim };
+        best = if take { s } else { best };
+    }
+    victim
+}
+
+/// True-LRU way of a set whose ways are all valid: minimum masked
+/// stamp, earliest index on ties (the strict-less scan of
+/// [`select_victim`] without the invalid-way pre-pass, for callers that
+/// already have the invalid mask from [`scan_set`]).
+#[inline(always)]
+pub(crate) fn lru_way(stamps: &[u64], stamp_mask: u64) -> usize {
+    match stamps.len() {
+        2 => lru_n::<2>(stamps, stamp_mask),
+        4 => lru_n::<4>(stamps, stamp_mask),
+        8 => lru_n::<8>(stamps, stamp_mask),
+        16 => lru_n::<16>(stamps, stamp_mask),
+        _ => {
+            let mut victim = 0usize;
+            let mut best = u64::MAX;
+            for (i, s) in stamps.iter().enumerate() {
+                let s = s & stamp_mask;
+                if s < best {
+                    best = s;
+                    victim = i;
+                }
+            }
+            victim
+        }
+    }
+}
+
+#[inline(always)]
+fn victim_n<const N: usize>(keys: &[u64], stamps: &[u64], stamp_mask: u64) -> usize {
+    let keys: &[u64; N] = keys.try_into().expect("way-set slice width");
+    let stamps: &[u64; N] = stamps.try_into().expect("way-set slice width");
+    let invalid = invalid_mask(keys);
+    if invalid != 0 {
+        return invalid.trailing_zeros() as usize;
+    }
+    // True-LRU with the reference path's tie-break: strict less, so the
+    // earliest way wins among equal stamps.
+    let mut victim = 0usize;
+    let mut best = stamps[0] & stamp_mask;
+    for (i, s) in stamps.iter().enumerate().skip(1) {
+        let s = s & stamp_mask;
+        let take = s < best;
+        victim = if take { i } else { victim };
+        best = if take { s } else { best };
+    }
+    victim
+}
+
+/// Picks the fill victim of one way-set: the first invalid way, else the
+/// true-LRU way (minimum `stamps[i] & stamp_mask`, earliest index on
+/// ties).
+///
+/// `keys` and `stamps` must be the same set's parallel lanes.
+#[inline(always)]
+pub(crate) fn select_victim(keys: &[u64], stamps: &[u64], stamp_mask: u64) -> usize {
+    match keys.len() {
+        2 => victim_n::<2>(keys, stamps, stamp_mask),
+        4 => victim_n::<4>(keys, stamps, stamp_mask),
+        8 => victim_n::<8>(keys, stamps, stamp_mask),
+        16 => victim_n::<16>(keys, stamps, stamp_mask),
+        _ => {
+            let mut victim = 0usize;
+            let mut best = u64::MAX;
+            for (i, k) in keys.iter().enumerate() {
+                if k & KEY_VALID == 0 {
+                    return i;
+                }
+                let s = stamps[i] & stamp_mask;
+                if s < best {
+                    best = s;
+                    victim = i;
+                }
+            }
+            victim
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementations the kernels must agree with, at every
+    /// width (the monomorphic ones and the fallback).
+    fn ref_hit(keys: &[u64], key: u64) -> Option<usize> {
+        keys.iter().position(|k| *k == key)
+    }
+
+    fn ref_victim(keys: &[u64], stamps: &[u64], stamp_mask: u64) -> usize {
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for (i, k) in keys.iter().enumerate() {
+            if k & KEY_VALID == 0 {
+                return i;
+            }
+            let s = stamps[i] & stamp_mask;
+            if s < best {
+                best = s;
+                victim = i;
+            }
+        }
+        victim
+    }
+
+    #[test]
+    fn matches_reference_at_every_width() {
+        // Deterministic pseudo-random fill (splitmix64).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for ways in [2usize, 3, 4, 6, 8, 16] {
+            for trial in 0..200 {
+                let mut keys: Vec<u64> = (0..ways)
+                    .map(|_| {
+                        let tag = next() % 64;
+                        if next() % 4 == 0 {
+                            tag // invalid way
+                        } else {
+                            KEY_VALID | tag
+                        }
+                    })
+                    .collect();
+                let stamps: Vec<u64> = (0..ways).map(|_| next() % 8).collect();
+                // Sometimes plant a guaranteed match.
+                let probe = if trial % 2 == 0 {
+                    keys[(next() as usize) % ways]
+                } else {
+                    KEY_VALID | (next() % 64)
+                };
+                // Fills never duplicate a resident tag; dedup to honour
+                // the at-most-one-match invariant.
+                for i in 1..ways {
+                    while keys[..i].contains(&keys[i]) {
+                        keys[i] = keys[i].wrapping_add(1) | (keys[i] & KEY_VALID);
+                    }
+                }
+                assert_eq!(scan_hit(&keys, probe), ref_hit(&keys, probe), "{ways} ways");
+                assert_eq!(
+                    select_victim(&keys, &stamps, u64::MAX),
+                    ref_victim(&keys, &stamps, u64::MAX),
+                    "{ways} ways keys={keys:?} stamps={stamps:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lru_tie_break_takes_earliest_way() {
+        let keys = [KEY_VALID | 1, KEY_VALID | 2, KEY_VALID | 3, KEY_VALID | 4];
+        assert_eq!(select_victim(&keys, &[5, 5, 5, 5], u64::MAX), 0);
+        assert_eq!(select_victim(&keys, &[7, 5, 5, 9], u64::MAX), 1);
+    }
+
+    #[test]
+    fn first_invalid_way_wins_over_lru() {
+        let keys = [KEY_VALID | 1, 0, KEY_VALID | 3, 0];
+        assert_eq!(select_victim(&keys, &[0, 9, 9, 9], u64::MAX), 1);
+    }
+
+    #[test]
+    fn stamp_mask_strips_flag_bits() {
+        let keys = [KEY_VALID | 1, KEY_VALID | 2];
+        // High flag bit on way 0 must not make it look recent.
+        let stamps = [(1 << 62) | 3, 4];
+        assert_eq!(select_victim(&keys, &stamps, (1 << 62) - 1), 0);
+    }
+}

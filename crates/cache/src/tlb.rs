@@ -9,6 +9,8 @@
 use neomem_types::json::{hex_from_u64s, Json};
 use neomem_types::{Error, Result, VirtPage};
 
+use crate::swar;
+
 /// TLB geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
@@ -137,27 +139,20 @@ impl Tlb {
         let base = set * self.config.ways;
         let ways = self.config.ways;
 
-        for (i, k) in self.keys[base..base + ways].iter().enumerate() {
-            if *k == key {
-                self.last_uses[base + i] = self.tick;
-                self.stats.hits += 1;
-                return true;
-            }
+        // Branch-free whole-set scan; at most one way can match.
+        if let Some(i) = swar::scan_hit(&self.keys[base..base + ways], key) {
+            self.last_uses[base + i] = self.tick;
+            self.stats.hits += 1;
+            return true;
         }
         self.stats.misses += 1;
         // Fill: prefer invalid, else LRU.
-        let mut victim = base;
-        let mut best = u64::MAX;
-        for i in base..base + ways {
-            if self.keys[i] & KEY_VALID == 0 {
-                victim = i;
-                break;
-            }
-            if self.last_uses[i] < best {
-                best = self.last_uses[i];
-                victim = i;
-            }
-        }
+        let victim = base
+            + swar::select_victim(
+                &self.keys[base..base + ways],
+                &self.last_uses[base..base + ways],
+                u64::MAX,
+            );
         self.keys[victim] = key;
         self.last_uses[victim] = self.tick;
         false

@@ -354,6 +354,14 @@ impl Kernel {
         Ok(self.costs.hint_fault)
     }
 
+    /// The reverse map of the fast tier, frame-indexed: `rmap[f]` is the
+    /// virtual page backed by fast frame `f`, or `None` while the frame
+    /// is free. Lets occupancy accounting sweep the fast tier as one
+    /// dense slice instead of per-frame lookups.
+    pub fn fast_rmap(&self) -> &[Option<VirtPage>] {
+        &self.rmap[..self.memory.slow_base().index() as usize]
+    }
+
     /// Borrows the page table.
     pub fn page_table(&self) -> &PageTable {
         &self.page_table

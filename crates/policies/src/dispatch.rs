@@ -100,6 +100,43 @@ impl PolicyBox {
     pub fn access_is_noop(&self) -> bool {
         matches!(self, PolicyBox::FirstTouch(_))
     }
+
+    /// Chunked access hook: equivalent to calling
+    /// [`TieringPolicy::on_access`] once per event in order, but with a
+    /// single dispatch per chunk so each variant's body runs as a tight
+    /// direct-call loop (or a genuinely batched kernel, for NeoMem).
+    ///
+    /// Contract: appends exactly `events.len()` charges to `charges` in
+    /// event order — unless `max_access_charge() == Some(Nanos::ZERO)`,
+    /// in which case the charges are provably all zero and the policy
+    /// may skip pushing them entirely. Callers staging on a zero bound
+    /// must therefore not read `charges` back.
+    pub fn on_access_chunk(
+        &mut self,
+        events: &[AccessEvent],
+        kernel: &mut Kernel,
+        charges: &mut Vec<Nanos>,
+    ) {
+        match self {
+            // Batched kernel: slow-tier snoops collect and hit the
+            // NeoProf device in one pass; charges are uniformly zero.
+            PolicyBox::NeoMem(p) => p.on_access_chunk(events, kernel),
+            // Zero-charge policies: direct-call loop, charges elided.
+            PolicyBox::PteScan(p) => {
+                for ev in events {
+                    let _ = p.on_access(ev, kernel);
+                }
+            }
+            PolicyBox::FirstTouch(_) => {}
+            // Charged (or unaudited) policies: per-event charges are
+            // observable, so record each one.
+            _ => each_policy!(self, p => {
+                for ev in events {
+                    charges.push(p.on_access(ev, kernel));
+                }
+            }),
+        }
+    }
 }
 
 impl TieringPolicy for PolicyBox {

@@ -103,11 +103,11 @@ impl TenantLayout {
     pub fn count_fast_pages(&self, kernel: &neomem_kernel::Kernel, out: &mut [u64]) {
         assert!(out.len() >= self.tenant_count(), "occupancy buffer too short");
         out.iter_mut().for_each(|c| *c = 0);
-        let fast_frames = kernel.memory().slow_base().index();
-        for frame in 0..fast_frames {
-            if let Some(vpage) = kernel.vpage_of(neomem_types::PageNum::new(frame)) {
-                out[self.tenant_of(vpage)] += 1;
-            }
+        // One dense sweep of the fast tier's reverse map. With tenant
+        // bases sorted, `partition_point` over the handful of bases is
+        // branch-predictable; the sweep itself is bounds-check-free.
+        for vpage in kernel.fast_rmap().iter().copied().flatten() {
+            out[self.tenant_of(vpage)] += 1;
         }
     }
 }

@@ -735,7 +735,8 @@ impl CoRunSimulation {
                                 }
                             }
                             let take = self.machine.chunk_capacity(
-                                run_len,
+                                &buf[i..i + run_len],
+                                base,
                                 state.clock,
                                 next_deadline,
                                 charge_max,

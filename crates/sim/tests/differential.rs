@@ -51,6 +51,68 @@ fn mid_phase_runs_are_pipeline_invariant() {
     assert_shape(DiffShape::MidPhase);
 }
 
+/// The workload batch cap the adversarial sweep brackets: chunks never
+/// cross a batch boundary, so sizes at and around this cap (and the
+/// degenerate 1 and 2) steer the staged pipeline into off-by-one chunk
+/// tails — exactly where SWAR tail handling and admission arithmetic
+/// would slip.
+const BATCH_CAP: usize = 256;
+
+#[test]
+fn adversarial_batch_sizes_are_pipeline_invariant() {
+    for batch in [1, 2, BATCH_CAP - 1, BATCH_CAP, BATCH_CAP + 1] {
+        for policy in [PolicyKind::NeoMem, PolicyKind::Pebs, PolicyKind::FirstTouch] {
+            for shape in [DiffShape::SingleTenant, DiffShape::CoRun] {
+                diffcheck::diff_case_batched(
+                    WorkloadKind::Gups,
+                    policy,
+                    shape,
+                    BUDGET / 2,
+                    Some(batch),
+                )
+                .assert_identical();
+            }
+        }
+    }
+}
+
+mod random_event_counts {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 12,
+            failure_persistence: None,
+            ..ProptestConfig::default()
+        })]
+
+        /// Any (event count, batch size) pair is pipeline-invariant:
+        /// random totals land chunk tails at arbitrary offsets in the
+        /// SWAR kernels' word-at-a-time sweeps, and random batch sizes
+        /// land them against arbitrary admission boundaries.
+        #[test]
+        fn random_event_counts_are_pipeline_invariant(
+            budget in 1u64..3_000,
+            batch in 1usize..300,
+            policy in prop::sample::select(vec![
+                PolicyKind::NeoMem,
+                PolicyKind::Memtis,
+                PolicyKind::FirstTouch,
+            ]),
+        ) {
+            diffcheck::diff_case_batched(
+                WorkloadKind::Gups,
+                policy,
+                DiffShape::SingleTenant,
+                budget,
+                Some(batch),
+            )
+            .assert_identical();
+        }
+    }
+}
+
 #[test]
 fn staged_is_the_default_and_serial_is_reachable() {
     // The guarantee the rest of the suite rests on: the corpus really

@@ -27,6 +27,19 @@ impl BitSet {
         self.words[idx / 64] |= 1 << (idx % 64);
     }
 
+    /// Sets the bit and returns its previous value — one word access
+    /// where the batched update paths would otherwise do a `get` plus a
+    /// conditional `set`.
+    #[inline]
+    pub(crate) fn test_and_set(&mut self, idx: usize) -> bool {
+        debug_assert!(idx < self.len);
+        let word = &mut self.words[idx / 64];
+        let bit = 1u64 << (idx % 64);
+        let was = *word & bit != 0;
+        *word |= bit;
+        was
+    }
+
     /// Word-wise clear: the "rapid reset" path.
     #[inline]
     pub(crate) fn clear_all(&mut self) {
@@ -76,6 +89,15 @@ mod tests {
         bs.clear_all();
         assert_eq!(bs.count_ones(), 0);
         assert_eq!(bs.len(), 130);
+    }
+
+    #[test]
+    fn test_and_set_reports_previous_value() {
+        let mut bs = BitSet::new(70);
+        assert!(!bs.test_and_set(65));
+        assert!(bs.test_and_set(65));
+        assert!(bs.get(65));
+        assert!(!bs.get(64));
     }
 
     #[test]

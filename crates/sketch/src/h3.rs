@@ -11,6 +11,12 @@
 pub struct H3Hash {
     /// Per-input-bit seed words (length = input bit width).
     seeds: Vec<u32>,
+    /// Per-input-byte fold tables: `tables[b][v]` is the XOR of the
+    /// seeds selected by byte value `v` at byte position `b`. H3 is
+    /// linear over GF(2), so folding one precomputed word per byte is
+    /// exactly the per-set-bit reduction — the hot hash becomes
+    /// `⌈input_bits/8⌉` table lookups instead of up to 64 fold steps.
+    tables: Vec<[u32; 256]>,
     mask: u32,
 }
 
@@ -38,20 +44,36 @@ impl H3Hash {
         assert!((1..=32).contains(&index_bits), "index_bits must be 1..=32");
         let mask = if index_bits == 32 { u32::MAX } else { (1u32 << index_bits) - 1 };
         let mut state = seed ^ 0xA076_1D64_78BD_642F;
-        let seeds = (0..input_bits).map(|_| (splitmix64(&mut state) as u32) & mask).collect();
-        Self { seeds, mask }
+        let seeds: Vec<u32> =
+            (0..input_bits).map(|_| (splitmix64(&mut state) as u32) & mask).collect();
+        let tables = (0..input_bits.div_ceil(8))
+            .map(|byte| {
+                let mut table = [0u32; 256];
+                for (v, slot) in table.iter_mut().enumerate() {
+                    let mut acc = 0u32;
+                    for bit in 0..8 {
+                        let i = (byte * 8 + bit) as usize;
+                        if i < seeds.len() && (v >> bit) & 1 == 1 {
+                            acc ^= seeds[i];
+                        }
+                    }
+                    *slot = acc;
+                }
+                table
+            })
+            .collect();
+        Self { seeds, tables, mask }
     }
 
     /// Hashes `x`, using only the configured number of low input bits.
     #[inline]
     pub fn hash(&self, x: u64) -> u32 {
+        // Byte-table fold; GF(2)-linearity makes it equal to the
+        // per-set-bit XOR reduction over the seed words.
         let mut acc = 0u32;
-        // XOR-fold only over set bits; equivalent to the AND/XOR tree.
-        let mut bits = x & Self::input_mask(self.seeds.len() as u32);
-        while bits != 0 {
-            let i = bits.trailing_zeros() as usize;
-            acc ^= self.seeds[i];
-            bits &= bits - 1;
+        let bits = x & Self::input_mask(self.seeds.len() as u32);
+        for (b, table) in self.tables.iter().enumerate() {
+            acc ^= table[((bits >> (b * 8)) & 0xFF) as usize];
         }
         acc & self.mask
     }
@@ -134,5 +156,22 @@ mod tests {
     #[should_panic(expected = "input_bits")]
     fn rejects_zero_input_bits() {
         let _ = H3Hash::new(0, 8, 1);
+    }
+
+    #[test]
+    fn table_fold_matches_bitwise_fold() {
+        for (input_bits, index_bits, seed) in [(32u32, 16u32, 5u64), (13, 7, 9), (64, 32, 3)] {
+            let h = H3Hash::new(input_bits, index_bits, seed);
+            for x in [0u64, 1, 0xdead_beef, u64::MAX, 0x1234_5678_9abc_def0, 1 << 63] {
+                let mut acc = 0u32;
+                let mut bits = x & H3Hash::input_mask(input_bits);
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    acc ^= h.seeds[i];
+                    bits &= bits - 1;
+                }
+                assert_eq!(h.hash(x), acc & h.mask, "x={x:#x}");
+            }
+        }
     }
 }
